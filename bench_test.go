@@ -1,0 +1,235 @@
+// Benchmarks regenerating the paper's tables and figures (one per
+// experiment, on reduced dataset scales so the suite stays minutes-long),
+// plus micro-benchmarks for the pipeline stages. Run the full-scale
+// harness with: go run ./cmd/pghive-bench -scale 20000
+package pghive_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"pghive"
+	"pghive/internal/bench"
+	"pghive/internal/datagen"
+	"pghive/internal/embed"
+	"pghive/internal/lsh"
+)
+
+// benchSettings keeps experiment benchmarks small: two structurally
+// distinct datasets at 400 nodes.
+func benchSettings() bench.Settings {
+	return bench.Settings{Scale: 400, Seed: 1, Datasets: []string{"POLE", "MB6"}}
+}
+
+func BenchmarkTable2DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.RunTable2(io.Discard, benchSettings()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3Significance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.RunFig3(io.Discard, benchSettings()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4Quality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig4(io.Discard, benchSettings()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5Runtime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig5(io.Discard, benchSettings()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Heatmap(b *testing.B) {
+	s := benchSettings()
+	s.Datasets = []string{"POLE"}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig6(io.Discard, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7Incremental(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig7(io.Discard, benchSettings()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8SamplingError(b *testing.B) {
+	s := benchSettings()
+	s.Datasets = []string{"ICIJ"}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig8(io.Discard, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks: single-method discovery per dataset profile.
+
+func benchDataset(name string, scale int) *datagen.Dataset {
+	return datagen.Generate(datagen.ProfileByName(name), datagen.Options{Nodes: scale, Seed: 1})
+}
+
+func benchmarkDiscover(b *testing.B, dataset string, method pghive.Method) {
+	b.Helper()
+	ds := benchDataset(dataset, 1000)
+	cfg := pghive.DefaultConfig()
+	cfg.Method = method
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := pghive.Discover(ds.Graph, cfg)
+		if len(res.Def.Nodes) == 0 {
+			b.Fatal("no types discovered")
+		}
+	}
+}
+
+func BenchmarkDiscoverELSHPole(b *testing.B)    { benchmarkDiscover(b, "POLE", pghive.MethodELSH) }
+func BenchmarkDiscoverELSHLdbc(b *testing.B)    { benchmarkDiscover(b, "LDBC", pghive.MethodELSH) }
+func BenchmarkDiscoverELSHIyp(b *testing.B)     { benchmarkDiscover(b, "IYP", pghive.MethodELSH) }
+func BenchmarkDiscoverMinHashPole(b *testing.B) { benchmarkDiscover(b, "POLE", pghive.MethodMinHash) }
+func BenchmarkDiscoverMinHashLdbc(b *testing.B) { benchmarkDiscover(b, "LDBC", pghive.MethodMinHash) }
+
+func BenchmarkBaselineGMM(b *testing.B) {
+	ds := benchDataset("POLE", 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := bench.RunMethod(ds, bench.GMM, 1)
+		if !out.OK {
+			b.Fatal("GMM failed")
+		}
+	}
+}
+
+func BenchmarkBaselineSchemI(b *testing.B) {
+	ds := benchDataset("POLE", 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := bench.RunMethod(ds, bench.SchemI, 1)
+		if !out.OK {
+			b.Fatal("SchemI failed")
+		}
+	}
+}
+
+func BenchmarkWord2VecTrain(b *testing.B) {
+	var corpus [][]string
+	for i := 0; i < 200; i++ {
+		corpus = append(corpus,
+			[]string{"Person&Student", "Person", "Student"},
+			[]string{"Neuron&mb6", "Neuron", "mb6"},
+		)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		embed.Train(corpus, embed.DefaultConfig())
+	}
+}
+
+func BenchmarkELSHSignature(b *testing.B) {
+	fam := lsh.NewELSH(64, 2.0, 25, 1)
+	vec := make([]float64, 64)
+	for i := range vec {
+		vec[i] = float64(i%7) * 0.3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fam.Signature(vec)
+	}
+}
+
+func BenchmarkMinHashSignature(b *testing.B) {
+	mh := lsh.NewMinHash(25, 1)
+	set := make([]uint64, 20)
+	for i := range set {
+		set[i] = uint64(i) * 0x9e3779b9
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mh.Signature(set)
+	}
+}
+
+func BenchmarkIncrementalBatch(b *testing.B) {
+	ds := benchDataset("LDBC", 2000)
+	batches := ds.Graph.SplitRandom(10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pghive.NewPipeline(pghive.DefaultConfig())
+		for _, batch := range batches {
+			p.ProcessBatch(batch)
+		}
+	}
+}
+
+func BenchmarkAblation(b *testing.B) {
+	s := benchSettings()
+	s.Datasets = []string{"MB6"}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAblation(io.Discard, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMetricsSuite(b *testing.B) {
+	s := benchSettings()
+	s.Datasets = []string{"POLE"}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunMetrics(io.Discard, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValidate(b *testing.B) {
+	ds := benchDataset("POLE", 2000)
+	res := pghive.Discover(ds.Graph, pghive.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pghive.ValidateGraph(ds.Graph, res.Def, pghive.Loose)
+	}
+}
+
+func BenchmarkQueryPath(b *testing.B) {
+	ds := benchDataset("POLE", 2000)
+	q := "MATCH (c:Crime)-[:INVESTIGATED_BY]->(o:Officer) RETURN count(*)"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pghive.RunQuery(ds.Graph, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinaryWriteRead(b *testing.B) {
+	ds := benchDataset("LDBC", 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := pghive.WriteGraphBinary(&buf, ds.Graph); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pghive.ReadGraphBinary(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Command pghive-bench regenerates the paper's tables and figures on the
+// synthetic dataset profiles.
+//
+// Usage:
+//
+//	pghive-bench [-exp all|table1|table2|fig3|...] [-scale N] [-seed S] [-datasets POLE,LDBC]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pghive/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all or one of "+strings.Join(bench.ExperimentNames(), ", "))
+	scale := flag.Int("scale", 2000, "generated nodes per dataset")
+	seed := flag.Int64("seed", 1, "random seed")
+	datasets := flag.String("datasets", "", "comma-separated dataset filter (default: all eight)")
+	csvDir := flag.String("csvdir", "", "also write machine-readable CSVs for every experiment into this directory")
+	flag.Parse()
+
+	settings := bench.Settings{Scale: *scale, Seed: *seed}
+	if *datasets != "" {
+		settings.Datasets = strings.Split(*datasets, ",")
+	}
+
+	if *csvDir != "" {
+		if err := bench.WriteCSVs(*csvDir, os.Stdout, settings); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *exp == "all" {
+		if err := bench.RunAll(os.Stdout, settings); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	runner, ok := bench.Experiments[*exp]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q (have: all, %s)", *exp, strings.Join(bench.ExperimentNames(), ", ")))
+	}
+	if err := runner(os.Stdout, settings); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pghive-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,179 @@
+// Command pghive discovers the schema of a property graph and serializes
+// it.
+//
+// Input is either a JSONL graph file, a pair of Neo4j-style CSV files, or
+// a built-in synthetic dataset profile:
+//
+//	pghive -jsonl graph.jsonl -format pgschema -mode strict
+//	pghive -nodes nodes.csv -edges edges.csv -format json
+//	pghive -dataset LDBC -scale 10000 -format dot -out schema.dot
+//
+// The -batches flag processes the graph incrementally and reports
+// per-batch timings on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pghive"
+	"pghive/internal/datagen"
+)
+
+func main() {
+	var (
+		jsonlPath = flag.String("jsonl", "", "input graph in JSON Lines")
+		binPath   = flag.String("binary", "", "input graph in binary snapshot format (.pgb)")
+		nodesPath = flag.String("nodes", "", "input node CSV (with -edges)")
+		edgesPath = flag.String("edges", "", "input edge CSV")
+		dataset   = flag.String("dataset", "", "generate a built-in dataset profile instead (POLE, MB6, HET.IO, FIB25, ICIJ, CORD19, LDBC, IYP)")
+		scale     = flag.Int("scale", 5000, "nodes to generate with -dataset")
+		method    = flag.String("method", "elsh", "clustering method: elsh or minhash")
+		theta     = flag.Float64("theta", 0.9, "Jaccard merge threshold")
+		batches   = flag.Int("batches", 1, "process the graph in this many random batches")
+		format    = flag.String("format", "pgschema", "output format: pgschema, xsd, json, dot")
+		mode      = flag.String("mode", "strict", "PG-Schema mode: strict or loose")
+		name      = flag.String("name", "DiscoveredGraphType", "graph type name for PG-Schema output")
+		outPath   = flag.String("out", "", "output file (default stdout)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		sample    = flag.Bool("sample-datatypes", false, "infer property data types from a sample instead of a full scan")
+		particip  = flag.Bool("participation", false, "analyze edge participation to refine cardinality lower bounds")
+		selfCheck = flag.Bool("validate", false, "validate the input graph against its own discovered schema and report violations")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*jsonlPath, *binPath, *nodesPath, *edgesPath, *dataset, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := pghive.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Theta = *theta
+	cfg.SampleDatatypes = *sample
+	cfg.Participation = *particip
+	switch *method {
+	case "elsh":
+		cfg.Method = pghive.MethodELSH
+	case "minhash":
+		cfg.Method = pghive.MethodMinHash
+	default:
+		fatal(fmt.Errorf("unknown method %q (want elsh or minhash)", *method))
+	}
+
+	var result *pghive.Result
+	if *batches > 1 {
+		result = pghive.DiscoverStream(pghive.NewSliceSource(g.SplitRandom(*batches, *seed)...), cfg)
+	} else {
+		result = pghive.Discover(g, cfg)
+	}
+	for _, r := range result.Reports {
+		fmt.Fprintf(os.Stderr, "batch %d: %d nodes, %d edges, %d+%d clusters in %v\n",
+			r.Batch, r.Nodes, r.Edges, r.NodeClusters, r.EdgeClusters, r.Total())
+	}
+	fmt.Fprintf(os.Stderr, "discovered %d node types, %d edge types in %v (+%v post-processing)\n",
+		len(result.Def.Nodes), len(result.Def.Edges), result.Discovery, result.PostProcess)
+
+	if *selfCheck {
+		m := pghive.Loose
+		if *mode == "strict" {
+			m = pghive.Strict
+		}
+		report := pghive.ValidateGraph(g, result.Def, m)
+		if report.Valid() {
+			fmt.Fprintf(os.Stderr, "validation (%s): OK — %d nodes, %d edges conform\n",
+				*mode, report.NodesChecked, report.EdgesChecked)
+		} else {
+			fmt.Fprintf(os.Stderr, "validation (%s): %d violations\n", *mode, len(report.Violations))
+			for i, v := range report.Violations {
+				if i == 20 {
+					fmt.Fprintf(os.Stderr, "  ... and %d more\n", len(report.Violations)-20)
+					break
+				}
+				fmt.Fprintln(os.Stderr, "  -", v)
+			}
+		}
+	}
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := writeSchema(out, result.Def, *format, *mode, *name); err != nil {
+		fatal(err)
+	}
+}
+
+func loadGraph(jsonlPath, binPath, nodesPath, edgesPath, dataset string, scale int, seed int64) (*pghive.Graph, error) {
+	switch {
+	case binPath != "":
+		f, err := os.Open(binPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return pghive.ReadGraphBinary(f)
+	case jsonlPath != "":
+		f, err := os.Open(jsonlPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return pghive.ReadJSONL(f)
+	case nodesPath != "":
+		nf, err := os.Open(nodesPath)
+		if err != nil {
+			return nil, err
+		}
+		defer nf.Close()
+		var edges io.Reader
+		if edgesPath != "" {
+			ef, err := os.Open(edgesPath)
+			if err != nil {
+				return nil, err
+			}
+			defer ef.Close()
+			edges = ef
+		}
+		return pghive.ReadCSV(nf, edges)
+	case dataset != "":
+		p := datagen.ProfileByName(dataset)
+		if p == nil {
+			return nil, fmt.Errorf("unknown dataset %q", dataset)
+		}
+		return datagen.Generate(p, datagen.Options{Nodes: scale, Seed: seed}).Graph, nil
+	default:
+		return nil, fmt.Errorf("no input: pass -jsonl, -binary, -nodes, or -dataset")
+	}
+}
+
+func writeSchema(w io.Writer, def *pghive.SchemaDef, format, mode, name string) error {
+	switch format {
+	case "pgschema":
+		m := pghive.Strict
+		if mode == "loose" {
+			m = pghive.Loose
+		}
+		return pghive.WritePGSchema(w, def, name, m)
+	case "xsd":
+		return pghive.WriteXSD(w, def)
+	case "json":
+		return pghive.WriteSchemaJSON(w, def)
+	case "dot":
+		return pghive.WriteDOT(w, def)
+	default:
+		return fmt.Errorf("unknown format %q (want pgschema, xsd, json, dot)", format)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pghive:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command pgquery runs Cypher-style queries against a property graph file:
+//
+//	pgquery -jsonl graph.jsonl -q 'MATCH (p:Person) RETURN p.name LIMIT 5'
+//	pggen -dataset POLE -scale 1000 -out /tmp/pole && \
+//	  pgquery -jsonl /tmp/pole.jsonl -q 'MATCH (c:Crime)-[:INVESTIGATED_BY]->(o:Officer) RETURN count(*)'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"pghive"
+)
+
+func main() {
+	var (
+		jsonlPath = flag.String("jsonl", "", "input graph in JSON Lines")
+		nodesPath = flag.String("nodes", "", "input node CSV (with -edges)")
+		edgesPath = flag.String("edges", "", "input edge CSV")
+		queryText = flag.String("q", "", "query text (required)")
+	)
+	flag.Parse()
+	if *queryText == "" {
+		fatal(fmt.Errorf("-q is required"))
+	}
+
+	var g *pghive.Graph
+	var err error
+	switch {
+	case *jsonlPath != "":
+		f, ferr := os.Open(*jsonlPath)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		defer f.Close()
+		g, err = pghive.ReadJSONL(f)
+	case *nodesPath != "":
+		nf, ferr := os.Open(*nodesPath)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		defer nf.Close()
+		ef, ferr := os.Open(*edgesPath)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		defer ef.Close()
+		g, err = pghive.ReadCSV(nf, ef)
+	default:
+		fatal(fmt.Errorf("no input: pass -jsonl or -nodes/-edges"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := pghive.RunQuery(g, *queryText)
+	if err != nil {
+		fatal(err)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(res.Columns, "\t"))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = c.String()
+		}
+		fmt.Fprintln(tw, strings.Join(cells, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%d rows\n", len(res.Rows))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pgquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+// Command pgschema-diff compares two schema snapshots (the JSON format
+// written by pghive -format json) and prints the evolution between them —
+// useful for monitoring how a discovered schema grows across incremental
+// runs:
+//
+//	pghive -jsonl day1.jsonl -format json -out schema1.json
+//	pghive -jsonl day2.jsonl -format json -out schema2.json
+//	pgschema-diff schema1.json schema2.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pghive/internal/schema"
+	"pghive/internal/serialize"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: pgschema-diff <old.json> <new.json>")
+		os.Exit(2)
+	}
+	old := load(os.Args[1])
+	new := load(os.Args[2])
+	changes := schema.Diff(old, new)
+	if len(changes) == 0 {
+		fmt.Println("schemas are identical")
+		return
+	}
+	for _, c := range changes {
+		fmt.Println(c)
+	}
+	fmt.Fprintf(os.Stderr, "%d changes\n", len(changes))
+}
+
+func load(path string) *schema.Def {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	def, err := serialize.ReadJSON(f)
+	if err != nil {
+		fatal(err)
+	}
+	return def
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pgschema-diff:", err)
+	os.Exit(1)
+}

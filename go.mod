@@ -1,0 +1,3 @@
+module pghive
+
+go 1.22

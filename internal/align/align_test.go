@@ -1,0 +1,141 @@
+package align
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshtein(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"organization", "organisation", 1},
+		{"same", "same", 0},
+		{"ab", "ba", 2},
+	}
+	for _, tc := range tests {
+		if got := Levenshtein(tc.a, tc.b); got != tc.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestLevenshteinSymmetricQuick(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFold(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"Given_Name", "givenname"},
+		{"PERSON", "person"},
+		{"two words", "twowords"},
+		{"", ""},
+	}
+	for _, tc := range tests {
+		if got := Fold(tc.in); got != tc.want {
+			t.Errorf("Fold(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDefaultSimilarity(t *testing.T) {
+	if s := DefaultSimilarity("Organization", "Organisation"); s < 0.9 {
+		t.Errorf("spelling variants similarity = %v, want ≥ 0.9", s)
+	}
+	if s := DefaultSimilarity("Person", "person"); s != 1 {
+		t.Errorf("case variants similarity = %v, want 1", s)
+	}
+	if s := DefaultSimilarity("Person", "Vehicle"); s > 0.5 {
+		t.Errorf("unrelated labels similarity = %v, want low", s)
+	}
+	if s := DefaultSimilarity("", ""); s != 1 {
+		t.Errorf("empty labels similarity = %v, want 1", s)
+	}
+}
+
+func TestAlignerCanonical(t *testing.T) {
+	a := NewAligner(nil, 0.85)
+	if a.Canonical("Organization") != "Organization" {
+		t.Error("first label should represent its class")
+	}
+	if a.Canonical("Organisation") != "Organization" {
+		t.Error("spelling variant should align to the first-seen form")
+	}
+	if a.Canonical("Person") != "Person" {
+		t.Error("unrelated label should start a new class")
+	}
+	// Stability: repeated lookups return the same representative.
+	if a.Canonical("Organisation") != "Organization" {
+		t.Error("alignment not stable")
+	}
+}
+
+func TestAlignerCanonicalSet(t *testing.T) {
+	a := NewAligner(nil, 0.85)
+	got := a.CanonicalSet([]string{"Organisation", "Organization", "Person"})
+	if len(got) != 2 {
+		t.Fatalf("CanonicalSet = %v, want 2 entries (variants deduplicated)", got)
+	}
+	if got[0] != "Organisation" || got[1] != "Person" {
+		t.Errorf("CanonicalSet = %v", got)
+	}
+	if out := a.CanonicalSet(nil); out != nil {
+		t.Errorf("nil set should stay nil, got %v", out)
+	}
+}
+
+func TestAlignerClasses(t *testing.T) {
+	a := NewAligner(nil, 0.8) // sim(color, colour) = 1 − 1/6 ≈ 0.83
+	for _, l := range []string{"Color", "Colour", "Person"} {
+		a.Canonical(l)
+	}
+	classes := a.Classes()
+	if len(classes["Color"]) != 2 {
+		t.Errorf("Color class = %v, want [Color Colour]", classes["Color"])
+	}
+	if len(classes["Person"]) != 1 {
+		t.Errorf("Person class = %v", classes["Person"])
+	}
+}
+
+func TestAlignerCustomSimilarity(t *testing.T) {
+	// A dictionary-backed similarity (what an LLM aligner would provide).
+	synonyms := map[string]string{"Company": "Org", "Organization": "Org", "Firm": "Org"}
+	sim := func(a, b string) float64 {
+		if a == b || synonyms[a] == synonyms[b] && synonyms[a] != "" {
+			return 1
+		}
+		return 0
+	}
+	a := NewAligner(sim, 0.9)
+	if a.Canonical("Company") != "Company" || a.Canonical("Firm") != "Company" {
+		t.Error("custom similarity not honored")
+	}
+}
+
+func TestAlignerThresholdDefaults(t *testing.T) {
+	a := NewAligner(nil, 0)
+	if a.threshold != 0.8 {
+		t.Errorf("default threshold = %v, want 0.8", a.threshold)
+	}
+	a = NewAligner(nil, 2)
+	if a.threshold != 0.8 {
+		t.Errorf("out-of-range threshold = %v, want 0.8", a.threshold)
+	}
+}

@@ -1,0 +1,253 @@
+// Package gmm implements the GMMSchema baseline (Bonifati, Dumbrava, Mir;
+// EDBT 2022) as characterized by the PG-HIVE paper: hierarchical clustering
+// of fully-labeled nodes using Gaussian Mixture Models over label/property
+// feature vectors, with BIC-guided bisection, optional sampling on large
+// graphs, and node types only (no edge types, no constraints).
+//
+// The EM fitter (diagonal covariance, log-domain responsibilities) is a
+// from-scratch substrate; GMMSchema sits on top of it.
+package gmm
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Model is a Gaussian mixture with diagonal covariance.
+type Model struct {
+	Weights []float64   // K mixing weights, sum to 1
+	Means   [][]float64 // K × D component means
+	Vars    [][]float64 // K × D per-dimension variances (floored)
+}
+
+// K returns the number of components.
+func (m *Model) K() int { return len(m.Weights) }
+
+// varFloor keeps variances positive: binary feature columns are frequently
+// constant within a component.
+const varFloor = 1e-4
+
+// FitEM fits a k-component diagonal GMM with expectation-maximization.
+// Means are initialized from k distinct random data points. It returns the
+// model and the final total log-likelihood. It panics if k < 1; with fewer
+// points than components the extra components collapse onto data points.
+func FitEM(data [][]float64, k, maxIter int, tol float64, seed int64) (*Model, float64) {
+	if k < 1 {
+		panic("gmm: k must be at least 1")
+	}
+	n := len(data)
+	if n == 0 {
+		return &Model{Weights: []float64{1}, Means: [][]float64{nil}, Vars: [][]float64{nil}}, 0
+	}
+	m := initModel(data, k, seed)
+
+	resp := make([][]float64, n) // responsibilities, n × k
+	for i := range resp {
+		resp[i] = make([]float64, k)
+	}
+	logLik := math.Inf(-1)
+	for iter := 0; iter < maxIter; iter++ {
+		newLik := m.eStep(data, resp)
+		m.mStep(data, resp)
+		if math.Abs(newLik-logLik) < tol*(math.Abs(logLik)+1) {
+			logLik = newLik
+			break
+		}
+		logLik = newLik
+	}
+	return m, logLik
+}
+
+func initModel(data [][]float64, k int, seed int64) *Model {
+	n, d := len(data), len(data[0])
+	rng := rand.New(rand.NewSource(seed))
+
+	// Global variance as the starting spread.
+	mean := make([]float64, d)
+	for _, x := range data {
+		for j, v := range x {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	globalVar := make([]float64, d)
+	for _, x := range data {
+		for j, v := range x {
+			dv := v - mean[j]
+			globalVar[j] += dv * dv
+		}
+	}
+	for j := range globalVar {
+		globalVar[j] = globalVar[j]/float64(n) + varFloor
+	}
+
+	m := &Model{
+		Weights: make([]float64, k),
+		Means:   make([][]float64, k),
+		Vars:    make([][]float64, k),
+	}
+	// k-means++-style seeding: the first mean is a random point, each next
+	// mean the point farthest from all chosen means. This avoids the
+	// symmetric saddle EM falls into when two means start in one cluster.
+	chosen := make([]int, 0, k)
+	chosen = append(chosen, rng.Intn(n))
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = sqDist(data[i], data[chosen[0]])
+	}
+	for c := 1; c < k && c < n; c++ {
+		best, bestD := 0, -1.0
+		for i, dd := range minDist {
+			if dd > bestD {
+				best, bestD = i, dd
+			}
+		}
+		chosen = append(chosen, best)
+		for i := range minDist {
+			if dd := sqDist(data[i], data[best]); dd < minDist[i] {
+				minDist[i] = dd
+			}
+		}
+	}
+	for c := 0; c < k; c++ {
+		m.Weights[c] = 1 / float64(k)
+		mc := make([]float64, d)
+		copy(mc, data[chosen[c%len(chosen)]])
+		if c >= n {
+			// More components than points: jitter duplicates apart.
+			for j := range mc {
+				mc[j] += 0.01 * rng.NormFloat64()
+			}
+		}
+		m.Means[c] = mc
+		vc := make([]float64, d)
+		copy(vc, globalVar)
+		m.Vars[c] = vc
+	}
+	return m
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// eStep fills responsibilities and returns the total log-likelihood.
+func (m *Model) eStep(data [][]float64, resp [][]float64) float64 {
+	k := m.K()
+	logW := make([]float64, k)
+	for c, w := range m.Weights {
+		logW[c] = math.Log(math.Max(w, 1e-300))
+	}
+	total := 0.0
+	for i, x := range data {
+		r := resp[i]
+		maxLog := math.Inf(-1)
+		for c := 0; c < k; c++ {
+			r[c] = logW[c] + m.logGauss(c, x)
+			if r[c] > maxLog {
+				maxLog = r[c]
+			}
+		}
+		sum := 0.0
+		for c := 0; c < k; c++ {
+			r[c] = math.Exp(r[c] - maxLog)
+			sum += r[c]
+		}
+		for c := 0; c < k; c++ {
+			r[c] /= sum
+		}
+		total += maxLog + math.Log(sum)
+	}
+	return total
+}
+
+func (m *Model) mStep(data [][]float64, resp [][]float64) {
+	k := m.K()
+	d := len(m.Means[0])
+	n := len(data)
+	for c := 0; c < k; c++ {
+		var nc float64
+		mean := make([]float64, d)
+		for i, x := range data {
+			r := resp[i][c]
+			nc += r
+			for j, v := range x {
+				mean[j] += r * v
+			}
+		}
+		if nc < 1e-10 {
+			continue // dead component: keep previous parameters
+		}
+		for j := range mean {
+			mean[j] /= nc
+		}
+		variance := make([]float64, d)
+		for i, x := range data {
+			r := resp[i][c]
+			for j, v := range x {
+				dv := v - mean[j]
+				variance[j] += r * dv * dv
+			}
+		}
+		for j := range variance {
+			variance[j] = variance[j]/nc + varFloor
+		}
+		m.Weights[c] = nc / float64(n)
+		m.Means[c] = mean
+		m.Vars[c] = variance
+	}
+	// Renormalize weights (dead components keep old weight mass otherwise).
+	sum := 0.0
+	for _, w := range m.Weights {
+		sum += w
+	}
+	for c := range m.Weights {
+		m.Weights[c] /= sum
+	}
+}
+
+const log2Pi = 1.8378770664093453
+
+// logGauss returns log N(x; mean_c, diag(vars_c)).
+func (m *Model) logGauss(c int, x []float64) float64 {
+	mean, vars := m.Means[c], m.Vars[c]
+	s := 0.0
+	for j, v := range x {
+		dv := v - mean[j]
+		s += dv*dv/vars[j] + math.Log(vars[j]) + log2Pi
+	}
+	return -0.5 * s
+}
+
+// Assign returns the most likely component for x.
+func (m *Model) Assign(x []float64) int {
+	best, bestLog := 0, math.Inf(-1)
+	for c := 0; c < m.K(); c++ {
+		l := math.Log(math.Max(m.Weights[c], 1e-300)) + m.logGauss(c, x)
+		if l > bestLog {
+			best, bestLog = c, l
+		}
+	}
+	return best
+}
+
+// BIC returns the Bayesian information criterion for a fitted diagonal GMM:
+// -2·logLik + params·ln(n), with params = k·(2d) + (k-1). Lower is better.
+func BIC(logLik float64, k, dim, n int) float64 {
+	params := float64(k*2*dim + (k - 1))
+	return -2*logLik + params*math.Log(float64(maxInt(n, 1)))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

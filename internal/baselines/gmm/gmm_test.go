@@ -1,0 +1,235 @@
+package gmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pghive/internal/pg"
+)
+
+func twoBlobs(n int, sep float64, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	var data [][]float64
+	var truth []int
+	for i := 0; i < n; i++ {
+		c := i % 2
+		base := 0.0
+		if c == 1 {
+			base = sep
+		}
+		data = append(data, []float64{base + 0.1*rng.NormFloat64(), base + 0.1*rng.NormFloat64()})
+		truth = append(truth, c)
+	}
+	return data, truth
+}
+
+func TestFitEMSeparatesBlobs(t *testing.T) {
+	data, truth := twoBlobs(200, 5, 1)
+	m, lik := FitEM(data, 2, 50, 1e-6, 1)
+	if math.IsNaN(lik) || math.IsInf(lik, 0) {
+		t.Fatalf("log-likelihood = %v", lik)
+	}
+	// Cluster assignments must be consistent with the truth up to label
+	// permutation.
+	agree := 0
+	for i, x := range data {
+		if m.Assign(x) == truth[i] {
+			agree++
+		}
+	}
+	acc := float64(agree) / float64(len(data))
+	if acc < 0.5 {
+		acc = 1 - acc
+	}
+	if acc < 0.99 {
+		t.Errorf("blob separation accuracy = %.3f, want ≥ 0.99", acc)
+	}
+}
+
+func TestFitEMLikelihoodImprovesWithK(t *testing.T) {
+	data, _ := twoBlobs(200, 5, 2)
+	_, lik1 := FitEM(data, 1, 50, 1e-6, 1)
+	_, lik2 := FitEM(data, 2, 50, 1e-6, 1)
+	if lik2 <= lik1 {
+		t.Errorf("likelihood should improve with the true k: k1=%v k2=%v", lik1, lik2)
+	}
+	// And BIC must prefer the 2-component model for well-separated blobs.
+	if BIC(lik2, 2, 2, len(data)) >= BIC(lik1, 1, 2, len(data)) {
+		t.Error("BIC should prefer 2 components for two separated blobs")
+	}
+}
+
+func TestFitEMDegenerate(t *testing.T) {
+	// Identical points: variances floor out, no NaNs.
+	data := make([][]float64, 50)
+	for i := range data {
+		data[i] = []float64{1, 2, 3}
+	}
+	m, lik := FitEM(data, 2, 25, 1e-4, 1)
+	if math.IsNaN(lik) {
+		t.Fatal("NaN likelihood on identical points")
+	}
+	for _, vars := range m.Vars {
+		for _, v := range vars {
+			if v < varFloor {
+				t.Fatalf("variance %v below floor", v)
+			}
+		}
+	}
+}
+
+func TestFitEMMoreComponentsThanPoints(t *testing.T) {
+	data := [][]float64{{0, 0}, {1, 1}}
+	m, lik := FitEM(data, 5, 10, 1e-4, 1)
+	if math.IsNaN(lik) || m.K() != 5 {
+		t.Errorf("k=5 on 2 points: K=%d lik=%v", m.K(), lik)
+	}
+}
+
+func TestFitEMEmptyInput(t *testing.T) {
+	m, lik := FitEM(nil, 1, 10, 1e-4, 1)
+	if m == nil || lik != 0 {
+		t.Errorf("empty input: model=%v lik=%v", m, lik)
+	}
+}
+
+func TestFitEMPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for k=0")
+		}
+	}()
+	FitEM([][]float64{{1}}, 0, 5, 1e-4, 1)
+}
+
+func TestFitEMDeterministic(t *testing.T) {
+	data, _ := twoBlobs(100, 3, 7)
+	a, likA := FitEM(data, 2, 25, 1e-6, 9)
+	b, likB := FitEM(data, 2, 25, 1e-6, 9)
+	if likA != likB {
+		t.Error("same seed should reproduce the fit")
+	}
+	for c := range a.Means {
+		for j := range a.Means[c] {
+			if a.Means[c][j] != b.Means[c][j] {
+				t.Fatal("means differ across identical seeds")
+			}
+		}
+	}
+}
+
+func TestWeightsSumToOne(t *testing.T) {
+	data, _ := twoBlobs(100, 4, 3)
+	m, _ := FitEM(data, 3, 25, 1e-6, 1)
+	sum := 0.0
+	for _, w := range m.Weights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %v, want 1", sum)
+	}
+}
+
+// labeledBatch builds a fully labeled batch with two structurally distinct
+// types.
+func labeledBatch(perType int) *pg.Batch {
+	b := &pg.Batch{}
+	id := pg.ID(0)
+	for i := 0; i < perType; i++ {
+		b.Nodes = append(b.Nodes, pg.NodeRecord{ID: id, Labels: []string{"Person"},
+			Props: pg.Properties{"name": pg.Str("x"), "age": pg.Int(int64(i))}})
+		id++
+	}
+	for i := 0; i < perType; i++ {
+		b.Nodes = append(b.Nodes, pg.NodeRecord{ID: id, Labels: []string{"Company"},
+			Props: pg.Properties{"name": pg.Str("y"), "vat": pg.Str("v"), "employees": pg.Int(9)}})
+		id++
+	}
+	return b
+}
+
+func TestGMMSchemaDiscoversTwoTypes(t *testing.T) {
+	res, err := DiscoverNodeTypes(labeledBatch(40), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 2 {
+		t.Fatalf("got %d clusters, want 2", res.Clusters)
+	}
+	// Each cluster must be label-pure.
+	for _, ty := range res.Types {
+		if ty.Labels.Len() != 1 {
+			t.Errorf("cluster mixes labels: %v", ty.Labels.Sorted())
+		}
+	}
+}
+
+func TestGMMSchemaRejectsUnlabeled(t *testing.T) {
+	b := labeledBatch(5)
+	b.Nodes = append(b.Nodes, pg.NodeRecord{ID: 999, Props: pg.Properties{"x": pg.Int(1)}})
+	if _, err := DiscoverNodeTypes(b, DefaultConfig()); err != ErrUnlabeled {
+		t.Errorf("err = %v, want ErrUnlabeled", err)
+	}
+}
+
+func TestGMMSchemaEmptyBatch(t *testing.T) {
+	res, err := DiscoverNodeTypes(&pg.Batch{}, DefaultConfig())
+	if err != nil || len(res.Types) != 0 {
+		t.Errorf("empty batch: res=%+v err=%v", res, err)
+	}
+}
+
+func TestGMMSchemaAssignmentsAligned(t *testing.T) {
+	b := labeledBatch(20)
+	res, err := DiscoverNodeTypes(b, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != len(b.Nodes) {
+		t.Fatalf("assignments len = %d, want %d", len(res.Assignments), len(b.Nodes))
+	}
+	counts := map[int]int{}
+	for _, a := range res.Assignments {
+		if a < 0 || a >= len(res.Types) {
+			t.Fatalf("assignment %d out of range", a)
+		}
+		counts[a]++
+	}
+	for ti, ty := range res.Types {
+		if counts[ti] != ty.Instances {
+			t.Errorf("type %d: %d assignments vs %d instances", ti, counts[ti], ty.Instances)
+		}
+	}
+}
+
+func TestGMMSchemaSamplingStillCovers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SampleCap = 10 // force the sampling path
+	b := labeledBatch(50)
+	res, err := DiscoverNodeTypes(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, ty := range res.Types {
+		total += ty.Instances
+	}
+	if total != len(b.Nodes) {
+		t.Errorf("types cover %d nodes, want %d", total, len(b.Nodes))
+	}
+}
+
+func TestSampleIndexesDistinct(t *testing.T) {
+	idx := sampleIndexes(100, 30, 5)
+	if len(idx) != 30 {
+		t.Fatalf("len = %d, want 30", len(idx))
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if i < 0 || i >= 100 || seen[i] {
+			t.Fatalf("bad index %d", i)
+		}
+		seen[i] = true
+	}
+}

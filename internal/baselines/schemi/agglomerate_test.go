@@ -1,0 +1,118 @@
+package schemi
+
+import (
+	"reflect"
+	"testing"
+
+	"pghive/internal/pg"
+)
+
+func pat(labels string, keys ...string) pattern {
+	return pattern{labels: labels, keys: keys}
+}
+
+func TestKeyJaccard(t *testing.T) {
+	tests := []struct {
+		a, b []string
+		want float64
+	}{
+		{nil, nil, 1},
+		{[]string{"a"}, nil, 0},
+		{[]string{"a", "b"}, []string{"a", "b"}, 1},
+		{[]string{"a", "b", "c"}, []string{"b", "c", "d"}, 0.5},
+	}
+	for _, tc := range tests {
+		if got := keyJaccard(tc.a, tc.b); got != tc.want {
+			t.Errorf("keyJaccard(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestUnionSorted(t *testing.T) {
+	got := unionSorted([]string{"a", "c", "e"}, []string{"b", "c", "d"})
+	want := []string{"a", "b", "c", "d", "e"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("unionSorted = %v, want %v", got, want)
+	}
+	if got := unionSorted(nil, []string{"x"}); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("unionSorted(nil, [x]) = %v", got)
+	}
+}
+
+func TestAgglomeratePatternsMergesSimilar(t *testing.T) {
+	pats := []pattern{
+		pat("Person", "age", "name"),
+		pat("Person", "age", "city", "name"), // J = 2/3 < 0.75: kept apart...
+		pat("Person", "age", "city", "name", "zip"),
+		pat("Org", "name", "vat"),
+	}
+	// {age,city,name} vs {age,city,name,zip}: J = 3/4 = 0.75 → merge into
+	// {age,city,name,zip}; then vs {age,name}: J = 2/4 < 0.75 → stop.
+	out := agglomeratePatterns(pats, 0.75)
+	if len(out) != 3 {
+		t.Fatalf("got %d patterns, want 3: %v", len(out), out)
+	}
+	// Org untouched.
+	found := false
+	for _, p := range out {
+		if p.labels == "Org" && len(p.keys) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Org pattern lost")
+	}
+}
+
+func TestAgglomeratePatternsDifferentLabelsNeverMerge(t *testing.T) {
+	pats := []pattern{
+		pat("A", "x", "y"),
+		pat("B", "x", "y"),
+	}
+	if out := agglomeratePatterns(pats, 0.5); len(out) != 2 {
+		t.Errorf("cross-label merge happened: %v", out)
+	}
+}
+
+func TestAssignMostSpecific(t *testing.T) {
+	g := pg.NewGraph()
+	g.AddNode([]string{"Person"}, pg.Properties{"name": pg.Str("a")})
+	g.AddNode([]string{"Person"}, pg.Properties{"name": pg.Str("b"), "age": pg.Int(1)})
+	g.AddNode([]string{"Ghost"}, pg.Properties{"boo": pg.Str("!")})
+	b := g.Snapshot()
+	pats := []pattern{
+		pat("Person", "age", "name"),
+		pat("Person", "age", "city", "name"),
+	}
+	got := assignMostSpecific(b, pats)
+	// Node 0 ({name}) fits both; the first has fewer extra keys.
+	if got[0] != 0 {
+		t.Errorf("node 0 assigned %d, want 0", got[0])
+	}
+	if got[1] != 0 {
+		t.Errorf("node 1 assigned %d, want 0", got[1])
+	}
+	// Ghost has no pattern in its label group.
+	if got[2] != -1 {
+		t.Errorf("node 2 assigned %d, want -1", got[2])
+	}
+}
+
+func TestDiscoverProducesMergedPatternsAndAssignments(t *testing.T) {
+	b := socialBatch()
+	res, err := Discover(b, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MergedPatterns) == 0 {
+		t.Error("no merged patterns")
+	}
+	if len(res.PatternAssignments) != len(b.Nodes) {
+		t.Errorf("pattern assignments len = %d, want %d", len(res.PatternAssignments), len(b.Nodes))
+	}
+	for i, a := range res.PatternAssignments {
+		if a < -1 || a >= len(res.MergedPatterns) {
+			t.Errorf("node %d pattern assignment %d out of range", i, a)
+		}
+	}
+}

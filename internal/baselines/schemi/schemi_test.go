@@ -1,0 +1,203 @@
+package schemi
+
+import (
+	"testing"
+
+	"pghive/internal/pg"
+	"pghive/internal/schema"
+)
+
+func socialBatch() *pg.Batch {
+	g := pg.NewGraph()
+	var people []pg.ID
+	for i := 0; i < 10; i++ {
+		people = append(people, g.AddNode([]string{"Person"},
+			pg.Properties{"name": pg.Str("p"), "age": pg.Int(int64(i))}))
+	}
+	org := g.AddNode([]string{"Organization"}, pg.Properties{"name": pg.Str("o"), "url": pg.Str("u")})
+	student := g.AddNode([]string{"Student", "Person"},
+		pg.Properties{"name": pg.Str("s"), "age": pg.Int(20)})
+	for i := 0; i < 9; i++ {
+		if _, err := g.AddEdge([]string{"KNOWS"}, people[i], people[i+1], nil); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := g.AddEdge([]string{"WORKS_AT"}, people[0], org, pg.Properties{"from": pg.Int(2020)}); err != nil {
+		panic(err)
+	}
+	if _, err := g.AddEdge([]string{"KNOWS"}, student, people[0], nil); err != nil {
+		panic(err)
+	}
+	return g.Snapshot()
+}
+
+func TestDiscoverTypes(t *testing.T) {
+	res, err := Discover(socialBatch(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Person and Organization stay separate ({name,age} vs {name,url}:
+	// J = 1/3 < 0.75); the multi-labeled student conflates into Person.
+	if len(res.NodeTypes) != 2 {
+		t.Fatalf("got %d node types, want 2", len(res.NodeTypes))
+	}
+	var person *schema.Type
+	for _, ty := range res.NodeTypes {
+		if ty.Labels.Has("Person") {
+			person = ty
+		}
+	}
+	if person == nil {
+		t.Fatal("no Person type")
+	}
+	if person.Instances != 11 {
+		t.Errorf("Person instances = %d, want 11 (student conflated)", person.Instances)
+	}
+	// The conflation keeps the Student label via the union (but the type is
+	// keyed on the primary label).
+	if !person.Labels.Has("Student") {
+		t.Error("Student label lost")
+	}
+}
+
+func TestDiscoverEdgeGroups(t *testing.T) {
+	res, err := Discover(socialBatch(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// KNOWS(Person>Person) and WORKS_AT(Person>Organization); the
+	// student's KNOWS edge has primary src label "Person" (alphabetical
+	// min of {Person, Student}), so it folds into the same group.
+	if len(res.EdgeTypes) != 2 {
+		t.Fatalf("got %d edge types, want 2", len(res.EdgeTypes))
+	}
+}
+
+func TestDiscoverRejectsUnlabeledNode(t *testing.T) {
+	b := socialBatch()
+	b.Nodes = append(b.Nodes, pg.NodeRecord{ID: 999, Props: pg.Properties{"x": pg.Int(1)}})
+	if _, err := Discover(b, DefaultConfig()); err != ErrUnlabeled {
+		t.Errorf("err = %v, want ErrUnlabeled", err)
+	}
+}
+
+func TestDiscoverRejectsUnlabeledEdge(t *testing.T) {
+	b := socialBatch()
+	b.Edges = append(b.Edges, pg.EdgeRecord{ID: 999, Src: 0, Dst: 1,
+		SrcLabels: []string{"Person"}, DstLabels: []string{"Person"}})
+	if _, err := Discover(b, DefaultConfig()); err != ErrUnlabeled {
+		t.Errorf("err = %v, want ErrUnlabeled", err)
+	}
+}
+
+func TestAssignmentsAligned(t *testing.T) {
+	b := socialBatch()
+	res, err := Discover(b, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NodeAssignments) != len(b.Nodes) || len(res.EdgeAssignments) != len(b.Edges) {
+		t.Fatal("assignment slices misaligned")
+	}
+	for i, a := range res.NodeAssignments {
+		if a < 0 || a >= len(res.NodeTypes) {
+			t.Fatalf("node %d assignment %d out of range", i, a)
+		}
+	}
+}
+
+func TestSharedLabelMergesTypes(t *testing.T) {
+	// SchemI "groups similar node types based on shared labels": label
+	// sets sharing one label collapse into a single type — its documented
+	// weakness on integration datasets with a common extra label.
+	g := pg.NewGraph()
+	for i := 0; i < 5; i++ {
+		g.AddNode([]string{"Company", "Org"}, pg.Properties{"name": pg.Str("a"), "vat": pg.Str("v")})
+		g.AddNode([]string{"University", "Org"}, pg.Properties{"name": pg.Str("b"), "rank": pg.Int(int64(i))})
+	}
+	res, err := Discover(g.Snapshot(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NodeTypes) != 1 {
+		t.Fatalf("got %d node types, want 1 (shared Org label)", len(res.NodeTypes))
+	}
+	ty := res.NodeTypes[0]
+	if !ty.Labels.Has("Company") || !ty.Labels.Has("University") {
+		t.Error("merged type should carry both labels")
+	}
+}
+
+func TestDisjointLabelsStaySeparate(t *testing.T) {
+	// Identical structure is not enough: SchemI types are label-driven.
+	g := pg.NewGraph()
+	for i := 0; i < 5; i++ {
+		g.AddNode([]string{"Company"}, pg.Properties{"name": pg.Str("a"), "vat": pg.Str("v")})
+		g.AddNode([]string{"Organization"}, pg.Properties{"name": pg.Str("b"), "vat": pg.Str("w")})
+	}
+	res, err := Discover(g.Snapshot(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NodeTypes) != 2 {
+		t.Fatalf("got %d node types, want 2 (disjoint labels)", len(res.NodeTypes))
+	}
+}
+
+func TestPatternHierarchy(t *testing.T) {
+	g := pg.NewGraph()
+	g.AddNode([]string{"Person"}, pg.Properties{"name": pg.Str("a")})
+	g.AddNode([]string{"Person"}, pg.Properties{"name": pg.Str("b"), "age": pg.Int(3)})
+	g.AddNode([]string{"Person"}, pg.Properties{"name": pg.Str("c"), "age": pg.Int(4), "city": pg.Str("x")})
+	res, err := Discover(g.Snapshot(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {name,age,city} subsumes {name,age} and {name}; {name,age} subsumes {name}.
+	full := "Person|age,city,name"
+	if got := len(res.Hierarchy[full]); got != 2 {
+		t.Errorf("pattern %q subsumes %d patterns, want 2 (hierarchy: %v)", full, got, res.Hierarchy)
+	}
+	mid := "Person|age,name"
+	if got := len(res.Hierarchy[mid]); got != 1 {
+		t.Errorf("pattern %q subsumes %d patterns, want 1", mid, got)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	tests := []struct {
+		a, b []string
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, []string{"x"}, true},
+		{[]string{"a"}, []string{"a", "b"}, true},
+		{[]string{"a", "c"}, []string{"a", "b", "c"}, true},
+		{[]string{"a", "z"}, []string{"a", "b", "c"}, false},
+		{[]string{"a"}, nil, false},
+	}
+	for _, tc := range tests {
+		if got := subset(tc.a, tc.b); got != tc.want {
+			t.Errorf("subset(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestPrimaryLabel(t *testing.T) {
+	if primaryLabel([]string{"Student", "Person"}) != "Person" {
+		t.Error("primary label should be alphabetical minimum")
+	}
+	if primaryLabel(nil) != "" {
+		t.Error("primary label of empty set should be empty")
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	res, err := Discover(&pg.Batch{}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NodeTypes) != 0 || len(res.EdgeTypes) != 0 {
+		t.Error("empty batch should produce no types")
+	}
+}

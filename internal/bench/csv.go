@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteCSVs re-runs the structured experiments and writes one
+// machine-readable CSV per experiment into dir (for plotting the figures):
+//
+//	fig3_ranks.csv, fig4_quality.csv, fig5_runtime.csv, fig6_heatmap.csv,
+//	fig7_incremental.csv, fig8_sampling.csv, ablation.csv, metrics.csv,
+//	scaling.csv
+//
+// The human-readable tables go to w as usual.
+func WriteCSVs(dir string, w writerFlusher, s Settings) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	nodeRanks, edgeRanks, err := RunFig3(w, s)
+	if err != nil {
+		return err
+	}
+	var rankRows [][]string
+	for i, m := range nodeRanks.Methods {
+		rankRows = append(rankRows, []string{"nodes", m.String(), f(nodeRanks.AvgRanks[i]), f(nodeRanks.CD)})
+	}
+	for i, m := range edgeRanks.Methods {
+		rankRows = append(rankRows, []string{"edges", m.String(), f(edgeRanks.AvgRanks[i]), f(edgeRanks.CD)})
+	}
+	if err := writeCSV(dir, "fig3_ranks.csv", []string{"kind", "method", "avg_rank", "cd"}, rankRows); err != nil {
+		return err
+	}
+
+	cells, err := RunFig4(w, s)
+	if err != nil {
+		return err
+	}
+	var qualityRows [][]string
+	for _, c := range cells {
+		qualityRows = append(qualityRows, []string{
+			c.Dataset, c.Method.String(), f(c.LabelAvail), f(c.Noise),
+			strconv.FormatBool(c.OK), f(c.NodeF1), f(c.EdgeF1),
+		})
+	}
+	if err := writeCSV(dir, "fig4_quality.csv",
+		[]string{"dataset", "method", "label_availability", "noise", "ok", "node_f1", "edge_f1"}, qualityRows); err != nil {
+		return err
+	}
+
+	times, err := RunFig5(w, s)
+	if err != nil {
+		return err
+	}
+	var timeRows [][]string
+	for _, c := range times {
+		timeRows = append(timeRows, []string{
+			c.Dataset, c.Method.String(), f(c.Noise),
+			strconv.FormatBool(c.OK), strconv.FormatInt(c.Elapsed.Microseconds(), 10),
+		})
+	}
+	if err := writeCSV(dir, "fig5_runtime.csv",
+		[]string{"dataset", "method", "noise", "ok", "elapsed_us"}, timeRows); err != nil {
+		return err
+	}
+
+	grids, err := RunFig6(w, s)
+	if err != nil {
+		return err
+	}
+	var gridRows [][]string
+	for _, g := range grids {
+		for ai, alpha := range g.Alphas {
+			for ti, tables := range g.Tables {
+				gridRows = append(gridRows, []string{
+					g.Dataset, f(alpha), strconv.Itoa(tables),
+					f(g.NodeF1[ai][ti]), f(g.EdgeF1[ai][ti]),
+					f(g.AdaptiveAlpha), strconv.Itoa(g.AdaptiveTables),
+				})
+			}
+		}
+	}
+	if err := writeCSV(dir, "fig6_heatmap.csv",
+		[]string{"dataset", "alpha", "tables", "node_f1", "edge_f1", "adaptive_alpha", "adaptive_tables"}, gridRows); err != nil {
+		return err
+	}
+
+	series, err := RunFig7(w, s)
+	if err != nil {
+		return err
+	}
+	var incRows [][]string
+	for _, sr := range series {
+		for bi, d := range sr.PerBatch {
+			incRows = append(incRows, []string{
+				sr.Dataset, sr.Method.String(), strconv.Itoa(bi + 1),
+				strconv.FormatInt(d.Microseconds(), 10),
+			})
+		}
+	}
+	if err := writeCSV(dir, "fig7_incremental.csv",
+		[]string{"dataset", "method", "batch", "elapsed_us"}, incRows); err != nil {
+		return err
+	}
+
+	samples, err := RunFig8(w, s)
+	if err != nil {
+		return err
+	}
+	var sampleRows [][]string
+	for _, r := range samples {
+		fr := r.Bins.Fractions()
+		sampleRows = append(sampleRows, []string{
+			r.Dataset, r.Method.String(),
+			f(fr[0]), f(fr[1]), f(fr[2]), f(fr[3]), strconv.Itoa(r.Bins.Total),
+		})
+	}
+	if err := writeCSV(dir, "fig8_sampling.csv",
+		[]string{"dataset", "method", "bin_0_005", "bin_005_010", "bin_010_020", "bin_020_up", "properties"}, sampleRows); err != nil {
+		return err
+	}
+
+	abl, err := RunAblation(w, s)
+	if err != nil {
+		return err
+	}
+	var ablRows [][]string
+	for _, r := range abl {
+		ablRows = append(ablRows, []string{r.Knob, r.Setting, r.Dataset, f(r.NodeF1), f(r.EdgeF1)})
+	}
+	if err := writeCSV(dir, "ablation.csv",
+		[]string{"knob", "setting", "dataset", "node_f1", "edge_f1"}, ablRows); err != nil {
+		return err
+	}
+
+	mets, err := RunMetrics(w, s)
+	if err != nil {
+		return err
+	}
+	var metRows [][]string
+	for _, r := range mets {
+		metRows = append(metRows, []string{
+			r.Dataset, r.Method.String(), strconv.FormatBool(r.OK),
+			f(r.F1), f(r.MacroF1), f(r.ARI), f(r.NMI),
+		})
+	}
+	if err := writeCSV(dir, "metrics.csv",
+		[]string{"dataset", "method", "ok", "f1", "macro_f1", "ari", "nmi"}, metRows); err != nil {
+		return err
+	}
+
+	scal, err := RunScaling(w, s)
+	if err != nil {
+		return err
+	}
+	var scalRows [][]string
+	for _, p := range scal {
+		scalRows = append(scalRows, []string{
+			p.Dataset, p.Method.String(), strconv.Itoa(p.Nodes), strconv.Itoa(p.Edges),
+			strconv.FormatInt(p.Elapsed.Microseconds(), 10),
+			strconv.FormatInt(p.PerElem.Nanoseconds(), 10), f(p.NodeF1),
+		})
+	}
+	return writeCSV(dir, "scaling.csv",
+		[]string{"dataset", "method", "nodes", "edges", "elapsed_us", "per_element_ns", "node_f1"}, scalRows)
+}
+
+// writerFlusher is satisfied by io.Writer targets the runners print to.
+type writerFlusher interface {
+	Write(p []byte) (int, error)
+}
+
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	path := filepath.Join(dir, name)
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(file)
+	if err := cw.Write(header); err != nil {
+		file.Close()
+		return err
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			file.Close()
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+func f(x float64) string {
+	return fmt.Sprintf("%.4f", x)
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"pghive/internal/eval"
+)
+
+// Fig3Result carries the Figure 3 outputs for one element kind.
+type Fig3Result struct {
+	Methods  []MethodID
+	AvgRanks []float64
+	CD       float64
+	Cases    int
+}
+
+// RunFig3 reproduces the statistical significance analysis (Figure 3):
+// F1* over all (dataset × noise level) cases at 100 % label availability,
+// Friedman average ranks per method, and the Nemenyi critical difference.
+// Nodes rank four methods; edges rank three (GMMSchema emits no edge
+// types). Expected shape: the two PG-HIVE variants form one group with the
+// best (lowest) ranks, significantly ahead of GMMSchema and SchemI.
+func RunFig3(w io.Writer, s Settings) (*Fig3Result, *Fig3Result, error) {
+	s = s.withDefaults()
+	cache := newDatasetCache(s)
+	profiles := s.profiles()
+
+	nodeMethods := []MethodID{ELSH, MinHash, GMM, SchemI}
+	edgeMethods := []MethodID{ELSH, MinHash, SchemI}
+	nodeScores := make([][]float64, len(nodeMethods))
+	edgeScores := make([][]float64, len(edgeMethods))
+
+	cases := 0
+	for _, p := range profiles {
+		for _, noise := range NoiseLevels {
+			ds := cache.noisy(p, noise, 1.0)
+			outcomes := map[MethodID]Outcome{}
+			for _, m := range nodeMethods {
+				outcomes[m] = RunMethod(ds, m, s.Seed)
+			}
+			for i, m := range nodeMethods {
+				nodeScores[i] = append(nodeScores[i], outcomes[m].Node.Micro)
+			}
+			for i, m := range edgeMethods {
+				edgeScores[i] = append(edgeScores[i], outcomes[m].Edge.Micro)
+			}
+			cases++
+		}
+	}
+
+	nodeRes := &Fig3Result{
+		Methods:  nodeMethods,
+		AvgRanks: eval.AverageRanks(nodeScores),
+		CD:       eval.NemenyiCD(len(nodeMethods), cases),
+		Cases:    cases,
+	}
+	edgeRes := &Fig3Result{
+		Methods:  edgeMethods,
+		AvgRanks: eval.AverageRanks(edgeScores),
+		CD:       eval.NemenyiCD(len(edgeMethods), cases),
+		Cases:    cases,
+	}
+
+	fmt.Fprintf(w, "Figure 3: Nemenyi significance analysis (%d cases = %d datasets x %d noise levels, 100%% labels)\n",
+		cases, len(profiles), len(NoiseLevels))
+	for _, part := range []struct {
+		name string
+		res  *Fig3Result
+	}{{"nodes", nodeRes}, {"edges", edgeRes}} {
+		fmt.Fprintf(w, "  %s (CD = %.3f at alpha = 0.05; lower rank is better):\n", part.name, part.res.CD)
+		tw := newTable(w)
+		for i, m := range part.res.Methods {
+			fmt.Fprintf(tw, "    %s\tavg rank %.3f\n", m, part.res.AvgRanks[i])
+		}
+		if err := tw.Flush(); err != nil {
+			return nil, nil, err
+		}
+	}
+	fmt.Fprintln(w, "  expected shape: PG-HIVE-ELSH and PG-HIVE-MinHash group together ahead of GMMSchema and SchemI")
+	return nodeRes, edgeRes, nil
+}

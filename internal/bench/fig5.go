@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Fig5Cell is one execution-time measurement.
+type Fig5Cell struct {
+	Dataset string
+	Noise   float64
+	Method  MethodID
+	OK      bool
+	Elapsed time.Duration
+}
+
+// RunFig5 reproduces the efficiency comparison (Figure 5): execution time
+// until type discovery per dataset across noise levels, 100 % labels.
+// Expected shape: PG-HIVE's time is flat in noise; GMMSchema's grows with
+// noise (more clusters to bisect); PG-HIVE is faster than SchemI (the
+// paper reports up to 1.95x on its cluster).
+func RunFig5(w io.Writer, s Settings) ([]Fig5Cell, error) {
+	s = s.withDefaults()
+	cache := newDatasetCache(s)
+	var cells []Fig5Cell
+
+	fmt.Fprintln(w, "Figure 5: Execution time until type discovery (ms), 100% labels")
+	for _, p := range s.profiles() {
+		fmt.Fprintf(w, "  %s:\n", p.Name)
+		tw := newTable(w)
+		header := "    noise"
+		for m := ELSH; m < numMethods; m++ {
+			header += "\t" + m.String()
+		}
+		fmt.Fprintln(tw, header)
+		for _, noise := range NoiseLevels {
+			ds := cache.noisy(p, noise, 1.0)
+			row := fmt.Sprintf("    %.0f%%", noise*100)
+			for m := ELSH; m < numMethods; m++ {
+				out := RunMethod(ds, m, s.Seed)
+				cells = append(cells, Fig5Cell{Dataset: p.Name, Noise: noise, Method: m, OK: out.OK, Elapsed: out.Elapsed})
+				if out.OK {
+					row += "\t" + ms(out.Elapsed)
+				} else {
+					row += "\tn/a"
+				}
+			}
+			fmt.Fprintln(tw, row)
+		}
+		if err := tw.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	return cells, nil
+}

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"testing"
+
+	"pghive/internal/core"
+	"pghive/internal/datagen"
+	"pghive/internal/eval"
+)
+
+// TestCleanDatasetQuality locks in the calibrated headline numbers: on
+// clean data (0% noise, full labels) both PG-HIVE variants stay above 0.9
+// node F1* and 0.85 edge F1* on every profile. Regressions here mean a
+// pipeline change broke the paper's Figure 4 shape.
+func TestCleanDatasetQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-profile sweep is slow")
+	}
+	for _, p := range datagen.Profiles() {
+		ds := datagen.Generate(p, datagen.Options{Nodes: 1000, Seed: 1})
+		for _, m := range []MethodID{ELSH, MinHash} {
+			out := RunMethod(ds, m, 1)
+			if !out.OK {
+				t.Fatalf("%s/%v failed to run", p.Name, m)
+			}
+			if out.Node.Micro < 0.90 {
+				t.Errorf("%s/%v node F1* = %.3f, want ≥ 0.90", p.Name, m, out.Node.Micro)
+			}
+			if out.Edge.Micro < 0.85 {
+				t.Errorf("%s/%v edge F1* = %.3f, want ≥ 0.85", p.Name, m, out.Edge.Micro)
+			}
+		}
+	}
+}
+
+// TestNoisyNoLabelQuality locks in the robustness story: at the hardest
+// grid point (40% property noise, 0% node labels) PG-HIVE still recovers
+// node types well on the structurally simple profiles.
+func TestNoisyNoLabelQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("noisy sweep is slow")
+	}
+	for _, name := range []string{"POLE", "LDBC"} {
+		p := datagen.ProfileByName(name)
+		ds := datagen.Generate(p, datagen.Options{Nodes: 1000, Seed: 1})
+		noisy := datagen.NewNoise(0.4, 0, 2).Apply(ds)
+		for _, m := range []MethodID{ELSH, MinHash} {
+			out := RunMethod(noisy, m, 1)
+			// LDBC's Post and Comment share almost all structure (both are
+			// Messages); without labels they partially merge, so the floor
+			// here is below the clean-data one.
+			if out.Node.Micro < 0.75 {
+				t.Errorf("%s/%v node F1* = %.3f at 40%% noise / 0%% labels, want ≥ 0.75", name, m, out.Node.Micro)
+			}
+			if out.Edge.Micro < 0.85 {
+				t.Errorf("%s/%v edge F1* = %.3f, want ≥ 0.85 (edge labels survive)", name, m, out.Edge.Micro)
+			}
+		}
+	}
+}
+
+// TestIncrementalMatchesSingleBatchQuality verifies the paper's
+// incremental claim end to end: processing in 10 batches reaches the same
+// node F1* ballpark as one batch.
+func TestIncrementalMatchesSingleBatchQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("incremental sweep is slow")
+	}
+	p := datagen.ProfileByName("LDBC")
+	ds := datagen.Generate(p, datagen.Options{Nodes: 1000, Seed: 1})
+
+	single := RunMethod(ds, ELSH, 1)
+
+	cfg := core.DefaultConfig()
+	cfg.TrackMembers = true
+	cfg.Seed = 1
+	pipe := core.NewPipeline(cfg)
+	for _, b := range ds.Graph.SplitRandom(10, 3) {
+		pipe.ProcessBatch(b)
+	}
+	batched := eval.F1Star(typeMembers(pipe.Schema().NodeTypes), ds.NodeTruth)
+
+	if batched.Micro < single.Node.Micro-0.05 {
+		t.Errorf("incremental node F1* %.3f much below single-batch %.3f", batched.Micro, single.Node.Micro)
+	}
+}

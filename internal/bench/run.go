@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiments maps experiment identifiers (as accepted by
+// `pghive-bench -exp`) to their runners.
+var Experiments = map[string]func(io.Writer, Settings) error{
+	"table1": RunTable1,
+	"table2": RunTable2,
+	"fig3": func(w io.Writer, s Settings) error {
+		_, _, err := RunFig3(w, s)
+		return err
+	},
+	"fig4": func(w io.Writer, s Settings) error {
+		_, err := RunFig4(w, s)
+		return err
+	},
+	"fig5": func(w io.Writer, s Settings) error {
+		_, err := RunFig5(w, s)
+		return err
+	},
+	"fig6": func(w io.Writer, s Settings) error {
+		_, err := RunFig6(w, s)
+		return err
+	},
+	"fig7": func(w io.Writer, s Settings) error {
+		_, err := RunFig7(w, s)
+		return err
+	},
+	"fig8": func(w io.Writer, s Settings) error {
+		_, err := RunFig8(w, s)
+		return err
+	},
+	"ablation": func(w io.Writer, s Settings) error {
+		_, err := RunAblation(w, s)
+		return err
+	},
+	"metrics": func(w io.Writer, s Settings) error {
+		_, err := RunMetrics(w, s)
+		return err
+	},
+	"scaling": func(w io.Writer, s Settings) error {
+		_, err := RunScaling(w, s)
+		return err
+	},
+}
+
+// ExperimentNames returns the registered identifiers in sorted order.
+func ExperimentNames() []string {
+	out := make([]string, 0, len(Experiments))
+	for k := range Experiments {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunAll executes every experiment in order.
+func RunAll(w io.Writer, s Settings) error {
+	for _, name := range ExperimentNames() {
+		if err := Experiments[name](w, s); err != nil {
+			return fmt.Errorf("bench: experiment %s: %w", name, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"pghive/internal/core"
+	"pghive/internal/datagen"
+)
+
+// ScalingPoint is one scale measurement.
+type ScalingPoint struct {
+	Dataset  string
+	Method   MethodID
+	Nodes    int
+	Edges    int
+	Elapsed  time.Duration
+	PerElem  time.Duration
+	NodeF1   float64
+	Clusters int
+}
+
+// ScalingSizes is the default node-count sweep.
+var ScalingSizes = []int{2_000, 8_000, 32_000, 128_000}
+
+// RunScaling is a supplementary experiment backing the paper's complexity
+// analysis (§4.7: discovery is O(N·(P + T·D)) plus the cluster-merge term):
+// discovery time across growing dataset scales. Expected shape: linear in
+// N at fixed T; per-element time may grow by a small factor as the
+// adaptive T itself scales with log10 N (the paper's formula) until its
+// cap at 35, after which it is flat. Quality must not degrade with scale.
+func RunScaling(w io.Writer, s Settings) ([]ScalingPoint, error) {
+	s = s.withDefaults()
+	profiles := s.profiles()
+	if len(s.Datasets) == 0 {
+		profiles = []*datagen.Profile{datagen.ProfileByName("LDBC"), datagen.ProfileByName("ICIJ")}
+	}
+	var points []ScalingPoint
+
+	fmt.Fprintln(w, "Scaling: discovery time vs dataset size (per-element time should stay flat)")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "  dataset\tmethod\tnodes\tedges\ttotal(ms)\tper-elem(µs)\tnodeF1*")
+	for _, p := range profiles {
+		for _, m := range []MethodID{ELSH, MinHash} {
+			for _, n := range ScalingSizes {
+				ds := datagen.Generate(p, datagen.Options{Nodes: n, Seed: s.Seed})
+				cfg := core.DefaultConfig()
+				cfg.Seed = s.Seed
+				cfg.TrackMembers = true
+				if m == MinHash {
+					cfg.Method = core.MethodMinHash
+				}
+				out := RunPGHive(ds, cfg)
+				elements := ds.Graph.NumNodes() + ds.Graph.NumEdges()
+				pt := ScalingPoint{
+					Dataset: p.Name, Method: m,
+					Nodes: ds.Graph.NumNodes(), Edges: ds.Graph.NumEdges(),
+					Elapsed: out.Elapsed,
+					PerElem: out.Elapsed / time.Duration(elements),
+					NodeF1:  out.Node.Micro,
+				}
+				points = append(points, pt)
+				fmt.Fprintf(tw, "  %s\t%s\t%d\t%d\t%s\t%.2f\t%.3f\n",
+					p.Name, m, pt.Nodes, pt.Edges, ms(pt.Elapsed),
+					float64(pt.PerElem.Nanoseconds())/1000, pt.NodeF1)
+			}
+		}
+	}
+	return points, tw.Flush()
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// RunTable1 prints the capability matrix of the compared approaches
+// (Table 1 of the paper), reflecting what each of our implementations
+// actually supports.
+func RunTable1(w io.Writer, _ Settings) error {
+	fmt.Fprintln(w, "Table 1: Schema discovery approaches on property graphs")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "\tSchemI\tGMMSchema\tPG-HIVE (ours)")
+	rows := [][4]string{
+		{"Label independent", "no", "no", "yes"},
+		{"Multilabeled elements", "no", "yes", "yes"},
+		{"Schema elements", "nodes & edges", "nodes only", "nodes, edges & constraints"},
+		{"Constraints", "no", "no", "yes"},
+		{"Incremental", "no", "no", "yes"},
+		{"Automation", "yes", "yes", "yes"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", r[0], r[1], r[2], r[3])
+	}
+	return tw.Flush()
+}
+
+// RunTable2 prints dataset statistics (Table 2): the paper's original
+// sizes next to the generated, scaled datasets' measured statistics.
+func RunTable2(w io.Writer, s Settings) error {
+	s = s.withDefaults()
+	cache := newDatasetCache(s)
+	fmt.Fprintf(w, "Table 2: Dataset statistics (generated at scale %d nodes; paper sizes in parentheses)\n", s.Scale)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Dataset\tNodes\tEdges\tNodeTypes\tEdgeTypes\tNodeLabels\tEdgeLabels\tNodePat\tEdgePat\tR/S")
+	for _, p := range s.profiles() {
+		ds := cache.get(p)
+		st := ds.Graph.ComputeStats()
+		rs := "S"
+		if p.Real {
+			rs = "R"
+		}
+		fmt.Fprintf(tw, "%s\t%d (%d)\t%d (%d)\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			p.Name, st.Nodes, p.PaperNodes, st.Edges, p.PaperEdges,
+			len(p.NodeTypes), len(p.EdgeTypes),
+			st.NodeLabels, st.EdgeLabels, st.NodePatterns, st.EdgePatterns, rs)
+	}
+	return tw.Flush()
+}

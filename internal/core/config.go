@@ -1,0 +1,182 @@
+// Package core implements the PG-HIVE schema-discovery pipeline: Algorithm 1
+// (batch loop: preprocess → LSH clustering → type extraction → optional
+// post-processing) and Algorithm 2 (extracting and merging types), including
+// the incremental mode in which every batch's clusters are merged into the
+// running schema under the monotone rules of §4.6.
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"pghive/internal/align"
+	"pghive/internal/embed"
+	"pghive/internal/lsh"
+	"pghive/internal/vectorize"
+)
+
+// Method selects the LSH clustering family (§4.2).
+type Method uint8
+
+// Clustering methods.
+const (
+	// MethodELSH clusters the hybrid embedding+indicator vectors with
+	// Euclidean (p-stable) LSH.
+	MethodELSH Method = iota
+	// MethodMinHash clusters the token-set representation with MinHash.
+	MethodMinHash
+)
+
+// String names the method the way the paper does.
+func (m Method) String() string {
+	switch m {
+	case MethodELSH:
+		return "PG-HIVE-ELSH"
+	case MethodMinHash:
+		return "PG-HIVE-MinHash"
+	default:
+		return "PG-HIVE-?"
+	}
+}
+
+// Config controls a discovery run. The zero value plus DefaultConfig's
+// fields reproduce the paper's configuration: adaptive LSH parameters,
+// θ = 0.9, 10 %/≥1000 data-type sampling.
+type Config struct {
+	// Method is the clustering family.
+	Method Method
+	// Theta is the Jaccard merge threshold θ of Algorithm 2.
+	Theta float64
+	// Embedding configures the per-batch Word2Vec label model.
+	Embedding embed.Config
+	// LabelWeight scales the embedding block relative to the binary
+	// property indicators (0 means the vectorizer default).
+	LabelWeight float64
+	// SemanticLabels trains the label embedding on multi-label
+	// co-occurrence so overlapping label sets attract (off by default;
+	// see vectorize.Config.SemanticLabels).
+	SemanticLabels bool
+	// AlignLabels enables label alignment for integration scenarios (the
+	// paper's future-work item (c)): label variants such as Organization /
+	// Organisation are canonicalized before clustering, so sources with
+	// inconsistent label conventions land in shared types. Uses
+	// AlignThreshold over AlignSimilarity.
+	AlignLabels bool
+	// AlignThreshold is the similarity threshold for label alignment
+	// (0 means 0.8).
+	AlignThreshold float64
+	// AlignSimilarity overrides the label similarity function (nil means
+	// normalized edit distance over folded labels; an embedding- or
+	// LLM-backed scorer can drop in).
+	AlignSimilarity align.Similarity
+	// NodeParams and EdgeParams override the adaptive LSH parameters when
+	// non-nil (the paper's manual mode; Figure 6 sweeps these).
+	NodeParams *lsh.Params
+	EdgeParams *lsh.Params
+	// MinHashRows, when > 0, switches MinHash clustering to banded mode
+	// with that many rows per band; 0 groups by the full signature.
+	MinHashRows int
+	// SampleDatatypes makes Finalize use the sample-based data-type
+	// inference (the paper's optional flag, §4.4).
+	SampleDatatypes bool
+	// Participation enables edge lower-bound analysis in Finalize: the
+	// cardinality lower bound upgrades from 0 to 1 when every source-type
+	// instance carries such an edge (the paper's §4.4 future-work step).
+	Participation bool
+	// SampleFraction and SampleMin control the data-type sample: every
+	// property's first SampleMin observations are always sampled, then a
+	// SampleFraction share of the rest (paper: 10 %, at least 1000).
+	SampleFraction float64
+	SampleMin      int
+	// TrackMembers records per-type member element IDs (needed by the
+	// evaluation harness to compute F1*; costs memory).
+	TrackMembers bool
+	// Parallelism bounds worker goroutines for vectorization and hashing;
+	// 0 means GOMAXPROCS.
+	Parallelism int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		Method:         MethodELSH,
+		Theta:          0.9,
+		Embedding:      embed.DefaultConfig(),
+		SampleFraction: 0.10,
+		SampleMin:      1000,
+		Seed:           1,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Theta <= 0 {
+		c.Theta = 0.9
+	}
+	if c.SampleFraction <= 0 {
+		c.SampleFraction = 0.10
+	}
+	if c.SampleMin <= 0 {
+		c.SampleMin = 1000
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+func (c Config) vectorizeConfig() vectorize.Config {
+	vc := vectorize.Config{
+		Embedding:      c.Embedding,
+		LabelWeight:    c.LabelWeight,
+		SemanticLabels: c.SemanticLabels,
+	}
+	if vc.Embedding.Dim == 0 {
+		// Leave Dim zero: the vectorizer picks it from the batch's label
+		// vocabulary. Fill the remaining hyperparameters with defaults.
+		def := embed.DefaultConfig()
+		def.Dim = 0
+		def.Seed = c.Seed
+		vc.Embedding = def
+	}
+	return vc
+}
+
+// parmap runs f(i) for i in [0, n) across at most workers goroutines.
+// Results written to index-disjoint slots keep the computation
+// deterministic.
+func parmap(n, workers int, f func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

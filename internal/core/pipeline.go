@@ -1,0 +1,301 @@
+package core
+
+import (
+	"time"
+
+	"pghive/internal/align"
+	"pghive/internal/infer"
+	"pghive/internal/lsh"
+	"pghive/internal/pg"
+	"pghive/internal/schema"
+	"pghive/internal/vectorize"
+)
+
+// BatchReport records what happened while processing one batch: sizes,
+// chosen LSH parameters, cluster counts and per-phase wall-clock durations
+// (the timings behind Figures 5 and 7).
+type BatchReport struct {
+	Batch        int
+	Nodes, Edges int
+	NodeClusters int
+	EdgeClusters int
+	NodeParams   lsh.Params
+	EdgeParams   lsh.Params
+	Preprocess   time.Duration
+	Cluster      time.Duration
+	Extract      time.Duration
+}
+
+// Total returns the batch's end-to-end processing time.
+func (r BatchReport) Total() time.Duration { return r.Preprocess + r.Cluster + r.Extract }
+
+// Pipeline is an incremental PG-HIVE discovery session. Feed it batches
+// with ProcessBatch; the schema grows monotonically (S_i ⊑ S_{i+1}).
+type Pipeline struct {
+	cfg     Config
+	schema  *schema.Schema
+	sampler *sampler
+	aligner *align.Aligner
+	reports []BatchReport
+}
+
+// NewPipeline starts a discovery session.
+func NewPipeline(cfg Config) *Pipeline {
+	cfg = cfg.withDefaults()
+	p := &Pipeline{
+		cfg:     cfg,
+		schema:  schema.NewSchema(),
+		sampler: newSampler(cfg.SampleFraction, cfg.SampleMin, cfg.Seed),
+	}
+	if cfg.AlignLabels {
+		// The aligner persists across batches so alignment classes stay
+		// stable throughout an incremental run.
+		p.aligner = align.NewAligner(cfg.AlignSimilarity, cfg.AlignThreshold)
+	}
+	return p
+}
+
+// Aligner exposes the label aligner (nil unless AlignLabels is set), so
+// callers can report the discovered alignment classes.
+func (p *Pipeline) Aligner() *align.Aligner { return p.aligner }
+
+// alignBatch rewrites label slices through the aligner without mutating
+// the caller's data (label slices alias graph storage).
+func (p *Pipeline) alignBatch(b *pg.Batch) *pg.Batch {
+	if p.aligner == nil {
+		return b
+	}
+	out := &pg.Batch{
+		Nodes: make([]pg.NodeRecord, len(b.Nodes)),
+		Edges: make([]pg.EdgeRecord, len(b.Edges)),
+	}
+	copy(out.Nodes, b.Nodes)
+	copy(out.Edges, b.Edges)
+	for i := range out.Nodes {
+		out.Nodes[i].Labels = p.aligner.CanonicalSet(out.Nodes[i].Labels)
+	}
+	for i := range out.Edges {
+		out.Edges[i].Labels = p.aligner.CanonicalSet(out.Edges[i].Labels)
+		out.Edges[i].SrcLabels = p.aligner.CanonicalSet(out.Edges[i].SrcLabels)
+		out.Edges[i].DstLabels = p.aligner.CanonicalSet(out.Edges[i].DstLabels)
+	}
+	return out
+}
+
+// Schema returns the evolving schema (do not mutate during processing).
+func (p *Pipeline) Schema() *schema.Schema { return p.schema }
+
+// Reports returns one report per processed batch.
+func (p *Pipeline) Reports() []BatchReport { return p.reports }
+
+// Config returns the effective configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// ProcessBatch runs the main pipeline of Algorithm 1 (lines 3-6) on one
+// batch: preprocess into vectors/sets, LSH-cluster nodes and edges, build
+// cluster representatives, and merge them into the schema via Algorithm 2.
+func (p *Pipeline) ProcessBatch(b *pg.Batch) BatchReport {
+	report := BatchReport{
+		Batch: len(p.reports),
+		Nodes: len(b.Nodes),
+		Edges: len(b.Edges),
+	}
+
+	start := time.Now()
+	b = p.alignBatch(b)
+	vz := vectorize.New(b, p.cfg.vectorizeConfig())
+	report.Preprocess = time.Since(start)
+
+	start = time.Now()
+	nodeClusters, nodeParams := p.clusterNodes(b, vz)
+	edgeClusters, edgeParams := p.clusterEdges(b, vz)
+	report.Cluster = time.Since(start)
+	report.NodeClusters = len(nodeClusters)
+	report.EdgeClusters = len(edgeClusters)
+	report.NodeParams = nodeParams
+	report.EdgeParams = edgeParams
+
+	start = time.Now()
+	nodeCands := p.nodeCandidates(b, nodeClusters)
+	edgeCands := p.edgeCandidates(b, edgeClusters)
+	ExtractTypes(p.schema, schema.NodeKind, nodeCands, p.cfg.Theta)
+	ExtractTypes(p.schema, schema.EdgeKind, edgeCands, p.cfg.Theta)
+	report.Extract = time.Since(start)
+
+	p.reports = append(p.reports, report)
+	return report
+}
+
+// clusterNodes clusters the batch's nodes with the configured method and
+// returns the clusters plus the parameters used.
+func (p *Pipeline) clusterNodes(b *pg.Batch, vz *vectorize.Vectorizer) ([]lsh.Cluster, lsh.Params) {
+	n := len(b.Nodes)
+	if n == 0 {
+		return nil, lsh.Params{}
+	}
+	switch p.cfg.Method {
+	case MethodMinHash:
+		params := p.nodeParams(n, vz, func(i int) []float64 { return vz.NodeVector(&b.Nodes[i]) })
+		mh := lsh.NewMinHash(params.Tables, p.cfg.Seed+101)
+		sets := vz.NodeSets(b)
+		if p.cfg.MinHashRows > 0 {
+			return mh.ClusterBanded(sets, p.cfg.MinHashRows), params
+		}
+		hashes := make([]uint64, n)
+		parmap(n, p.cfg.Parallelism, func(i int) { hashes[i] = mh.SignatureHash(sets[i]) })
+		return lsh.GroupByHash(hashes), params
+	default:
+		vectors := make([][]float64, n)
+		parmap(n, p.cfg.Parallelism, func(i int) { vectors[i] = vz.NodeVector(&b.Nodes[i]) })
+		params := p.cfg.NodeParams
+		if params == nil {
+			adapted := lsh.AdaptParamsAll(vectors, vz.LabelTokens(), false, p.cfg.Seed+11)
+			params = &adapted
+		}
+		fam := lsh.NewELSH(vz.NodeDim(), params.Bucket, params.Tables, p.cfg.Seed+102)
+		hashes := make([]uint64, n)
+		parmap(n, p.cfg.Parallelism, func(i int) { hashes[i] = fam.SignatureHash(vectors[i]) })
+		return lsh.GroupByHash(hashes), *params
+	}
+}
+
+// clusterEdges mirrors clusterNodes for the batch's edges.
+func (p *Pipeline) clusterEdges(b *pg.Batch, vz *vectorize.Vectorizer) ([]lsh.Cluster, lsh.Params) {
+	n := len(b.Edges)
+	if n == 0 {
+		return nil, lsh.Params{}
+	}
+	switch p.cfg.Method {
+	case MethodMinHash:
+		params := p.edgeParamsFor(n, vz, func(i int) []float64 { return vz.EdgeVector(&b.Edges[i]) })
+		mh := lsh.NewMinHash(params.Tables, p.cfg.Seed+201)
+		sets := vz.EdgeSets(b)
+		if p.cfg.MinHashRows > 0 {
+			return mh.ClusterBanded(sets, p.cfg.MinHashRows), params
+		}
+		hashes := make([]uint64, n)
+		parmap(n, p.cfg.Parallelism, func(i int) { hashes[i] = mh.SignatureHash(sets[i]) })
+		return lsh.GroupByHash(hashes), params
+	default:
+		vectors := make([][]float64, n)
+		parmap(n, p.cfg.Parallelism, func(i int) { vectors[i] = vz.EdgeVector(&b.Edges[i]) })
+		params := p.cfg.EdgeParams
+		if params == nil {
+			adapted := lsh.AdaptParamsAll(vectors, vz.LabelTokens(), true, p.cfg.Seed+12)
+			params = &adapted
+		}
+		fam := lsh.NewELSH(vz.EdgeDim(), params.Bucket, params.Tables, p.cfg.Seed+202)
+		hashes := make([]uint64, n)
+		parmap(n, p.cfg.Parallelism, func(i int) { hashes[i] = fam.SignatureHash(vectors[i]) })
+		return lsh.GroupByHash(hashes), *params
+	}
+}
+
+// nodeParams adapts (or returns the manual) parameters for MinHash node
+// clustering, vectorizing only the adaptation sample.
+func (p *Pipeline) nodeParams(n int, vz *vectorize.Vectorizer, vec func(i int) []float64) lsh.Params {
+	if p.cfg.NodeParams != nil {
+		return *p.cfg.NodeParams
+	}
+	return adaptFromSample(n, vz.LabelTokens(), false, p.cfg.Seed+11, vec)
+}
+
+func (p *Pipeline) edgeParamsFor(n int, vz *vectorize.Vectorizer, vec func(i int) []float64) lsh.Params {
+	if p.cfg.EdgeParams != nil {
+		return *p.cfg.EdgeParams
+	}
+	return adaptFromSample(n, vz.LabelTokens(), true, p.cfg.Seed+12, vec)
+}
+
+func adaptFromSample(n, labels int, isEdge bool, seed int64, vec func(i int) []float64) lsh.Params {
+	idx := lsh.SampleIndexes(n, seed)
+	sample := make([][]float64, len(idx))
+	for i, j := range idx {
+		sample[i] = vec(j)
+	}
+	return lsh.AdaptParams(sample, n, labels, isEdge, seed)
+}
+
+// nodeCandidates turns node clusters into candidate types (cluster
+// representatives, §4.2): labels and property keys are unioned over the
+// members, and per-property evidence is accumulated.
+func (p *Pipeline) nodeCandidates(b *pg.Batch, clusters []lsh.Cluster) []*schema.Type {
+	out := make([]*schema.Type, len(clusters))
+	parmap(len(clusters), p.cfg.Parallelism, func(ci int) {
+		t := schema.NewType(schema.NodeKind)
+		for _, i := range clusters[ci].Members {
+			rec := &b.Nodes[i]
+			t.ObserveNode(rec, func(key string) bool { return p.sampler.next("n:" + key) }, p.cfg.TrackMembers)
+		}
+		out[ci] = t
+	})
+	return out
+}
+
+// edgeCandidates mirrors nodeCandidates for edge clusters.
+func (p *Pipeline) edgeCandidates(b *pg.Batch, clusters []lsh.Cluster) []*schema.Type {
+	out := make([]*schema.Type, len(clusters))
+	parmap(len(clusters), p.cfg.Parallelism, func(ci int) {
+		t := schema.NewType(schema.EdgeKind)
+		for _, i := range clusters[ci].Members {
+			rec := &b.Edges[i]
+			t.ObserveEdge(rec, func(key string) bool { return p.sampler.next("e:" + key) }, p.cfg.TrackMembers)
+		}
+		out[ci] = t
+	})
+	return out
+}
+
+// Finalize runs post-processing (Algorithm 1 lines 7-10) and returns the
+// finalized schema definition.
+func (p *Pipeline) Finalize() *schema.Def {
+	return infer.Finalize(p.schema, infer.Options{
+		SampleBased:   p.cfg.SampleDatatypes,
+		Participation: p.cfg.Participation,
+	})
+}
+
+// Result is the outcome of a full discovery run.
+type Result struct {
+	// Def is the finalized schema definition.
+	Def *schema.Def
+	// Schema is the raw accumulated schema with evidence.
+	Schema *schema.Schema
+	// Reports holds one entry per processed batch.
+	Reports []BatchReport
+	// Discovery is the total time spent in the main pipeline (load +
+	// preprocess + cluster + extract), the quantity Figure 5 plots.
+	Discovery time.Duration
+	// PostProcess is the time spent finalizing constraints, data types and
+	// cardinalities.
+	PostProcess time.Duration
+}
+
+// Discover drains the source through a pipeline and finalizes the schema —
+// the full Algorithm 1.
+func Discover(src pg.Source, cfg Config) *Result {
+	p := NewPipeline(cfg)
+	start := time.Now()
+	for batch := src.Next(); batch != nil; batch = src.Next() {
+		p.ProcessBatch(batch)
+	}
+	discovery := time.Since(start)
+
+	start = time.Now()
+	def := p.Finalize()
+	post := time.Since(start)
+
+	return &Result{
+		Def:         def,
+		Schema:      p.schema,
+		Reports:     p.reports,
+		Discovery:   discovery,
+		PostProcess: post,
+	}
+}
+
+// DiscoverGraph is a convenience wrapper: discover the schema of a fully
+// loaded graph in a single batch.
+func DiscoverGraph(g *pg.Graph, cfg Config) *Result {
+	return Discover(pg.NewSliceSource(g.Snapshot()), cfg)
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// sampler decides which property-value observations enter the data-type
+// sample (§4.4: 10 % of a property's values, and at least SampleMin). The
+// decision is a pure function of (element kind, key, per-key observation
+// ordinal, seed), so it is deterministic regardless of map-iteration or
+// goroutine order. It is safe for concurrent use.
+type sampler struct {
+	mu     sync.Mutex
+	counts map[string]int
+	frac   float64
+	min    int
+	seed   uint64
+}
+
+func newSampler(frac float64, min int, seed int64) *sampler {
+	return &sampler{
+		counts: map[string]int{},
+		frac:   frac,
+		min:    min,
+		seed:   uint64(seed),
+	}
+}
+
+// next reports whether the next observation of the given property key (with
+// a kind prefix such as "n:" or "e:") joins the sample.
+func (s *sampler) next(key string) bool {
+	s.mu.Lock()
+	c := s.counts[key]
+	s.counts[key] = c + 1
+	s.mu.Unlock()
+	if c < s.min {
+		return true
+	}
+	return s.uniform(key, c) < s.frac
+}
+
+// uniform hashes (key, ordinal, seed) to a float in [0, 1).
+func (s *sampler) uniform(key string, ordinal int) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	var buf [16]byte
+	o := uint64(ordinal)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(o >> (8 * i))
+		buf[8+i] = byte(s.seed >> (8 * i))
+	}
+	h.Write(buf[:])
+	x := splitmix64(h.Sum64())
+	return float64(x>>11) / float64(1<<53)
+}
+
+// splitmix64 scrambles the hash into well-distributed bits.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,105 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"pghive/internal/pg"
+)
+
+// Noise is the paper's noise model (§5): a fraction of property
+// occurrences removed uniformly at random, and a label-availability level —
+// the fraction of elements that keep their labels, with the rest stripped
+// entirely.
+type Noise struct {
+	// PropRemoval removes each node/edge property occurrence with this
+	// probability (the paper sweeps 0-0.4).
+	PropRemoval float64
+	// LabelAvailability is the fraction of nodes keeping their labels (the
+	// paper tests 1.0, 0.5 and 0.0). It governs node labels: the paper's
+	// edge results remain label-driven across the availability sweep
+	// ("extracting their types relies on their labeling information",
+	// §5.1), and its baselines fail exactly when node labels are missing.
+	LabelAvailability float64
+	// EdgeLabelRemoval optionally strips edge labels too: each edge loses
+	// its labels with this probability. The zero value keeps all edge
+	// labels (the paper's setting).
+	EdgeLabelRemoval float64
+	// Seed drives the noise randomness.
+	Seed int64
+}
+
+// NewNoise builds the paper's noise configuration: property removal plus
+// node-label availability, with edge labels kept.
+func NewNoise(propRemoval, labelAvailability float64, seed int64) Noise {
+	return Noise{
+		PropRemoval:       propRemoval,
+		LabelAvailability: labelAvailability,
+		Seed:              seed,
+	}
+}
+
+// Clean is the no-noise configuration.
+var Clean = Noise{PropRemoval: 0, LabelAvailability: 1}
+
+// Apply returns a new Dataset with the noise applied: a fresh graph with
+// the same IDs, the same ground truth maps, and degraded labels/properties.
+// The input dataset is not modified.
+func (n Noise) Apply(ds *Dataset) *Dataset {
+	rng := rand.New(rand.NewSource(n.Seed))
+	g := pg.NewGraph()
+	out := &Dataset{
+		Profile:   ds.Profile,
+		Graph:     g,
+		NodeTruth: ds.NodeTruth,
+		EdgeTruth: ds.EdgeTruth,
+		Noise:     n,
+	}
+	ds.Graph.Nodes(func(node *pg.Node) bool {
+		labels := node.Labels
+		if !keep(n.LabelAvailability, rng) {
+			labels = nil
+		}
+		props := n.degradeProps(node.Props, rng)
+		if err := g.AddNodeWithID(node.ID, labels, props); err != nil {
+			panic(err) // IDs are unique in the source graph
+		}
+		return true
+	})
+	ds.Graph.Edges(func(edge *pg.Edge) bool {
+		labels := edge.Labels
+		if !keep(1-n.EdgeLabelRemoval, rng) {
+			labels = nil
+		}
+		props := n.degradeProps(edge.Props, rng)
+		if err := g.AddEdgeWithID(edge.ID, labels, edge.Src, edge.Dst, props); err != nil {
+			panic(err)
+		}
+		return true
+	})
+	return out
+}
+
+func keep(availability float64, rng *rand.Rand) bool {
+	if availability >= 1 {
+		return true
+	}
+	if availability <= 0 {
+		return false
+	}
+	return rng.Float64() < availability
+}
+
+// degradeProps removes each property with probability PropRemoval. Keys are
+// visited in sorted order so the noise is deterministic for a given seed.
+func (n Noise) degradeProps(props pg.Properties, rng *rand.Rand) pg.Properties {
+	if n.PropRemoval <= 0 || len(props) == 0 {
+		return props.Clone()
+	}
+	out := pg.Properties{}
+	for _, k := range pg.SortedPropKeys(props) {
+		if rng.Float64() >= n.PropRemoval {
+			out[k] = props[k]
+		}
+	}
+	return out
+}

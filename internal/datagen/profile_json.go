@@ -1,0 +1,197 @@
+package datagen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pghive/internal/pg"
+)
+
+// JSON profile format: a declarative dataset blueprint users can write by
+// hand and feed to pggen -profile. Example:
+//
+//	{
+//	  "name": "shop",
+//	  "edgeFactor": 2.5,
+//	  "nodeTypes": [
+//	    {"name": "Product", "labels": ["Product"], "weight": 5, "props": [
+//	      {"key": "sku", "kind": "STRING"},
+//	      {"key": "price", "kind": "DOUBLE", "distinct": 5000},
+//	      {"key": "category", "kind": "STRING", "distinct": 12, "presence": 0.9}
+//	    ]}
+//	  ],
+//	  "edgeTypes": [
+//	    {"name": "BOUGHT", "labels": ["BOUGHT"], "src": "Customer",
+//	     "dst": "Product", "weight": 3, "shape": "many-to-many"}
+//	  ]
+//	}
+
+type jsonProfile struct {
+	Name       string         `json:"name"`
+	EdgeFactor float64        `json:"edgeFactor"`
+	NodeTypes  []jsonNodeSpec `json:"nodeTypes"`
+	EdgeTypes  []jsonEdgeSpec `json:"edgeTypes"`
+}
+
+type jsonNodeSpec struct {
+	Name   string         `json:"name"`
+	Labels []string       `json:"labels"`
+	Weight float64        `json:"weight"`
+	Props  []jsonPropSpec `json:"props"`
+}
+
+type jsonEdgeSpec struct {
+	Name   string         `json:"name"`
+	Labels []string       `json:"labels"`
+	Src    string         `json:"src"`
+	Dst    string         `json:"dst"`
+	Weight float64        `json:"weight"`
+	Shape  string         `json:"shape"`
+	Props  []jsonPropSpec `json:"props"`
+}
+
+type jsonPropSpec struct {
+	Key       string  `json:"key"`
+	Kind      string  `json:"kind"`
+	Presence  float64 `json:"presence"`
+	Distinct  int     `json:"distinct"`
+	MixedKind string  `json:"mixedKind"`
+	MixedProb float64 `json:"mixedProb"`
+}
+
+// ReadProfileJSON parses a declarative dataset profile.
+func ReadProfileJSON(r io.Reader) (*Profile, error) {
+	var in jsonProfile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("datagen: parsing profile JSON: %w", err)
+	}
+	if in.Name == "" {
+		return nil, fmt.Errorf("datagen: profile needs a name")
+	}
+	if len(in.NodeTypes) == 0 {
+		return nil, fmt.Errorf("datagen: profile %q has no node types", in.Name)
+	}
+	p := &Profile{Name: in.Name, EdgeFactor: in.EdgeFactor}
+	if p.EdgeFactor <= 0 {
+		p.EdgeFactor = 2
+	}
+
+	names := map[string]bool{}
+	for _, nt := range in.NodeTypes {
+		if nt.Name == "" {
+			return nil, fmt.Errorf("datagen: node type without a name")
+		}
+		if names[nt.Name] {
+			return nil, fmt.Errorf("datagen: duplicate node type %q", nt.Name)
+		}
+		names[nt.Name] = true
+		props, err := parseProps(nt.Props)
+		if err != nil {
+			return nil, fmt.Errorf("datagen: node type %q: %w", nt.Name, err)
+		}
+		labels := nt.Labels
+		if len(labels) == 0 {
+			labels = []string{nt.Name}
+		}
+		p.NodeTypes = append(p.NodeTypes, NodeTypeSpec{
+			Name: nt.Name, Labels: labels, Weight: nt.Weight, Props: props,
+		})
+	}
+	for _, et := range in.EdgeTypes {
+		if et.Name == "" {
+			return nil, fmt.Errorf("datagen: edge type without a name")
+		}
+		if !names[et.Src] {
+			return nil, fmt.Errorf("datagen: edge type %q references unknown source %q", et.Name, et.Src)
+		}
+		if !names[et.Dst] {
+			return nil, fmt.Errorf("datagen: edge type %q references unknown target %q", et.Name, et.Dst)
+		}
+		shape, err := parseShape(et.Shape)
+		if err != nil {
+			return nil, fmt.Errorf("datagen: edge type %q: %w", et.Name, err)
+		}
+		props, err := parseProps(et.Props)
+		if err != nil {
+			return nil, fmt.Errorf("datagen: edge type %q: %w", et.Name, err)
+		}
+		labels := et.Labels
+		if len(labels) == 0 {
+			labels = []string{et.Name}
+		}
+		p.EdgeTypes = append(p.EdgeTypes, EdgeTypeSpec{
+			Name: et.Name, Labels: labels, Src: et.Src, Dst: et.Dst,
+			Weight: et.Weight, Shape: shape, Props: props,
+		})
+	}
+	return p, nil
+}
+
+func parseProps(in []jsonPropSpec) ([]PropSpec, error) {
+	var out []PropSpec
+	for _, ps := range in {
+		if ps.Key == "" {
+			return nil, fmt.Errorf("property without a key")
+		}
+		kind, err := parseKind(ps.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("property %q: %w", ps.Key, err)
+		}
+		spec := PropSpec{
+			Key:      ps.Key,
+			Kind:     kind,
+			Presence: ps.Presence,
+			Distinct: ps.Distinct,
+		}
+		if spec.Presence <= 0 || spec.Presence > 1 {
+			spec.Presence = 1
+		}
+		if ps.MixedKind != "" {
+			mixed, err := parseKind(ps.MixedKind)
+			if err != nil {
+				return nil, fmt.Errorf("property %q mixedKind: %w", ps.Key, err)
+			}
+			spec.MixedKind = mixed
+			spec.MixedProb = ps.MixedProb
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+func parseKind(s string) (pg.Kind, error) {
+	switch s {
+	case "", "STRING":
+		return pg.KindString, nil
+	case "INT":
+		return pg.KindInt, nil
+	case "DOUBLE":
+		return pg.KindFloat, nil
+	case "BOOLEAN":
+		return pg.KindBool, nil
+	case "DATE":
+		return pg.KindDate, nil
+	case "TIMESTAMP":
+		return pg.KindTimestamp, nil
+	default:
+		return 0, fmt.Errorf("unknown kind %q (want STRING, INT, DOUBLE, BOOLEAN, DATE, TIMESTAMP)", s)
+	}
+}
+
+func parseShape(s string) (Shape, error) {
+	switch s {
+	case "", "many-to-many":
+		return ManyToMany, nil
+	case "fan-in":
+		return FanIn, nil
+	case "fan-out":
+		return FanOut, nil
+	case "one-to-one":
+		return OneToOne, nil
+	default:
+		return 0, fmt.Errorf("unknown shape %q (want many-to-many, fan-in, fan-out, one-to-one)", s)
+	}
+}

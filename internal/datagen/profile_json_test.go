@@ -1,0 +1,101 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+)
+
+const shopProfile = `{
+  "name": "shop",
+  "edgeFactor": 2.5,
+  "nodeTypes": [
+    {"name": "Product", "labels": ["Product"], "weight": 5, "props": [
+      {"key": "sku", "kind": "STRING"},
+      {"key": "price", "kind": "DOUBLE", "distinct": 5000},
+      {"key": "category", "kind": "STRING", "distinct": 12, "presence": 0.9}
+    ]},
+    {"name": "Customer", "weight": 3, "props": [
+      {"key": "email", "kind": "STRING"},
+      {"key": "vip", "kind": "BOOLEAN"}
+    ]}
+  ],
+  "edgeTypes": [
+    {"name": "BOUGHT", "src": "Customer", "dst": "Product", "weight": 3,
+     "props": [{"key": "at", "kind": "TIMESTAMP"}]},
+    {"name": "RESTOCKS", "src": "Product", "dst": "Product", "weight": 1, "shape": "one-to-one"}
+  ]
+}`
+
+func TestReadProfileJSON(t *testing.T) {
+	p, err := ReadProfileJSON(strings.NewReader(shopProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "shop" || p.EdgeFactor != 2.5 {
+		t.Errorf("profile header = %q %v", p.Name, p.EdgeFactor)
+	}
+	if len(p.NodeTypes) != 2 || len(p.EdgeTypes) != 2 {
+		t.Fatalf("type counts = (%d,%d), want (2,2)", len(p.NodeTypes), len(p.EdgeTypes))
+	}
+	// Labels default to the type name.
+	if p.NodeTypes[1].Labels[0] != "Customer" {
+		t.Errorf("Customer labels = %v", p.NodeTypes[1].Labels)
+	}
+	// Presence defaults to 1 and stays when in (0,1].
+	if p.NodeTypes[0].Props[0].Presence != 1 || p.NodeTypes[0].Props[2].Presence != 0.9 {
+		t.Errorf("presence defaults wrong: %+v", p.NodeTypes[0].Props)
+	}
+	if p.EdgeTypes[1].Shape != OneToOne {
+		t.Errorf("shape = %v, want OneToOne", p.EdgeTypes[1].Shape)
+	}
+}
+
+func TestReadProfileJSONGeneratesAndDiscovers(t *testing.T) {
+	p, err := ReadProfileJSON(strings.NewReader(shopProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := Generate(p, Options{Nodes: 400, Seed: 1})
+	if ds.Graph.NumNodes() != 400 {
+		t.Errorf("nodes = %d, want 400", ds.Graph.NumNodes())
+	}
+	if got := len(ds.Graph.NodeLabels()); got != 2 {
+		t.Errorf("node labels = %d, want 2", got)
+	}
+	if got := ds.Graph.NumEdges(); got == 0 {
+		t.Error("no edges generated")
+	}
+}
+
+func TestReadProfileJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        `{{{`,
+		"unknown field":  `{"name":"x","nodeTypes":[{"name":"A"}],"bogus":1}`,
+		"no name":        `{"nodeTypes":[{"name":"A"}]}`,
+		"no node types":  `{"name":"x"}`,
+		"unnamed type":   `{"name":"x","nodeTypes":[{"weight":1}]}`,
+		"duplicate type": `{"name":"x","nodeTypes":[{"name":"A"},{"name":"A"}]}`,
+		"bad kind":       `{"name":"x","nodeTypes":[{"name":"A","props":[{"key":"k","kind":"BLOB"}]}]}`,
+		"keyless prop":   `{"name":"x","nodeTypes":[{"name":"A","props":[{"kind":"INT"}]}]}`,
+		"unknown src":    `{"name":"x","nodeTypes":[{"name":"A"}],"edgeTypes":[{"name":"R","src":"Z","dst":"A"}]}`,
+		"unknown dst":    `{"name":"x","nodeTypes":[{"name":"A"}],"edgeTypes":[{"name":"R","src":"A","dst":"Z"}]}`,
+		"bad shape":      `{"name":"x","nodeTypes":[{"name":"A"}],"edgeTypes":[{"name":"R","src":"A","dst":"A","shape":"spiral"}]}`,
+		"unnamed edge":   `{"name":"x","nodeTypes":[{"name":"A"}],"edgeTypes":[{"src":"A","dst":"A"}]}`,
+		"bad mixedKind":  `{"name":"x","nodeTypes":[{"name":"A","props":[{"key":"k","kind":"INT","mixedKind":"BLOB"}]}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadProfileJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}
+
+func TestReadProfileJSONDefaultsEdgeFactor(t *testing.T) {
+	p, err := ReadProfileJSON(strings.NewReader(`{"name":"x","nodeTypes":[{"name":"A"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EdgeFactor != 2 {
+		t.Errorf("EdgeFactor = %v, want default 2", p.EdgeFactor)
+	}
+}

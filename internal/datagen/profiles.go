@@ -1,0 +1,506 @@
+package datagen
+
+import (
+	"fmt"
+	"strings"
+
+	"pghive/internal/pg"
+)
+
+// The eight profiles mirror Table 2 of the paper. Type/label structures
+// follow the published datasets; property lists are representative, with
+// optional properties tuned so that multiple patterns per type emerge, and
+// mixed-kind properties on the heterogeneous real datasets (ICIJ, CORD19,
+// IYP) to reproduce the Figure 8 sampling-error outliers.
+
+// Profiles returns all eight dataset profiles in Table 2 order.
+func Profiles() []*Profile {
+	return []*Profile{
+		POLE(), MB6(), HetIO(), FIB25(), ICIJ(), CORD19(), LDBC(), IYP(),
+	}
+}
+
+// ProfileByName returns the named profile (case-sensitive, as printed in
+// Table 2) or nil.
+func ProfileByName(name string) *Profile {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// POLE models the Neo4j crime-investigation benchmark
+// (Person-Object-Location-Event): 11 node types, 17 edge types, flat
+// structure, nearly one pattern per type.
+func POLE() *Profile {
+	str, date := pg.KindString, pg.KindDate
+	it := pg.KindInt
+	return &Profile{
+		Name: "POLE", Real: false,
+		PaperNodes: 61_521, PaperEdges: 105_840, EdgeFactor: 1.72,
+		NodeTypes: []NodeTypeSpec{
+			{Name: "Person", Labels: []string{"Person"}, Weight: 10, Props: []PropSpec{
+				Prop("name", str), Prop("surname", str), Prop("nhs_no", str), OptCatProp("age", it, 90, 0.8)}},
+			{Name: "Officer", Labels: []string{"Officer"}, Weight: 2, Props: []PropSpec{
+				Prop("badge_no", str), CatProp("rank", str, 6), Prop("name", str), Prop("surname", str)}},
+			{Name: "Crime", Labels: []string{"Crime"}, Weight: 8, Props: []PropSpec{
+				Prop("id", str), CatProp("type", str, 12), Prop("date", date), OptCatProp("last_outcome", str, 8, 0.7), CatProp("charge", str, 10)}},
+			{Name: "Location", Labels: []string{"Location"}, Weight: 6, Props: []PropSpec{
+				Prop("address", str), Prop("postcode", str), CatProp("latitude", pg.KindFloat, 180), CatProp("longitude", pg.KindFloat, 360)}},
+			{Name: "Phone", Labels: []string{"Phone"}, Weight: 4, Props: []PropSpec{Prop("phoneNo", str)}},
+			{Name: "Email", Labels: []string{"Email"}, Weight: 3, Props: []PropSpec{Prop("email_address", str)}},
+			{Name: "Vehicle", Labels: []string{"Vehicle"}, Weight: 3, Props: []PropSpec{
+				Prop("reg", str), CatProp("make", str, 20), CatProp("model", str, 60), CatProp("year", it, 40)}},
+			{Name: "Area", Labels: []string{"Area"}, Weight: 1, Props: []PropSpec{Prop("areaCode", str)}},
+			{Name: "PostCode", Labels: []string{"PostCode"}, Weight: 2, Props: []PropSpec{Prop("code", str)}},
+			{Name: "Object", Labels: []string{"Object"}, Weight: 2, Props: []PropSpec{
+				Prop("description", str), OptProp("id", str, 0.9)}},
+			{Name: "PhoneCall", Labels: []string{"PhoneCall"}, Weight: 5, Props: []PropSpec{
+				Prop("call_date", date), CatProp("call_duration", it, 3600), Prop("call_time", str), CatProp("call_type", str, 4)}},
+		},
+		EdgeTypes: []EdgeTypeSpec{
+			{Name: "KNOWS", Labels: []string{"KNOWS"}, Src: "Person", Dst: "Person", Weight: 8},
+			{Name: "KNOWS_LW", Labels: []string{"KNOWS_LW"}, Src: "Person", Dst: "Person", Weight: 3},
+			{Name: "KNOWS_PHONE", Labels: []string{"KNOWS_PHONE"}, Src: "Person", Dst: "Person", Weight: 3},
+			{Name: "KNOWS_SN", Labels: []string{"KNOWS_SN"}, Src: "Person", Dst: "Person", Weight: 3},
+			{Name: "FAMILY_REL", Labels: []string{"FAMILY_REL"}, Src: "Person", Dst: "Person", Weight: 2,
+				Props: []PropSpec{Prop("rel_type", str)}},
+			{Name: "CURRENT_ADDRESS", Labels: []string{"CURRENT_ADDRESS"}, Src: "Person", Dst: "Location", Weight: 5, Shape: FanIn},
+			{Name: "HAS_PHONE", Labels: []string{"HAS_PHONE"}, Src: "Person", Dst: "Phone", Weight: 3, Shape: OneToOne},
+			{Name: "HAS_EMAIL", Labels: []string{"HAS_EMAIL"}, Src: "Person", Dst: "Email", Weight: 2, Shape: OneToOne},
+			{Name: "PARTY_TO", Labels: []string{"PARTY_TO"}, Src: "Person", Dst: "Crime", Weight: 5},
+			{Name: "INVESTIGATED_BY", Labels: []string{"INVESTIGATED_BY"}, Src: "Crime", Dst: "Officer", Weight: 4, Shape: FanIn},
+			{Name: "OCCURRED_AT", Labels: []string{"OCCURRED_AT"}, Src: "Crime", Dst: "Location", Weight: 5, Shape: FanIn},
+			{Name: "LOCATION_IN_AREA", Labels: []string{"LOCATION_IN_AREA"}, Src: "Location", Dst: "Area", Weight: 3, Shape: FanIn},
+			{Name: "HAS_POSTCODE", Labels: []string{"HAS_POSTCODE"}, Src: "Location", Dst: "PostCode", Weight: 3, Shape: FanIn},
+			// The LOCATION_IN_AREA label is reused for postcode containment
+			// (17 edge types over 16 labels, per Table 2).
+			{Name: "POSTCODE_IN_AREA", Labels: []string{"LOCATION_IN_AREA"}, Src: "PostCode", Dst: "Area", Weight: 1, Shape: FanIn},
+			{Name: "INVOLVED_IN", Labels: []string{"INVOLVED_IN"}, Src: "Object", Dst: "Crime", Weight: 2},
+			{Name: "CALLER", Labels: []string{"CALLER"}, Src: "PhoneCall", Dst: "Phone", Weight: 3, Shape: FanIn},
+			{Name: "CALLED", Labels: []string{"CALLED"}, Src: "PhoneCall", Dst: "Phone", Weight: 3, Shape: FanIn},
+		},
+	}
+}
+
+// connectome builds the neuPrint-style profiles behind MB6 and FIB25:
+// 4 node types carrying multi-label sets (type label + dataset label +
+// dataset-qualified label), 5 edge types over 3 edge labels (the same label
+// connects different endpoint pairs), and many optional neuron properties
+// (the source of the high node-pattern counts).
+func connectome(name string, nodes, edges int, factor float64, optionals int) *Profile {
+	str := pg.KindString
+	it := pg.KindInt
+	ds := map[string]string{"MB6": "mb6", "FIB25": "fib25"}[name]
+	neuronProps := []PropSpec{
+		Prop("bodyId", it), CatProp("status", str, 5), CatProp("pre", it, 500), CatProp("post", it, 500),
+	}
+	for i := 0; i < optionals; i++ {
+		neuronProps = append(neuronProps, OptProp(fmt.Sprintf("roiInfo_%d", i), str, 0.25+0.5*float64(i%3)/2))
+	}
+	return &Profile{
+		Name: name, Real: false,
+		PaperNodes: nodes, PaperEdges: edges, EdgeFactor: factor,
+		NodeTypes: []NodeTypeSpec{
+			{Name: "Neuron", Labels: []string{"Neuron", ds, ds + "_Neuron"}, Weight: 3, Props: neuronProps},
+			{Name: "Segment", Labels: []string{"Segment", ds, ds + "_Segment"}, Weight: 4, Props: []PropSpec{
+				Prop("bodyId", it), OptProp("size", it, 0.8)}},
+			{Name: "SynapseSet", Labels: []string{"SynapseSet", ds, ds + "_SynapseSet"}, Weight: 4, Props: []PropSpec{
+				Prop("timeStamp", pg.KindTimestamp)}},
+			{Name: "Synapse", Labels: []string{"Synapse", "PreSyn", ds, ds + "_Synapse"}, Weight: 9, Props: []PropSpec{
+				CatProp("type", str, 4), Prop("confidence", pg.KindFloat), Prop("location", str)}},
+		},
+		EdgeTypes: []EdgeTypeSpec{
+			// ConnectsTo and Contains labels are reused across endpoint
+			// pairs (5 edge types over 3 labels, Table 2); as in the
+			// original connectomes, the reused variants are small
+			// minorities (synapse containment dwarfs set containment).
+			{Name: "ConnectsTo:Neuron>Neuron", Labels: []string{"ConnectsTo"}, Src: "Neuron", Dst: "Neuron", Weight: 7,
+				Props: []PropSpec{Prop("weight", it)}},
+			{Name: "ConnectsTo:Segment>Segment", Labels: []string{"ConnectsTo"}, Src: "Segment", Dst: "Segment", Weight: 0.4,
+				Props: []PropSpec{Prop("weight", it)}},
+			{Name: "Contains:Neuron>SynapseSet", Labels: []string{"Contains"}, Src: "Neuron", Dst: "SynapseSet", Weight: 0.8, Shape: FanOut},
+			{Name: "Contains:SynapseSet>Synapse", Labels: []string{"Contains"}, Src: "SynapseSet", Dst: "Synapse", Weight: 10, Shape: FanOut},
+			{Name: "SynapsesTo", Labels: []string{"SynapsesTo"}, Src: "Synapse", Dst: "Synapse", Weight: 6},
+		},
+	}
+}
+
+// MB6 models the mushroom-body connectome.
+func MB6() *Profile { return connectome("MB6", 486_267, 961_571, 1.98, 8) }
+
+// FIB25 models the medulla connectome.
+func FIB25() *Profile { return connectome("FIB25", 802_473, 1_625_428, 2.03, 5) }
+
+// HetIO models the Hetionet biomedical knowledge graph: 11 node types, each
+// carrying an extra shared HetionetNode label (the integration convention
+// the paper highlights), 24 edge types, and an extreme edge/node ratio.
+func HetIO() *Profile {
+	str := pg.KindString
+	kinds := []string{
+		"Gene", "Disease", "Compound", "Anatomy", "BiologicalProcess",
+		"CellularComponent", "MolecularFunction", "Pathway",
+		"PharmacologicClass", "SideEffect", "Symptom",
+	}
+	weights := []float64{20, 1, 2, 1, 11, 2, 3, 2, 1, 6, 1}
+	p := &Profile{
+		Name: "HET.IO", Real: true,
+		PaperNodes: 47_031, PaperEdges: 2_250_197, EdgeFactor: 47.8,
+	}
+	// Each type shares the identifier/name/url trio but carries its own
+	// domain properties, as the original does (chromosome on genes, MeSH
+	// ids on diseases, InChI keys on compounds, ...).
+	typeProps := map[string][]PropSpec{
+		"Gene":               {Prop("chromosome", str), OptProp("description", str, 0.6)},
+		"Disease":            {Prop("mesh_id", str)},
+		"Compound":           {Prop("inchikey", str), OptProp("inchi", str, 0.8)},
+		"Anatomy":            {Prop("uberon_id", str)},
+		"BiologicalProcess":  {Prop("go_id", str)},
+		"CellularComponent":  {Prop("go_id", str), CatProp("namespace", str, 3)},
+		"MolecularFunction":  {Prop("go_id", str), OptProp("synonyms", str, 0.4)},
+		"Pathway":            {Prop("pc_id", str)},
+		"PharmacologicClass": {CatProp("class_type", str, 5)},
+		"SideEffect":         {Prop("umls_id", str)},
+		"Symptom":            {Prop("mesh_id", str), Prop("in_mesh", pg.KindBool)},
+	}
+	for i, k := range kinds {
+		props := []PropSpec{Prop("identifier", str), Prop("name", str), Prop("url", str)}
+		props = append(props, typeProps[k]...)
+		p.NodeTypes = append(p.NodeTypes, NodeTypeSpec{
+			Name: k, Labels: []string{k, "HetionetNode"}, Weight: weights[i], Props: props,
+		})
+	}
+	rels := []struct {
+		label, src, dst string
+		w               float64
+	}{
+		{"INTERACTS_GiG", "Gene", "Gene", 6},
+		{"REGULATES_GrG", "Gene", "Gene", 11},
+		{"COVARIES_GcG", "Gene", "Gene", 3},
+		{"PARTICIPATES_GpBP", "Gene", "BiologicalProcess", 24},
+		{"PARTICIPATES_GpCC", "Gene", "CellularComponent", 3},
+		{"PARTICIPATES_GpMF", "Gene", "MolecularFunction", 4},
+		{"PARTICIPATES_GpPW", "Gene", "Pathway", 4},
+		{"EXPRESSES_AeG", "Anatomy", "Gene", 23},
+		{"UPREGULATES_AuG", "Anatomy", "Gene", 4},
+		{"DOWNREGULATES_AdG", "Anatomy", "Gene", 4},
+		{"ASSOCIATES_DaG", "Disease", "Gene", 1},
+		{"UPREGULATES_DuG", "Disease", "Gene", 1},
+		{"DOWNREGULATES_DdG", "Disease", "Gene", 1},
+		{"LOCALIZES_DlA", "Disease", "Anatomy", 1},
+		{"PRESENTS_DpS", "Disease", "Symptom", 1},
+		{"RESEMBLES_DrD", "Disease", "Disease", 1},
+		{"TREATS_CtD", "Compound", "Disease", 1},
+		{"PALLIATES_CpD", "Compound", "Disease", 1},
+		{"BINDS_CbG", "Compound", "Gene", 2},
+		{"UPREGULATES_CuG", "Compound", "Gene", 2},
+		{"DOWNREGULATES_CdG", "Compound", "Gene", 2},
+		{"CAUSES_CcSE", "Compound", "SideEffect", 2},
+		{"RESEMBLES_CrC", "Compound", "Compound", 1},
+		{"INCLUDES_PCiC", "PharmacologicClass", "Compound", 1},
+	}
+	for _, r := range rels {
+		p.EdgeTypes = append(p.EdgeTypes, EdgeTypeSpec{
+			Name: r.label, Labels: []string{r.label}, Src: r.src, Dst: r.dst, Weight: r.w,
+			Props: []PropSpec{OptProp("unbiased", pg.KindBool, 0.5), Prop("sources", str)},
+		})
+	}
+	return p
+}
+
+// ICIJ models the offshore-leaks database: 5 node types over 6 labels,
+// 14 edge types, and extreme property heterogeneity (208 node patterns in
+// the original) with mixed-kind values.
+func ICIJ() *Profile {
+	str, date, it := pg.KindString, pg.KindDate, pg.KindInt
+	entityProps := []PropSpec{
+		Prop("name", str), CatProp("jurisdiction", str, 30), CatProp("sourceID", str, 6),
+		MixedProp("incorporation_date", date, pg.KindString, 0.08),
+		OptProp("inactivation_date", date, 0.3), OptProp("struck_off_date", date, 0.25),
+		OptCatProp("status", str, 6, 0.7), OptCatProp("service_provider", str, 8, 0.5),
+		OptCatProp("company_type", str, 12, 0.3), OptProp("note", str, 0.1),
+		MixedProp("internal_id", it, pg.KindString, 0.05),
+		MixedProp("share_value", pg.KindFloat, it, 0.12),
+	}
+	officerProps := []PropSpec{
+		Prop("name", str), Prop("sourceID", str),
+		OptCatProp("country_codes", str, 40, 0.6), OptCatProp("valid_until", str, 10, 0.5),
+		OptProp("note", str, 0.08),
+	}
+	return &Profile{
+		Name: "ICIJ", Real: true,
+		PaperNodes: 2_016_523, PaperEdges: 3_339_267, EdgeFactor: 1.66,
+		NodeTypes: []NodeTypeSpec{
+			{Name: "Entity", Labels: []string{"Entity", "Node"}, Weight: 8, Props: entityProps},
+			{Name: "Officer", Labels: []string{"Officer"}, Weight: 7, Props: officerProps},
+			{Name: "Intermediary", Labels: []string{"Intermediary"}, Weight: 2, Props: []PropSpec{
+				Prop("name", str), Prop("sourceID", str), OptProp("status", str, 0.6),
+				OptProp("internal_id", it, 0.7)}},
+			{Name: "Address", Labels: []string{"Address"}, Weight: 5, Props: []PropSpec{
+				Prop("address", str), Prop("sourceID", str), OptProp("country_codes", str, 0.8),
+				OptProp("note", str, 0.05)}},
+			{Name: "Other", Labels: []string{"Other"}, Weight: 1, Props: []PropSpec{
+				Prop("name", str), OptProp("sourceID", str, 0.9), OptProp("jurisdiction", str, 0.4)}},
+		},
+		EdgeTypes: []EdgeTypeSpec{
+			{Name: "officer_of", Labels: []string{"officer_of"}, Src: "Officer", Dst: "Entity", Weight: 8,
+				Props: []PropSpec{OptProp("link", str, 0.9), OptProp("start_date", date, 0.3), OptProp("end_date", date, 0.2)}},
+			{Name: "intermediary_of", Labels: []string{"intermediary_of"}, Src: "Intermediary", Dst: "Entity", Weight: 4,
+				Props: []PropSpec{OptProp("link", str, 0.9)}},
+			{Name: "registered_address", Labels: []string{"registered_address"}, Src: "Entity", Dst: "Address", Weight: 6, Shape: FanIn,
+				Props: []PropSpec{OptProp("link", str, 0.8)}},
+			{Name: "officer_address", Labels: []string{"residential_address"}, Src: "Officer", Dst: "Address", Weight: 3, Shape: FanIn,
+				Props: []PropSpec{OptProp("link", str, 0.8)}},
+			{Name: "similar", Labels: []string{"similar"}, Src: "Entity", Dst: "Entity", Weight: 1},
+			{Name: "similar_officer", Labels: []string{"similar_company_as"}, Src: "Officer", Dst: "Officer", Weight: 1},
+			{Name: "connected_to", Labels: []string{"connected_to"}, Src: "Entity", Dst: "Entity", Weight: 1},
+			{Name: "probably_same_officer_as", Labels: []string{"probably_same_officer_as"}, Src: "Officer", Dst: "Officer", Weight: 1},
+			{Name: "same_name_as", Labels: []string{"same_name_as"}, Src: "Entity", Dst: "Entity", Weight: 1},
+			{Name: "same_id_as", Labels: []string{"same_id_as"}, Src: "Entity", Dst: "Entity", Weight: 1},
+			{Name: "same_as", Labels: []string{"same_as"}, Src: "Other", Dst: "Entity", Weight: 1},
+			{Name: "underlying", Labels: []string{"underlying"}, Src: "Other", Dst: "Entity", Weight: 1},
+			{Name: "secretary_of", Labels: []string{"secretary_of"}, Src: "Officer", Dst: "Entity", Weight: 1},
+			{Name: "auditor_of", Labels: []string{"auditor_of"}, Src: "Officer", Dst: "Entity", Weight: 1},
+		},
+	}
+}
+
+// CORD19 models the COVID-19 knowledge graph: 16 node types, 16 edge types,
+// large but structurally simple, with some mixed-kind bibliographic fields.
+func CORD19() *Profile {
+	str, it := pg.KindString, pg.KindInt
+	kinds := []struct {
+		name string
+		w    float64
+	}{
+		{"Paper", 6}, {"Author", 10}, {"Affiliation", 2}, {"PaperID", 6},
+		{"Abstract", 5}, {"BodyText", 12}, {"Citation", 10}, {"Reference", 6},
+		{"Gene", 2}, {"Protein", 2}, {"Disease", 1}, {"Pathway", 1},
+		{"GeneSymbol", 2}, {"Transcript", 2}, {"Journal", 1}, {"Location", 1},
+	}
+	p := &Profile{
+		Name: "CORD19", Real: true,
+		PaperNodes: 5_485_296, PaperEdges: 5_720_776, EdgeFactor: 1.04,
+	}
+	// Per-type domain properties: the original types are structurally
+	// distinct (papers have DOIs, authors have name parts, genes have
+	// taxonomy ids), which is what makes 0%-label discovery possible.
+	typeProps := map[string][]PropSpec{
+		"Paper":       {Prop("title", str), OptProp("doi", str, 0.8), OptCatProp("source", str, 5, 0.7), MixedProp("year", it, pg.KindString, 0.06)},
+		"Author":      {Prop("first", str), Prop("last", str), OptProp("middle", str, 0.3), OptProp("email", str, 0.4)},
+		"Affiliation": {Prop("institution", str), OptProp("laboratory", str, 0.4)},
+		"PaperID":     {CatProp("idType", str, 4)},
+		"Abstract":    {Prop("text", str)},
+		"BodyText":    {Prop("text", str), CatProp("section", str, 12), OptCatProp("lang", str, 6, 0.3)},
+		"Citation":    {Prop("ref_id", str), OptProp("text", str, 0.9)},
+		"Reference":   {Prop("title", str), OptProp("issn", str, 0.5)},
+		"Gene":        {Prop("sid", str), CatProp("taxid", str, 8)},
+		"Protein":     {Prop("sid", str), OptProp("category", str, 0.6)},
+		"Disease":     {Prop("doid", str), OptProp("definition", str, 0.7)},
+		"Pathway":     {Prop("pid", str), CatProp("org", str, 5)},
+		"GeneSymbol":  {Prop("symbol", str), CatProp("status", str, 3)},
+		"Transcript":  {Prop("sid", str), MixedProp("score", pg.KindFloat, it, 0.07)},
+		"Journal":     {Prop("issn", str)},
+		"Location":    {Prop("country", str), OptProp("city", str, 0.8)},
+	}
+	for _, k := range kinds {
+		props := []PropSpec{Prop("id", str), Prop("name", str)}
+		props = append(props, typeProps[k.name]...)
+		p.NodeTypes = append(p.NodeTypes, NodeTypeSpec{
+			Name: k.name, Labels: []string{k.name}, Weight: k.w, Props: props,
+		})
+	}
+	rels := []struct {
+		label, src, dst string
+		w               float64
+		shape           Shape
+	}{
+		{"WROTE", "Author", "Paper", 8, ManyToMany},
+		{"AFFILIATED_WITH", "Author", "Affiliation", 4, FanIn},
+		{"HAS_ID", "Paper", "PaperID", 4, OneToOne},
+		{"HAS_ABSTRACT", "Paper", "Abstract", 3, OneToOne},
+		{"HAS_BODY", "Paper", "BodyText", 8, FanOut},
+		{"CITES", "Paper", "Citation", 10, FanOut},
+		{"REFERS_TO", "Citation", "Reference", 6, FanIn},
+		{"PUBLISHED_IN", "Paper", "Journal", 3, FanIn},
+		{"MENTIONS_GENE", "BodyText", "Gene", 3, ManyToMany},
+		{"MENTIONS_PROTEIN", "BodyText", "Protein", 3, ManyToMany},
+		{"MENTIONS_DISEASE", "BodyText", "Disease", 2, ManyToMany},
+		{"CODES_FOR", "Gene", "Protein", 1, ManyToMany},
+		{"HAS_SYMBOL", "Gene", "GeneSymbol", 1, OneToOne},
+		{"HAS_TRANSCRIPT", "Gene", "Transcript", 2, FanOut},
+		{"IN_PATHWAY", "Protein", "Pathway", 1, ManyToMany},
+		{"LOCATED_IN", "Affiliation", "Location", 1, FanIn},
+	}
+	for _, r := range rels {
+		p.EdgeTypes = append(p.EdgeTypes, EdgeTypeSpec{
+			Name: r.label, Labels: []string{r.label}, Src: r.src, Dst: r.dst, Weight: r.w, Shape: r.shape,
+			Props: []PropSpec{OptProp("position", it, 0.4)},
+		})
+	}
+	return p
+}
+
+// LDBC models the LDBC Social Network Benchmark: 7 node types over 8 labels
+// (Post and Comment share an extra Message label), 17 edge types over 15
+// labels (IS_LOCATED_IN and HAS_TAG are reused across endpoint pairs).
+func LDBC() *Profile {
+	str, it, date, ts := pg.KindString, pg.KindInt, pg.KindDate, pg.KindTimestamp
+	return &Profile{
+		Name: "LDBC", Real: false,
+		PaperNodes: 3_181_724, PaperEdges: 12_505_476, EdgeFactor: 3.93,
+		NodeTypes: []NodeTypeSpec{
+			{Name: "Person", Labels: []string{"Person"}, Weight: 2, Props: []PropSpec{
+				CatProp("firstName", str, 200), CatProp("lastName", str, 500), CatProp("gender", str, 2),
+				Prop("birthday", date), Prop("creationDate", ts), Prop("locationIP", str),
+				Prop("browserUsed", str), OptProp("email", str, 0.8), OptProp("speaks", str, 0.7)}},
+			{Name: "Post", Labels: []string{"Post", "Message"}, Weight: 10, Props: []PropSpec{
+				Prop("creationDate", ts), Prop("locationIP", str), CatProp("browserUsed", str, 5),
+				CatProp("length", it, 2000), OptProp("content", str, 0.7), OptProp("imageFile", str, 0.3),
+				OptCatProp("language", str, 12, 0.7)}},
+			{Name: "Comment", Labels: []string{"Comment", "Message"}, Weight: 14, Props: []PropSpec{
+				Prop("creationDate", ts), Prop("locationIP", str), CatProp("browserUsed", str, 5),
+				CatProp("length", it, 2000), Prop("content", str)}},
+			{Name: "Forum", Labels: []string{"Forum"}, Weight: 2, Props: []PropSpec{
+				Prop("title", str), Prop("creationDate", ts)}},
+			{Name: "Organisation", Labels: []string{"Organisation"}, Weight: 1, Props: []PropSpec{
+				Prop("name", str), CatProp("type", str, 2), Prop("url", str)}},
+			{Name: "Place", Labels: []string{"Place"}, Weight: 1, Props: []PropSpec{
+				Prop("name", str), CatProp("type", str, 3), Prop("url", str)}},
+			{Name: "Tag", Labels: []string{"Tag"}, Weight: 1, Props: []PropSpec{
+				Prop("name", str), Prop("url", str)}},
+		},
+		EdgeTypes: []EdgeTypeSpec{
+			{Name: "KNOWS", Labels: []string{"KNOWS"}, Src: "Person", Dst: "Person", Weight: 4,
+				Props: []PropSpec{Prop("creationDate", ts)}},
+			{Name: "LIKES_Post", Labels: []string{"LIKES"}, Src: "Person", Dst: "Post", Weight: 6,
+				Props: []PropSpec{Prop("creationDate", ts)}},
+			{Name: "LIKES_Comment", Labels: []string{"LIKES"}, Src: "Person", Dst: "Comment", Weight: 6,
+				Props: []PropSpec{Prop("creationDate", ts)}},
+			{Name: "HAS_CREATOR_Post", Labels: []string{"POST_HAS_CREATOR"}, Src: "Post", Dst: "Person", Weight: 5, Shape: FanIn},
+			{Name: "HAS_CREATOR_Comment", Labels: []string{"COMMENT_HAS_CREATOR"}, Src: "Comment", Dst: "Person", Weight: 7, Shape: FanIn},
+			{Name: "REPLY_OF_Post", Labels: []string{"REPLY_OF_POST"}, Src: "Comment", Dst: "Post", Weight: 4, Shape: FanIn},
+			{Name: "REPLY_OF_Comment", Labels: []string{"REPLY_OF_COMMENT"}, Src: "Comment", Dst: "Comment", Weight: 3, Shape: FanIn},
+			{Name: "CONTAINER_OF", Labels: []string{"CONTAINER_OF"}, Src: "Forum", Dst: "Post", Weight: 5, Shape: FanOut},
+			{Name: "HAS_MEMBER", Labels: []string{"HAS_MEMBER"}, Src: "Forum", Dst: "Person", Weight: 7,
+				Props: []PropSpec{Prop("joinDate", ts)}},
+			{Name: "HAS_MODERATOR", Labels: []string{"HAS_MODERATOR"}, Src: "Forum", Dst: "Person", Weight: 1, Shape: FanIn},
+			{Name: "HAS_TAG_Post", Labels: []string{"HAS_TAG"}, Src: "Post", Dst: "Tag", Weight: 4},
+			{Name: "HAS_TAG_Forum", Labels: []string{"FORUM_HAS_TAG"}, Src: "Forum", Dst: "Tag", Weight: 2},
+			{Name: "HAS_INTEREST", Labels: []string{"HAS_INTEREST"}, Src: "Person", Dst: "Tag", Weight: 2},
+			{Name: "IS_LOCATED_IN_Person", Labels: []string{"IS_LOCATED_IN"}, Src: "Person", Dst: "Place", Weight: 2, Shape: FanIn},
+			{Name: "IS_LOCATED_IN_Org", Labels: []string{"IS_LOCATED_IN"}, Src: "Organisation", Dst: "Place", Weight: 1, Shape: FanIn},
+			{Name: "STUDY_AT", Labels: []string{"STUDY_AT"}, Src: "Person", Dst: "Organisation", Weight: 1,
+				Props: []PropSpec{Prop("classYear", it)}},
+			{Name: "WORK_AT", Labels: []string{"WORK_AT"}, Src: "Person", Dst: "Organisation", Weight: 2,
+				Props: []PropSpec{Prop("workFrom", it)}},
+		},
+	}
+}
+
+// IYP models the Internet Yellow Pages: 86 node types built from 33 base
+// labels (most types carry a base label plus modifier labels, the
+// integration convention of the original), 25 edge types, and the most
+// heterogeneous property structure in the benchmark (1210 node patterns in
+// the original).
+func IYP() *Profile {
+	str, it := pg.KindString, pg.KindInt
+	base := []string{
+		"AS", "IXP", "Prefix", "IP", "DomainName", "HostName", "Country",
+		"Organization", "Tag", "Ranking", "Facility", "AtlasProbe",
+		"AtlasMeasurement", "BGPCollector", "Name", "OpaqueID", "PeeringLAN",
+		"CaidaIXID", "PeeringdbIXID", "PeeringdbOrgID", "PeeringdbFacID",
+		"PeeringdbNetID", "URL", "AuthoritativeNameServer", "Estimate",
+		"CaidaOrgID", "GeoPrefix", "RPKIPrefix", "RIRPrefix", "Resolver",
+		"RDNSPrefix", "IANAID", "Point",
+	}
+	p := &Profile{
+		Name: "IYP", Real: true,
+		PaperNodes: 44_539_999, PaperEdges: 251_432_812, EdgeFactor: 5.64,
+	}
+	// iypProps builds a deterministic per-type optional property mix; the
+	// variety drives the huge pattern count.
+	iypProps := func(bi int) []PropSpec {
+		props := []PropSpec{
+			PropSpec{Key: "af", Kind: it, Presence: 1, MixedKind: pg.KindString, MixedProb: 0.04, Distinct: 2},
+			OptProp("name", str, 0.85),
+		}
+		for j := 0; j < 2+bi%4; j++ {
+			props = append(props, OptProp(fmt.Sprintf("attr_%d_%d", bi%7, j), str, 0.3+0.4*float64(j%2)))
+		}
+		if bi%5 == 0 {
+			props = append(props, MixedProp("weight", pg.KindFloat, it, 0.08))
+		}
+		return props
+	}
+	// All 33 base labels appear as standalone types (edge specs reference
+	// them), then label-pair combinations fill the remaining 53 slots,
+	// reaching the original's 86 types over 33 labels.
+	for bi, b := range base {
+		props := append(iypProps(bi), Prop(strings.ToLower(b)+"_id", str))
+		p.NodeTypes = append(p.NodeTypes, NodeTypeSpec{
+			Name: b, Labels: []string{b}, Weight: float64(1 + (86-bi)%13), Props: props,
+		})
+	}
+	typeCount := len(base)
+combos:
+	for bi, b := range base {
+		for _, mod := range []string{"Tag", "Name", "Estimate"} {
+			if b == mod {
+				continue
+			}
+			if typeCount >= 86 {
+				break combos
+			}
+			props := append(iypProps(bi+typeCount%5),
+				Prop(strings.ToLower(b)+"_id", str),
+				Prop(strings.ToLower(mod)+"_value", str))
+			p.NodeTypes = append(p.NodeTypes, NodeTypeSpec{
+				Name:   b + "+" + mod,
+				Labels: []string{b, mod},
+				Weight: float64(1 + (86-typeCount)%13),
+				Props:  props,
+			})
+			typeCount++
+		}
+	}
+	rels := []struct {
+		label, src, dst string
+		w               float64
+	}{
+		{"ORIGINATE", "AS", "Prefix", 12},
+		{"DEPENDS_ON", "AS", "AS", 8},
+		{"PEERS_WITH", "AS", "AS", 14},
+		{"MEMBER_OF", "AS", "IXP", 4},
+		{"MANAGED_BY", "AS", "Organization", 4},
+		{"COUNTRY", "AS", "Country", 4},
+		{"RANK", "AS", "Ranking", 6},
+		{"NAME", "AS", "Name", 4},
+		{"RESOLVES_TO", "HostName", "IP", 8},
+		{"PART_OF", "IP", "Prefix", 10},
+		{"ALIAS_OF", "HostName", "DomainName", 4},
+		{"QUERIED_FROM", "DomainName", "AS", 3},
+		{"CATEGORIZED", "AS", "Tag", 5},
+		{"LOCATED_IN", "Facility", "Country", 2},
+		{"EXTERNAL_ID", "AS", "OpaqueID", 3},
+		{"WEBSITE", "Organization", "URL", 2},
+		{"SIBLING_OF", "AS", "AS", 2},
+		{"ASSIGNED", "AS", "AtlasProbe", 2},
+		{"TARGET", "AtlasMeasurement", "AtlasProbe", 3},
+		{"MONITORED_BY", "Prefix", "BGPCollector", 3},
+		{"CENSORED", "DomainName", "Tag", 1},
+		{"POPULATION", "Country", "Estimate", 1},
+		{"AVAILABLE", "Prefix", "Tag", 2},
+		{"RESERVED", "Prefix", "IANAID", 1},
+		{"ROUTE_ORIGIN_AUTHORIZATION", "Prefix", "RPKIPrefix", 2},
+	}
+	for _, r := range rels {
+		p.EdgeTypes = append(p.EdgeTypes, EdgeTypeSpec{
+			Name: r.label, Labels: []string{r.label}, Src: r.src, Dst: r.dst, Weight: r.w,
+			Props: []PropSpec{OptProp("reference_org", str, 0.8), OptProp("reference_time", pg.KindTimestamp, 0.5)},
+		})
+	}
+	return p
+}

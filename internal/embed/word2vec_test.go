@@ -1,0 +1,195 @@
+package embed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// toyCorpus mimics label sentences from a small social graph: Person labels
+// co-occur with KNOWS/WORKS_AT and Organization; Post co-occurs with LIKES.
+func toyCorpus() [][]string {
+	var corpus [][]string
+	for i := 0; i < 40; i++ {
+		corpus = append(corpus,
+			[]string{"Person", "KNOWS", "Person"},
+			[]string{"Person", "WORKS_AT", "Organization"},
+			[]string{"Person", "LIKES", "Post"},
+			[]string{"Student&Person", "KNOWS", "Person"},
+			[]string{"Organization", "LOCATED_IN", "Place"},
+		)
+	}
+	return corpus
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a := Train(toyCorpus(), cfg)
+	b := Train(toyCorpus(), cfg)
+	for _, tok := range a.Tokens() {
+		va, vb := a.Vector(tok), b.Vector(tok)
+		for i := range va {
+			if va[i] != vb[i] {
+				t.Fatalf("token %q differs between identically seeded runs", tok)
+			}
+		}
+	}
+}
+
+func TestTrainSeedChangesVectors(t *testing.T) {
+	cfg := DefaultConfig()
+	a := Train(toyCorpus(), cfg)
+	cfg.Seed = 99
+	b := Train(toyCorpus(), cfg)
+	diff := false
+	for _, tok := range a.Tokens() {
+		va, vb := a.Vector(tok), b.Vector(tok)
+		for i := range va {
+			if va[i] != vb[i] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical models")
+	}
+}
+
+func TestVocabAndDim(t *testing.T) {
+	m := Train(toyCorpus(), DefaultConfig())
+	if m.Dim() != 16 {
+		t.Errorf("Dim = %d, want 16", m.Dim())
+	}
+	if m.VocabSize() != 9 {
+		t.Errorf("VocabSize = %d, want 9 (tokens: %v)", m.VocabSize(), m.Tokens())
+	}
+	if !m.Has("Person") || m.Has("Ghost") {
+		t.Error("Has misreports vocabulary membership")
+	}
+}
+
+func TestUnknownAndEmptyTokenZeroVector(t *testing.T) {
+	m := Train(toyCorpus(), DefaultConfig())
+	for _, tok := range []string{"", "NeverSeen"} {
+		v := m.Vector(tok)
+		if len(v) != m.Dim() {
+			t.Fatalf("Vector(%q) has len %d, want %d", tok, len(v), m.Dim())
+		}
+		for _, x := range v {
+			if x != 0 {
+				t.Errorf("Vector(%q) should be the zero vector, got %v", tok, v)
+			}
+		}
+	}
+}
+
+func TestVectorsNormalized(t *testing.T) {
+	m := Train(toyCorpus(), DefaultConfig())
+	for _, tok := range m.Tokens() {
+		v := m.Vector(tok)
+		var n float64
+		for _, x := range v {
+			n += x * x
+		}
+		if math.Abs(math.Sqrt(n)-1) > 1e-9 {
+			t.Errorf("token %q norm = %v, want 1", tok, math.Sqrt(n))
+		}
+	}
+}
+
+func TestSemanticStructure(t *testing.T) {
+	// Tokens sharing contexts should be more similar than unrelated ones:
+	// Person and Student&Person both appear as KNOWS sources.
+	m := Train(toyCorpus(), DefaultConfig())
+	related := m.CosineSimilarity("Person", "Student&Person")
+	unrelated := m.CosineSimilarity("Person", "LOCATED_IN")
+	if related <= unrelated {
+		t.Errorf("cos(Person, Student&Person)=%.3f should exceed cos(Person, LOCATED_IN)=%.3f", related, unrelated)
+	}
+}
+
+func TestEmptyCorpus(t *testing.T) {
+	m := Train(nil, DefaultConfig())
+	if m.VocabSize() != 0 {
+		t.Errorf("VocabSize = %d, want 0", m.VocabSize())
+	}
+	if v := m.Vector("anything"); len(v) != 16 {
+		t.Errorf("zero-vocab model Vector len = %d, want 16", len(v))
+	}
+}
+
+func TestSingleTokenSentencesEnterVocab(t *testing.T) {
+	m := Train([][]string{{"Lonely"}, {"Lonely"}}, DefaultConfig())
+	if !m.Has("Lonely") {
+		t.Error("single-token sentences should still populate the vocabulary")
+	}
+}
+
+func TestEmptyTokensSkipped(t *testing.T) {
+	m := Train([][]string{{"", "A", ""}, {"A", "B"}}, DefaultConfig())
+	if m.Has("") {
+		t.Error("empty token must not enter vocabulary")
+	}
+	if m.VocabSize() != 2 {
+		t.Errorf("VocabSize = %d, want 2", m.VocabSize())
+	}
+}
+
+func TestConfigDefaultsApplied(t *testing.T) {
+	// A zero config must not panic or divide by zero.
+	m := Train(toyCorpus(), Config{})
+	if m.Dim() != 16 {
+		t.Errorf("zero config Dim = %d, want default 16", m.Dim())
+	}
+}
+
+func TestSamplingTableQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		counts := make([]int, len(raw))
+		for i, r := range raw {
+			counts[i] = int(r) + 1
+		}
+		cdf := buildSamplingTable(counts)
+		// CDF must be nondecreasing and end at 1.
+		prev := 0.0
+		for _, x := range cdf {
+			if x < prev {
+				return false
+			}
+			prev = x
+		}
+		return math.Abs(cdf[len(cdf)-1]-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSigmoidBounds(t *testing.T) {
+	for _, x := range []float64{-1000, -30.0001, -1, 0, 1, 30.0001, 1000} {
+		s := sigmoid(x)
+		if s < 0 || s > 1 {
+			t.Errorf("sigmoid(%v) = %v out of [0,1]", x, s)
+		}
+	}
+	if sigmoid(0) != 0.5 {
+		t.Errorf("sigmoid(0) = %v, want 0.5", sigmoid(0))
+	}
+}
+
+func TestIdenticalLabelSetsSameEmbedding(t *testing.T) {
+	// The paper's core requirement (§4.1): identical label-set tokens always
+	// yield identical embeddings. Trivially true for one model instance, but
+	// guard the accessor anyway.
+	m := Train(toyCorpus(), DefaultConfig())
+	a := m.Vector("Person")
+	b := m.Vector("Person")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("repeated Vector calls disagree")
+		}
+	}
+}

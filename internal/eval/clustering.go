@@ -1,0 +1,122 @@
+package eval
+
+import (
+	"math"
+
+	"pghive/internal/pg"
+)
+
+// contingency builds the cluster × class contingency table restricted to
+// elements present in the truth map.
+type contingency struct {
+	counts  [][]int // clusters × classes
+	rowSums []int
+	colSums []int
+	total   int
+}
+
+func buildContingency(clusters [][]pg.ID, truth map[pg.ID]string) contingency {
+	classIdx := map[string]int{}
+	for _, t := range truth {
+		if _, ok := classIdx[t]; !ok {
+			classIdx[t] = len(classIdx)
+		}
+	}
+	c := contingency{colSums: make([]int, len(classIdx))}
+	for _, members := range clusters {
+		row := make([]int, len(classIdx))
+		rowSum := 0
+		for _, id := range members {
+			t, ok := truth[id]
+			if !ok {
+				continue
+			}
+			row[classIdx[t]]++
+			rowSum++
+		}
+		if rowSum == 0 {
+			continue
+		}
+		c.counts = append(c.counts, row)
+		c.rowSums = append(c.rowSums, rowSum)
+		for j, n := range row {
+			c.colSums[j] += n
+		}
+		c.total += rowSum
+	}
+	return c
+}
+
+// AdjustedRandIndex computes the ARI between the clustering and the ground
+// truth: 1 for identical partitions, ~0 for random agreement, negative for
+// worse-than-random. Elements missing from the truth map are ignored;
+// elements missing from every cluster are excluded (ARI compares
+// partitions over the common domain).
+func AdjustedRandIndex(clusters [][]pg.ID, truth map[pg.ID]string) float64 {
+	c := buildContingency(clusters, truth)
+	if c.total < 2 {
+		return 1
+	}
+	var sumCells, sumRows, sumCols float64
+	for i, row := range c.counts {
+		sumRows += choose2(c.rowSums[i])
+		for _, n := range row {
+			sumCells += choose2(n)
+		}
+	}
+	for _, n := range c.colSums {
+		sumCols += choose2(n)
+	}
+	totalPairs := choose2(c.total)
+	expected := sumRows * sumCols / totalPairs
+	maxIndex := (sumRows + sumCols) / 2
+	if maxIndex == expected {
+		return 1 // both partitions trivial (single cluster and single class)
+	}
+	return (sumCells - expected) / (maxIndex - expected)
+}
+
+func choose2(n int) float64 {
+	return float64(n) * float64(n-1) / 2
+}
+
+// NormalizedMutualInfo computes NMI (arithmetic normalization) between the
+// clustering and the ground truth: 1 for identical partitions, 0 for
+// independence. Degenerate partitions (single cluster or single class)
+// yield 0 unless both are single, in which case 1.
+func NormalizedMutualInfo(clusters [][]pg.ID, truth map[pg.ID]string) float64 {
+	c := buildContingency(clusters, truth)
+	if c.total == 0 {
+		return 1
+	}
+	n := float64(c.total)
+	var mi, hClusters, hClasses float64
+	for i, row := range c.counts {
+		pi := float64(c.rowSums[i]) / n
+		if pi > 0 {
+			hClusters -= pi * math.Log(pi)
+		}
+		for j, cnt := range row {
+			if cnt == 0 {
+				continue
+			}
+			pij := float64(cnt) / n
+			pj := float64(c.colSums[j]) / n
+			mi += pij * math.Log(pij/(pi*pj))
+		}
+	}
+	for _, cs := range c.colSums {
+		pj := float64(cs) / n
+		if pj > 0 {
+			hClasses -= pj * math.Log(pj)
+		}
+	}
+	switch {
+	case hClusters == 0 && hClasses == 0:
+		return 1
+	case hClusters == 0 || hClasses == 0:
+		return 0
+	default:
+		return 2 * mi / (hClusters + hClasses)
+	}
+}

@@ -1,0 +1,97 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"pghive/internal/pg"
+)
+
+func TestARIPerfect(t *testing.T) {
+	truth := truthMap(map[string][]pg.ID{"A": {1, 2, 3}, "B": {4, 5, 6}})
+	clusters := [][]pg.ID{{1, 2, 3}, {4, 5, 6}}
+	if ari := AdjustedRandIndex(clusters, truth); math.Abs(ari-1) > 1e-12 {
+		t.Errorf("perfect ARI = %v, want 1", ari)
+	}
+	if nmi := NormalizedMutualInfo(clusters, truth); math.Abs(nmi-1) > 1e-12 {
+		t.Errorf("perfect NMI = %v, want 1", nmi)
+	}
+}
+
+func TestARILabelPermutationInvariant(t *testing.T) {
+	// ARI/NMI measure partition agreement, not label names: swapping which
+	// cluster holds which class changes nothing.
+	truth := truthMap(map[string][]pg.ID{"A": {1, 2}, "B": {3, 4}})
+	a := AdjustedRandIndex([][]pg.ID{{1, 2}, {3, 4}}, truth)
+	b := AdjustedRandIndex([][]pg.ID{{3, 4}, {1, 2}}, truth)
+	if a != b {
+		t.Errorf("ARI not permutation-invariant: %v vs %v", a, b)
+	}
+}
+
+func TestARISingleClusterAllClasses(t *testing.T) {
+	// One big cluster over two balanced classes: ARI 0 (random-level).
+	truth := truthMap(map[string][]pg.ID{"A": {1, 2}, "B": {3, 4}})
+	ari := AdjustedRandIndex([][]pg.ID{{1, 2, 3, 4}}, truth)
+	if math.Abs(ari) > 1e-12 {
+		t.Errorf("single-cluster ARI = %v, want 0", ari)
+	}
+	if nmi := NormalizedMutualInfo([][]pg.ID{{1, 2, 3, 4}}, truth); nmi != 0 {
+		t.Errorf("single-cluster NMI = %v, want 0", nmi)
+	}
+}
+
+func TestARIPartial(t *testing.T) {
+	// Mixed clustering scores strictly between 0 and 1.
+	truth := truthMap(map[string][]pg.ID{"A": {1, 2, 3}, "B": {4, 5, 6}})
+	clusters := [][]pg.ID{{1, 2, 4}, {3, 5, 6}}
+	ari := AdjustedRandIndex(clusters, truth)
+	if ari <= -0.2 || ari >= 1 {
+		t.Errorf("partial ARI = %v, want in (-0.2, 1)", ari)
+	}
+	nmi := NormalizedMutualInfo(clusters, truth)
+	if nmi <= 0 || nmi >= 1 {
+		t.Errorf("partial NMI = %v, want in (0, 1)", nmi)
+	}
+}
+
+func TestARIOverSplitStillHighNMI(t *testing.T) {
+	// Splitting a class into pure sub-clusters keeps NMI high but below 1.
+	truth := truthMap(map[string][]pg.ID{"A": {1, 2, 3, 4}, "B": {5, 6, 7, 8}})
+	clusters := [][]pg.ID{{1, 2}, {3, 4}, {5, 6, 7, 8}}
+	nmi := NormalizedMutualInfo(clusters, truth)
+	if nmi < 0.7 || nmi >= 1 {
+		t.Errorf("over-split NMI = %v, want high but < 1", nmi)
+	}
+}
+
+func TestARIEmptyAndDegenerate(t *testing.T) {
+	if ari := AdjustedRandIndex(nil, nil); ari != 1 {
+		t.Errorf("empty ARI = %v, want 1 (vacuous agreement)", ari)
+	}
+	if nmi := NormalizedMutualInfo(nil, nil); nmi != 1 {
+		t.Errorf("empty NMI = %v, want 1", nmi)
+	}
+	// Single element.
+	truth := truthMap(map[string][]pg.ID{"A": {1}})
+	if ari := AdjustedRandIndex([][]pg.ID{{1}}, truth); ari != 1 {
+		t.Errorf("singleton ARI = %v, want 1", ari)
+	}
+	// Both partitions single: identical → 1.
+	truth = truthMap(map[string][]pg.ID{"A": {1, 2}})
+	if ari := AdjustedRandIndex([][]pg.ID{{1, 2}}, truth); ari != 1 {
+		t.Errorf("trivial partitions ARI = %v, want 1", ari)
+	}
+	if nmi := NormalizedMutualInfo([][]pg.ID{{1, 2}}, truth); nmi != 1 {
+		t.Errorf("trivial partitions NMI = %v, want 1", nmi)
+	}
+}
+
+func TestARIIgnoresUnknownElements(t *testing.T) {
+	truth := truthMap(map[string][]pg.ID{"A": {1, 2}, "B": {3, 4}})
+	clean := AdjustedRandIndex([][]pg.ID{{1, 2}, {3, 4}}, truth)
+	dirty := AdjustedRandIndex([][]pg.ID{{1, 2, 99}, {3, 4, 100}}, truth)
+	if clean != dirty {
+		t.Errorf("unknown elements changed ARI: %v vs %v", clean, dirty)
+	}
+}

@@ -1,0 +1,231 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pghive/internal/pg"
+)
+
+func truthMap(types map[string][]pg.ID) map[pg.ID]string {
+	out := map[pg.ID]string{}
+	for t, ids := range types {
+		for _, id := range ids {
+			out[id] = t
+		}
+	}
+	return out
+}
+
+func TestF1StarPerfectClustering(t *testing.T) {
+	truth := truthMap(map[string][]pg.ID{
+		"A": {1, 2, 3},
+		"B": {4, 5},
+	})
+	s := F1Star([][]pg.ID{{1, 2, 3}, {4, 5}}, truth)
+	if s.Micro != 1 || s.Macro != 1 || s.Weighted != 1 {
+		t.Errorf("perfect clustering scores = %+v, want all 1", s)
+	}
+}
+
+func TestF1StarOverSplitStillPerfect(t *testing.T) {
+	// Pure clusters keep F1* at 1 even when a type is split — only mixing
+	// hurts the majority-based score.
+	truth := truthMap(map[string][]pg.ID{"A": {1, 2, 3, 4}})
+	s := F1Star([][]pg.ID{{1, 2}, {3}, {4}}, truth)
+	if s.Micro != 1 {
+		t.Errorf("over-split pure clusters Micro = %v, want 1", s.Micro)
+	}
+}
+
+func TestF1StarMixedCluster(t *testing.T) {
+	// One cluster with 3 A's and 1 B: B element is misplaced.
+	truth := truthMap(map[string][]pg.ID{"A": {1, 2, 3}, "B": {4}})
+	s := F1Star([][]pg.ID{{1, 2, 3, 4}}, truth)
+	// Micro: tp=3 (A's), fn=1 (B), fp=1 (B predicted A) → P=3/4, R=3/4.
+	if math.Abs(s.Micro-0.75) > 1e-12 {
+		t.Errorf("Micro = %v, want 0.75", s.Micro)
+	}
+	// Macro: F1(A)=2·(3/4·1)/(3/4+1)=6/7; F1(B)=0 → macro=3/7.
+	if math.Abs(s.Macro-3.0/7) > 1e-12 {
+		t.Errorf("Macro = %v, want 3/7", s.Macro)
+	}
+}
+
+func TestF1StarMissingElements(t *testing.T) {
+	// An element in truth but in no cluster is a miss.
+	truth := truthMap(map[string][]pg.ID{"A": {1, 2}})
+	s := F1Star([][]pg.ID{{1}}, truth)
+	// tp=1, fn=1, fp=0 → micro F1 = 2·(1·0.5)/1.5 = 2/3.
+	if math.Abs(s.Micro-2.0/3) > 1e-12 {
+		t.Errorf("Micro = %v, want 2/3", s.Micro)
+	}
+}
+
+func TestF1StarEmpty(t *testing.T) {
+	s := F1Star(nil, nil)
+	if s.Micro != 0 || s.Elements != 0 {
+		t.Errorf("empty evaluation = %+v", s)
+	}
+	s = F1Star(nil, truthMap(map[string][]pg.ID{"A": {1}}))
+	if s.Micro != 0 {
+		t.Errorf("no clusters should score 0, got %v", s.Micro)
+	}
+}
+
+func TestF1StarIgnoresUnknownElements(t *testing.T) {
+	truth := truthMap(map[string][]pg.ID{"A": {1, 2}})
+	s := F1Star([][]pg.ID{{1, 2, 99, 100}}, truth)
+	if s.Micro != 1 {
+		t.Errorf("unknown IDs should be ignored: Micro = %v", s.Micro)
+	}
+}
+
+func TestF1StarTieBreaksDeterministically(t *testing.T) {
+	truth := truthMap(map[string][]pg.ID{"A": {1}, "B": {2}})
+	a := F1Star([][]pg.ID{{1, 2}}, truth)
+	b := F1Star([][]pg.ID{{2, 1}}, truth)
+	if a != b {
+		t.Errorf("tie-broken scores differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestF1StarBoundsQuick(t *testing.T) {
+	f := func(assign []uint8) bool {
+		truth := map[pg.ID]string{}
+		clusters := map[int][]pg.ID{}
+		for i, a := range assign {
+			id := pg.ID(i)
+			truth[id] = string(rune('A' + a%3))
+			clusters[int(a%5)] = append(clusters[int(a%5)], id)
+		}
+		var cs [][]pg.ID
+		for _, members := range clusters {
+			cs = append(cs, members)
+		}
+		s := F1Star(cs, truth)
+		return s.Micro >= 0 && s.Micro <= 1 && s.Macro >= 0 && s.Macro <= 1 &&
+			s.Weighted >= 0 && s.Weighted <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAverageRanksSimple(t *testing.T) {
+	// Method 0 always best, method 2 always worst.
+	scores := [][]float64{
+		{0.9, 0.95, 0.85},
+		{0.8, 0.90, 0.80},
+		{0.1, 0.20, 0.15},
+	}
+	ranks := AverageRanks(scores)
+	if ranks[0] != 1 || ranks[1] != 2 || ranks[2] != 3 {
+		t.Errorf("ranks = %v, want [1 2 3]", ranks)
+	}
+}
+
+func TestAverageRanksTies(t *testing.T) {
+	scores := [][]float64{
+		{0.9},
+		{0.9},
+		{0.1},
+	}
+	ranks := AverageRanks(scores)
+	if ranks[0] != 1.5 || ranks[1] != 1.5 || ranks[2] != 3 {
+		t.Errorf("tied ranks = %v, want [1.5 1.5 3]", ranks)
+	}
+}
+
+func TestAverageRanksRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on ragged input")
+		}
+	}()
+	AverageRanks([][]float64{{1, 2}, {1}})
+}
+
+func TestAverageRanksSumInvariantQuick(t *testing.T) {
+	// For any score matrix, per-case ranks sum to k(k+1)/2, so average
+	// ranks sum to the same.
+	f := func(raw [6]float64, n uint8) bool {
+		cases := int(n%5) + 1
+		scores := make([][]float64, 3)
+		for m := range scores {
+			scores[m] = make([]float64, cases)
+			for c := range scores[m] {
+				scores[m][c] = raw[(m*cases+c)%6]
+			}
+		}
+		ranks := AverageRanks(scores)
+		sum := 0.0
+		for _, r := range ranks {
+			sum += r
+		}
+		return math.Abs(sum-6) < 1e-9 // 3·4/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNemenyiCD(t *testing.T) {
+	// k=4 methods, n=40 cases (the paper's Figure 3 setting):
+	// CD = 2.569·√(4·5/240) ≈ 0.741.
+	cd := NemenyiCD(4, 40)
+	if math.Abs(cd-0.7416) > 0.01 {
+		t.Errorf("CD(4,40) = %v, want ≈ 0.742", cd)
+	}
+	// CD shrinks with more cases.
+	if NemenyiCD(4, 100) >= cd {
+		t.Error("CD should shrink with more cases")
+	}
+}
+
+func TestNemenyiCDPanicsOutsideTable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for k=11")
+		}
+	}()
+	NemenyiCD(11, 10)
+}
+
+func TestFriedmanChi2(t *testing.T) {
+	// Identical ranks → statistic 0.
+	if chi := FriedmanChi2([]float64{2, 2, 2}, 10); math.Abs(chi) > 1e-9 {
+		t.Errorf("uniform ranks χ² = %v, want 0", chi)
+	}
+	// Maximally spread ranks → positive.
+	if chi := FriedmanChi2([]float64{1, 2, 3}, 10); chi <= 0 {
+		t.Errorf("spread ranks χ² = %v, want > 0", chi)
+	}
+}
+
+func TestErrorBins(t *testing.T) {
+	var b ErrorBins
+	for _, e := range []float64{0, 0.01, 0.049, 0.05, 0.09, 0.1, 0.19, 0.2, 0.9} {
+		b.Add(e)
+	}
+	want := [4]int{3, 2, 2, 2}
+	if b.Counts != want {
+		t.Errorf("Counts = %v, want %v", b.Counts, want)
+	}
+	fr := b.Fractions()
+	sum := 0.0
+	for _, f := range fr {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+}
+
+func TestErrorBinsEmpty(t *testing.T) {
+	var b ErrorBins
+	if b.Fractions() != [4]float64{} {
+		t.Error("empty bins should normalize to zeros")
+	}
+}

@@ -1,0 +1,126 @@
+// Package eval implements the paper's evaluation machinery (§5): the
+// majority-based F1*-score for discovered type clusters against ground
+// truth, Friedman average ranks with the Nemenyi critical difference for
+// the statistical significance analysis (Figure 3), and sampling-error
+// histograms for data-type inference (Figure 8).
+package eval
+
+import (
+	"sort"
+
+	"pghive/internal/pg"
+)
+
+// Scores summarizes a clustering evaluation. F1* follows the paper: each
+// cluster is labeled with the majority ground-truth type of its members,
+// every member whose true type matches its cluster's majority counts as
+// correctly placed, and per-type precision/recall aggregate into F1.
+type Scores struct {
+	// Micro is the micro-averaged F1 (equal to element accuracy in this
+	// single-assignment setting) — the headline F1*.
+	Micro float64
+	// Macro is the unweighted mean of per-type F1.
+	Macro float64
+	// Weighted is the support-weighted mean of per-type F1.
+	Weighted float64
+	// Clusters is the number of evaluated clusters.
+	Clusters int
+	// Elements is the number of ground-truth elements.
+	Elements int
+}
+
+// F1Star evaluates clusters (each a slice of element IDs) against the
+// ground truth. Elements present in the truth map but absent from every
+// cluster count as misses (they deflate recall); elements in clusters but
+// not in the truth map are ignored.
+func F1Star(clusters [][]pg.ID, truth map[pg.ID]string) Scores {
+	s := Scores{Clusters: len(clusters), Elements: len(truth)}
+	if len(truth) == 0 {
+		return s
+	}
+
+	// predicted[id] = majority type of the element's cluster.
+	predicted := make(map[pg.ID]string, len(truth))
+	for _, members := range clusters {
+		counts := map[string]int{}
+		for _, id := range members {
+			if t, ok := truth[id]; ok {
+				counts[t]++
+			}
+		}
+		majority := majorityType(counts)
+		if majority == "" {
+			continue
+		}
+		for _, id := range members {
+			if _, ok := truth[id]; ok {
+				predicted[id] = majority
+			}
+		}
+	}
+
+	// Per-type confusion counts.
+	tp := map[string]int{}
+	fp := map[string]int{}
+	fn := map[string]int{}
+	support := map[string]int{}
+	for id, t := range truth {
+		support[t]++
+		p, ok := predicted[id]
+		switch {
+		case !ok:
+			fn[t]++
+		case p == t:
+			tp[t]++
+		default:
+			fn[t]++
+			fp[p]++
+		}
+	}
+
+	var tpSum, fpSum, fnSum int
+	var macroSum, weightedSum float64
+	types := make([]string, 0, len(support))
+	for t := range support {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		f1 := f1Score(tp[t], fp[t], fn[t])
+		macroSum += f1
+		weightedSum += f1 * float64(support[t])
+		tpSum += tp[t]
+		fpSum += fp[t]
+		fnSum += fn[t]
+	}
+	s.Micro = f1Score(tpSum, fpSum, fnSum)
+	s.Macro = macroSum / float64(len(types))
+	s.Weighted = weightedSum / float64(len(truth))
+	return s
+}
+
+// majorityType returns the most frequent type, breaking ties
+// alphabetically for determinism; "" when counts is empty.
+func majorityType(counts map[string]int) string {
+	best, bestCount := "", -1
+	keys := make([]string, 0, len(counts))
+	for t := range counts {
+		keys = append(keys, t)
+	}
+	sort.Strings(keys)
+	for _, t := range keys {
+		if counts[t] > bestCount {
+			best, bestCount = t, counts[t]
+		}
+	}
+	return best
+}
+
+func f1Score(tp, fp, fn int) float64 {
+	if tp == 0 {
+		return 0
+	}
+	precision := float64(tp) / float64(tp+fp)
+	recall := float64(tp) / float64(tp+fn)
+	return 2 * precision * recall / (precision + recall)
+}

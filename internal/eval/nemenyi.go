@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"math"
+	"sort"
+)
+
+// AverageRanks computes Friedman average ranks for the significance
+// analysis of Figure 3. scores[m][c] is method m's score on test case c
+// (higher is better); the result is each method's rank averaged over cases
+// (1 = best), with tied scores receiving the mean of their rank range.
+// Methods must all cover the same cases. It panics on ragged input.
+func AverageRanks(scores [][]float64) []float64 {
+	m := len(scores)
+	if m == 0 {
+		return nil
+	}
+	n := len(scores[0])
+	for _, row := range scores {
+		if len(row) != n {
+			panic("eval: ragged score matrix")
+		}
+	}
+	sums := make([]float64, m)
+	type entry struct {
+		method int
+		score  float64
+	}
+	for c := 0; c < n; c++ {
+		entries := make([]entry, m)
+		for i := 0; i < m; i++ {
+			entries[i] = entry{i, scores[i][c]}
+		}
+		sort.Slice(entries, func(a, b int) bool { return entries[a].score > entries[b].score })
+		for i := 0; i < m; {
+			j := i
+			for j+1 < m && entries[j+1].score == entries[i].score {
+				j++
+			}
+			// Ranks i+1..j+1 tie: assign their mean.
+			meanRank := float64(i+1+j+1) / 2
+			for k := i; k <= j; k++ {
+				sums[entries[k].method] += meanRank
+			}
+			i = j + 1
+		}
+	}
+	for i := range sums {
+		sums[i] /= float64(n)
+	}
+	return sums
+}
+
+// q005 holds the α = 0.05 studentized-range critical values divided by √2
+// for the Nemenyi test, indexed by the number of compared methods k
+// (Demšar 2006, infinite degrees of freedom).
+var q005 = map[int]float64{
+	2:  1.960,
+	3:  2.343,
+	4:  2.569,
+	5:  2.728,
+	6:  2.850,
+	7:  2.949,
+	8:  3.031,
+	9:  3.102,
+	10: 3.164,
+}
+
+// NemenyiCD returns the critical difference at α = 0.05 for k methods over
+// n test cases: CD = q·√(k(k+1)/(6n)). Two methods whose average ranks
+// differ by at least CD are significantly different. k outside [2, 10]
+// panics (the table covers the paper's method counts).
+func NemenyiCD(k, n int) float64 {
+	q, ok := q005[k]
+	if !ok {
+		panic("eval: Nemenyi table covers 2..10 methods")
+	}
+	return q * math.Sqrt(float64(k*(k+1))/(6*float64(n)))
+}
+
+// FriedmanChi2 returns the Friedman test statistic χ²_F for the given
+// average ranks over n cases — a quick sanity check that the methods
+// differ at all before reading the Nemenyi pairs.
+func FriedmanChi2(avgRanks []float64, n int) float64 {
+	k := len(avgRanks)
+	if k < 2 || n < 1 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range avgRanks {
+		sum += r * r
+	}
+	return 12 * float64(n) / float64(k*(k+1)) * (sum - float64(k)*math.Pow(float64(k+1), 2)/4)
+}
+
+// ErrorBins is the Figure 8 histogram: sampling errors grouped into the
+// paper's four bins, normalized by the number of properties.
+type ErrorBins struct {
+	// Counts holds raw counts for [0,0.05), [0.05,0.10), [0.10,0.20),
+	// [0.20,∞).
+	Counts [4]int
+	// Total is the number of properties.
+	Total int
+}
+
+// BinLabels names the Figure 8 bins.
+var BinLabels = [4]string{"0-0.05", "0.05-0.10", "0.10-0.20", ">=0.20"}
+
+// Add places one property's sampling error in its bin.
+func (b *ErrorBins) Add(err float64) {
+	b.Total++
+	switch {
+	case err < 0.05:
+		b.Counts[0]++
+	case err < 0.10:
+		b.Counts[1]++
+	case err < 0.20:
+		b.Counts[2]++
+	default:
+		b.Counts[3]++
+	}
+}
+
+// Fractions returns the normalized histogram; all zeros when empty.
+func (b *ErrorBins) Fractions() [4]float64 {
+	var out [4]float64
+	if b.Total == 0 {
+		return out
+	}
+	for i, c := range b.Counts {
+		out[i] = float64(c) / float64(b.Total)
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+// Package infer implements PG-HIVE's post-processing (§4.4): it turns the
+// accumulated type evidence into a finalized schema definition with
+// MANDATORY/OPTIONAL property constraints, inferred property data types
+// (full-scan or sample-based), resolved edge connectivity, and edge
+// cardinalities derived from maximum in/out degrees.
+package infer
+
+import (
+	"sort"
+
+	"pghive/internal/pg"
+	"pghive/internal/schema"
+)
+
+// Options selects how finalization runs.
+type Options struct {
+	// SampleBased selects the sample-based data-type inference (the paper's
+	// optional flag): types come from the sampled kind counters, falling
+	// back to STRING when a property has no sampled observations.
+	SampleBased bool
+	// Participation enables the edge lower-bound analysis the paper defers
+	// to future work (§4.4): an edge type's cardinality lower bound
+	// upgrades from 0 to 1 when every instance of its source (target) node
+	// types carries such an edge.
+	Participation bool
+}
+
+// enumMinSupport is the minimum number of observations before a small
+// distinct value set is reported as an enumeration (fewer observations
+// make every property look enumerated).
+const enumMinSupport = 20
+
+// keyMinSupport is the minimum instance count before a unique mandatory
+// property is reported as a key candidate.
+const keyMinSupport = 2
+
+// GeneralizeKinds returns the most specific data type compatible with every
+// observed value kind, following the paper's hierarchy (§4.4/§4.7):
+// INT ⊔ DOUBLE = DOUBLE, DATE ⊔ TIMESTAMP = TIMESTAMP, and any other mix
+// generalizes to STRING. A property with no observed values defaults to
+// STRING.
+func GeneralizeKinds(kinds map[pg.Kind]int) pg.Kind {
+	present := func(k pg.Kind) bool { return kinds[k] > 0 }
+	total := 0
+	for k, c := range kinds {
+		if k != pg.KindNull {
+			total += c
+		}
+	}
+	if total == 0 {
+		return pg.KindString
+	}
+	if present(pg.KindString) {
+		return pg.KindString
+	}
+	numeric := kinds[pg.KindInt] + kinds[pg.KindFloat]
+	temporal := kinds[pg.KindDate] + kinds[pg.KindTimestamp]
+	boolean := kinds[pg.KindBool]
+	switch {
+	case numeric == total:
+		if present(pg.KindFloat) {
+			return pg.KindFloat
+		}
+		return pg.KindInt
+	case temporal == total:
+		if present(pg.KindTimestamp) {
+			return pg.KindTimestamp
+		}
+		return pg.KindDate
+	case boolean == total:
+		return pg.KindBool
+	default:
+		return pg.KindString
+	}
+}
+
+// PropertyDef finalizes one property of a type: the MANDATORY constraint
+// holds iff the property appears in every instance (f_T(p) = 1), and the
+// data type comes from the full-scan or sampled kind counters.
+func PropertyDef(key string, stat *schema.PropStat, instances int, opts Options) schema.PropertyDef {
+	freq := 0.0
+	if instances > 0 {
+		freq = float64(stat.Count) / float64(instances)
+	}
+	kinds := stat.Kinds
+	if opts.SampleBased {
+		kinds = stat.SampleKinds
+	}
+	def := schema.PropertyDef{
+		Key:       key,
+		DataType:  GeneralizeKinds(kinds),
+		Mandatory: instances > 0 && stat.Count == instances,
+		Frequency: freq,
+	}
+	def.Unique = def.Mandatory && instances >= keyMinSupport && stat.Values.AllDistinct()
+	if stat.Count >= enumMinSupport {
+		def.Enum = stat.Values.EnumValues()
+	}
+	if def.DataType == pg.KindInt || def.DataType == pg.KindFloat {
+		if min, max, ok := stat.Values.NumRange(); ok {
+			def.HasRange = true
+			def.MinNum = min
+			def.MaxNum = max
+		}
+	}
+	return def
+}
+
+// SamplingError computes the paper's per-property sampling error:
+// error(p) = (1/|S_p|) Σ_{v∈S_p} 1(f(v) ≠ f(D_p)), the fraction of sampled
+// values whose individual kind disagrees with the full-scan inferred type.
+// It returns 0 when nothing was sampled.
+func SamplingError(stat *schema.PropStat) float64 {
+	n := stat.SampleSize()
+	if n == 0 {
+		return 0
+	}
+	full := GeneralizeKinds(stat.Kinds)
+	agree := stat.SampleKinds[full]
+	return 1 - float64(agree)/float64(n)
+}
+
+// Finalize assembles the finalized schema definition from the accumulated
+// types: named node and edge types with sorted property lists, resolved
+// endpoint node types, and cardinalities.
+func Finalize(s *schema.Schema, opts Options) *schema.Def {
+	def := &schema.Def{}
+	abstractIdx := 0
+	for _, t := range s.NodeTypes {
+		name := schema.TypeName(t, abstractIdx)
+		if !t.Labeled() {
+			abstractIdx++
+		}
+		def.Nodes = append(def.Nodes, schema.NodeTypeDef{
+			Name:       name,
+			Labels:     t.Labels.Sorted(),
+			Abstract:   t.Abstract || !t.Labeled(),
+			Properties: finalizeProps(t, opts),
+			Instances:  t.Instances,
+		})
+	}
+	abstractIdx = 0
+	for _, t := range s.EdgeTypes {
+		name := schema.TypeName(t, abstractIdx)
+		if !t.Labeled() {
+			abstractIdx++
+		}
+		deg := t.MaxDegrees()
+		ed := schema.EdgeTypeDef{
+			Name:        name,
+			Labels:      t.Labels.Sorted(),
+			Abstract:    t.Abstract || !t.Labeled(),
+			Properties:  finalizeProps(t, opts),
+			Instances:   t.Instances,
+			SrcTypes:    resolveEndpoints(def.Nodes, t.SrcLabels),
+			DstTypes:    resolveEndpoints(def.Nodes, t.DstLabels),
+			Cardinality: schema.CardinalityFromDegrees(deg),
+			MaxOut:      deg.MaxOut,
+			MaxIn:       deg.MaxIn,
+		}
+		if opts.Participation {
+			ed.SrcTotal = totalParticipation(def.Nodes, ed.SrcTypes, len(t.OutDeg))
+			ed.DstTotal = totalParticipation(def.Nodes, ed.DstTypes, len(t.InDeg))
+		}
+		def.Edges = append(def.Edges, ed)
+	}
+	return def
+}
+
+// totalParticipation reports whether the participating endpoint count
+// equals the total instance count of the resolved node types (node types
+// partition the instances, so the sum is exact). Strict equality guards
+// both directions: fewer participants means some instances lack the edge,
+// and more participants means the edge also touches nodes outside the
+// resolved types — either way the lower bound must stay 0.
+func totalParticipation(nodes []schema.NodeTypeDef, typeNames []string, participating int) bool {
+	if len(typeNames) == 0 {
+		return false
+	}
+	total := 0
+	for _, name := range typeNames {
+		for i := range nodes {
+			if nodes[i].Name == name {
+				total += nodes[i].Instances
+				break
+			}
+		}
+	}
+	return total > 0 && participating == total
+}
+
+func finalizeProps(t *schema.Type, opts Options) []schema.PropertyDef {
+	keys := make([]string, 0, len(t.Props))
+	for k := range t.Props {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]schema.PropertyDef, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, PropertyDef(k, t.Props[k], t.Instances, opts))
+	}
+	return out
+}
+
+// resolveEndpoints maps an endpoint label set to the node types it touches:
+// every node type whose label set intersects the endpoint labels. An
+// unlabeled endpoint set resolves to the abstract node types (the elements
+// it could instantiate).
+func resolveEndpoints(nodes []schema.NodeTypeDef, labels schema.StringSet) []string {
+	var out []string
+	if labels.Len() == 0 {
+		for i := range nodes {
+			if nodes[i].Abstract {
+				out = append(out, nodes[i].Name)
+			}
+		}
+		return out
+	}
+	for i := range nodes {
+		for _, l := range nodes[i].Labels {
+			if labels.Has(l) {
+				out = append(out, nodes[i].Name)
+				break
+			}
+		}
+	}
+	return out
+}

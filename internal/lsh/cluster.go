@@ -1,0 +1,135 @@
+// Package lsh implements the two Locality-Sensitive Hashing families
+// PG-HIVE clusters with (§4.2): Euclidean LSH (p-stable bucketed random
+// projections, Datar et al. 2004) for the hybrid embedding+indicator
+// vectors, and MinHash (Broder 1997) for set representations. Both group
+// elements by their full T-value signature — the behaviour of grouping on
+// Spark MLlib hash columns that the paper's parameter study exhibits (more
+// tables ⇒ finer clusters) — with banded grouping available for MinHash.
+//
+// The package also provides the paper's adaptive parameter selection:
+// bucket length from a sampled distance scale µ and a label-count factor α,
+// and table count from the dataset size (§4.2, "Adaptive parameterization").
+package lsh
+
+import "sort"
+
+// Cluster is one group of input elements, identified by their indexes into
+// the input slice.
+type Cluster struct {
+	Members []int
+}
+
+// GroupByKeys buckets items by precomputed signature keys (callers may
+// compute keys in parallel). Cluster order is deterministic: clusters are
+// sorted by their smallest member index.
+func GroupByKeys(keys []string) []Cluster {
+	return groupBySignature(len(keys), func(i int) string { return keys[i] })
+}
+
+// GroupByHash buckets items by precomputed 64-bit signature hashes — the
+// allocation-free fast path for full-signature grouping. A cross-signature
+// hash collision would merge two clusters; at 64 bits the probability is
+// ~n²/2⁶⁵ (≈ 5·10⁻⁸ for a million elements), far below the LSH
+// approximation error, and the downstream label/Jaccard merge step is
+// tolerant to occasional merges by design.
+func GroupByHash(hashes []uint64) []Cluster {
+	buckets := make(map[uint64][]int, len(hashes)/4+1)
+	for i, h := range hashes {
+		buckets[h] = append(buckets[h], i)
+	}
+	clusters := make([]Cluster, 0, len(buckets))
+	for _, members := range buckets {
+		clusters = append(clusters, Cluster{Members: members})
+	}
+	sort.Slice(clusters, func(a, b int) bool {
+		return clusters[a].Members[0] < clusters[b].Members[0]
+	})
+	return clusters
+}
+
+// fnv64 constants for inline signature hashing.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvMix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime
+		x >>= 8
+	}
+	return h
+}
+
+// groupBySignature buckets n items by a string key derived from their
+// signatures. Cluster order is deterministic: clusters are sorted by their
+// smallest member index.
+func groupBySignature(n int, key func(i int) string) []Cluster {
+	buckets := make(map[string][]int, n/4+1)
+	for i := 0; i < n; i++ {
+		k := key(i)
+		buckets[k] = append(buckets[k], i)
+	}
+	clusters := make([]Cluster, 0, len(buckets))
+	for _, members := range buckets {
+		clusters = append(clusters, Cluster{Members: members})
+	}
+	sort.Slice(clusters, func(a, b int) bool {
+		return clusters[a].Members[0] < clusters[b].Members[0]
+	})
+	return clusters
+}
+
+// unionFind is a classic disjoint-set forest with path halving and union by
+// size, used for banded MinHash clustering.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+		u.size[i] = 1
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+}
+
+// clusters extracts the disjoint sets in deterministic order.
+func (u *unionFind) clusters() []Cluster {
+	groups := map[int][]int{}
+	for i := range u.parent {
+		r := u.find(i)
+		groups[r] = append(groups[r], i)
+	}
+	out := make([]Cluster, 0, len(groups))
+	for _, members := range groups {
+		out = append(out, Cluster{Members: members})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return out[a].Members[0] < out[b].Members[0]
+	})
+	return out
+}

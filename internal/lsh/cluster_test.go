@@ -1,0 +1,76 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGroupByHashMatchesGroupByKeys(t *testing.T) {
+	// Hash grouping must produce the same clusters as string-key grouping
+	// for the same signatures.
+	rng := rand.New(rand.NewSource(8))
+	var vectors [][]float64
+	for i := 0; i < 500; i++ {
+		vectors = append(vectors, jitter(make([]float64, 6), 1, rng))
+	}
+	e := NewELSH(6, 1.0, 8, 3)
+	keys := make([]string, len(vectors))
+	hashes := make([]uint64, len(vectors))
+	for i, v := range vectors {
+		keys[i] = e.SignatureKey(v)
+		hashes[i] = e.SignatureHash(v)
+	}
+	a := GroupByKeys(keys)
+	b := GroupByHash(hashes)
+	if len(a) != len(b) {
+		t.Fatalf("cluster counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i].Members) != len(b[i].Members) {
+			t.Fatalf("cluster %d sizes differ: %d vs %d", i, len(a[i].Members), len(b[i].Members))
+		}
+		for j := range a[i].Members {
+			if a[i].Members[j] != b[i].Members[j] {
+				t.Fatalf("cluster %d member %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestMinHashSignatureHashMatchesSignature(t *testing.T) {
+	m := NewMinHash(12, 5)
+	sets := [][]uint64{
+		nil,
+		{},
+		{1, 2, 3},
+		{3, 2, 1},
+		{42},
+		{7, 8, 9, 10, 11},
+	}
+	for i, a := range sets {
+		for j, b := range sets {
+			sameSig := sigKey(m.Signature(a)) == sigKey(m.Signature(b))
+			sameHash := m.SignatureHash(a) == m.SignatureHash(b)
+			if sameSig != sameHash {
+				t.Errorf("sets %d,%d: signature equality %v but hash equality %v", i, j, sameSig, sameHash)
+			}
+		}
+	}
+}
+
+func TestUnionFindBasics(t *testing.T) {
+	uf := newUnionFind(5)
+	uf.union(0, 1)
+	uf.union(3, 4)
+	uf.union(1, 3)
+	clusters := uf.clusters()
+	if len(clusters) != 2 {
+		t.Fatalf("got %d clusters, want 2", len(clusters))
+	}
+	if len(clusters[0].Members) != 4 {
+		t.Errorf("merged cluster size = %d, want 4", len(clusters[0].Members))
+	}
+	if clusters[1].Members[0] != 2 {
+		t.Errorf("singleton = %v, want [2]", clusters[1].Members)
+	}
+}

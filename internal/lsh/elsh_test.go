@@ -1,0 +1,249 @@
+package lsh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewELSHValidation(t *testing.T) {
+	mustPanic(t, func() { NewELSH(4, 0, 3, 1) }, "zero bucket")
+	mustPanic(t, func() { NewELSH(4, -1, 3, 1) }, "negative bucket")
+	mustPanic(t, func() { NewELSH(4, 1, 0, 1) }, "zero tables")
+	mustPanic(t, func() { NewELSH(0, 1, 1, 1) }, "zero dim")
+}
+
+func mustPanic(t *testing.T, f func(), name string) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestELSHSignatureDeterministic(t *testing.T) {
+	e := NewELSH(8, 2.0, 10, 7)
+	x := []float64{1, 0, 0.5, -0.3, 0, 1, 1, 0}
+	a, b := e.Signature(x), e.Signature(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("signature not deterministic")
+		}
+	}
+	e2 := NewELSH(8, 2.0, 10, 7)
+	c := e2.Signature(x)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatal("same seed must give same family")
+		}
+	}
+}
+
+func TestELSHDimensionMismatchPanics(t *testing.T) {
+	e := NewELSH(4, 1, 2, 1)
+	mustPanic(t, func() { e.Signature([]float64{1, 2}) }, "dim mismatch")
+}
+
+func TestELSHIdenticalVectorsCollide(t *testing.T) {
+	e := NewELSH(6, 1.5, 20, 3)
+	x := []float64{0.2, -0.4, 1, 0, 1, 0}
+	y := append([]float64(nil), x...)
+	if e.SignatureKey(x) != e.SignatureKey(y) {
+		t.Error("identical vectors must share every bucket")
+	}
+}
+
+func TestELSHClusterSeparatesDistantPoints(t *testing.T) {
+	// Two tight groups far apart must form (at least) two clusters, and no
+	// cluster may mix the groups.
+	rng := rand.New(rand.NewSource(5))
+	var vectors [][]float64
+	group := make([]int, 0, 200)
+	for i := 0; i < 100; i++ {
+		vectors = append(vectors, jitter([]float64{0, 0, 0, 0, 10, 10, 10, 10}, 0.01, rng))
+		group = append(group, 0)
+	}
+	for i := 0; i < 100; i++ {
+		vectors = append(vectors, jitter([]float64{10, 10, 10, 10, 0, 0, 0, 0}, 0.01, rng))
+		group = append(group, 1)
+	}
+	e := NewELSH(8, 2.0, 10, 1)
+	clusters := e.Cluster(vectors)
+	if len(clusters) < 2 {
+		t.Fatalf("got %d clusters, want at least 2", len(clusters))
+	}
+	for _, c := range clusters {
+		g := group[c.Members[0]]
+		for _, m := range c.Members {
+			if group[m] != g {
+				t.Fatal("cluster mixes distant groups")
+			}
+		}
+	}
+}
+
+func TestELSHClusterGroupsNearPoints(t *testing.T) {
+	// Points much closer than the bucket length should mostly collide.
+	rng := rand.New(rand.NewSource(9))
+	var vectors [][]float64
+	for i := 0; i < 50; i++ {
+		vectors = append(vectors, jitter([]float64{1, 2, 3, 4}, 0.001, rng))
+	}
+	e := NewELSH(4, 5.0, 5, 2)
+	clusters := e.Cluster(vectors)
+	if len(clusters) > 3 {
+		t.Errorf("near-identical points split into %d clusters, want few", len(clusters))
+	}
+}
+
+func jitter(base []float64, eps float64, rng *rand.Rand) []float64 {
+	out := make([]float64, len(base))
+	for i, v := range base {
+		out[i] = v + eps*rng.NormFloat64()
+	}
+	return out
+}
+
+func TestMoreTablesFinerClusters(t *testing.T) {
+	// The AND-combined signature: T2 > T1 clusters must refine T1 clusters
+	// statistically (count can only grow for the same data and bucket).
+	rng := rand.New(rand.NewSource(11))
+	var vectors [][]float64
+	for i := 0; i < 300; i++ {
+		vectors = append(vectors, jitter(make([]float64, 8), 1.0, rng))
+	}
+	few := NewELSH(8, 1.0, 2, 1).Cluster(vectors)
+	many := NewELSH(8, 1.0, 25, 1).Cluster(vectors)
+	if len(many) < len(few) {
+		t.Errorf("25 tables gave %d clusters, 2 tables gave %d; want more tables to be finer", len(many), len(few))
+	}
+}
+
+func TestWiderBucketsCoarserClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var vectors [][]float64
+	for i := 0; i < 300; i++ {
+		vectors = append(vectors, jitter(make([]float64, 8), 1.0, rng))
+	}
+	narrow := NewELSH(8, 0.2, 5, 1).Cluster(vectors)
+	wide := NewELSH(8, 50.0, 5, 1).Cluster(vectors)
+	if len(wide) > len(narrow) {
+		t.Errorf("wide buckets gave %d clusters, narrow gave %d; want wide to be coarser", len(wide), len(narrow))
+	}
+}
+
+func TestCollisionProbabilityMonotone(t *testing.T) {
+	e := NewELSH(4, 2.0, 5, 1)
+	if p := e.CollisionProbability(0); p != 1 {
+		t.Errorf("p(0) = %v, want 1", p)
+	}
+	prev := 1.0
+	for d := 0.1; d < 20; d += 0.1 {
+		p := e.CollisionProbability(d)
+		if p < 0 || p > 1 {
+			t.Fatalf("p(%v) = %v out of range", d, p)
+		}
+		if p > prev+1e-12 {
+			t.Fatalf("p not decreasing at d=%v: %v > %v", d, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestOrAndCollisionProbabilityBounds(t *testing.T) {
+	e := NewELSH(4, 2.0, 8, 1)
+	for _, d := range []float64{0.1, 1, 5, 20} {
+		p := e.CollisionProbability(d)
+		or := e.OrCollisionProbability(d)
+		and := e.AndCollisionProbability(d)
+		if or < p-1e-12 {
+			t.Errorf("OR(%v)=%v < single %v", d, or, p)
+		}
+		if and > p+1e-12 {
+			t.Errorf("AND(%v)=%v > single %v", d, and, p)
+		}
+	}
+}
+
+func TestCollisionProbabilityEmpirical(t *testing.T) {
+	// The analytic p_b(d) should match the observed single-table collision
+	// rate within a loose tolerance.
+	const dim, trials = 16, 3000
+	b := 4.0
+	d := 2.0
+	rng := rand.New(rand.NewSource(21))
+	hits := 0
+	for i := 0; i < trials; i++ {
+		e := NewELSH(dim, b, 1, int64(i+1))
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		y := append([]float64(nil), x...)
+		// Displace y by exactly distance d in a random direction.
+		dir := make([]float64, dim)
+		var norm float64
+		for j := range dir {
+			dir[j] = rng.NormFloat64()
+			norm += dir[j] * dir[j]
+		}
+		norm = math.Sqrt(norm)
+		for j := range dir {
+			y[j] += d * dir[j] / norm
+		}
+		if e.Signature(x)[0] == e.Signature(y)[0] {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	want := collisionProbability(d, b)
+	if math.Abs(got-want) > 0.05 {
+		t.Errorf("empirical collision rate %.3f vs analytic %.3f", got, want)
+	}
+}
+
+func TestEuclideanDistance(t *testing.T) {
+	if d := EuclideanDistance([]float64{0, 0}, []float64{3, 4}); d != 5 {
+		t.Errorf("distance = %v, want 5", d)
+	}
+	if d := EuclideanDistance([]float64{1, 1}, []float64{1, 1}); d != 0 {
+		t.Errorf("distance = %v, want 0", d)
+	}
+}
+
+func TestEuclideanDistanceSymmetricQuick(t *testing.T) {
+	f := func(a, b [4]float64) bool {
+		d1 := EuclideanDistance(a[:], b[:])
+		d2 := EuclideanDistance(b[:], a[:])
+		return d1 == d2 && d1 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClusterCoversAllInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var vectors [][]float64
+	for i := 0; i < 123; i++ {
+		vectors = append(vectors, jitter(make([]float64, 5), 1, rng))
+	}
+	clusters := NewELSH(5, 1, 4, 1).Cluster(vectors)
+	seen := map[int]bool{}
+	total := 0
+	for _, c := range clusters {
+		for _, m := range c.Members {
+			if seen[m] {
+				t.Fatalf("element %d in two clusters", m)
+			}
+			seen[m] = true
+			total++
+		}
+	}
+	if total != len(vectors) {
+		t.Errorf("clusters cover %d elements, want %d", total, len(vectors))
+	}
+}

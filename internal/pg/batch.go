@@ -1,0 +1,118 @@
+package pg
+
+import "math/rand"
+
+// NodeRecord is the row shape the discovery pipeline consumes for a node:
+// everything the paper's single load query returns (§4.1).
+type NodeRecord struct {
+	ID     ID
+	Labels []string
+	Props  Properties
+}
+
+// EdgeRecord is the row shape for an edge. Endpoint label sets are resolved
+// at load time, so a batch is self-contained even when the endpoints were
+// loaded in an earlier batch.
+type EdgeRecord struct {
+	ID        ID
+	Labels    []string
+	Src, Dst  ID
+	SrcLabels []string
+	DstLabels []string
+	Props     Properties
+}
+
+// Batch is one unit of work for the incremental pipeline: a slice of the
+// graph's nodes and edges (the paper's Gs_i).
+type Batch struct {
+	Nodes []NodeRecord
+	Edges []EdgeRecord
+}
+
+// Len returns the total number of elements in the batch.
+func (b *Batch) Len() int { return len(b.Nodes) + len(b.Edges) }
+
+// Source streams a property graph as a sequence of batches. Next returns
+// nil when the stream is exhausted.
+type Source interface {
+	Next() *Batch
+}
+
+// Snapshot extracts the whole graph as a single batch, resolving endpoint
+// labels for every edge.
+func (g *Graph) Snapshot() *Batch {
+	b := &Batch{
+		Nodes: make([]NodeRecord, 0, len(g.nodes)),
+		Edges: make([]EdgeRecord, 0, len(g.edges)),
+	}
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		b.Nodes = append(b.Nodes, NodeRecord{ID: n.ID, Labels: n.Labels, Props: n.Props})
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		b.Edges = append(b.Edges, EdgeRecord{
+			ID: e.ID, Labels: e.Labels, Src: e.Src, Dst: e.Dst,
+			SrcLabels: g.Node(e.Src).Labels,
+			DstLabels: g.Node(e.Dst).Labels,
+			Props:     e.Props,
+		})
+	}
+	return b
+}
+
+// SplitRandom partitions the graph into n batches by assigning each node and
+// each edge to a uniformly random batch (the paper's incremental evaluation
+// splits the graph into 10 random batches, §5.1). The split is deterministic
+// for a given seed. Every batch's edges carry resolved endpoint labels from
+// the full graph.
+func (g *Graph) SplitRandom(n int, seed int64) []*Batch {
+	if n < 1 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	batches := make([]*Batch, n)
+	for i := range batches {
+		batches[i] = &Batch{}
+	}
+	for i := range g.nodes {
+		nd := &g.nodes[i]
+		b := batches[rng.Intn(n)]
+		b.Nodes = append(b.Nodes, NodeRecord{ID: nd.ID, Labels: nd.Labels, Props: nd.Props})
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		b := batches[rng.Intn(n)]
+		b.Edges = append(b.Edges, EdgeRecord{
+			ID: e.ID, Labels: e.Labels, Src: e.Src, Dst: e.Dst,
+			SrcLabels: g.Node(e.Src).Labels,
+			DstLabels: g.Node(e.Dst).Labels,
+			Props:     e.Props,
+		})
+	}
+	return batches
+}
+
+// SliceSource is a Source backed by a fixed slice of batches.
+type SliceSource struct {
+	batches []*Batch
+	pos     int
+}
+
+// NewSliceSource returns a Source that yields the given batches in order.
+func NewSliceSource(batches ...*Batch) *SliceSource {
+	return &SliceSource{batches: batches}
+}
+
+// Next returns the next batch or nil when exhausted.
+func (s *SliceSource) Next() *Batch {
+	if s.pos >= len(s.batches) {
+		return nil
+	}
+	b := s.batches[s.pos]
+	s.pos++
+	return b
+}
+
+// Remaining returns how many batches have not been consumed yet.
+func (s *SliceSource) Remaining() int { return len(s.batches) - s.pos }

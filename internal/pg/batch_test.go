@@ -1,0 +1,108 @@
+package pg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSnapshotResolvesEndpointLabels(t *testing.T) {
+	g := figure1Graph(t)
+	b := g.Snapshot()
+	if len(b.Nodes) != g.NumNodes() || len(b.Edges) != g.NumEdges() {
+		t.Fatalf("snapshot size (%d,%d), want (%d,%d)", len(b.Nodes), len(b.Edges), g.NumNodes(), g.NumEdges())
+	}
+	for _, e := range b.Edges {
+		wantSrc := LabelSetKey(g.Node(e.Src).Labels)
+		wantDst := LabelSetKey(g.Node(e.Dst).Labels)
+		if LabelSetKey(e.SrcLabels) != wantSrc || LabelSetKey(e.DstLabels) != wantDst {
+			t.Errorf("edge %d endpoint labels (%q,%q), want (%q,%q)",
+				e.ID, LabelSetKey(e.SrcLabels), LabelSetKey(e.DstLabels), wantSrc, wantDst)
+		}
+	}
+}
+
+func TestSplitRandomPartitions(t *testing.T) {
+	g := figure1Graph(t)
+	batches := g.SplitRandom(3, 42)
+	if len(batches) != 3 {
+		t.Fatalf("got %d batches, want 3", len(batches))
+	}
+	nodes, edges := 0, 0
+	seenNodes := map[ID]bool{}
+	for _, b := range batches {
+		nodes += len(b.Nodes)
+		edges += len(b.Edges)
+		for _, n := range b.Nodes {
+			if seenNodes[n.ID] {
+				t.Errorf("node %d appears in two batches", n.ID)
+			}
+			seenNodes[n.ID] = true
+		}
+	}
+	if nodes != g.NumNodes() || edges != g.NumEdges() {
+		t.Errorf("split covers (%d,%d) elements, want (%d,%d)", nodes, edges, g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestSplitRandomDeterministic(t *testing.T) {
+	g := figure1Graph(t)
+	a := g.SplitRandom(4, 7)
+	b := g.SplitRandom(4, 7)
+	for i := range a {
+		if len(a[i].Nodes) != len(b[i].Nodes) || len(a[i].Edges) != len(b[i].Edges) {
+			t.Fatalf("batch %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestSplitRandomEdgesSelfContained(t *testing.T) {
+	// Every edge record must carry endpoint labels even when the endpoint
+	// node landed in a different batch.
+	g := figure1Graph(t)
+	for _, b := range g.SplitRandom(5, 1) {
+		for _, e := range b.Edges {
+			if g.Node(e.Src).LabelKey() != LabelSetKey(e.SrcLabels) {
+				t.Errorf("edge %d src labels not resolved", e.ID)
+			}
+		}
+	}
+}
+
+func TestSplitRandomPropertyQuick(t *testing.T) {
+	g := figure1Graph(t)
+	f := func(seed int64, n uint8) bool {
+		k := int(n%10) + 1
+		total := 0
+		for _, b := range g.SplitRandom(k, seed) {
+			total += b.Len()
+		}
+		return total == g.NumNodes()+g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitRandomClampsN(t *testing.T) {
+	g := figure1Graph(t)
+	if got := len(g.SplitRandom(0, 1)); got != 1 {
+		t.Errorf("SplitRandom(0) produced %d batches, want 1", got)
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	b1, b2 := &Batch{}, &Batch{}
+	s := NewSliceSource(b1, b2)
+	if s.Remaining() != 2 {
+		t.Errorf("Remaining = %d, want 2", s.Remaining())
+	}
+	if s.Next() != b1 || s.Next() != b2 {
+		t.Error("SliceSource yielded batches out of order")
+	}
+	if s.Next() != nil {
+		t.Error("exhausted source should return nil")
+	}
+	if s.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", s.Remaining())
+	}
+}

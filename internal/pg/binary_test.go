@@ -1,0 +1,119 @@
+package pg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := figure1Graph(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEquivalent(t, g, got)
+	// Binary round trips preserve value kinds exactly (no textual
+	// narrowing), so check one exactly.
+	if v := got.Node(0).Props["bday"]; v.Kind() != KindDate {
+		t.Errorf("bday kind = %v, want DATE", v.Kind())
+	}
+}
+
+func TestBinaryAllValueKinds(t *testing.T) {
+	g := NewGraph()
+	g.AddNode([]string{"T"}, Properties{
+		"i":  Int(-42),
+		"f":  Float(3.75),
+		"f2": Float(2), // integral float must stay DOUBLE in binary form
+		"b":  Bool(true),
+		"d":  ParseValue("2024-02-29"),
+		"ts": ParseValue("2024-02-29T12:00:00Z"),
+		"s":  Str("hello \x00 world"),
+		"n":  Null(),
+	})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	props := got.Node(0).Props
+	orig := g.Node(0).Props
+	for k, v := range orig {
+		if !props[k].Equal(v) {
+			t.Errorf("prop %q: %v (%v) != %v (%v)", k, props[k], props[k].Kind(), v, v.Kind())
+		}
+	}
+	if props["f2"].Kind() != KindFloat {
+		t.Errorf("integral float narrowed to %v in binary round trip", props["f2"].Kind())
+	}
+}
+
+func TestBinarySmallerThanJSONL(t *testing.T) {
+	g := NewGraph()
+	ids := make([]ID, 0, 500)
+	for i := 0; i < 500; i++ {
+		ids = append(ids, g.AddNode([]string{"Person"}, Properties{
+			"name": Str("someone"), "age": Int(int64(i % 90)), "active": Bool(i%2 == 0),
+		}))
+	}
+	for i := 0; i < 499; i++ {
+		if _, err := g.AddEdge([]string{"KNOWS"}, ids[i], ids[i+1], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var bin, jsonl bytes.Buffer
+	if err := WriteBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&jsonl, g); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= jsonl.Len()/2 {
+		t.Errorf("binary %d bytes vs JSONL %d bytes; want < half", bin.Len(), jsonl.Len())
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"bad magic":  "NOPE!\nxxxxxx",
+		"truncated":  binaryMagic,
+		"corrupt":    binaryMagic + "\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff",
+		"string ref": binaryMagic + "\x00\x01\x00\x00",
+	}
+	for name, in := range cases {
+		if _, err := ReadBinary(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}
+
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	g := NewGraph()
+	a := g.AddNode([]string{"A"}, Properties{"k": Int(1), "s": Str("x")})
+	b := g.AddNode(nil, nil)
+	if _, err := g.AddEdge([]string{"R"}, a, b, Properties{"w": Float(1.5)}); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(binaryMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		g.ComputeStats()
+	})
+}

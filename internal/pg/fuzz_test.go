@@ -1,0 +1,71 @@
+package pg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseValue: arbitrary text must parse without panicking and the
+// result must render back to text losslessly enough to re-parse to the
+// same kind.
+func FuzzParseValue(f *testing.F) {
+	for _, s := range []string{"", "42", "-3.5", "true", "2024-01-01", "19/12/1999", "2024-01-31T10:30:00Z", "plain", "1e309"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		v := ParseValue(input)
+		rendered := v.String()
+		again := ParseValue(rendered)
+		if v.Kind() != KindString && v.Kind() != KindNull && again.Kind() != v.Kind() {
+			// Permitted narrowings: DOUBLE -> INT for integral floats
+			// ("2.0" renders as "2"); NULL renders as the text "null".
+			if !(v.Kind() == KindFloat && again.Kind() == KindInt) {
+				t.Fatalf("kind unstable: %q -> %v -> %q -> %v", input, v.Kind(), rendered, again.Kind())
+			}
+		}
+	})
+}
+
+// FuzzReadJSONL: arbitrary bytes must never panic the graph loader.
+func FuzzReadJSONL(f *testing.F) {
+	var buf bytes.Buffer
+	g := NewGraph()
+	n := g.AddNode([]string{"A"}, Properties{"k": Int(1)})
+	m := g.AddNode(nil, nil)
+	if _, err := g.AddEdge([]string{"R"}, n, m, nil); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteJSONL(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"type":"node","id":1}`)
+	f.Add(`{"type":"edge","id":1,"src":0,"dst":0}`)
+	f.Add("{}")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadJSONL(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// A successfully loaded graph must round-trip.
+		var out bytes.Buffer
+		if err := WriteJSONL(&out, g); err != nil {
+			t.Fatalf("loaded graph fails to serialize: %v", err)
+		}
+	})
+}
+
+// FuzzReadCSV: arbitrary node CSVs must never panic the loader.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("_id,_labels,name\n1,Person,Ann\n")
+	f.Add("_id,_labels\n")
+	f.Add("not,a,header\n1,2,3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadCSV(strings.NewReader(input), nil)
+		if err != nil {
+			return
+		}
+		g.ComputeStats()
+	})
+}

@@ -1,0 +1,344 @@
+package pg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ID identifies a node or edge within a graph. Node and edge ID spaces are
+// independent.
+type ID int64
+
+// Node is a property-graph node: an element of V with a (possibly empty)
+// label set λ(v) and a property map π(v, ·) (Definition 3.1).
+type Node struct {
+	ID     ID
+	Labels []string
+	Props  Properties
+}
+
+// LabelKey returns the canonical key of the node's label set (sorted,
+// "&"-joined; "" when unlabeled).
+func (n *Node) LabelKey() string { return LabelSetKey(n.Labels) }
+
+// Edge is a property-graph edge: an element of E with ρ(e) = (Src, Dst),
+// a label set, and a property map (Definition 3.1).
+type Edge struct {
+	ID     ID
+	Labels []string
+	Src    ID
+	Dst    ID
+	Props  Properties
+}
+
+// LabelKey returns the canonical key of the edge's label set.
+func (e *Edge) LabelKey() string { return LabelSetKey(e.Labels) }
+
+// Graph is an in-memory property graph. It is append-only: elements are
+// added and never removed, matching the paper's insertion-only incremental
+// setting (§4.6; deletions are future work there too).
+//
+// Graph is not safe for concurrent mutation; concurrent reads are safe once
+// loading has finished.
+type Graph struct {
+	nodes []Node
+	edges []Edge
+
+	nodeIndex map[ID]int32 // node ID -> position in nodes
+	edgeIndex map[ID]int32 // edge ID -> position in edges
+
+	nodeLabelIndex map[string][]ID // single label -> node IDs
+	edgeLabelIndex map[string][]ID // single label -> edge IDs
+
+	outEdges map[ID][]ID // node -> outgoing edge IDs
+	inEdges  map[ID][]ID // node -> incoming edge IDs
+
+	nextNodeID ID
+	nextEdgeID ID
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		nodeIndex:      make(map[ID]int32),
+		edgeIndex:      make(map[ID]int32),
+		nodeLabelIndex: make(map[string][]ID),
+		edgeLabelIndex: make(map[string][]ID),
+		outEdges:       make(map[ID][]ID),
+		inEdges:        make(map[ID][]ID),
+	}
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddNode inserts a node with a fresh ID and returns it. The label slice and
+// property map are retained by the graph and must not be mutated afterwards.
+func (g *Graph) AddNode(labels []string, props Properties) ID {
+	id := g.nextNodeID
+	g.nextNodeID++
+	g.addNodeWithID(id, labels, props)
+	return id
+}
+
+// AddNodeWithID inserts a node under an explicit ID (used by loaders).
+// It returns an error if the ID is already taken.
+func (g *Graph) AddNodeWithID(id ID, labels []string, props Properties) error {
+	if _, ok := g.nodeIndex[id]; ok {
+		return fmt.Errorf("pg: duplicate node ID %d", id)
+	}
+	g.addNodeWithID(id, labels, props)
+	if id >= g.nextNodeID {
+		g.nextNodeID = id + 1
+	}
+	return nil
+}
+
+func (g *Graph) addNodeWithID(id ID, labels []string, props Properties) {
+	g.nodeIndex[id] = int32(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Labels: labels, Props: props})
+	for _, l := range labels {
+		g.nodeLabelIndex[l] = append(g.nodeLabelIndex[l], id)
+	}
+}
+
+// AddEdge inserts an edge with a fresh ID between existing nodes and returns
+// its ID. It returns an error if either endpoint does not exist.
+func (g *Graph) AddEdge(labels []string, src, dst ID, props Properties) (ID, error) {
+	if _, ok := g.nodeIndex[src]; !ok {
+		return 0, fmt.Errorf("pg: edge source node %d not found", src)
+	}
+	if _, ok := g.nodeIndex[dst]; !ok {
+		return 0, fmt.Errorf("pg: edge target node %d not found", dst)
+	}
+	id := g.nextEdgeID
+	g.nextEdgeID++
+	g.insertEdge(id, labels, src, dst, props)
+	return id, nil
+}
+
+func (g *Graph) insertEdge(id ID, labels []string, src, dst ID, props Properties) {
+	g.edgeIndex[id] = int32(len(g.edges))
+	g.edges = append(g.edges, Edge{ID: id, Labels: labels, Src: src, Dst: dst, Props: props})
+	for _, l := range labels {
+		g.edgeLabelIndex[l] = append(g.edgeLabelIndex[l], id)
+	}
+	g.outEdges[src] = append(g.outEdges[src], id)
+	g.inEdges[dst] = append(g.inEdges[dst], id)
+}
+
+// AddEdgeWithID inserts an edge under an explicit ID (used by loaders and
+// graph copies). It returns an error if the ID is taken or an endpoint is
+// missing.
+func (g *Graph) AddEdgeWithID(id ID, labels []string, src, dst ID, props Properties) error {
+	if _, ok := g.edgeIndex[id]; ok {
+		return fmt.Errorf("pg: duplicate edge ID %d", id)
+	}
+	if _, ok := g.nodeIndex[src]; !ok {
+		return fmt.Errorf("pg: edge source node %d not found", src)
+	}
+	if _, ok := g.nodeIndex[dst]; !ok {
+		return fmt.Errorf("pg: edge target node %d not found", dst)
+	}
+	g.insertEdge(id, labels, src, dst, props)
+	if id >= g.nextEdgeID {
+		g.nextEdgeID = id + 1
+	}
+	return nil
+}
+
+// Node returns the node with the given ID, or nil if absent. The returned
+// pointer aliases graph storage and is invalidated by further AddNode calls.
+func (g *Graph) Node(id ID) *Node {
+	pos, ok := g.nodeIndex[id]
+	if !ok {
+		return nil
+	}
+	return &g.nodes[pos]
+}
+
+// Edge returns the edge with the given ID, or nil if absent.
+func (g *Graph) Edge(id ID) *Edge {
+	pos, ok := g.edgeIndex[id]
+	if !ok {
+		return nil
+	}
+	return &g.edges[pos]
+}
+
+// Nodes calls fn for every node in insertion order until fn returns false.
+func (g *Graph) Nodes(fn func(*Node) bool) {
+	for i := range g.nodes {
+		if !fn(&g.nodes[i]) {
+			return
+		}
+	}
+}
+
+// Edges calls fn for every edge in insertion order until fn returns false.
+func (g *Graph) Edges(fn func(*Edge) bool) {
+	for i := range g.edges {
+		if !fn(&g.edges[i]) {
+			return
+		}
+	}
+}
+
+// NodeAt returns the i-th node in insertion order.
+func (g *Graph) NodeAt(i int) *Node { return &g.nodes[i] }
+
+// EdgeAt returns the i-th edge in insertion order.
+func (g *Graph) EdgeAt(i int) *Edge { return &g.edges[i] }
+
+// NodesWithLabel returns the IDs of all nodes carrying the given label
+// (possibly among others). The returned slice aliases the index.
+func (g *Graph) NodesWithLabel(label string) []ID { return g.nodeLabelIndex[label] }
+
+// EdgesWithLabel returns the IDs of all edges carrying the given label.
+func (g *Graph) EdgesWithLabel(label string) []ID { return g.edgeLabelIndex[label] }
+
+// NodeLabels returns the distinct node labels in sorted order.
+func (g *Graph) NodeLabels() []string { return sortedKeys(g.nodeLabelIndex) }
+
+// EdgeLabels returns the distinct edge labels in sorted order.
+func (g *Graph) EdgeLabels() []string { return sortedKeys(g.edgeLabelIndex) }
+
+func sortedKeys(m map[string][]ID) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodePropertyKeys returns the distinct node property keys (the paper's K)
+// in sorted order.
+func (g *Graph) NodePropertyKeys() []string {
+	seen := map[string]struct{}{}
+	for i := range g.nodes {
+		for k := range g.nodes[i].Props {
+			seen[k] = struct{}{}
+		}
+	}
+	return sortedSet(seen)
+}
+
+// EdgePropertyKeys returns the distinct edge property keys (the paper's Q)
+// in sorted order.
+func (g *Graph) EdgePropertyKeys() []string {
+	seen := map[string]struct{}{}
+	for i := range g.edges {
+		for k := range g.edges[i].Props {
+			seen[k] = struct{}{}
+		}
+	}
+	return sortedSet(seen)
+}
+
+func sortedSet(m map[string]struct{}) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats summarizes a graph the way the paper's Table 2 does.
+type Stats struct {
+	Nodes        int
+	Edges        int
+	NodeLabels   int // distinct single labels on nodes
+	EdgeLabels   int // distinct single labels on edges
+	NodePatterns int // distinct (label set, property key set) pairs (Def. 3.5)
+	EdgePatterns int // distinct (label set, property key set, endpoint label sets) triples (Def. 3.6)
+}
+
+// ComputeStats scans the graph and returns its Table 2-style statistics.
+func (g *Graph) ComputeStats() Stats {
+	nodePat := map[string]struct{}{}
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		nodePat[n.LabelKey()+"|"+propKeySig(n.Props)] = struct{}{}
+	}
+	edgePat := map[string]struct{}{}
+	for i := range g.edges {
+		e := &g.edges[i]
+		src, dst := g.Node(e.Src), g.Node(e.Dst)
+		sig := e.LabelKey() + "|" + propKeySig(e.Props) + "|" + src.LabelKey() + ">" + dst.LabelKey()
+		edgePat[sig] = struct{}{}
+	}
+	return Stats{
+		Nodes:        len(g.nodes),
+		Edges:        len(g.edges),
+		NodeLabels:   len(g.nodeLabelIndex),
+		EdgeLabels:   len(g.edgeLabelIndex),
+		NodePatterns: len(nodePat),
+		EdgePatterns: len(edgePat),
+	}
+}
+
+func propKeySig(p Properties) string {
+	keys := p.Keys()
+	sort.Strings(keys)
+	sig := ""
+	for i, k := range keys {
+		if i > 0 {
+			sig += ","
+		}
+		sig += k
+	}
+	return sig
+}
+
+// MaxDegrees returns, for each edge label-set key, the maximum out-degree
+// (distinct targets per source) and in-degree (distinct sources per target)
+// observed in the data. This is the raw input to cardinality inference
+// (§4.4): the counts are per edge type as approximated by the label key.
+func (g *Graph) MaxDegrees() map[string]DegreePair {
+	out := map[string]map[ID]int{}
+	in := map[string]map[ID]int{}
+	for i := range g.edges {
+		e := &g.edges[i]
+		key := e.LabelKey()
+		if out[key] == nil {
+			out[key] = map[ID]int{}
+			in[key] = map[ID]int{}
+		}
+		out[key][e.Src]++
+		in[key][e.Dst]++
+	}
+	res := make(map[string]DegreePair, len(out))
+	for key, m := range out {
+		var p DegreePair
+		for _, c := range m {
+			if c > p.MaxOut {
+				p.MaxOut = c
+			}
+		}
+		for _, c := range in[key] {
+			if c > p.MaxIn {
+				p.MaxIn = c
+			}
+		}
+		res[key] = p
+	}
+	return res
+}
+
+// OutEdges returns the IDs of edges leaving the node (insertion order).
+// The returned slice aliases the index.
+func (g *Graph) OutEdges(node ID) []ID { return g.outEdges[node] }
+
+// InEdges returns the IDs of edges entering the node.
+func (g *Graph) InEdges(node ID) []ID { return g.inEdges[node] }
+
+// DegreePair holds the maximum out- and in-degree of an edge type.
+type DegreePair struct {
+	MaxOut int
+	MaxIn  int
+}

@@ -1,0 +1,180 @@
+package pg
+
+import (
+	"reflect"
+	"testing"
+)
+
+// figure1Graph builds the paper's running example (Figure 1): Person,
+// Organization, Post, Place nodes plus an unlabeled "Alice", connected by
+// KNOWS, LIKES, WORKS_AT and LOCATED_IN edges.
+func figure1Graph(t testing.TB) *Graph {
+	t.Helper()
+	g := NewGraph()
+	bob := g.AddNode([]string{"Person"}, Properties{"name": Str("Bob"), "gender": Str("m"), "bday": ParseValue("19/12/1999")})
+	john := g.AddNode([]string{"Person"}, Properties{"name": Str("John"), "gender": Str("m"), "bday": ParseValue("01/05/1985")})
+	alice := g.AddNode(nil, Properties{"name": Str("Alice"), "gender": Str("f"), "bday": ParseValue("07/07/1990")})
+	org := g.AddNode([]string{"Organization"}, Properties{"name": Str("FORTH"), "url": Str("https://ics.forth.gr")})
+	post1 := g.AddNode([]string{"Post"}, Properties{"imgFile": Str("x.png")})
+	post2 := g.AddNode([]string{"Post"}, Properties{"content": Str("hello")})
+	place := g.AddNode([]string{"Place"}, Properties{"name": Str("Heraklion")})
+
+	mustEdge(t, g, []string{"KNOWS"}, alice, john, Properties{"since": Int(2017)})
+	mustEdge(t, g, []string{"KNOWS"}, bob, john, nil)
+	mustEdge(t, g, []string{"LIKES"}, alice, post1, nil)
+	mustEdge(t, g, []string{"LIKES"}, john, post2, nil)
+	mustEdge(t, g, []string{"WORKS_AT"}, bob, org, Properties{"from": Int(2020)})
+	mustEdge(t, g, []string{"LOCATED_IN"}, alice, place, nil)
+	_ = post2
+	return g
+}
+
+func mustEdge(t testing.TB, g *Graph, labels []string, src, dst ID, props Properties) ID {
+	t.Helper()
+	id, err := g.AddEdge(labels, src, dst, props)
+	if err != nil {
+		t.Fatalf("AddEdge(%v, %d, %d): %v", labels, src, dst, err)
+	}
+	return id
+}
+
+func TestGraphCounts(t *testing.T) {
+	g := figure1Graph(t)
+	if g.NumNodes() != 7 {
+		t.Errorf("NumNodes = %d, want 7", g.NumNodes())
+	}
+	if g.NumEdges() != 6 {
+		t.Errorf("NumEdges = %d, want 6", g.NumEdges())
+	}
+}
+
+func TestGraphLabelIndexes(t *testing.T) {
+	g := figure1Graph(t)
+	if got := len(g.NodesWithLabel("Person")); got != 2 {
+		t.Errorf("Person nodes = %d, want 2", got)
+	}
+	if got := len(g.NodesWithLabel("Post")); got != 2 {
+		t.Errorf("Post nodes = %d, want 2", got)
+	}
+	if got := len(g.EdgesWithLabel("KNOWS")); got != 2 {
+		t.Errorf("KNOWS edges = %d, want 2", got)
+	}
+	wantNodeLabels := []string{"Organization", "Person", "Place", "Post"}
+	if got := g.NodeLabels(); !reflect.DeepEqual(got, wantNodeLabels) {
+		t.Errorf("NodeLabels = %v, want %v", got, wantNodeLabels)
+	}
+	wantEdgeLabels := []string{"KNOWS", "LIKES", "LOCATED_IN", "WORKS_AT"}
+	if got := g.EdgeLabels(); !reflect.DeepEqual(got, wantEdgeLabels) {
+		t.Errorf("EdgeLabels = %v, want %v", got, wantEdgeLabels)
+	}
+}
+
+func TestGraphPropertyKeys(t *testing.T) {
+	g := figure1Graph(t)
+	wantNode := []string{"bday", "content", "gender", "imgFile", "name", "url"}
+	if got := g.NodePropertyKeys(); !reflect.DeepEqual(got, wantNode) {
+		t.Errorf("NodePropertyKeys = %v, want %v", got, wantNode)
+	}
+	wantEdge := []string{"from", "since"}
+	if got := g.EdgePropertyKeys(); !reflect.DeepEqual(got, wantEdge) {
+		t.Errorf("EdgePropertyKeys = %v, want %v", got, wantEdge)
+	}
+}
+
+func TestGraphStatsMatchExample2(t *testing.T) {
+	// Example 2 of the paper enumerates 6 node patterns and 6 edge patterns
+	// for Figure 1.
+	g := figure1Graph(t)
+	s := g.ComputeStats()
+	if s.NodePatterns != 6 {
+		t.Errorf("NodePatterns = %d, want 6", s.NodePatterns)
+	}
+	if s.EdgePatterns != 6 {
+		t.Errorf("EdgePatterns = %d, want 6", s.EdgePatterns)
+	}
+	if s.NodeLabels != 4 || s.EdgeLabels != 4 {
+		t.Errorf("labels = (%d,%d), want (4,4)", s.NodeLabels, s.EdgeLabels)
+	}
+}
+
+func TestAddEdgeRejectsMissingEndpoints(t *testing.T) {
+	g := NewGraph()
+	n := g.AddNode([]string{"A"}, nil)
+	if _, err := g.AddEdge([]string{"E"}, n, 999, nil); err == nil {
+		t.Error("AddEdge with missing target should fail")
+	}
+	if _, err := g.AddEdge([]string{"E"}, 999, n, nil); err == nil {
+		t.Error("AddEdge with missing source should fail")
+	}
+}
+
+func TestAddNodeWithIDDuplicate(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddNodeWithID(5, []string{"A"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNodeWithID(5, []string{"B"}, nil); err == nil {
+		t.Error("duplicate node ID should fail")
+	}
+	// Fresh IDs must not collide with explicit ones.
+	if id := g.AddNode([]string{"C"}, nil); id <= 5 {
+		t.Errorf("AddNode after AddNodeWithID(5) returned %d, want > 5", id)
+	}
+}
+
+func TestNodeEdgeLookup(t *testing.T) {
+	g := figure1Graph(t)
+	if g.Node(0) == nil || g.Node(0).Props["name"].AsString() != "Bob" {
+		t.Error("Node(0) should be Bob")
+	}
+	if g.Node(1234) != nil {
+		t.Error("Node(1234) should be nil")
+	}
+	if g.Edge(0) == nil || g.Edge(0).LabelKey() != "KNOWS" {
+		t.Error("Edge(0) should be KNOWS")
+	}
+	if g.Edge(999) != nil {
+		t.Error("Edge(999) should be nil")
+	}
+}
+
+func TestNodesEdgesEarlyStop(t *testing.T) {
+	g := figure1Graph(t)
+	count := 0
+	g.Nodes(func(*Node) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Errorf("early-stopped node scan visited %d, want 3", count)
+	}
+	count = 0
+	g.Edges(func(*Edge) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("early-stopped edge scan visited %d, want 1", count)
+	}
+}
+
+func TestMaxDegrees(t *testing.T) {
+	g := figure1Graph(t)
+	deg := g.MaxDegrees()
+	// KNOWS: alice->john, bob->john. Max out-degree 1, max in-degree 2.
+	if d := deg["KNOWS"]; d.MaxOut != 1 || d.MaxIn != 2 {
+		t.Errorf("KNOWS degrees = %+v, want MaxOut=1 MaxIn=2", d)
+	}
+	if d := deg["WORKS_AT"]; d.MaxOut != 1 || d.MaxIn != 1 {
+		t.Errorf("WORKS_AT degrees = %+v, want MaxOut=1 MaxIn=1", d)
+	}
+}
+
+func TestMaxDegreesMultiEdge(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode([]string{"A"}, nil)
+	b1 := g.AddNode([]string{"B"}, nil)
+	b2 := g.AddNode([]string{"B"}, nil)
+	b3 := g.AddNode([]string{"B"}, nil)
+	for _, dst := range []ID{b1, b2, b3} {
+		mustEdge(t, g, []string{"R"}, a, dst, nil)
+	}
+	d := g.MaxDegrees()["R"]
+	if d.MaxOut != 3 || d.MaxIn != 1 {
+		t.Errorf("R degrees = %+v, want MaxOut=3 MaxIn=1", d)
+	}
+}

@@ -1,0 +1,258 @@
+package pg
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The CSV format follows the Neo4j bulk-export convention the paper's
+// datasets ship in: a node file with columns `_id,_labels,<prop>...` and an
+// edge file with `_id,_labels,_src,_dst,<prop>...`. Labels are ";"-joined
+// inside one cell; empty cells mean "property absent". Values are rendered
+// and re-inferred with ParseValue.
+
+// WriteNodesCSV writes all nodes of g to w.
+func WriteNodesCSV(w io.Writer, g *Graph) error {
+	keys := g.NodePropertyKeys()
+	cw := csv.NewWriter(w)
+	header := append([]string{"_id", "_labels"}, keys...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	var werr error
+	g.Nodes(func(n *Node) bool {
+		row[0] = strconv.FormatInt(int64(n.ID), 10)
+		row[1] = strings.Join(n.Labels, ";")
+		for i, k := range keys {
+			if v, ok := n.Props[k]; ok {
+				row[2+i] = v.String()
+			} else {
+				row[2+i] = ""
+			}
+		}
+		werr = cw.Write(row)
+		return werr == nil
+	})
+	if werr != nil {
+		return werr
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteEdgesCSV writes all edges of g to w.
+func WriteEdgesCSV(w io.Writer, g *Graph) error {
+	keys := g.EdgePropertyKeys()
+	cw := csv.NewWriter(w)
+	header := append([]string{"_id", "_labels", "_src", "_dst"}, keys...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	var werr error
+	g.Edges(func(e *Edge) bool {
+		row[0] = strconv.FormatInt(int64(e.ID), 10)
+		row[1] = strings.Join(e.Labels, ";")
+		row[2] = strconv.FormatInt(int64(e.Src), 10)
+		row[3] = strconv.FormatInt(int64(e.Dst), 10)
+		for i, k := range keys {
+			if v, ok := e.Props[k]; ok {
+				row[4+i] = v.String()
+			} else {
+				row[4+i] = ""
+			}
+		}
+		werr = cw.Write(row)
+		return werr == nil
+	})
+	if werr != nil {
+		return werr
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads a graph from a node CSV stream and an edge CSV stream in the
+// format produced by WriteNodesCSV / WriteEdgesCSV.
+func ReadCSV(nodes, edges io.Reader) (*Graph, error) {
+	g := NewGraph()
+	if err := readNodesCSV(g, nodes); err != nil {
+		return nil, err
+	}
+	if edges != nil {
+		if err := readEdgesCSV(g, edges); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func readNodesCSV(g *Graph, r io.Reader) error {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("pg: reading node CSV header: %w", err)
+	}
+	if len(header) < 2 || header[0] != "_id" || header[1] != "_labels" {
+		return fmt.Errorf("pg: node CSV must start with _id,_labels columns, got %v", header)
+	}
+	keys := append([]string(nil), header[2:]...)
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("pg: node CSV line %d: %w", line, err)
+		}
+		id, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("pg: node CSV line %d: bad _id %q", line, row[0])
+		}
+		labels := splitLabels(row[1])
+		props := Properties{}
+		for i, k := range keys {
+			if cell := row[2+i]; cell != "" {
+				props[k] = ParseValue(cell)
+			}
+		}
+		if err := g.AddNodeWithID(ID(id), labels, props); err != nil {
+			return fmt.Errorf("pg: node CSV line %d: %w", line, err)
+		}
+	}
+}
+
+func readEdgesCSV(g *Graph, r io.Reader) error {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("pg: reading edge CSV header: %w", err)
+	}
+	if len(header) < 4 || header[0] != "_id" || header[1] != "_labels" || header[2] != "_src" || header[3] != "_dst" {
+		return fmt.Errorf("pg: edge CSV must start with _id,_labels,_src,_dst columns, got %v", header)
+	}
+	keys := append([]string(nil), header[4:]...)
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("pg: edge CSV line %d: %w", line, err)
+		}
+		src, err1 := strconv.ParseInt(row[2], 10, 64)
+		dst, err2 := strconv.ParseInt(row[3], 10, 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("pg: edge CSV line %d: bad endpoints %q -> %q", line, row[2], row[3])
+		}
+		labels := splitLabels(row[1])
+		props := Properties{}
+		for i, k := range keys {
+			if cell := row[4+i]; cell != "" {
+				props[k] = ParseValue(cell)
+			}
+		}
+		if _, err := g.AddEdge(labels, ID(src), ID(dst), props); err != nil {
+			return fmt.Errorf("pg: edge CSV line %d: %w", line, err)
+		}
+	}
+}
+
+func splitLabels(cell string) []string {
+	if cell == "" {
+		return nil
+	}
+	return strings.Split(cell, ";")
+}
+
+// jsonElement is the JSONL wire form of one graph element.
+type jsonElement struct {
+	Type   string            `json:"type"` // "node" or "edge"
+	ID     int64             `json:"id"`
+	Labels []string          `json:"labels,omitempty"`
+	Src    int64             `json:"src,omitempty"`
+	Dst    int64             `json:"dst,omitempty"`
+	Props  map[string]string `json:"props,omitempty"`
+}
+
+// WriteJSONL writes the graph as JSON Lines: one element per line, nodes
+// first. Property values are rendered canonically and re-inferred on read.
+func WriteJSONL(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	var err error
+	g.Nodes(func(n *Node) bool {
+		err = enc.Encode(jsonElement{Type: "node", ID: int64(n.ID), Labels: n.Labels, Props: renderProps(n.Props)})
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	g.Edges(func(e *Edge) bool {
+		err = enc.Encode(jsonElement{Type: "edge", ID: int64(e.ID), Labels: e.Labels, Src: int64(e.Src), Dst: int64(e.Dst), Props: renderProps(e.Props)})
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func renderProps(p Properties) map[string]string {
+	if len(p) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(p))
+	for k, v := range p {
+		out[k] = v.String()
+	}
+	return out
+}
+
+// ReadJSONL loads a graph written by WriteJSONL. Edges may reference nodes
+// on any earlier line.
+func ReadJSONL(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for line := 1; ; line++ {
+		var el jsonElement
+		if err := dec.Decode(&el); err == io.EOF {
+			return g, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("pg: JSONL element %d: %w", line, err)
+		}
+		props := Properties{}
+		for k, s := range el.Props {
+			props[k] = ParseValue(s)
+		}
+		switch el.Type {
+		case "node":
+			if err := g.AddNodeWithID(ID(el.ID), el.Labels, props); err != nil {
+				return nil, fmt.Errorf("pg: JSONL element %d: %w", line, err)
+			}
+		case "edge":
+			if _, err := g.AddEdge(el.Labels, ID(el.Src), ID(el.Dst), props); err != nil {
+				return nil, fmt.Errorf("pg: JSONL element %d: %w", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("pg: JSONL element %d: unknown type %q", line, el.Type)
+		}
+	}
+}
+
+// SortedPropKeys returns the keys of p in sorted order. It is a shared
+// helper for deterministic iteration in serializers and tests.
+func SortedPropKeys(p Properties) []string {
+	keys := p.Keys()
+	sort.Strings(keys)
+	return keys
+}

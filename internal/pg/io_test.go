@@ -1,0 +1,150 @@
+package pg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func graphsEquivalent(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("size mismatch: (%d,%d) vs (%d,%d)", a.NumNodes(), a.NumEdges(), b.NumNodes(), b.NumEdges())
+	}
+	a.Nodes(func(n *Node) bool {
+		m := b.Node(n.ID)
+		if m == nil {
+			t.Fatalf("node %d missing after round trip", n.ID)
+		}
+		if n.LabelKey() != m.LabelKey() {
+			t.Errorf("node %d labels %q != %q", n.ID, n.LabelKey(), m.LabelKey())
+		}
+		if len(n.Props) != len(m.Props) {
+			t.Errorf("node %d props %d != %d", n.ID, len(n.Props), len(m.Props))
+		}
+		for k, v := range n.Props {
+			if got, ok := m.Props[k]; !ok || !valuesCompatible(v, got) {
+				t.Errorf("node %d prop %q: %v (%v) != %v (%v)", n.ID, k, v, v.Kind(), got, got.Kind())
+			}
+		}
+		return true
+	})
+	sa, sb := a.ComputeStats(), b.ComputeStats()
+	if sa != sb {
+		t.Errorf("stats differ after round trip: %+v vs %+v", sa, sb)
+	}
+}
+
+// valuesCompatible tolerates the INT/DOUBLE textual narrowing (2.0 -> 2).
+func valuesCompatible(a, b Value) bool {
+	if a.Equal(b) {
+		return true
+	}
+	numeric := func(k Kind) bool { return k == KindInt || k == KindFloat }
+	return numeric(a.Kind()) && numeric(b.Kind()) && a.AsFloat() == b.AsFloat()
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	g := figure1Graph(t)
+	var nodes, edges bytes.Buffer
+	if err := WriteNodesCSV(&nodes, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEdgesCSV(&edges, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&nodes, &edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEquivalent(t, g, got)
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	g := figure1Graph(t)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEquivalent(t, g, got)
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		nodes string
+		edges string
+	}{
+		{"bad node header", "id,stuff\n1,x\n", ""},
+		{"bad node id", "_id,_labels\nxyz,A\n", ""},
+		{"bad edge header", "_id,_labels\n1,A\n", "foo,bar\n"},
+		{"bad edge endpoint", "_id,_labels\n1,A\n", "_id,_labels,_src,_dst\n1,R,1,zz\n"},
+		{"dangling edge", "_id,_labels\n1,A\n", "_id,_labels,_src,_dst\n1,R,1,99\n"},
+		{"duplicate node id", "_id,_labels\n1,A\n1,B\n", ""},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var edges *strings.Reader
+			if tc.edges != "" {
+				edges = strings.NewReader(tc.edges)
+			}
+			var err error
+			if edges != nil {
+				_, err = ReadCSV(strings.NewReader(tc.nodes), edges)
+			} else {
+				_, err = ReadCSV(strings.NewReader(tc.nodes), nil)
+			}
+			if err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"unknown type", `{"type":"blob","id":1}`},
+		{"dangling edge", `{"type":"edge","id":1,"src":5,"dst":6}`},
+		{"garbage", `{{{`},
+		{"duplicate node", "{\"type\":\"node\",\"id\":1}\n{\"type\":\"node\",\"id\":1}"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadJSONL(strings.NewReader(tc.in)); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestCSVMissingCellMeansAbsentProperty(t *testing.T) {
+	nodes := "_id,_labels,name,age\n1,Person,Ann,30\n2,Person,Ben,\n"
+	g, err := ReadCSV(strings.NewReader(nodes), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Node(2).Props["age"]; ok {
+		t.Error("empty CSV cell should mean property absent, not empty value")
+	}
+	if g.Node(1).Props["age"].AsInt() != 30 {
+		t.Error("age should parse as INT 30")
+	}
+}
+
+func TestCSVUnlabeledNode(t *testing.T) {
+	nodes := "_id,_labels,name\n1,,Ann\n"
+	g, err := ReadCSV(strings.NewReader(nodes), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := g.Node(1).LabelKey(); k != "" {
+		t.Errorf("unlabeled node key = %q, want empty", k)
+	}
+}

@@ -1,0 +1,283 @@
+// Package pg implements the property-graph data model used throughout
+// PG-HIVE: nodes and edges carrying label sets and key-value properties
+// (Definition 3.1 of the paper), an in-memory store with label indexes and
+// degree queries, batched scans for incremental processing, and CSV/JSONL
+// import/export. It is the substrate standing in for the PG storage system
+// (e.g. Neo4j) used by the paper.
+package pg
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind identifies the dynamic type of a property Value. The set mirrors the
+// GQL-style data types PG-Schema supports (§3 of the paper): BOOLEAN, INT,
+// DOUBLE, STRING, DATE and TIMESTAMP.
+type Kind uint8
+
+// Property value kinds, ordered roughly by inference priority (§4.4).
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindBool
+	KindDate
+	KindTimestamp
+	KindString
+)
+
+// String returns the PG-Schema spelling of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "DOUBLE"
+	case KindBool:
+		return "BOOLEAN"
+	case KindDate:
+		return "DATE"
+	case KindTimestamp:
+		return "TIMESTAMP"
+	case KindString:
+		return "STRING"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is an immutable property value: a tagged union over the supported
+// kinds. The zero Value is the null value.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	t    time.Time
+}
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// Int returns an INT value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a DOUBLE value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Bool returns a BOOLEAN value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// String returns a STRING value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Date returns a DATE value (the time component is ignored).
+func Date(t time.Time) Value {
+	y, m, d := t.Date()
+	return Value{kind: KindDate, t: time.Date(y, m, d, 0, 0, 0, 0, time.UTC)}
+}
+
+// Timestamp returns a TIMESTAMP value.
+func Timestamp(t time.Time) Value { return Value{kind: KindTimestamp, t: t.UTC()} }
+
+// Kind reports the value's dynamic kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload; it is only meaningful for KindInt.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsFloat returns the numeric payload as a float64 for KindInt and KindFloat.
+func (v Value) AsFloat() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// AsBool returns the boolean payload; it is only meaningful for KindBool.
+func (v Value) AsBool() bool { return v.i != 0 }
+
+// AsString returns the string payload; it is only meaningful for KindString.
+func (v Value) AsString() string { return v.s }
+
+// AsTime returns the temporal payload for KindDate and KindTimestamp.
+func (v Value) AsTime() time.Time { return v.t }
+
+// Equal reports whether two values have the same kind and payload.
+func (v Value) Equal(w Value) bool {
+	if v.kind != w.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindInt, KindBool:
+		return v.i == w.i
+	case KindFloat:
+		return v.f == w.f || (math.IsNaN(v.f) && math.IsNaN(w.f))
+	case KindString:
+		return v.s == w.s
+	case KindDate, KindTimestamp:
+		return v.t.Equal(w.t)
+	}
+	return false
+}
+
+// String renders the value in its canonical textual form, the same form
+// ParseValue accepts.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindDate:
+		return v.t.Format("2006-01-02")
+	case KindTimestamp:
+		return v.t.Format(time.RFC3339)
+	case KindString:
+		return v.s
+	default:
+		return ""
+	}
+}
+
+var (
+	isoDateRE      = regexp.MustCompile(`^\d{4}-\d{2}-\d{2}$`)
+	slashDateRE    = regexp.MustCompile(`^\d{1,2}/\d{1,2}/\d{4}$`)
+	isoTimestampRE = regexp.MustCompile(`^\d{4}-\d{2}-\d{2}[T ]\d{2}:\d{2}(:\d{2})?(\.\d+)?(Z|[+-]\d{2}:?\d{2})?$`)
+)
+
+// KindFromString parses the PG-Schema spelling produced by Kind.String.
+// Unknown spellings return KindString.
+func KindFromString(s string) Kind {
+	switch s {
+	case "NULL":
+		return KindNull
+	case "INT":
+		return KindInt
+	case "DOUBLE":
+		return KindFloat
+	case "BOOLEAN":
+		return KindBool
+	case "DATE":
+		return KindDate
+	case "TIMESTAMP":
+		return KindTimestamp
+	default:
+		return KindString
+	}
+}
+
+// ParseValue infers a Value from its textual form using the paper's
+// priority-based rules (§4.4): integers, then floats, then booleans, then
+// ISO-style date/time formats, defaulting to a string. The empty string
+// parses to null.
+func ParseValue(s string) Value {
+	if s == "" {
+		return Null()
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return Float(f)
+	}
+	switch s {
+	case "true", "TRUE", "True":
+		return Bool(true)
+	case "false", "FALSE", "False":
+		return Bool(false)
+	}
+	if isoDateRE.MatchString(s) {
+		if t, err := time.Parse("2006-01-02", s); err == nil {
+			return Date(t)
+		}
+	}
+	if slashDateRE.MatchString(s) {
+		if t, err := time.Parse("2/1/2006", s); err == nil {
+			return Date(t)
+		}
+	}
+	if isoTimestampRE.MatchString(s) {
+		for _, layout := range []string{time.RFC3339, "2006-01-02T15:04:05", "2006-01-02 15:04:05", "2006-01-02T15:04", "2006-01-02 15:04"} {
+			if t, err := time.Parse(layout, s); err == nil {
+				return Timestamp(t)
+			}
+		}
+	}
+	return Str(s)
+}
+
+// Properties is the key-value map attached to a node or edge.
+type Properties map[string]Value
+
+// Keys returns the property keys in unspecified order.
+func (p Properties) Keys() []string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Clone returns a copy of the map. A nil map clones to nil.
+func (p Properties) Clone() Properties {
+	if p == nil {
+		return nil
+	}
+	c := make(Properties, len(p))
+	for k, v := range p {
+		c[k] = v
+	}
+	return c
+}
+
+// LabelSetKey canonicalizes a label set: labels are sorted alphabetically and
+// joined with "&". This is the paper's convention for multi-labeled elements
+// (§4.1): the sorted concatenation is treated as one token, so identical
+// label sets map to identical keys. The empty set maps to "".
+func LabelSetKey(labels []string) string {
+	switch len(labels) {
+	case 0:
+		return ""
+	case 1:
+		return labels[0]
+	}
+	sorted := make([]string, len(labels))
+	copy(sorted, labels)
+	sortStrings(sorted)
+	return strings.Join(sorted, "&")
+}
+
+func sortStrings(s []string) {
+	// Insertion sort: label sets are tiny (1-3 elements).
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package pg
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParseValueKinds(t *testing.T) {
+	tests := []struct {
+		in   string
+		kind Kind
+	}{
+		{"", KindNull},
+		{"42", KindInt},
+		{"-7", KindInt},
+		{"0", KindInt},
+		{"3.14", KindFloat},
+		{"-0.5", KindFloat},
+		{"1e9", KindFloat},
+		{"true", KindBool},
+		{"false", KindBool},
+		{"TRUE", KindBool},
+		{"2024-01-31", KindDate},
+		{"19/12/1999", KindDate}, // the paper's Example 7 format
+		{"2024-01-31T10:30:00Z", KindTimestamp},
+		{"2024-01-31 10:30:00", KindTimestamp},
+		{"hello", KindString},
+		{"2024-13-45", KindString}, // date-shaped but invalid
+		{"not/a/date", KindString},
+	}
+	for _, tc := range tests {
+		if got := ParseValue(tc.in).Kind(); got != tc.kind {
+			t.Errorf("ParseValue(%q).Kind() = %v, want %v", tc.in, got, tc.kind)
+		}
+	}
+}
+
+func TestParseValuePayloads(t *testing.T) {
+	if v := ParseValue("42"); v.AsInt() != 42 {
+		t.Errorf("AsInt = %d, want 42", v.AsInt())
+	}
+	if v := ParseValue("2.5"); v.AsFloat() != 2.5 {
+		t.Errorf("AsFloat = %v, want 2.5", v.AsFloat())
+	}
+	if v := ParseValue("true"); !v.AsBool() {
+		t.Error("AsBool = false, want true")
+	}
+	v := ParseValue("19/12/1999")
+	if y, m, d := v.AsTime().Date(); y != 1999 || m != time.December || d != 19 {
+		t.Errorf("date payload = %v, want 1999-12-19", v.AsTime())
+	}
+}
+
+func TestValueStringRoundTrip(t *testing.T) {
+	values := []Value{
+		Int(0), Int(-12345), Int(1 << 40),
+		Float(3.25), Float(-1e-9),
+		Bool(true), Bool(false),
+		Date(time.Date(2020, 2, 29, 0, 0, 0, 0, time.UTC)),
+		Timestamp(time.Date(2021, 6, 1, 12, 30, 15, 0, time.UTC)),
+		Str("plain"),
+	}
+	for _, v := range values {
+		got := ParseValue(v.String())
+		if !got.Equal(v) {
+			t.Errorf("round trip of %v (%v): got %v (%v)", v, v.Kind(), got, got.Kind())
+		}
+	}
+}
+
+func TestFloatRoundTripAmbiguity(t *testing.T) {
+	// A float with an integral value renders like an int and is re-inferred
+	// as int. This is inherent to textual round-tripping; it is the same
+	// DOUBLE-vs-INTEGER ambiguity the paper discusses for Figure 8.
+	v := ParseValue(Float(2).String())
+	if v.Kind() != KindInt || v.AsInt() != 2 {
+		t.Errorf("Float(2) round trip = %v (%v), want INT 2", v, v.Kind())
+	}
+}
+
+// randomValue builds an arbitrary Value from quick-generated inputs.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(6) {
+	case 0:
+		return Int(r.Int63() - r.Int63())
+	case 1:
+		return Float(r.NormFloat64() * 100)
+	case 2:
+		return Bool(r.Intn(2) == 0)
+	case 3:
+		return Date(time.Unix(r.Int63n(4e9), 0).UTC())
+	case 4:
+		return Timestamp(time.Unix(r.Int63n(4e9), int64(r.Intn(1e9))).UTC().Truncate(time.Second))
+	default:
+		letters := []rune("abcdefg XYZ-_.")
+		n := r.Intn(12)
+		s := make([]rune, n)
+		for i := range s {
+			s[i] = letters[r.Intn(len(letters))]
+		}
+		return Str(string(s))
+	}
+}
+
+func TestValueEqualReflexiveQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		v := randomValue(rand.New(rand.NewSource(seed)))
+		return v.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseValueNeverPanicsQuick(t *testing.T) {
+	f := func(s string) bool {
+		v := ParseValue(s)
+		_ = v.String()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseValueCompatibleRoundTripQuick(t *testing.T) {
+	// For every generated value v, ParseValue(v.String()) must produce a
+	// value whose payload is numerically/temporally compatible with v even
+	// when the kind narrows (e.g. 2.0 -> 2).
+	f := func(seed int64) bool {
+		v := randomValue(rand.New(rand.NewSource(seed)))
+		got := ParseValue(v.String())
+		switch v.Kind() {
+		case KindInt:
+			return got.Kind() == KindInt && got.AsInt() == v.AsInt()
+		case KindFloat:
+			return (got.Kind() == KindFloat || got.Kind() == KindInt) &&
+				math.Abs(got.AsFloat()-v.AsFloat()) <= 1e-9*math.Max(1, math.Abs(v.AsFloat()))
+		case KindBool:
+			return got.Kind() == KindBool && got.AsBool() == v.AsBool()
+		case KindDate:
+			return got.Kind() == KindDate && got.AsTime().Equal(v.AsTime())
+		case KindTimestamp:
+			return got.Kind() == KindTimestamp && got.AsTime().Equal(v.AsTime())
+		default:
+			// Strings may re-infer as anything; String() must round-trip text.
+			return got.String() == v.String() || v.AsString() == ""
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelSetKey(t *testing.T) {
+	tests := []struct {
+		in   []string
+		want string
+	}{
+		{nil, ""},
+		{[]string{}, ""},
+		{[]string{"Person"}, "Person"},
+		{[]string{"Student", "Person"}, "Person&Student"},
+		{[]string{"Person", "Student"}, "Person&Student"},
+		{[]string{"c", "a", "b"}, "a&b&c"},
+	}
+	for _, tc := range tests {
+		if got := LabelSetKey(tc.in); got != tc.want {
+			t.Errorf("LabelSetKey(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestLabelSetKeyPermutationInvariantQuick(t *testing.T) {
+	f := func(a, b, c string, seed int64) bool {
+		labels := []string{a, b, c}
+		shuffled := append([]string(nil), labels...)
+		rand.New(rand.NewSource(seed)).Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		return LabelSetKey(labels) == LabelSetKey(shuffled)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelSetKeyDoesNotMutate(t *testing.T) {
+	labels := []string{"b", "a"}
+	LabelSetKey(labels)
+	if !reflect.DeepEqual(labels, []string{"b", "a"}) {
+		t.Errorf("LabelSetKey mutated its argument: %v", labels)
+	}
+}
+
+func TestPropertiesClone(t *testing.T) {
+	p := Properties{"a": Int(1)}
+	c := p.Clone()
+	c["b"] = Int(2)
+	if _, ok := p["b"]; ok {
+		t.Error("Clone shares storage with original")
+	}
+	if Properties(nil).Clone() != nil {
+		t.Error("nil Clone should be nil")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindNull: "NULL", KindInt: "INT", KindFloat: "DOUBLE",
+		KindBool: "BOOLEAN", KindDate: "DATE", KindTimestamp: "TIMESTAMP",
+		KindString: "STRING",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestKindFromStringRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindNull, KindInt, KindFloat, KindBool, KindDate, KindTimestamp, KindString} {
+		if got := KindFromString(k.String()); got != k {
+			t.Errorf("KindFromString(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if KindFromString("nonsense") != KindString {
+		t.Error("unknown spellings should default to STRING")
+	}
+}

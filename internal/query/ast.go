@@ -1,0 +1,240 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"pghive/internal/pg"
+)
+
+// Query is a parsed statement: MATCH pattern [WHERE expr] RETURN items
+// [ORDER BY item [ASC|DESC]] [SKIP n] [LIMIT n].
+type Query struct {
+	Match   Pattern
+	Where   Expr // nil when absent
+	Return  []ReturnItem
+	OrderBy *OrderBy
+	Skip    int // -1 when absent
+	Limit   int // -1 when absent
+}
+
+// Pattern is a node pattern or a single-hop path.
+type Pattern struct {
+	Src NodePattern
+	// Edge and Dst are nil for node-only patterns.
+	Edge *EdgePattern
+	Dst  *NodePattern
+}
+
+// NodePattern matches nodes by labels and property equalities.
+type NodePattern struct {
+	Var    string // binding variable, may be empty
+	Labels []string
+	Props  map[string]pg.Value
+}
+
+// Direction of an edge pattern.
+type Direction uint8
+
+// Directions.
+const (
+	// DirOut matches (src)-[]->(dst).
+	DirOut Direction = iota
+	// DirIn matches (src)<-[]-(dst).
+	DirIn
+	// DirAny matches either orientation.
+	DirAny
+)
+
+// EdgePattern matches edges by labels, property equalities and direction.
+type EdgePattern struct {
+	Var    string
+	Labels []string
+	Props  map[string]pg.Value
+	Dir    Direction
+}
+
+// AggKind selects a RETURN aggregation.
+type AggKind uint8
+
+// Aggregations.
+const (
+	AggNone AggKind = iota
+	AggCount
+	AggMin
+	AggMax
+	AggSum
+	AggAvg
+)
+
+var aggNames = map[AggKind]string{
+	AggCount: "count", AggMin: "min", AggMax: "max", AggSum: "sum", AggAvg: "avg",
+}
+
+// ReturnItem is one projection: an expression with an optional
+// aggregation. count(*) has Agg = AggCount and a nil Expr.
+type ReturnItem struct {
+	Expr Expr
+	Agg  AggKind
+	// Name is the rendered column header.
+	Name string
+}
+
+// OrderBy sorts rows by one return expression.
+type OrderBy struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is a boolean/value expression evaluated against a binding
+// environment.
+type Expr interface {
+	eval(env *env) (pg.Value, error)
+	String() string
+}
+
+// literal is a constant value.
+type literal struct{ v pg.Value }
+
+func (l literal) eval(*env) (pg.Value, error) { return l.v, nil }
+func (l literal) String() string {
+	if l.v.Kind() == pg.KindString {
+		return fmt.Sprintf("%q", l.v.AsString())
+	}
+	return l.v.String()
+}
+
+// propAccess is var.key.
+type propAccess struct {
+	varName string
+	key     string
+}
+
+func (p propAccess) String() string { return qIdent(p.varName) + "." + qIdent(p.key) }
+
+// varRef references a bound entity (meaningful in RETURN; in predicates it
+// evaluates to its ID for equality checks).
+type varRef struct{ name string }
+
+func (v varRef) String() string { return qIdent(v.name) }
+
+// qIdent backtick-quotes identifiers that are not plain, so rendered
+// queries re-parse.
+func qIdent(s string) string {
+	if s == "" {
+		return s
+	}
+	plain := true
+	for i, r := range s {
+		if !(isIdentStart(r) || (i > 0 && isIdentPart(r))) {
+			plain = false
+			break
+		}
+	}
+	if plain && !isReserved(s) {
+		return s
+	}
+	return "`" + strings.ReplaceAll(s, "`", "``") + "`"
+}
+
+// binaryOp kinds.
+type binOpKind uint8
+
+const (
+	opEQ binOpKind = iota
+	opNE
+	opLT
+	opLE
+	opGT
+	opGE
+	opContains
+	opStartsWith
+	opEndsWith
+	opAnd
+	opOr
+)
+
+var binOpNames = map[binOpKind]string{
+	opEQ: "=", opNE: "<>", opLT: "<", opLE: "<=", opGT: ">", opGE: ">=",
+	opContains: "CONTAINS", opStartsWith: "STARTS WITH", opEndsWith: "ENDS WITH",
+	opAnd: "AND", opOr: "OR",
+}
+
+type binaryOp struct {
+	kind        binOpKind
+	left, right Expr
+}
+
+func (b binaryOp) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.left, binOpNames[b.kind], b.right)
+}
+
+type notOp struct{ inner Expr }
+
+func (n notOp) String() string { return "(NOT " + n.inner.String() + ")" }
+
+// existsOp is EXISTS(var.key): true when the property is present.
+type existsOp struct{ prop propAccess }
+
+func (e existsOp) String() string { return "EXISTS(" + e.prop.String() + ")" }
+
+// String renders the query canonically (useful in tests and logs).
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("MATCH ")
+	sb.WriteString(patternString(q.Match))
+	if q.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(q.Where.String())
+	}
+	sb.WriteString(" RETURN ")
+	for i, r := range q.Return {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(r.Name)
+	}
+	if q.OrderBy != nil {
+		sb.WriteString(" ORDER BY " + q.OrderBy.Expr.String())
+		if q.OrderBy.Desc {
+			sb.WriteString(" DESC")
+		}
+	}
+	if q.Skip >= 0 {
+		fmt.Fprintf(&sb, " SKIP %d", q.Skip)
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", q.Limit)
+	}
+	return sb.String()
+}
+
+func patternString(p Pattern) string {
+	out := nodePatternString(p.Src)
+	if p.Edge != nil {
+		edge := "[" + qIdent(p.Edge.Var)
+		for _, l := range p.Edge.Labels {
+			edge += ":" + qIdent(l)
+		}
+		edge += "]"
+		switch p.Edge.Dir {
+		case DirOut:
+			out += "-" + edge + "->"
+		case DirIn:
+			out += "<-" + edge + "-"
+		default:
+			out += "-" + edge + "-"
+		}
+		out += nodePatternString(*p.Dst)
+	}
+	return out
+}
+
+func nodePatternString(n NodePattern) string {
+	out := "(" + qIdent(n.Var)
+	for _, l := range n.Labels {
+		out += ":" + qIdent(l)
+	}
+	out += ")"
+	return out
+}

@@ -1,0 +1,606 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pghive/internal/pg"
+)
+
+// Cell is one result value: a plain value, or an entity reference when a
+// RETURN item names a bound variable.
+type Cell struct {
+	// Value holds scalar results (including count()).
+	Value pg.Value
+	// Node / Edge are set when the cell is an entity reference.
+	Node *pg.Node
+	Edge *pg.Edge
+}
+
+// String renders the cell.
+func (c Cell) String() string {
+	switch {
+	case c.Node != nil:
+		return fmt.Sprintf("(%d:%s)", c.Node.ID, c.Node.LabelKey())
+	case c.Edge != nil:
+		return fmt.Sprintf("[%d:%s]", c.Edge.ID, c.Edge.LabelKey())
+	default:
+		return c.Value.String()
+	}
+}
+
+// Result is a query outcome: column names and rows.
+type Result struct {
+	Columns []string
+	Rows    [][]Cell
+}
+
+// Run parses and executes a query against g.
+func Run(g *pg.Graph, input string) (*Result, error) {
+	q, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(g, q)
+}
+
+// env is a binding environment: variables bound by the MATCH pattern.
+type env struct {
+	nodes map[string]*pg.Node
+	edges map[string]*pg.Edge
+}
+
+func (e *env) props(varName string) (pg.Properties, bool) {
+	if n, ok := e.nodes[varName]; ok {
+		return n.Props, true
+	}
+	if ed, ok := e.edges[varName]; ok {
+		return ed.Props, true
+	}
+	return nil, false
+}
+
+// errUnknownVar distinguishes binding errors from value mismatches.
+var errUnknownVar = errors.New("query: unknown variable")
+
+func (p propAccess) eval(e *env) (pg.Value, error) {
+	props, ok := e.props(p.varName)
+	if !ok {
+		return pg.Null(), fmt.Errorf("%w %q", errUnknownVar, p.varName)
+	}
+	return props[p.key], nil // zero Value (null) when absent
+}
+
+func (v varRef) eval(e *env) (pg.Value, error) {
+	if n, ok := e.nodes[v.name]; ok {
+		return pg.Int(int64(n.ID)), nil
+	}
+	if ed, ok := e.edges[v.name]; ok {
+		return pg.Int(int64(ed.ID)), nil
+	}
+	return pg.Null(), fmt.Errorf("%w %q", errUnknownVar, v.name)
+}
+
+func (e existsOp) eval(env *env) (pg.Value, error) {
+	props, ok := env.props(e.prop.varName)
+	if !ok {
+		return pg.Null(), fmt.Errorf("%w %q", errUnknownVar, e.prop.varName)
+	}
+	_, present := props[e.prop.key]
+	return pg.Bool(present), nil
+}
+
+func (n notOp) eval(e *env) (pg.Value, error) {
+	v, err := n.inner.eval(e)
+	if err != nil {
+		return pg.Null(), err
+	}
+	return pg.Bool(!truthy(v)), nil
+}
+
+func (b binaryOp) eval(e *env) (pg.Value, error) {
+	left, err := b.left.eval(e)
+	if err != nil {
+		return pg.Null(), err
+	}
+	// Short-circuit logic operators.
+	switch b.kind {
+	case opAnd:
+		if !truthy(left) {
+			return pg.Bool(false), nil
+		}
+		right, err := b.right.eval(e)
+		if err != nil {
+			return pg.Null(), err
+		}
+		return pg.Bool(truthy(right)), nil
+	case opOr:
+		if truthy(left) {
+			return pg.Bool(true), nil
+		}
+		right, err := b.right.eval(e)
+		if err != nil {
+			return pg.Null(), err
+		}
+		return pg.Bool(truthy(right)), nil
+	}
+	right, err := b.right.eval(e)
+	if err != nil {
+		return pg.Null(), err
+	}
+	switch b.kind {
+	case opEQ:
+		return pg.Bool(valuesEqual(left, right)), nil
+	case opNE:
+		return pg.Bool(!left.IsNull() && !right.IsNull() && !valuesEqual(left, right)), nil
+	case opContains, opStartsWith, opEndsWith:
+		if left.Kind() != pg.KindString || right.Kind() != pg.KindString {
+			return pg.Bool(false), nil
+		}
+		l, r := left.AsString(), right.AsString()
+		switch b.kind {
+		case opStartsWith:
+			return pg.Bool(len(l) >= len(r) && l[:len(r)] == r), nil
+		case opEndsWith:
+			return pg.Bool(len(l) >= len(r) && l[len(l)-len(r):] == r), nil
+		default:
+			return pg.Bool(containsFold(l, r)), nil
+		}
+	default:
+		cmp, ok := compareValues(left, right)
+		if !ok {
+			return pg.Bool(false), nil
+		}
+		switch b.kind {
+		case opLT:
+			return pg.Bool(cmp < 0), nil
+		case opLE:
+			return pg.Bool(cmp <= 0), nil
+		case opGT:
+			return pg.Bool(cmp > 0), nil
+		default:
+			return pg.Bool(cmp >= 0), nil
+		}
+	}
+}
+
+func truthy(v pg.Value) bool {
+	return v.Kind() == pg.KindBool && v.AsBool()
+}
+
+// valuesEqual compares across numeric kinds; null equals nothing.
+func valuesEqual(a, b pg.Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	if a.Equal(b) {
+		return true
+	}
+	if isNumeric(a) && isNumeric(b) {
+		return a.AsFloat() == b.AsFloat()
+	}
+	return false
+}
+
+func isNumeric(v pg.Value) bool {
+	return v.Kind() == pg.KindInt || v.Kind() == pg.KindFloat
+}
+
+func isTemporal(v pg.Value) bool {
+	return v.Kind() == pg.KindDate || v.Kind() == pg.KindTimestamp
+}
+
+// compareValues orders two values when they are comparable.
+func compareValues(a, b pg.Value) (int, bool) {
+	switch {
+	case isNumeric(a) && isNumeric(b):
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		default:
+			return 0, true
+		}
+	case a.Kind() == pg.KindString && b.Kind() == pg.KindString:
+		switch {
+		case a.AsString() < b.AsString():
+			return -1, true
+		case a.AsString() > b.AsString():
+			return 1, true
+		default:
+			return 0, true
+		}
+	case isTemporal(a) && isTemporal(b):
+		at, bt := a.AsTime(), b.AsTime()
+		switch {
+		case at.Before(bt):
+			return -1, true
+		case at.After(bt):
+			return 1, true
+		default:
+			return 0, true
+		}
+	default:
+		return 0, false
+	}
+}
+
+func containsFold(haystack, needle string) bool {
+	// Case-sensitive CONTAINS, like Cypher.
+	return len(needle) == 0 || indexOf(haystack, needle) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// Execute runs a parsed query against g.
+func Execute(g *pg.Graph, q *Query) (*Result, error) {
+	res := &Result{}
+	for _, item := range q.Return {
+		res.Columns = append(res.Columns, item.Name)
+	}
+	hasAgg := false
+	for _, item := range q.Return {
+		if item.Agg != AggNone {
+			hasAgg = true
+		}
+	}
+
+	var matchErr error
+	var matches []*env
+	forEachMatch(g, q.Match, func(e *env) bool {
+		if q.Where != nil {
+			v, err := q.Where.eval(e)
+			if err != nil {
+				matchErr = err
+				return false
+			}
+			if !truthy(v) {
+				return true
+			}
+		}
+		snapshot := &env{nodes: map[string]*pg.Node{}, edges: map[string]*pg.Edge{}}
+		for k, v := range e.nodes {
+			snapshot.nodes[k] = v
+		}
+		for k, v := range e.edges {
+			snapshot.edges[k] = v
+		}
+		matches = append(matches, snapshot)
+		return true
+	})
+	if matchErr != nil {
+		return nil, matchErr
+	}
+
+	if hasAgg {
+		return aggregate(q, matches, res)
+	}
+
+	for _, e := range matches {
+		row, err := project(q.Return, e)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if err := orderAndPage(q, res, matches); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// aggregate collapses matches into one row. count(*) counts matches;
+// count(expr) counts non-null evaluations; min/max order comparable
+// values; sum/avg require numeric values and skip non-numeric ones.
+func aggregate(q *Query, matches []*env, res *Result) (*Result, error) {
+	row := make([]Cell, len(q.Return))
+	for i, item := range q.Return {
+		if item.Agg == AggNone {
+			return nil, fmt.Errorf("query: mixing aggregates with plain return items is not supported")
+		}
+		cell, err := aggregateItem(item, matches)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = cell
+	}
+	res.Rows = [][]Cell{row}
+	return res, nil
+}
+
+func aggregateItem(item ReturnItem, matches []*env) (Cell, error) {
+	count := 0
+	numCount := 0
+	sum := 0.0
+	best := pg.Null()
+	for _, e := range matches {
+		if item.Expr == nil { // count(*)
+			count++
+			continue
+		}
+		v, err := item.Expr.eval(e)
+		if err != nil {
+			return Cell{}, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		count++
+		if isNumeric(v) {
+			numCount++
+			sum += v.AsFloat()
+		}
+		switch item.Agg {
+		case AggMin:
+			if best.IsNull() {
+				best = v
+			} else if cmp, ok := compareValues(v, best); ok && cmp < 0 {
+				best = v
+			}
+		case AggMax:
+			if best.IsNull() {
+				best = v
+			} else if cmp, ok := compareValues(v, best); ok && cmp > 0 {
+				best = v
+			}
+		}
+	}
+	switch item.Agg {
+	case AggCount:
+		return Cell{Value: pg.Int(int64(count))}, nil
+	case AggMin, AggMax:
+		return Cell{Value: best}, nil
+	case AggSum:
+		return Cell{Value: pg.Float(sum)}, nil
+	case AggAvg:
+		if numCount == 0 {
+			return Cell{Value: pg.Null()}, nil
+		}
+		return Cell{Value: pg.Float(sum / float64(numCount))}, nil
+	default:
+		return Cell{}, fmt.Errorf("query: unknown aggregate")
+	}
+}
+
+func project(items []ReturnItem, e *env) ([]Cell, error) {
+	row := make([]Cell, len(items))
+	for i, item := range items {
+		if ref, ok := item.Expr.(varRef); ok {
+			if n, bound := e.nodes[ref.name]; bound {
+				row[i] = Cell{Node: n}
+				continue
+			}
+			if ed, bound := e.edges[ref.name]; bound {
+				row[i] = Cell{Edge: ed}
+				continue
+			}
+			return nil, fmt.Errorf("%w %q", errUnknownVar, ref.name)
+		}
+		v, err := item.Expr.eval(e)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = Cell{Value: v}
+	}
+	return row, nil
+}
+
+func orderAndPage(q *Query, res *Result, matches []*env) error {
+	if q.OrderBy != nil {
+		keys := make([]pg.Value, len(matches))
+		for i, e := range matches {
+			v, err := q.OrderBy.Expr.eval(e)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+		}
+		idx := make([]int, len(res.Rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			cmp, ok := compareValues(keys[idx[a]], keys[idx[b]])
+			if !ok {
+				return false
+			}
+			if q.OrderBy.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		})
+		sorted := make([][]Cell, len(res.Rows))
+		for i, j := range idx {
+			sorted[i] = res.Rows[j]
+		}
+		res.Rows = sorted
+	}
+	if q.Skip > 0 {
+		if q.Skip >= len(res.Rows) {
+			res.Rows = nil
+		} else {
+			res.Rows = res.Rows[q.Skip:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(res.Rows) {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return nil
+}
+
+// forEachMatch enumerates pattern bindings. fn returns false to stop.
+func forEachMatch(g *pg.Graph, pat Pattern, fn func(*env) bool) {
+	if pat.Edge == nil {
+		forEachNode(g, pat.Src, func(n *pg.Node) bool {
+			e := &env{nodes: map[string]*pg.Node{}, edges: map[string]*pg.Edge{}}
+			bindNode(e, pat.Src, n)
+			return fn(e)
+		})
+		return
+	}
+
+	// Path pattern: drive from the edge set (edge labels are selective).
+	scan := func(edge *pg.Edge) bool {
+		if !edgeMatches(pat.Edge, edge) {
+			return true
+		}
+		// Try both orientations permitted by the direction.
+		orientations := [][2]pg.ID{}
+		if pat.Edge.Dir == DirOut || pat.Edge.Dir == DirAny {
+			orientations = append(orientations, [2]pg.ID{edge.Src, edge.Dst})
+		}
+		if pat.Edge.Dir == DirIn || pat.Edge.Dir == DirAny {
+			orientations = append(orientations, [2]pg.ID{edge.Dst, edge.Src})
+		}
+		for _, o := range orientations {
+			src, dst := g.Node(o[0]), g.Node(o[1])
+			if !nodeMatches(pat.Src, src) || !nodeMatches(*pat.Dst, dst) {
+				continue
+			}
+			e := &env{nodes: map[string]*pg.Node{}, edges: map[string]*pg.Edge{}}
+			bindNode(e, pat.Src, src)
+			bindNode(e, *pat.Dst, dst)
+			if pat.Edge.Var != "" {
+				e.edges[pat.Edge.Var] = edge
+			}
+			if !fn(e) {
+				return false
+			}
+		}
+		return true
+	}
+
+	if len(pat.Edge.Labels) > 0 {
+		for _, id := range g.EdgesWithLabel(pat.Edge.Labels[0]) {
+			if !scan(g.Edge(id)) {
+				return
+			}
+		}
+		return
+	}
+	// Unlabeled edge: drive from a labeled endpoint's adjacency lists when
+	// one exists — candidate edges shrink from |E| to the endpoint nodes'
+	// degrees.
+	if side, labels := adjacencyDriver(pat); labels != nil {
+		seen := map[pg.ID]struct{}{}
+		for _, nid := range g.NodesWithLabel(labels[0]) {
+			var edgeIDs []pg.ID
+			if side == driveFromSrc {
+				edgeIDs = append(edgeIDs, g.OutEdges(nid)...)
+				if pat.Edge.Dir == DirAny || pat.Edge.Dir == DirIn {
+					edgeIDs = append(edgeIDs, g.InEdges(nid)...)
+				}
+			} else {
+				edgeIDs = append(edgeIDs, g.InEdges(nid)...)
+				if pat.Edge.Dir == DirAny || pat.Edge.Dir == DirIn {
+					edgeIDs = append(edgeIDs, g.OutEdges(nid)...)
+				}
+			}
+			for _, eid := range edgeIDs {
+				if _, dup := seen[eid]; dup {
+					continue
+				}
+				seen[eid] = struct{}{}
+				if !scan(g.Edge(eid)) {
+					return
+				}
+			}
+		}
+		return
+	}
+	g.Edges(scan)
+}
+
+type driverSide uint8
+
+const (
+	driveNone driverSide = iota
+	driveFromSrc
+	driveFromDst
+)
+
+// adjacencyDriver picks the labeled endpoint to drive an unlabeled-edge
+// scan from, or (driveNone, nil) when neither endpoint is labeled.
+func adjacencyDriver(pat Pattern) (driverSide, []string) {
+	if len(pat.Src.Labels) > 0 {
+		return driveFromSrc, pat.Src.Labels
+	}
+	if pat.Dst != nil && len(pat.Dst.Labels) > 0 {
+		return driveFromDst, pat.Dst.Labels
+	}
+	return driveNone, nil
+}
+
+func forEachNode(g *pg.Graph, pat NodePattern, fn func(*pg.Node) bool) {
+	if len(pat.Labels) > 0 {
+		for _, id := range g.NodesWithLabel(pat.Labels[0]) {
+			n := g.Node(id)
+			if nodeMatches(pat, n) && !fn(n) {
+				return
+			}
+		}
+		return
+	}
+	g.Nodes(func(n *pg.Node) bool {
+		if nodeMatches(pat, n) {
+			return fn(n)
+		}
+		return true
+	})
+}
+
+func bindNode(e *env, pat NodePattern, n *pg.Node) {
+	if pat.Var != "" {
+		e.nodes[pat.Var] = n
+	}
+}
+
+func nodeMatches(pat NodePattern, n *pg.Node) bool {
+	if n == nil {
+		return false
+	}
+	for _, l := range pat.Labels {
+		if !hasLabel(n.Labels, l) {
+			return false
+		}
+	}
+	return propsMatch(pat.Props, n.Props)
+}
+
+func edgeMatches(pat *EdgePattern, e *pg.Edge) bool {
+	for _, l := range pat.Labels {
+		if !hasLabel(e.Labels, l) {
+			return false
+		}
+	}
+	return propsMatch(pat.Props, e.Props)
+}
+
+func hasLabel(labels []string, want string) bool {
+	for _, l := range labels {
+		if l == want {
+			return true
+		}
+	}
+	return false
+}
+
+func propsMatch(want map[string]pg.Value, have pg.Properties) bool {
+	for k, v := range want {
+		got, ok := have[k]
+		if !ok || !valuesEqual(got, v) {
+			return false
+		}
+	}
+	return true
+}

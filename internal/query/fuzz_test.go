@@ -1,0 +1,59 @@
+package query
+
+import (
+	"testing"
+
+	"pghive/internal/pg"
+)
+
+// FuzzParse ensures the lexer/parser never panic on arbitrary input and
+// that anything that parses also renders and re-parses.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"MATCH (n) RETURN n",
+		"MATCH (p:Person)-[k:KNOWS]->(q) WHERE p.age > 30 RETURN p.name LIMIT 3",
+		"MATCH (a)<-[r]-(b) RETURN count(*)",
+		"MATCH (n:`weird label`) WHERE n.x = 'str' OR NOT n.y <> 2.5 RETURN n ORDER BY n.x DESC SKIP 1",
+		"MATCH (n {k: true, j: -4}) RETURN n.k, count(n)",
+		"MATCH",
+		"MATCH (((",
+		"RETURN 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		if _, err := Parse(rendered); err != nil {
+			t.Fatalf("rendered form does not re-parse: %q -> %q: %v", input, rendered, err)
+		}
+	})
+}
+
+// FuzzRun executes arbitrary parseable queries against a fixed graph; no
+// input may panic the executor.
+func FuzzRun(f *testing.F) {
+	f.Add("MATCH (p:Person) RETURN p.name")
+	f.Add("MATCH (a)-[r]->(b) WHERE a.x CONTAINS 'q' RETURN count(r)")
+	g := pg.NewGraph()
+	p1 := g.AddNode([]string{"Person"}, pg.Properties{"name": pg.Str("a"), "age": pg.Int(3)})
+	p2 := g.AddNode([]string{"Person"}, pg.Properties{"name": pg.Str("b")})
+	if _, err := g.AddEdge([]string{"KNOWS"}, p1, p2, nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		res, err := Run(g, input)
+		if err != nil {
+			return
+		}
+		for _, row := range res.Rows {
+			if len(row) != len(res.Columns) {
+				t.Fatalf("row width %d != %d columns", len(row), len(res.Columns))
+			}
+		}
+	})
+}

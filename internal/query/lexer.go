@@ -1,0 +1,216 @@
+// Package query implements a compact Cypher-style query language over the
+// in-memory property-graph store: single-hop MATCH patterns with label and
+// property predicates, WHERE filters, RETURN projections with count()
+// aggregation, ORDER BY, SKIP and LIMIT. It is the query substrate standing
+// in for the storage system the paper loads from ("using a single query",
+// §4.1), and powers ad-hoc inspection in examples and tools:
+//
+//	MATCH (p:Person)-[r:WORKS_AT]->(o:Organization)
+//	WHERE p.age >= 30 AND o.name CONTAINS "Lab"
+//	RETURN p.name, r.from ORDER BY p.name LIMIT 10
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokLParen   // (
+	tokRParen   // )
+	tokLBracket // [
+	tokRBracket // ]
+	tokLBrace   // {
+	tokRBrace   // }
+	tokColon    // :
+	tokComma    // ,
+	tokDot      // .
+	tokDash     // -
+	tokArrowR   // ->
+	tokArrowL   // <-
+	tokLT       // <
+	tokLE       // <=
+	tokGT       // >
+	tokGE       // >=
+	tokEQ       // =
+	tokNE       // <>
+	tokStar     // *
+)
+
+var tokenNames = map[tokenKind]string{
+	tokEOF: "end of query", tokIdent: "identifier", tokString: "string",
+	tokNumber: "number", tokLParen: "(", tokRParen: ")", tokLBracket: "[",
+	tokRBracket: "]", tokLBrace: "{", tokRBrace: "}", tokColon: ":",
+	tokComma: ",", tokDot: ".", tokDash: "-", tokArrowR: "->",
+	tokArrowL: "<-", tokLT: "<", tokLE: "<=", tokGT: ">", tokGE: ">=",
+	tokEQ: "=", tokNE: "<>", tokStar: "*",
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokIdent || t.kind == tokString || t.kind == tokNumber {
+		return fmt.Sprintf("%s %q", tokenNames[t.kind], t.text)
+	}
+	return fmt.Sprintf("%q", tokenNames[t.kind])
+}
+
+// lex tokenizes the query. Identifiers may be backtick-quoted to include
+// arbitrary characters.
+func lex(input string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			out = append(out, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			out = append(out, token{tokRParen, ")", i})
+			i++
+		case c == '[':
+			out = append(out, token{tokLBracket, "[", i})
+			i++
+		case c == ']':
+			out = append(out, token{tokRBracket, "]", i})
+			i++
+		case c == '{':
+			out = append(out, token{tokLBrace, "{", i})
+			i++
+		case c == '}':
+			out = append(out, token{tokRBrace, "}", i})
+			i++
+		case c == ':':
+			out = append(out, token{tokColon, ":", i})
+			i++
+		case c == ',':
+			out = append(out, token{tokComma, ",", i})
+			i++
+		case c == '.':
+			out = append(out, token{tokDot, ".", i})
+			i++
+		case c == '*':
+			out = append(out, token{tokStar, "*", i})
+			i++
+		case c == '-':
+			if i+1 < len(input) && input[i+1] == '>' {
+				out = append(out, token{tokArrowR, "->", i})
+				i += 2
+			} else {
+				out = append(out, token{tokDash, "-", i})
+				i++
+			}
+		case c == '<':
+			switch {
+			case i+1 < len(input) && input[i+1] == '-':
+				out = append(out, token{tokArrowL, "<-", i})
+				i += 2
+			case i+1 < len(input) && input[i+1] == '=':
+				out = append(out, token{tokLE, "<=", i})
+				i += 2
+			case i+1 < len(input) && input[i+1] == '>':
+				out = append(out, token{tokNE, "<>", i})
+				i += 2
+			default:
+				out = append(out, token{tokLT, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				out = append(out, token{tokGE, ">=", i})
+				i += 2
+			} else {
+				out = append(out, token{tokGT, ">", i})
+				i++
+			}
+		case c == '=':
+			out = append(out, token{tokEQ, "=", i})
+			i++
+		case c == '\'' || c == '"':
+			s, next, err := lexString(input, i)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, token{tokString, s, i})
+			i = next
+		case c == '`':
+			end := strings.IndexByte(input[i+1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("query: unterminated backtick identifier at %d", i)
+			}
+			out = append(out, token{tokIdent, input[i+1 : i+1+end], i})
+			i += end + 2
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(input) && (input[j] >= '0' && input[j] <= '9' || input[j] == '.') {
+				j++
+			}
+			out = append(out, token{tokNumber, input[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(input) && isIdentPart(rune(input[j])) {
+				j++
+			}
+			out = append(out, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at %d", c, i)
+		}
+	}
+	out = append(out, token{tokEOF, "", len(input)})
+	return out, nil
+}
+
+func lexString(input string, start int) (string, int, error) {
+	quote := input[start]
+	var sb strings.Builder
+	i := start + 1
+	for i < len(input) {
+		c := input[i]
+		if c == '\\' && i+1 < len(input) {
+			next := input[i+1]
+			switch next {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\', '\'', '"':
+				sb.WriteByte(next)
+			default:
+				sb.WriteByte(next)
+			}
+			i += 2
+			continue
+		}
+		if c == quote {
+			return sb.String(), i + 1, nil
+		}
+		sb.WriteByte(c)
+		i++
+	}
+	return "", 0, fmt.Errorf("query: unterminated string at %d", start)
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,505 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pghive/internal/pg"
+)
+
+// Parse compiles a query string.
+func Parse(input string) (*Query, error) {
+	tokens, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{tokens: tokens}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	tokens []token
+	pos    int
+}
+
+func (p *parser) peek() token { return p.tokens[p.pos] }
+func (p *parser) next() token { t := p.tokens[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+// keyword reports whether the next token is the given (case-insensitive)
+// keyword and consumes it if so.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, fmt.Errorf("query: expected %s at %d, got %s", tokenNames[kind], t.pos, t)
+	}
+	return t, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if !p.keyword("MATCH") {
+		return nil, fmt.Errorf("query: must start with MATCH, got %s", p.peek())
+	}
+	q := &Query{Skip: -1, Limit: -1}
+	var err error
+	if q.Match, err = p.parsePattern(); err != nil {
+		return nil, err
+	}
+	if p.keyword("WHERE") {
+		if q.Where, err = p.parseOr(); err != nil {
+			return nil, err
+		}
+	}
+	if !p.keyword("RETURN") {
+		return nil, fmt.Errorf("query: expected RETURN at %d, got %s", p.peek().pos, p.peek())
+	}
+	if q.Return, err = p.parseReturnItems(); err != nil {
+		return nil, err
+	}
+	if p.keyword("ORDER") {
+		if !p.keyword("BY") {
+			return nil, fmt.Errorf("query: expected BY after ORDER at %d", p.peek().pos)
+		}
+		expr, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		ob := &OrderBy{Expr: expr}
+		if p.keyword("DESC") {
+			ob.Desc = true
+		} else {
+			p.keyword("ASC")
+		}
+		q.OrderBy = ob
+	}
+	if p.keyword("SKIP") {
+		if q.Skip, err = p.parseInt(); err != nil {
+			return nil, err
+		}
+	}
+	if p.keyword("LIMIT") {
+		if q.Limit, err = p.parseInt(); err != nil {
+			return nil, err
+		}
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("query: trailing input at %d: %s", p.peek().pos, p.peek())
+	}
+	return q, nil
+}
+
+func (p *parser) parseInt() (int, error) {
+	t, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("query: expected non-negative integer at %d, got %q", t.pos, t.text)
+	}
+	return n, nil
+}
+
+func (p *parser) parsePattern() (Pattern, error) {
+	var pat Pattern
+	src, err := p.parseNodePattern()
+	if err != nil {
+		return pat, err
+	}
+	pat.Src = src
+
+	switch p.peek().kind {
+	case tokDash: // -[...]-> or -[...]-
+		p.next()
+		edge, err := p.parseEdgeBody()
+		if err != nil {
+			return pat, err
+		}
+		switch p.peek().kind {
+		case tokArrowR:
+			p.next()
+			edge.Dir = DirOut
+		case tokDash:
+			p.next()
+			edge.Dir = DirAny
+		default:
+			return pat, fmt.Errorf("query: expected -> or - after edge pattern at %d", p.peek().pos)
+		}
+		dst, err := p.parseNodePattern()
+		if err != nil {
+			return pat, err
+		}
+		pat.Edge = &edge
+		pat.Dst = &dst
+	case tokArrowL: // <-[...]-
+		p.next()
+		edge, err := p.parseEdgeBody()
+		if err != nil {
+			return pat, err
+		}
+		if _, err := p.expect(tokDash); err != nil {
+			return pat, err
+		}
+		edge.Dir = DirIn
+		dst, err := p.parseNodePattern()
+		if err != nil {
+			return pat, err
+		}
+		pat.Edge = &edge
+		pat.Dst = &dst
+	}
+	return pat, nil
+}
+
+func (p *parser) parseNodePattern() (NodePattern, error) {
+	var n NodePattern
+	if _, err := p.expect(tokLParen); err != nil {
+		return n, err
+	}
+	if p.peek().kind == tokIdent {
+		n.Var = p.next().text
+	}
+	var err error
+	if n.Labels, err = p.parseLabels(); err != nil {
+		return n, err
+	}
+	if n.Props, err = p.parsePropMap(); err != nil {
+		return n, err
+	}
+	_, err = p.expect(tokRParen)
+	return n, err
+}
+
+// parseEdgeBody parses [var:LABEL {props}]; the brackets may be omitted for
+// an anonymous untyped edge (a bare dash).
+func (p *parser) parseEdgeBody() (EdgePattern, error) {
+	var e EdgePattern
+	if p.peek().kind != tokLBracket {
+		return e, nil
+	}
+	p.next()
+	if p.peek().kind == tokIdent {
+		e.Var = p.next().text
+	}
+	var err error
+	if e.Labels, err = p.parseLabels(); err != nil {
+		return e, err
+	}
+	if e.Props, err = p.parsePropMap(); err != nil {
+		return e, err
+	}
+	_, err = p.expect(tokRBracket)
+	return e, err
+}
+
+func (p *parser) parseLabels() ([]string, error) {
+	var labels []string
+	for p.peek().kind == tokColon {
+		p.next()
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		labels = append(labels, t.text)
+	}
+	return labels, nil
+}
+
+func (p *parser) parsePropMap() (map[string]pg.Value, error) {
+	if p.peek().kind != tokLBrace {
+		return nil, nil
+	}
+	p.next()
+	props := map[string]pg.Value{}
+	for {
+		key, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		props[key.text] = v
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	return props, nil
+}
+
+func (p *parser) parseLiteral() (pg.Value, error) {
+	t := p.next()
+	switch t.kind {
+	case tokString:
+		return pg.Str(t.text), nil
+	case tokNumber:
+		return pg.ParseValue(t.text), nil
+	case tokDash:
+		num, err := p.expect(tokNumber)
+		if err != nil {
+			return pg.Null(), err
+		}
+		return pg.ParseValue("-" + num.text), nil
+	case tokIdent:
+		switch strings.ToLower(t.text) {
+		case "true":
+			return pg.Bool(true), nil
+		case "false":
+			return pg.Bool(false), nil
+		case "null":
+			return pg.Null(), nil
+		}
+	}
+	return pg.Null(), fmt.Errorf("query: expected literal at %d, got %s", t.pos, t)
+}
+
+// parseOr handles OR (lowest precedence), parseAnd AND, parseNot NOT, and
+// parseComparison the relational operators.
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = binaryOp{kind: opOr, left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = binaryOp{kind: opAnd, left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.keyword("NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return notOp{inner: inner}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	if p.peek().kind == tokLParen {
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	if t := p.peek(); t.kind == tokIdent && strings.EqualFold(t.text, "EXISTS") {
+		p.next()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		operand, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		prop, ok := operand.(propAccess)
+		if !ok {
+			return nil, fmt.Errorf("query: EXISTS expects var.property at %d", t.pos)
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return existsOp{prop: prop}, nil
+	}
+
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	var kind binOpKind
+	switch t := p.peek(); {
+	case t.kind == tokEQ:
+		kind = opEQ
+	case t.kind == tokNE:
+		kind = opNE
+	case t.kind == tokLT:
+		kind = opLT
+	case t.kind == tokLE:
+		kind = opLE
+	case t.kind == tokGT:
+		kind = opGT
+	case t.kind == tokGE:
+		kind = opGE
+	case t.kind == tokIdent && strings.EqualFold(t.text, "CONTAINS"):
+		kind = opContains
+	case t.kind == tokIdent && strings.EqualFold(t.text, "STARTS"):
+		p.next()
+		if !p.keyword("WITH") {
+			return nil, fmt.Errorf("query: expected WITH after STARTS at %d", p.peek().pos)
+		}
+		right, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return binaryOp{kind: opStartsWith, left: left, right: right}, nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "ENDS"):
+		p.next()
+		if !p.keyword("WITH") {
+			return nil, fmt.Errorf("query: expected WITH after ENDS at %d", p.peek().pos)
+		}
+		right, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return binaryOp{kind: opEndsWith, left: left, right: right}, nil
+	default:
+		return nil, fmt.Errorf("query: expected comparison operator at %d, got %s", t.pos, t)
+	}
+	p.next()
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return binaryOp{kind: kind, left: left, right: right}, nil
+}
+
+// parseOperand parses a literal, variable, or var.property access.
+func (p *parser) parseOperand() (Expr, error) {
+	t := p.peek()
+	if t.kind == tokIdent && !isReserved(t.text) {
+		p.next()
+		if p.peek().kind == tokDot {
+			p.next()
+			key, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			return propAccess{varName: t.text, key: key.text}, nil
+		}
+		switch strings.ToLower(t.text) {
+		case "true":
+			return literal{pg.Bool(true)}, nil
+		case "false":
+			return literal{pg.Bool(false)}, nil
+		case "null":
+			return literal{pg.Null()}, nil
+		}
+		return varRef{name: t.text}, nil
+	}
+	v, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return literal{v}, nil
+}
+
+func isReserved(s string) bool {
+	switch strings.ToUpper(s) {
+	case "AND", "OR", "NOT", "RETURN", "WHERE", "ORDER", "BY", "SKIP",
+		"LIMIT", "ASC", "DESC", "CONTAINS", "STARTS", "ENDS", "WITH",
+		"EXISTS", "MATCH", "COUNT":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseReturnItems() ([]ReturnItem, error) {
+	var items []ReturnItem
+	for {
+		item, err := p.parseReturnItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		return items, nil
+	}
+}
+
+func (p *parser) parseReturnItem() (ReturnItem, error) {
+	if t := p.peek(); t.kind == tokIdent {
+		if agg, ok := aggKindOf(t.text); ok && p.tokens[p.pos+1].kind == tokLParen {
+			p.next()
+			p.next() // consume (
+			if agg == AggCount && p.peek().kind == tokStar {
+				p.next()
+				if _, err := p.expect(tokRParen); err != nil {
+					return ReturnItem{}, err
+				}
+				return ReturnItem{Agg: AggCount, Name: "count(*)"}, nil
+			}
+			inner, err := p.parseOperand()
+			if err != nil {
+				return ReturnItem{}, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return ReturnItem{}, err
+			}
+			return ReturnItem{Agg: agg, Expr: inner, Name: aggNames[agg] + "(" + inner.String() + ")"}, nil
+		}
+	}
+	expr, err := p.parseOperand()
+	if err != nil {
+		return ReturnItem{}, err
+	}
+	return ReturnItem{Expr: expr, Name: expr.String()}, nil
+}
+
+// aggKindOf recognizes aggregate function names (case-insensitive).
+func aggKindOf(name string) (AggKind, bool) {
+	switch strings.ToLower(name) {
+	case "count":
+		return AggCount, true
+	case "min":
+		return AggMin, true
+	case "max":
+		return AggMax, true
+	case "sum":
+		return AggSum, true
+	case "avg":
+		return AggAvg, true
+	default:
+		return AggNone, false
+	}
+}

@@ -1,0 +1,488 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"pghive/internal/pg"
+)
+
+// socialGraph builds the fixture: 3 people, 2 orgs, KNOWS and WORKS_AT.
+func socialGraph(t testing.TB) *pg.Graph {
+	t.Helper()
+	g := pg.NewGraph()
+	ann := g.AddNode([]string{"Person"}, pg.Properties{"name": pg.Str("Ann"), "age": pg.Int(34)})
+	bob := g.AddNode([]string{"Person"}, pg.Properties{"name": pg.Str("Bob"), "age": pg.Int(28)})
+	cat := g.AddNode([]string{"Person", "Admin"}, pg.Properties{"name": pg.Str("Cat"), "age": pg.Int(41)})
+	lab := g.AddNode([]string{"Org"}, pg.Properties{"name": pg.Str("GraphLab")})
+	inc := g.AddNode([]string{"Org"}, pg.Properties{"name": pg.Str("DataInc")})
+	mustEdge(t, g, "KNOWS", ann, bob, pg.Properties{"since": pg.Int(2015)})
+	mustEdge(t, g, "KNOWS", bob, cat, pg.Properties{"since": pg.Int(2020)})
+	mustEdge(t, g, "WORKS_AT", ann, lab, nil)
+	mustEdge(t, g, "WORKS_AT", bob, lab, nil)
+	mustEdge(t, g, "WORKS_AT", cat, inc, nil)
+	return g
+}
+
+func mustEdge(t testing.TB, g *pg.Graph, label string, src, dst pg.ID, props pg.Properties) {
+	t.Helper()
+	if _, err := g.AddEdge([]string{label}, src, dst, props); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runQ(t *testing.T, g *pg.Graph, q string) *Result {
+	t.Helper()
+	res, err := Run(g, q)
+	if err != nil {
+		t.Fatalf("query %q: %v", q, err)
+	}
+	return res
+}
+
+func TestMatchAllNodes(t *testing.T) {
+	g := socialGraph(t)
+	res := runQ(t, g, "MATCH (n) RETURN n")
+	if len(res.Rows) != 5 {
+		t.Errorf("got %d rows, want 5", len(res.Rows))
+	}
+}
+
+func TestMatchByLabel(t *testing.T) {
+	g := socialGraph(t)
+	res := runQ(t, g, "MATCH (p:Person) RETURN p.name ORDER BY p.name")
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	names := []string{}
+	for _, row := range res.Rows {
+		names = append(names, row[0].Value.AsString())
+	}
+	if strings.Join(names, ",") != "Ann,Bob,Cat" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestMatchMultiLabel(t *testing.T) {
+	g := socialGraph(t)
+	res := runQ(t, g, "MATCH (p:Person:Admin) RETURN p.name")
+	if len(res.Rows) != 1 || res.Rows[0][0].Value.AsString() != "Cat" {
+		t.Errorf("rows = %v, want just Cat", res.Rows)
+	}
+}
+
+func TestMatchInlineProps(t *testing.T) {
+	g := socialGraph(t)
+	res := runQ(t, g, `MATCH (p:Person {name: "Bob"}) RETURN p.age`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Value.AsInt() != 28 {
+		t.Errorf("rows = %v, want Bob's age 28", res.Rows)
+	}
+}
+
+func TestWhereComparisons(t *testing.T) {
+	g := socialGraph(t)
+	tests := []struct {
+		where string
+		want  int
+	}{
+		{"p.age > 30", 2},
+		{"p.age >= 34", 2},
+		{"p.age < 30", 1},
+		{"p.age <= 28", 1},
+		{"p.age = 41", 1},
+		{"p.age <> 41", 2},
+		{"p.name CONTAINS \"a\"", 1}, // Cat (case-sensitive)
+		{"p.age > 30 AND p.age < 40", 1},
+		{"p.age < 30 OR p.age > 40", 2},
+		{"NOT p.age < 40", 1},
+		{"(p.age < 30 OR p.age > 40) AND p.name = \"Cat\"", 1},
+	}
+	for _, tc := range tests {
+		res := runQ(t, g, "MATCH (p:Person) WHERE "+tc.where+" RETURN p")
+		if len(res.Rows) != tc.want {
+			t.Errorf("WHERE %s: got %d rows, want %d", tc.where, len(res.Rows), tc.want)
+		}
+	}
+}
+
+func TestWhereExists(t *testing.T) {
+	g := pg.NewGraph()
+	g.AddNode([]string{"X"}, pg.Properties{"a": pg.Int(1)})
+	g.AddNode([]string{"X"}, nil)
+	res := runQ(t, g, "MATCH (x:X) WHERE EXISTS(x.a) RETURN x")
+	if len(res.Rows) != 1 {
+		t.Errorf("EXISTS matched %d rows, want 1", len(res.Rows))
+	}
+	res = runQ(t, g, "MATCH (x:X) WHERE NOT EXISTS(x.a) RETURN x")
+	if len(res.Rows) != 1 {
+		t.Errorf("NOT EXISTS matched %d rows, want 1", len(res.Rows))
+	}
+}
+
+func TestPathPattern(t *testing.T) {
+	g := socialGraph(t)
+	res := runQ(t, g, `MATCH (p:Person)-[w:WORKS_AT]->(o:Org {name: "GraphLab"}) RETURN p.name ORDER BY p.name`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	if res.Rows[0][0].Value.AsString() != "Ann" || res.Rows[1][0].Value.AsString() != "Bob" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestPathDirection(t *testing.T) {
+	g := socialGraph(t)
+	// Incoming: who is known BY someone.
+	res := runQ(t, g, "MATCH (p:Person)<-[:KNOWS]-(q:Person) RETURN p.name ORDER BY p.name")
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (Bob, Cat)", len(res.Rows))
+	}
+	if res.Rows[0][0].Value.AsString() != "Bob" || res.Rows[1][0].Value.AsString() != "Cat" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	// Undirected matches both orientations.
+	res = runQ(t, g, "MATCH (p:Person)-[:KNOWS]-(q:Person) RETURN count(*)")
+	if res.Rows[0][0].Value.AsInt() != 4 {
+		t.Errorf("undirected KNOWS count = %v, want 4 (2 edges x 2 orientations)", res.Rows[0][0].Value)
+	}
+}
+
+func TestEdgePropertyPredicate(t *testing.T) {
+	g := socialGraph(t)
+	res := runQ(t, g, "MATCH (a)-[k:KNOWS]->(b) WHERE k.since >= 2020 RETURN a.name, b.name")
+	if len(res.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(res.Rows))
+	}
+	if res.Rows[0][0].Value.AsString() != "Bob" || res.Rows[0][1].Value.AsString() != "Cat" {
+		t.Errorf("row = %v", res.Rows[0])
+	}
+}
+
+func TestEdgeInlineProps(t *testing.T) {
+	g := socialGraph(t)
+	res := runQ(t, g, "MATCH (a)-[k:KNOWS {since: 2015}]->(b) RETURN b.name")
+	if len(res.Rows) != 1 || res.Rows[0][0].Value.AsString() != "Bob" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestAnonymousEdge(t *testing.T) {
+	g := socialGraph(t)
+	res := runQ(t, g, "MATCH (a:Person)-[]->(o:Org) RETURN count(*)")
+	if res.Rows[0][0].Value.AsInt() != 3 {
+		t.Errorf("count = %v, want 3", res.Rows[0][0].Value)
+	}
+	// A bare dash works too.
+	res = runQ(t, g, "MATCH (a:Person)-[w]->(o:Org) RETURN count(w)")
+	if res.Rows[0][0].Value.AsInt() != 3 {
+		t.Errorf("count = %v, want 3", res.Rows[0][0].Value)
+	}
+}
+
+func TestCountStar(t *testing.T) {
+	g := socialGraph(t)
+	res := runQ(t, g, "MATCH (n:Person) RETURN count(*)")
+	if len(res.Rows) != 1 || res.Rows[0][0].Value.AsInt() != 3 {
+		t.Errorf("count(*) = %v", res.Rows)
+	}
+	if res.Columns[0] != "count(*)" {
+		t.Errorf("column = %q", res.Columns[0])
+	}
+}
+
+func TestCountExprSkipsNulls(t *testing.T) {
+	g := pg.NewGraph()
+	g.AddNode([]string{"X"}, pg.Properties{"a": pg.Int(1)})
+	g.AddNode([]string{"X"}, nil)
+	res := runQ(t, g, "MATCH (x:X) RETURN count(x.a)")
+	if res.Rows[0][0].Value.AsInt() != 1 {
+		t.Errorf("count(x.a) = %v, want 1", res.Rows[0][0].Value)
+	}
+}
+
+func TestOrderSkipLimit(t *testing.T) {
+	g := socialGraph(t)
+	res := runQ(t, g, "MATCH (p:Person) RETURN p.name ORDER BY p.age DESC SKIP 1 LIMIT 1")
+	if len(res.Rows) != 1 || res.Rows[0][0].Value.AsString() != "Ann" {
+		t.Errorf("rows = %v, want [Ann] (middle age)", res.Rows)
+	}
+	// SKIP past the end.
+	res = runQ(t, g, "MATCH (p:Person) RETURN p ORDER BY p.age SKIP 10")
+	if len(res.Rows) != 0 {
+		t.Errorf("rows = %v, want none", res.Rows)
+	}
+}
+
+func TestReturnEntityCells(t *testing.T) {
+	g := socialGraph(t)
+	res := runQ(t, g, `MATCH (p:Person {name: "Ann"})-[w:WORKS_AT]->(o) RETURN p, w, o`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	row := res.Rows[0]
+	if row[0].Node == nil || row[1].Edge == nil || row[2].Node == nil {
+		t.Fatalf("cells not entity refs: %v", row)
+	}
+	if !strings.Contains(row[0].String(), "Person") {
+		t.Errorf("node cell = %q", row[0].String())
+	}
+	if !strings.Contains(row[1].String(), "WORKS_AT") {
+		t.Errorf("edge cell = %q", row[1].String())
+	}
+}
+
+func TestMissingPropertyIsNull(t *testing.T) {
+	g := socialGraph(t)
+	// Orgs lack age: comparisons against null are false, never errors.
+	res := runQ(t, g, "MATCH (o:Org) WHERE o.age > 0 RETURN o")
+	if len(res.Rows) != 0 {
+		t.Errorf("null comparison matched %d rows", len(res.Rows))
+	}
+	res = runQ(t, g, "MATCH (o:Org) WHERE o.age = o.age RETURN o")
+	if len(res.Rows) != 0 {
+		t.Errorf("null = null should be false, matched %d", len(res.Rows))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"RETURN 1",
+		"MATCH (n RETURN n",
+		"MATCH (n) WHERE RETURN n",
+		"MATCH (n) RETURN",
+		"MATCH (n) RETURN n LIMIT -1",
+		"MATCH (n) RETURN n extra",
+		"MATCH (n)-[r:]->(m) RETURN n",
+		"MATCH (n) WHERE n.age >> 3 RETURN n",
+		"MATCH (n) RETURN count(n",
+		"MATCH (n) WHERE EXISTS(42) RETURN n",
+		`MATCH (n {x: }) RETURN n`,
+		"MATCH (n) RETURN n ORDER RETURN",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, q := range []string{"MATCH (n) WHERE n.x = 'unterminated", "MATCH (`bad", "MATCH (n) WHERE n.x = @"} {
+		if _, err := lex(q); err == nil {
+			t.Errorf("lex(%q) should fail", q)
+		}
+	}
+}
+
+func TestRunUnknownVariable(t *testing.T) {
+	g := socialGraph(t)
+	if _, err := Run(g, "MATCH (p:Person) RETURN q.name"); err == nil {
+		t.Error("unknown variable should error")
+	}
+	if _, err := Run(g, "MATCH (p:Person) WHERE z.age > 1 RETURN p"); err == nil {
+		t.Error("unknown variable in WHERE should error")
+	}
+}
+
+func TestMixedCountAndPlainRejected(t *testing.T) {
+	g := socialGraph(t)
+	if _, err := Run(g, "MATCH (p:Person) RETURN count(*), p.name"); err == nil {
+		t.Error("mixed aggregation should error")
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	q, err := Parse(`MATCH (p:Person)-[k:KNOWS]->(q:Person) WHERE p.age > 30 RETURN p.name, count(*) ORDER BY p.name DESC SKIP 1 LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.String()
+	for _, want := range []string{"MATCH (p:Person)-[k:KNOWS]->(q:Person)", "WHERE (p.age > 30)", "RETURN p.name, count(*)", "ORDER BY p.name DESC", "SKIP 1", "LIMIT 5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestBacktickIdentifiers(t *testing.T) {
+	g := pg.NewGraph()
+	g.AddNode([]string{"Weird Label"}, pg.Properties{"odd key": pg.Int(1)})
+	res := runQ(t, g, "MATCH (n:`Weird Label`) WHERE n.`odd key` = 1 RETURN n")
+	if len(res.Rows) != 1 {
+		t.Errorf("backtick query matched %d rows", len(res.Rows))
+	}
+}
+
+func TestNegativeNumberLiteral(t *testing.T) {
+	g := pg.NewGraph()
+	g.AddNode([]string{"X"}, pg.Properties{"t": pg.Int(-5)})
+	res := runQ(t, g, "MATCH (x:X {t: -5}) RETURN x")
+	if len(res.Rows) != 1 {
+		t.Errorf("negative literal matched %d rows", len(res.Rows))
+	}
+}
+
+func TestBooleanLiterals(t *testing.T) {
+	g := pg.NewGraph()
+	g.AddNode([]string{"X"}, pg.Properties{"flag": pg.Bool(true)})
+	g.AddNode([]string{"X"}, pg.Properties{"flag": pg.Bool(false)})
+	res := runQ(t, g, "MATCH (x:X) WHERE x.flag = true RETURN x")
+	if len(res.Rows) != 1 {
+		t.Errorf("boolean predicate matched %d rows", len(res.Rows))
+	}
+}
+
+func TestNumericCrossKindEquality(t *testing.T) {
+	g := pg.NewGraph()
+	g.AddNode([]string{"X"}, pg.Properties{"v": pg.Float(3)})
+	res := runQ(t, g, "MATCH (x:X) WHERE x.v = 3 RETURN x")
+	if len(res.Rows) != 1 {
+		t.Errorf("3.0 = 3 should match, got %d rows", len(res.Rows))
+	}
+}
+
+func TestAdjacencyDriverMatchesFullScan(t *testing.T) {
+	// Unlabeled-edge patterns driven from a labeled endpoint must agree
+	// with the label-scan results in every direction.
+	g := socialGraph(t)
+	pairs := [][2]string{
+		{"MATCH (p:Person)-[]->(x) RETURN count(*)", "MATCH (p)-[]->(x) WHERE EXISTS(p.age) RETURN count(*)"},
+		{"MATCH (p:Person)<-[]-(x) RETURN count(*)", "MATCH (p)<-[]-(x) WHERE EXISTS(p.age) RETURN count(*)"},
+		{"MATCH (p:Person)-[]-(x) RETURN count(*)", "MATCH (p)-[]-(x) WHERE EXISTS(p.age) RETURN count(*)"},
+		{"MATCH (x)-[]->(o:Org) RETURN count(*)", "MATCH (x)-[]->(o) WHERE EXISTS(o.name) AND NOT EXISTS(o.age) RETURN count(*)"},
+	}
+	for _, pair := range pairs {
+		fast := runQ(t, g, pair[0]).Rows[0][0].Value.AsInt()
+		slow := runQ(t, g, pair[1]).Rows[0][0].Value.AsInt()
+		if fast != slow {
+			t.Errorf("%q = %d but full scan %q = %d", pair[0], fast, pair[1], slow)
+		}
+	}
+}
+
+func TestAdjacencyDriverNoDuplicateUndirected(t *testing.T) {
+	// A self-referencing undirected pattern must not double-count edges
+	// reached via both adjacency lists of one node.
+	g := pg.NewGraph()
+	a := g.AddNode([]string{"X"}, nil)
+	b := g.AddNode([]string{"X"}, nil)
+	mustEdge(t, g, "R", a, b, nil)
+	res := runQ(t, g, "MATCH (p:X)-[]-(q:X) RETURN count(*)")
+	// One edge, two orientations, reachable from both endpoints: the match
+	// count is per-orientation (2), not per-adjacency-visit (4).
+	if res.Rows[0][0].Value.AsInt() != 2 {
+		t.Errorf("undirected count = %v, want 2", res.Rows[0][0].Value)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	g := socialGraph(t) // ages 34, 28, 41
+	res := runQ(t, g, "MATCH (p:Person) RETURN min(p.age), max(p.age), sum(p.age), avg(p.age), count(p.age)")
+	row := res.Rows[0]
+	if row[0].Value.AsInt() != 28 {
+		t.Errorf("min = %v, want 28", row[0].Value)
+	}
+	if row[1].Value.AsInt() != 41 {
+		t.Errorf("max = %v, want 41", row[1].Value)
+	}
+	if row[2].Value.AsFloat() != 103 {
+		t.Errorf("sum = %v, want 103", row[2].Value)
+	}
+	if got := row[3].Value.AsFloat(); got < 34.3 || got > 34.4 {
+		t.Errorf("avg = %v, want 103/3", got)
+	}
+	if row[4].Value.AsInt() != 3 {
+		t.Errorf("count = %v, want 3", row[4].Value)
+	}
+}
+
+func TestAggregateMinMaxStrings(t *testing.T) {
+	g := socialGraph(t)
+	res := runQ(t, g, "MATCH (p:Person) RETURN min(p.name), max(p.name)")
+	if res.Rows[0][0].Value.AsString() != "Ann" || res.Rows[0][1].Value.AsString() != "Cat" {
+		t.Errorf("string min/max = %v", res.Rows[0])
+	}
+}
+
+func TestAggregateAvgOverNoNumericIsNull(t *testing.T) {
+	g := socialGraph(t)
+	res := runQ(t, g, "MATCH (p:Person) RETURN avg(p.name)")
+	if !res.Rows[0][0].Value.IsNull() {
+		t.Errorf("avg over strings = %v, want null", res.Rows[0][0].Value)
+	}
+}
+
+func TestAggregateSkipsNulls(t *testing.T) {
+	g := socialGraph(t)
+	// Orgs have no age: every aggregate sees zero observations.
+	res := runQ(t, g, "MATCH (o:Org) RETURN min(o.age), count(o.age), sum(o.age)")
+	row := res.Rows[0]
+	if !row[0].Value.IsNull() {
+		t.Errorf("min over empty = %v, want null", row[0].Value)
+	}
+	if row[1].Value.AsInt() != 0 {
+		t.Errorf("count over empty = %v, want 0", row[1].Value)
+	}
+	if row[2].Value.AsFloat() != 0 {
+		t.Errorf("sum over empty = %v, want 0", row[2].Value)
+	}
+}
+
+func TestAggregateMixedWithPlainRejected(t *testing.T) {
+	g := socialGraph(t)
+	if _, err := Run(g, "MATCH (p:Person) RETURN min(p.age), p.name"); err == nil {
+		t.Error("mixed aggregate and plain item should error")
+	}
+}
+
+func TestAggregateNameNotReservedAsVariable(t *testing.T) {
+	// A variable named "min" still works when not followed by '('.
+	g := pg.NewGraph()
+	g.AddNode([]string{"X"}, pg.Properties{"v": pg.Int(1)})
+	res := runQ(t, g, "MATCH (q:X) RETURN q.v")
+	if res.Rows[0][0].Value.AsInt() != 1 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestStartsEndsWith(t *testing.T) {
+	g := socialGraph(t)
+	tests := []struct {
+		where string
+		want  int
+	}{
+		{`p.name STARTS WITH "A"`, 1}, // Ann
+		{`p.name ENDS WITH "t"`, 1},   // Cat
+		{`p.name STARTS WITH ""`, 3},  // everyone
+		{`p.name ENDS WITH "nope"`, 0},
+		{`NOT p.name STARTS WITH "A"`, 2},
+	}
+	for _, tc := range tests {
+		res := runQ(t, g, "MATCH (p:Person) WHERE "+tc.where+" RETURN p")
+		if len(res.Rows) != tc.want {
+			t.Errorf("WHERE %s: got %d rows, want %d", tc.where, len(res.Rows), tc.want)
+		}
+	}
+}
+
+func TestStartsEndsWithParseErrors(t *testing.T) {
+	for _, q := range []string{
+		`MATCH (p) WHERE p.x STARTS p.y RETURN p`,
+		`MATCH (p) WHERE p.x ENDS "z" RETURN p`,
+	} {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestStartsWithRendersAndReparses(t *testing.T) {
+	q, err := Parse(`MATCH (p:Person) WHERE p.name STARTS WITH "A" AND p.name ENDS WITH "n" RETURN p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(q.String()); err != nil {
+		t.Fatalf("rendered %q does not re-parse: %v", q.String(), err)
+	}
+}

@@ -1,0 +1,185 @@
+package schema
+
+import (
+	"fmt"
+
+	"pghive/internal/pg"
+)
+
+// Cardinality is the inferred edge-type cardinality. The names follow the
+// paper's mapping verbatim (§4.4): only edges are scanned, so lower bounds
+// are unknown; the pair (max_out, max_in) maps to (1,1) → 0:1,
+// (>1,1) → N:1, (1,>1) → 0:N, (>1,>1) → M:N.
+type Cardinality uint8
+
+// Cardinality values.
+const (
+	CardUnknown Cardinality = iota
+	CardZeroOne             // (1, 1)
+	CardNOne                // (>1, 1)
+	CardZeroN               // (1, >1)
+	CardMN                  // (>1, >1)
+)
+
+// String returns the paper's spelling.
+func (c Cardinality) String() string {
+	switch c {
+	case CardZeroOne:
+		return "0:1"
+	case CardNOne:
+		return "N:1"
+	case CardZeroN:
+		return "0:N"
+	case CardMN:
+		return "M:N"
+	default:
+		return "?"
+	}
+}
+
+// CardinalityFromDegrees applies the paper's mapping to an observed degree
+// pair. Degrees of zero (an edge type with no instances) map to
+// CardUnknown.
+func CardinalityFromDegrees(d pg.DegreePair) Cardinality {
+	if d.MaxOut <= 0 || d.MaxIn <= 0 {
+		return CardUnknown
+	}
+	switch {
+	case d.MaxOut == 1 && d.MaxIn == 1:
+		return CardZeroOne
+	case d.MaxOut > 1 && d.MaxIn == 1:
+		return CardNOne
+	case d.MaxOut == 1 && d.MaxIn > 1:
+		return CardZeroN
+	default:
+		return CardMN
+	}
+}
+
+// PropertyDef is a finalized property of a type: its key, inferred data
+// type, MANDATORY/OPTIONAL constraint (Definitions 3.2/3.3), and the
+// value-level constraints PG-HIVE discovers beyond §4.4: key candidacy,
+// enumerations and numeric ranges.
+type PropertyDef struct {
+	Key       string
+	DataType  pg.Kind
+	Mandatory bool
+	// Frequency is f_T(p): the fraction of the type's instances carrying
+	// the property (1.0 for mandatory ones).
+	Frequency float64
+	// Unique marks a key candidate (PG-Keys style): the property is
+	// mandatory and every observed value is distinct.
+	Unique bool
+	// Enum lists the closed value set when the property takes few distinct
+	// values over enough observations; nil otherwise.
+	Enum []string
+	// HasRange marks numeric properties with an observed [MinNum, MaxNum]
+	// range.
+	HasRange bool
+	MinNum   float64
+	MaxNum   float64
+}
+
+// NodeTypeDef is a finalized node type ready for serialization.
+type NodeTypeDef struct {
+	// Name is the display name: the label-set key, or "Abstract<N>" for
+	// abstract types.
+	Name       string
+	Labels     []string
+	Abstract   bool
+	Properties []PropertyDef
+	Instances  int
+}
+
+// EdgeTypeDef is a finalized edge type.
+type EdgeTypeDef struct {
+	Name       string
+	Labels     []string
+	Abstract   bool
+	Properties []PropertyDef
+	Instances  int
+	// SrcTypes and DstTypes are the names of the node types this edge type
+	// connects (ρ_s of Definition 3.4); multiple entries mean the endpoints
+	// span several node types.
+	SrcTypes []string
+	DstTypes []string
+	// Cardinality is the inferred constraint with its degree evidence.
+	Cardinality Cardinality
+	MaxOut      int
+	MaxIn       int
+	// SrcTotal and DstTotal report total participation: every instance of
+	// the source (resp. target) node types carries at least one edge of
+	// this type, upgrading the paper's unknown lower bound from 0 to 1
+	// (§4.4's future-work analysis, computed when Options.Participation is
+	// set).
+	SrcTotal bool
+	DstTotal bool
+}
+
+// CardinalityString renders the cardinality with participation-refined
+// lower bounds: the paper's "0" components (unknowable lower bounds when
+// only edges are scanned) upgrade to "1" once participation analysis
+// proves every source-type instance carries such an edge.
+func (e *EdgeTypeDef) CardinalityString() string {
+	switch e.Cardinality {
+	case CardZeroOne:
+		if e.SrcTotal {
+			return "1:1"
+		}
+		return "0:1"
+	case CardZeroN:
+		if e.SrcTotal {
+			return "1:N"
+		}
+		return "0:N"
+	default:
+		return e.Cardinality.String()
+	}
+}
+
+// Def is a finalized schema graph: the output of post-processing, the input
+// to every serializer.
+type Def struct {
+	Nodes []NodeTypeDef
+	Edges []EdgeTypeDef
+}
+
+// NodeType returns the node type definition with the given name, or nil.
+func (d *Def) NodeType(name string) *NodeTypeDef {
+	for i := range d.Nodes {
+		if d.Nodes[i].Name == name {
+			return &d.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// EdgeType returns the edge type definition with the given name, or nil.
+func (d *Def) EdgeType(name string) *EdgeTypeDef {
+	for i := range d.Edges {
+		if d.Edges[i].Name == name {
+			return &d.Edges[i]
+		}
+	}
+	return nil
+}
+
+// Property returns the property definition with the given key from a
+// definition's property list, or nil.
+func Property(props []PropertyDef, key string) *PropertyDef {
+	for i := range props {
+		if props[i].Key == key {
+			return &props[i]
+		}
+	}
+	return nil
+}
+
+// TypeName renders a display name for a type: its label key, or a stable
+// abstract placeholder.
+func TypeName(t *Type, abstractIdx int) string {
+	if t.Labeled() {
+		return t.LabelKey()
+	}
+	return fmt.Sprintf("Abstract%d", abstractIdx)
+}

@@ -1,0 +1,208 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ChangeKind classifies one schema evolution step between two finalized
+// definitions (e.g. two incremental snapshots, §4.6).
+type ChangeKind uint8
+
+// Change kinds.
+const (
+	// TypeAdded: a node or edge type exists only in the newer schema.
+	TypeAdded ChangeKind = iota
+	// TypeRemoved: a type disappeared (cannot happen under monotone
+	// incremental merging; surfaces manual edits).
+	TypeRemoved
+	// PropertyAdded / PropertyRemoved: a property (dis)appeared on a type.
+	PropertyAdded
+	PropertyRemoved
+	// DataTypeChanged: the inferred data type generalized or changed.
+	DataTypeChanged
+	// ConstraintRelaxed: a MANDATORY property became OPTIONAL (new
+	// instances arrived without it).
+	ConstraintRelaxed
+	// ConstraintTightened: an OPTIONAL property became MANDATORY.
+	ConstraintTightened
+	// CardinalityChanged: an edge type's cardinality class changed.
+	CardinalityChanged
+	// KeyGained / KeyLost: a property's uniqueness constraint appeared or
+	// disappeared (a duplicate value arrived).
+	KeyGained
+	KeyLost
+)
+
+// String names the change kind.
+func (k ChangeKind) String() string {
+	switch k {
+	case TypeAdded:
+		return "type added"
+	case TypeRemoved:
+		return "type removed"
+	case PropertyAdded:
+		return "property added"
+	case PropertyRemoved:
+		return "property removed"
+	case DataTypeChanged:
+		return "data type changed"
+	case ConstraintRelaxed:
+		return "constraint relaxed"
+	case ConstraintTightened:
+		return "constraint tightened"
+	case CardinalityChanged:
+		return "cardinality changed"
+	case KeyGained:
+		return "key constraint gained"
+	case KeyLost:
+		return "key constraint lost"
+	default:
+		return fmt.Sprintf("change(%d)", uint8(k))
+	}
+}
+
+// Change is one schema evolution entry.
+type Change struct {
+	Kind ChangeKind
+	// TypeName identifies the affected type; IsEdge selects the space.
+	TypeName string
+	IsEdge   bool
+	// Property is set for property-level changes.
+	Property string
+	// Detail describes the transition (e.g. "INT -> DOUBLE").
+	Detail string
+}
+
+// String renders the change.
+func (c Change) String() string {
+	el := "node type"
+	if c.IsEdge {
+		el = "edge type"
+	}
+	out := fmt.Sprintf("%s %s: %s", el, c.TypeName, c.Kind)
+	if c.Property != "" {
+		out += " " + c.Property
+	}
+	if c.Detail != "" {
+		out += " (" + c.Detail + ")"
+	}
+	return out
+}
+
+// Diff compares two finalized schemas and returns the changes from old to
+// new, deterministically ordered (types by name, properties by key). Under
+// the monotone incremental merge the result contains no removals, only
+// additions and relaxations — a violated expectation signals external
+// schema edits.
+func Diff(old, new *Def) []Change {
+	var changes []Change
+	changes = append(changes, diffTypes(nodeMapOf(old), nodeMapOf(new), false)...)
+	changes = append(changes, diffTypes(edgeMapOf(old), edgeMapOf(new), true)...)
+	return changes
+}
+
+// typeView is the common shape diffing needs from node and edge types.
+type typeView struct {
+	props       []PropertyDef
+	cardinality string
+}
+
+func nodeMapOf(d *Def) map[string]typeView {
+	out := make(map[string]typeView, len(d.Nodes))
+	for i := range d.Nodes {
+		out[d.Nodes[i].Name] = typeView{props: d.Nodes[i].Properties}
+	}
+	return out
+}
+
+func edgeMapOf(d *Def) map[string]typeView {
+	out := make(map[string]typeView, len(d.Edges))
+	for i := range d.Edges {
+		out[d.Edges[i].Name] = typeView{
+			props:       d.Edges[i].Properties,
+			cardinality: d.Edges[i].CardinalityString(),
+		}
+	}
+	return out
+}
+
+func diffTypes(old, new map[string]typeView, isEdge bool) []Change {
+	var changes []Change
+	for _, name := range sortedNames(new) {
+		nv := new[name]
+		ov, existed := old[name]
+		if !existed {
+			changes = append(changes, Change{Kind: TypeAdded, TypeName: name, IsEdge: isEdge})
+			continue
+		}
+		changes = append(changes, diffProps(name, isEdge, ov.props, nv.props)...)
+		if isEdge && ov.cardinality != nv.cardinality {
+			changes = append(changes, Change{
+				Kind: CardinalityChanged, TypeName: name, IsEdge: isEdge,
+				Detail: ov.cardinality + " -> " + nv.cardinality,
+			})
+		}
+	}
+	for _, name := range sortedNames(old) {
+		if _, ok := new[name]; !ok {
+			changes = append(changes, Change{Kind: TypeRemoved, TypeName: name, IsEdge: isEdge})
+		}
+	}
+	return changes
+}
+
+func sortedNames(m map[string]typeView) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func diffProps(typeName string, isEdge bool, old, new []PropertyDef) []Change {
+	var changes []Change
+	oldByKey := map[string]*PropertyDef{}
+	for i := range old {
+		oldByKey[old[i].Key] = &old[i]
+	}
+	for i := range new {
+		np := &new[i]
+		op, existed := oldByKey[np.Key]
+		if !existed {
+			changes = append(changes, Change{Kind: PropertyAdded, TypeName: typeName, IsEdge: isEdge, Property: np.Key})
+			continue
+		}
+		if op.DataType != np.DataType {
+			changes = append(changes, Change{
+				Kind: DataTypeChanged, TypeName: typeName, IsEdge: isEdge, Property: np.Key,
+				Detail: op.DataType.String() + " -> " + np.DataType.String(),
+			})
+		}
+		switch {
+		case op.Mandatory && !np.Mandatory:
+			changes = append(changes, Change{Kind: ConstraintRelaxed, TypeName: typeName, IsEdge: isEdge, Property: np.Key,
+				Detail: "MANDATORY -> OPTIONAL"})
+		case !op.Mandatory && np.Mandatory:
+			changes = append(changes, Change{Kind: ConstraintTightened, TypeName: typeName, IsEdge: isEdge, Property: np.Key,
+				Detail: "OPTIONAL -> MANDATORY"})
+		}
+		switch {
+		case !op.Unique && np.Unique:
+			changes = append(changes, Change{Kind: KeyGained, TypeName: typeName, IsEdge: isEdge, Property: np.Key})
+		case op.Unique && !np.Unique:
+			changes = append(changes, Change{Kind: KeyLost, TypeName: typeName, IsEdge: isEdge, Property: np.Key})
+		}
+	}
+	newKeys := map[string]struct{}{}
+	for i := range new {
+		newKeys[new[i].Key] = struct{}{}
+	}
+	for i := range old {
+		if _, ok := newKeys[old[i].Key]; !ok {
+			changes = append(changes, Change{Kind: PropertyRemoved, TypeName: typeName, IsEdge: isEdge, Property: old[i].Key})
+		}
+	}
+	return changes
+}

@@ -1,0 +1,136 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"pghive/internal/pg"
+)
+
+func defWith(nodes []NodeTypeDef, edges []EdgeTypeDef) *Def {
+	return &Def{Nodes: nodes, Edges: edges}
+}
+
+func TestDiffNoChanges(t *testing.T) {
+	d := defWith(
+		[]NodeTypeDef{{Name: "A", Properties: []PropertyDef{{Key: "x", DataType: pg.KindInt, Mandatory: true}}}},
+		[]EdgeTypeDef{{Name: "R", Cardinality: CardMN}},
+	)
+	if changes := Diff(d, d); len(changes) != 0 {
+		t.Errorf("identical defs should diff empty, got %v", changes)
+	}
+}
+
+func TestDiffTypeAddedRemoved(t *testing.T) {
+	old := defWith([]NodeTypeDef{{Name: "A"}}, nil)
+	new := defWith([]NodeTypeDef{{Name: "B"}}, nil)
+	changes := Diff(old, new)
+	if len(changes) != 2 {
+		t.Fatalf("got %v, want added B + removed A", changes)
+	}
+	if changes[0].Kind != TypeAdded || changes[0].TypeName != "B" {
+		t.Errorf("first change = %v, want B added", changes[0])
+	}
+	if changes[1].Kind != TypeRemoved || changes[1].TypeName != "A" {
+		t.Errorf("second change = %v, want A removed", changes[1])
+	}
+}
+
+func TestDiffPropertyLifecycle(t *testing.T) {
+	old := defWith([]NodeTypeDef{{Name: "A", Properties: []PropertyDef{
+		{Key: "keep", DataType: pg.KindInt, Mandatory: true},
+		{Key: "gone", DataType: pg.KindString},
+	}}}, nil)
+	new := defWith([]NodeTypeDef{{Name: "A", Properties: []PropertyDef{
+		{Key: "keep", DataType: pg.KindFloat, Mandatory: false}, // widened + relaxed
+		{Key: "fresh", DataType: pg.KindBool},
+	}}}, nil)
+	changes := Diff(old, new)
+	byKind := map[ChangeKind]int{}
+	for _, c := range changes {
+		byKind[c.Kind]++
+	}
+	want := map[ChangeKind]int{
+		PropertyAdded: 1, PropertyRemoved: 1, DataTypeChanged: 1, ConstraintRelaxed: 1,
+	}
+	for k, n := range want {
+		if byKind[k] != n {
+			t.Errorf("%v count = %d, want %d (all: %v)", k, byKind[k], n, changes)
+		}
+	}
+}
+
+func TestDiffConstraintTightened(t *testing.T) {
+	old := defWith([]NodeTypeDef{{Name: "A", Properties: []PropertyDef{{Key: "x", Mandatory: false}}}}, nil)
+	new := defWith([]NodeTypeDef{{Name: "A", Properties: []PropertyDef{{Key: "x", Mandatory: true}}}}, nil)
+	changes := Diff(old, new)
+	if len(changes) != 1 || changes[0].Kind != ConstraintTightened {
+		t.Errorf("changes = %v, want one tightening", changes)
+	}
+}
+
+func TestDiffCardinalityChanged(t *testing.T) {
+	old := defWith(nil, []EdgeTypeDef{{Name: "R", Cardinality: CardZeroOne}})
+	new := defWith(nil, []EdgeTypeDef{{Name: "R", Cardinality: CardZeroN}})
+	changes := Diff(old, new)
+	if len(changes) != 1 || changes[0].Kind != CardinalityChanged {
+		t.Fatalf("changes = %v, want one cardinality change", changes)
+	}
+	if changes[0].Detail != "0:1 -> 0:N" {
+		t.Errorf("Detail = %q", changes[0].Detail)
+	}
+	if !changes[0].IsEdge {
+		t.Error("cardinality change should be on an edge type")
+	}
+}
+
+func TestDiffIncrementalMonotone(t *testing.T) {
+	// A snapshot diffed against a later (grown) snapshot has no removals.
+	old := defWith([]NodeTypeDef{
+		{Name: "A", Properties: []PropertyDef{{Key: "x", DataType: pg.KindInt, Mandatory: true}}},
+	}, nil)
+	new := defWith([]NodeTypeDef{
+		{Name: "A", Properties: []PropertyDef{
+			{Key: "x", DataType: pg.KindInt, Mandatory: false},
+			{Key: "y", DataType: pg.KindString},
+		}},
+		{Name: "B"},
+	}, nil)
+	for _, c := range Diff(old, new) {
+		if c.Kind == TypeRemoved || c.Kind == PropertyRemoved {
+			t.Errorf("monotone growth should not produce removals: %v", c)
+		}
+	}
+}
+
+func TestChangeString(t *testing.T) {
+	c := Change{Kind: DataTypeChanged, TypeName: "A", Property: "x", Detail: "INT -> DOUBLE"}
+	s := c.String()
+	for _, want := range []string{"node type A", "data type changed", "x", "INT -> DOUBLE"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestDiffKeyTransitions(t *testing.T) {
+	old := defWith([]NodeTypeDef{{Name: "A", Properties: []PropertyDef{
+		{Key: "id", Unique: true},
+		{Key: "code", Unique: false},
+	}}}, nil)
+	new := defWith([]NodeTypeDef{{Name: "A", Properties: []PropertyDef{
+		{Key: "id", Unique: false}, // a duplicate arrived
+		{Key: "code", Unique: true},
+	}}}, nil)
+	changes := Diff(old, new)
+	kinds := map[ChangeKind]string{}
+	for _, c := range changes {
+		kinds[c.Kind] = c.Property
+	}
+	if kinds[KeyLost] != "id" {
+		t.Errorf("want key lost on id, got %v", changes)
+	}
+	if kinds[KeyGained] != "code" {
+		t.Errorf("want key gained on code, got %v", changes)
+	}
+}

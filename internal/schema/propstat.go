@@ -1,0 +1,155 @@
+package schema
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"pghive/internal/pg"
+)
+
+// Value-evidence limits.
+const (
+	// EnumCap is the maximum number of distinct values a property may have
+	// to be reported as an enumeration.
+	EnumCap = 16
+	// distinctHashCap bounds the memory spent checking uniqueness; beyond
+	// it, uniqueness is reported as unknown (not a key).
+	distinctHashCap = 1 << 20
+)
+
+// ValueStat accumulates value-level evidence for one property: enough to
+// decide key constraints (all values distinct and present on every
+// instance), enumerations (few distinct values), and numeric/temporal
+// ranges. It extends PG-HIVE beyond the paper's §4.4 with the future-work
+// items it names: key constraints (intro contribution list) and
+// enumerations/bounded ranges.
+type ValueStat struct {
+	// hashes holds hashes of observed values while all are distinct; once
+	// a duplicate appears the set is dropped.
+	hashes map[uint64]struct{}
+	// dup reports a duplicate value was observed.
+	dup bool
+	// overflow reports the distinct tracking cap was hit.
+	overflow bool
+
+	// enum holds up to EnumCap+1 distinct rendered values.
+	enum map[string]struct{}
+
+	// Numeric and temporal ranges (valid when the counts are nonzero).
+	numCount int
+	minNum   float64
+	maxNum   float64
+}
+
+// NewValueStat returns an empty accumulator.
+func NewValueStat() *ValueStat {
+	return &ValueStat{
+		hashes: map[uint64]struct{}{},
+		enum:   map[string]struct{}{},
+	}
+}
+
+// Observe folds one value in.
+func (s *ValueStat) Observe(v pg.Value) {
+	rendered := v.String()
+
+	if !s.dup && !s.overflow {
+		h := fnv.New64a()
+		h.Write([]byte{byte(v.Kind())})
+		h.Write([]byte(rendered))
+		sum := h.Sum64()
+		if _, seen := s.hashes[sum]; seen {
+			s.dup = true
+			s.hashes = nil
+		} else if len(s.hashes) >= distinctHashCap {
+			s.overflow = true
+			s.hashes = nil
+		} else {
+			s.hashes[sum] = struct{}{}
+		}
+	}
+
+	if len(s.enum) <= EnumCap {
+		s.enum[rendered] = struct{}{}
+	}
+
+	switch v.Kind() {
+	case pg.KindInt, pg.KindFloat:
+		f := v.AsFloat()
+		if s.numCount == 0 || f < s.minNum {
+			s.minNum = f
+		}
+		if s.numCount == 0 || f > s.maxNum {
+			s.maxNum = f
+		}
+		s.numCount++
+	}
+}
+
+// Merge folds other into s. Uniqueness across two accumulators cannot be
+// certified from hashes of disjoint batches alone, so the merged set keeps
+// checking against the union while both sides are still duplicate-free.
+func (s *ValueStat) Merge(other *ValueStat) {
+	if other.dup {
+		s.dup = true
+		s.hashes = nil
+	}
+	if other.overflow {
+		s.overflow = true
+		s.hashes = nil
+	}
+	if !s.dup && !s.overflow {
+		for h := range other.hashes {
+			if _, seen := s.hashes[h]; seen {
+				s.dup = true
+				s.hashes = nil
+				break
+			}
+			if len(s.hashes) >= distinctHashCap {
+				s.overflow = true
+				s.hashes = nil
+				break
+			}
+			s.hashes[h] = struct{}{}
+		}
+	}
+	for v := range other.enum {
+		if len(s.enum) > EnumCap {
+			break
+		}
+		s.enum[v] = struct{}{}
+	}
+	if other.numCount > 0 {
+		if s.numCount == 0 || other.minNum < s.minNum {
+			s.minNum = other.minNum
+		}
+		if s.numCount == 0 || other.maxNum > s.maxNum {
+			s.maxNum = other.maxNum
+		}
+		s.numCount += other.numCount
+	}
+}
+
+// AllDistinct reports whether every observed value was distinct (false
+// when unknown due to overflow).
+func (s *ValueStat) AllDistinct() bool { return !s.dup && !s.overflow }
+
+// EnumValues returns the sorted distinct values if the property looks like
+// an enumeration (at most EnumCap distinct values), else nil.
+func (s *ValueStat) EnumValues() []string {
+	if len(s.enum) == 0 || len(s.enum) > EnumCap {
+		return nil
+	}
+	out := make([]string, 0, len(s.enum))
+	for v := range s.enum {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumRange returns the observed numeric range and whether any numeric
+// value was seen.
+func (s *ValueStat) NumRange() (min, max float64, ok bool) {
+	return s.minNum, s.maxNum, s.numCount > 0
+}

@@ -1,0 +1,172 @@
+package schema
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"pghive/internal/pg"
+)
+
+func TestValueStatAllDistinct(t *testing.T) {
+	s := NewValueStat()
+	for i := 0; i < 100; i++ {
+		s.Observe(pg.Int(int64(i)))
+	}
+	if !s.AllDistinct() {
+		t.Error("100 distinct ints should be AllDistinct")
+	}
+	s.Observe(pg.Int(5))
+	if s.AllDistinct() {
+		t.Error("duplicate should clear AllDistinct")
+	}
+	// Further observations keep it cleared.
+	s.Observe(pg.Int(999))
+	if s.AllDistinct() {
+		t.Error("AllDistinct must stay false")
+	}
+}
+
+func TestValueStatKindDisambiguation(t *testing.T) {
+	// Int(1) and Str("1") render identically but differ in kind; they must
+	// not count as duplicates.
+	s := NewValueStat()
+	s.Observe(pg.Int(1))
+	s.Observe(pg.Str("1"))
+	if !s.AllDistinct() {
+		t.Error("same text, different kinds should stay distinct")
+	}
+}
+
+func TestValueStatEnum(t *testing.T) {
+	s := NewValueStat()
+	for i := 0; i < 50; i++ {
+		s.Observe(pg.Str([]string{"red", "green", "blue"}[i%3]))
+	}
+	enum := s.EnumValues()
+	want := []string{"blue", "green", "red"}
+	if len(enum) != 3 || enum[0] != want[0] || enum[1] != want[1] || enum[2] != want[2] {
+		t.Errorf("EnumValues = %v, want %v", enum, want)
+	}
+}
+
+func TestValueStatEnumOverflow(t *testing.T) {
+	s := NewValueStat()
+	for i := 0; i <= EnumCap; i++ {
+		s.Observe(pg.Str(fmt.Sprintf("v%02d", i)))
+	}
+	if s.EnumValues() != nil {
+		t.Errorf("more than %d distinct values should not be an enum", EnumCap)
+	}
+}
+
+func TestValueStatEmptyEnum(t *testing.T) {
+	if NewValueStat().EnumValues() != nil {
+		t.Error("empty stat should have no enum")
+	}
+}
+
+func TestValueStatNumRange(t *testing.T) {
+	s := NewValueStat()
+	if _, _, ok := s.NumRange(); ok {
+		t.Error("empty stat should have no range")
+	}
+	s.Observe(pg.Int(10))
+	s.Observe(pg.Float(-2.5))
+	s.Observe(pg.Int(100))
+	s.Observe(pg.Str("not numeric"))
+	min, max, ok := s.NumRange()
+	if !ok || min != -2.5 || max != 100 {
+		t.Errorf("range = (%v, %v, %v), want (-2.5, 100, true)", min, max, ok)
+	}
+}
+
+func TestValueStatMergeDetectsCrossBatchDuplicate(t *testing.T) {
+	a, b := NewValueStat(), NewValueStat()
+	a.Observe(pg.Int(1))
+	a.Observe(pg.Int(2))
+	b.Observe(pg.Int(2)) // duplicate across batches
+	b.Observe(pg.Int(3))
+	a.Merge(b)
+	if a.AllDistinct() {
+		t.Error("cross-batch duplicate must clear AllDistinct")
+	}
+}
+
+func TestValueStatMergeKeepsDistinct(t *testing.T) {
+	a, b := NewValueStat(), NewValueStat()
+	a.Observe(pg.Int(1))
+	b.Observe(pg.Int(2))
+	a.Merge(b)
+	if !a.AllDistinct() {
+		t.Error("disjoint values should stay distinct after merge")
+	}
+}
+
+func TestValueStatMergeCombinesRangesAndEnums(t *testing.T) {
+	a, b := NewValueStat(), NewValueStat()
+	a.Observe(pg.Int(5))
+	a.Observe(pg.Str("x"))
+	b.Observe(pg.Int(-5))
+	b.Observe(pg.Str("y"))
+	a.Merge(b)
+	min, max, ok := a.NumRange()
+	if !ok || min != -5 || max != 5 {
+		t.Errorf("merged range = (%v, %v), want (-5, 5)", min, max)
+	}
+	if len(a.EnumValues()) != 4 {
+		t.Errorf("merged enum = %v, want 4 values", a.EnumValues())
+	}
+}
+
+func TestValueStatMergePropagatesDup(t *testing.T) {
+	a, b := NewValueStat(), NewValueStat()
+	b.Observe(pg.Int(1))
+	b.Observe(pg.Int(1))
+	a.Merge(b)
+	if a.AllDistinct() {
+		t.Error("merging a dup-containing stat must clear AllDistinct")
+	}
+}
+
+func TestValueStatQuickDistinctInvariant(t *testing.T) {
+	// AllDistinct ⟺ no rendered (kind, value) pair repeats.
+	f := func(vals []int16) bool {
+		s := NewValueStat()
+		seen := map[int16]bool{}
+		hasDup := false
+		for _, v := range vals {
+			if seen[v] {
+				hasDup = true
+			}
+			seen[v] = true
+			s.Observe(pg.Int(int64(v)))
+		}
+		return s.AllDistinct() == !hasDup
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCardinalityStringParticipation(t *testing.T) {
+	tests := []struct {
+		card     Cardinality
+		srcTotal bool
+		want     string
+	}{
+		{CardZeroOne, false, "0:1"},
+		{CardZeroOne, true, "1:1"},
+		{CardZeroN, false, "0:N"},
+		{CardZeroN, true, "1:N"},
+		{CardNOne, true, "N:1"},
+		{CardMN, true, "M:N"},
+		{CardUnknown, true, "?"},
+	}
+	for _, tc := range tests {
+		e := &EdgeTypeDef{Cardinality: tc.card, SrcTotal: tc.srcTotal}
+		if got := e.CardinalityString(); got != tc.want {
+			t.Errorf("CardinalityString(%v, total=%v) = %q, want %q", tc.card, tc.srcTotal, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+// Package schema models the property-graph schema PG-HIVE discovers: node
+// and edge types with label sets, property statistics, endpoint
+// connectivity and instance evidence (Definitions 3.2-3.4 of the paper),
+// plus the monotone merge operations of §4.3/§4.6 (Lemmas 1 and 2: merging
+// unions labels, properties and endpoints, never discarding information).
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pghive/internal/pg"
+)
+
+// StringSet is a set of strings (labels or property keys).
+type StringSet map[string]struct{}
+
+// NewStringSet builds a set from the given elements.
+func NewStringSet(elems ...string) StringSet {
+	s := make(StringSet, len(elems))
+	for _, e := range elems {
+		s[e] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts an element.
+func (s StringSet) Add(e string) { s[e] = struct{}{} }
+
+// AddAll inserts every element of other.
+func (s StringSet) AddAll(other StringSet) {
+	for e := range other {
+		s[e] = struct{}{}
+	}
+}
+
+// Has reports membership.
+func (s StringSet) Has(e string) bool {
+	_, ok := s[e]
+	return ok
+}
+
+// Len returns the cardinality.
+func (s StringSet) Len() int { return len(s) }
+
+// Sorted returns the elements in sorted order.
+func (s StringSet) Sorted() []string {
+	out := make([]string, 0, len(s))
+	for e := range s {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Key returns the canonical "&"-joined sorted form (matching
+// pg.LabelSetKey).
+func (s StringSet) Key() string { return strings.Join(s.Sorted(), "&") }
+
+// Clone returns a copy.
+func (s StringSet) Clone() StringSet {
+	c := make(StringSet, len(s))
+	for e := range s {
+		c[e] = struct{}{}
+	}
+	return c
+}
+
+// Jaccard returns |A∩B| / |A∪B|; two empty sets have similarity 1.
+func Jaccard(a, b StringSet) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for e := range a {
+		if b.Has(e) {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// PropStat accumulates evidence about one property key within one type:
+// how many instances carry it (for MANDATORY/OPTIONAL inference), the
+// observed value kinds under full scan and under sampling (for data-type
+// inference and the Figure 8 sampling-error experiment), and value-level
+// evidence for key constraints, enumerations and ranges.
+type PropStat struct {
+	// Count is the number of instances of the type carrying this key.
+	Count int
+	// Kinds counts every observed value's kind (full scan).
+	Kinds map[pg.Kind]int
+	// SampleKinds counts the kinds of sampled values only.
+	SampleKinds map[pg.Kind]int
+	// Values accumulates value-level evidence.
+	Values *ValueStat
+}
+
+// NewPropStat returns an empty accumulator.
+func NewPropStat() *PropStat {
+	return &PropStat{
+		Kinds:       map[pg.Kind]int{},
+		SampleKinds: map[pg.Kind]int{},
+		Values:      NewValueStat(),
+	}
+}
+
+// Observe records one value occurrence; sampled marks it as part of the
+// data-type sample.
+func (p *PropStat) Observe(v pg.Value, sampled bool) {
+	p.Count++
+	p.Kinds[v.Kind()]++
+	if sampled {
+		p.SampleKinds[v.Kind()]++
+	}
+	p.Values.Observe(v)
+}
+
+// Merge folds other into p.
+func (p *PropStat) Merge(other *PropStat) {
+	p.Count += other.Count
+	for k, c := range other.Kinds {
+		p.Kinds[k] += c
+	}
+	for k, c := range other.SampleKinds {
+		p.SampleKinds[k] += c
+	}
+	p.Values.Merge(other.Values)
+}
+
+// SampleSize returns the number of sampled observations.
+func (p *PropStat) SampleSize() int {
+	n := 0
+	for _, c := range p.SampleKinds {
+		n += c
+	}
+	return n
+}
+
+// ElementKind distinguishes node types from edge types.
+type ElementKind uint8
+
+// Element kinds.
+const (
+	NodeKind ElementKind = iota
+	EdgeKind
+)
+
+// Type is a discovered (candidate or merged) node or edge type: the cluster
+// representative of §4.2 plus the accumulated evidence the post-processing
+// steps need. For node types SrcLabels/DstLabels/degree maps are unused.
+type Type struct {
+	Kind ElementKind
+	// Labels is the union of all labels observed on the type's instances
+	// (the representative's L).
+	Labels StringSet
+	// Props maps each observed property key to its accumulated statistics
+	// (the representative's K plus evidence).
+	Props map[string]*PropStat
+	// Instances is the number of elements assigned to this type.
+	Instances int
+	// Abstract marks an unlabeled type kept as ABSTRACT (PG-Schema) after
+	// the merging step failed to attach it to a labeled type.
+	Abstract bool
+
+	// SrcLabels and DstLabels are, for edge types, the unions of labels
+	// observed on source and target endpoints (the representative's R).
+	SrcLabels StringSet
+	DstLabels StringSet
+
+	// OutDeg and InDeg count, per endpoint node, how many edges of this
+	// type leave/enter it — the evidence for cardinality inference (§4.4).
+	OutDeg map[pg.ID]int
+	InDeg  map[pg.ID]int
+
+	// Members records the element IDs assigned to the type when member
+	// tracking is enabled (used by the evaluation harness).
+	Members []pg.ID
+}
+
+// NewType returns an empty type of the given kind.
+func NewType(kind ElementKind) *Type {
+	t := &Type{
+		Kind:   kind,
+		Labels: StringSet{},
+		Props:  map[string]*PropStat{},
+	}
+	if kind == EdgeKind {
+		t.SrcLabels = StringSet{}
+		t.DstLabels = StringSet{}
+		t.OutDeg = map[pg.ID]int{}
+		t.InDeg = map[pg.ID]int{}
+	}
+	return t
+}
+
+// LabelKey returns the canonical key of the type's label set ("" when
+// unlabeled).
+func (t *Type) LabelKey() string { return t.Labels.Key() }
+
+// Labeled reports whether the type carries at least one label.
+func (t *Type) Labeled() bool { return len(t.Labels) > 0 }
+
+// PropKeySet returns the property keys as a StringSet (the K used in the
+// Jaccard merge test of Algorithm 2).
+func (t *Type) PropKeySet() StringSet {
+	s := make(StringSet, len(t.Props))
+	for k := range t.Props {
+		s[k] = struct{}{}
+	}
+	return s
+}
+
+// prop returns the accumulator for key, creating it on first use.
+func (t *Type) prop(key string) *PropStat {
+	p, ok := t.Props[key]
+	if !ok {
+		p = NewPropStat()
+		t.Props[key] = p
+	}
+	return p
+}
+
+// ObserveNode folds one node record into the type. sampled reports, per
+// property key, whether this occurrence joins the data-type sample.
+func (t *Type) ObserveNode(n *pg.NodeRecord, sampled func(key string) bool, trackMembers bool) {
+	if t.Kind != NodeKind {
+		panic("schema: ObserveNode on edge type")
+	}
+	t.Instances++
+	for _, l := range n.Labels {
+		t.Labels.Add(l)
+	}
+	for k, v := range n.Props {
+		t.prop(k).Observe(v, sampled(k))
+	}
+	if trackMembers {
+		t.Members = append(t.Members, n.ID)
+	}
+}
+
+// ObserveEdge folds one edge record into the type.
+func (t *Type) ObserveEdge(e *pg.EdgeRecord, sampled func(key string) bool, trackMembers bool) {
+	if t.Kind != EdgeKind {
+		panic("schema: ObserveEdge on node type")
+	}
+	t.Instances++
+	for _, l := range e.Labels {
+		t.Labels.Add(l)
+	}
+	for _, l := range e.SrcLabels {
+		t.SrcLabels.Add(l)
+	}
+	for _, l := range e.DstLabels {
+		t.DstLabels.Add(l)
+	}
+	for k, v := range e.Props {
+		t.prop(k).Observe(v, sampled(k))
+	}
+	t.OutDeg[e.Src]++
+	t.InDeg[e.Dst]++
+	if trackMembers {
+		t.Members = append(t.Members, e.ID)
+	}
+}
+
+// Merge folds other (of the same kind) into t, unioning labels, properties
+// and endpoints and summing evidence. This is the operation of Lemmas 1 and
+// 2: no label, property key or endpoint label is ever lost.
+func (t *Type) Merge(other *Type) {
+	if t.Kind != other.Kind {
+		panic(fmt.Sprintf("schema: merging %v type into %v type", other.Kind, t.Kind))
+	}
+	t.Labels.AddAll(other.Labels)
+	for k, p := range other.Props {
+		t.prop(k).Merge(p)
+	}
+	t.Instances += other.Instances
+	if t.Kind == EdgeKind {
+		t.SrcLabels.AddAll(other.SrcLabels)
+		t.DstLabels.AddAll(other.DstLabels)
+		for id, c := range other.OutDeg {
+			t.OutDeg[id] += c
+		}
+		for id, c := range other.InDeg {
+			t.InDeg[id] += c
+		}
+	}
+	t.Members = append(t.Members, other.Members...)
+	// A merge with a labeled type rescues an abstract one.
+	if t.Labeled() {
+		t.Abstract = false
+	}
+}
+
+// MaxDegrees returns the maximum out- and in-degree observed for an edge
+// type.
+func (t *Type) MaxDegrees() pg.DegreePair {
+	var d pg.DegreePair
+	for _, c := range t.OutDeg {
+		if c > d.MaxOut {
+			d.MaxOut = c
+		}
+	}
+	for _, c := range t.InDeg {
+		if c > d.MaxIn {
+			d.MaxIn = c
+		}
+	}
+	return d
+}
+
+// Schema is the evolving schema graph S_G: the node and edge types
+// accumulated so far (Definition 3.4). Types are stored in discovery order.
+type Schema struct {
+	NodeTypes []*Type
+	EdgeTypes []*Type
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{}
+}
+
+// Types returns the node or edge type list for the given kind.
+func (s *Schema) Types(kind ElementKind) []*Type {
+	if kind == NodeKind {
+		return s.NodeTypes
+	}
+	return s.EdgeTypes
+}
+
+// Add appends a type of its kind.
+func (s *Schema) Add(t *Type) {
+	if t.Kind == NodeKind {
+		s.NodeTypes = append(s.NodeTypes, t)
+	} else {
+		s.EdgeTypes = append(s.EdgeTypes, t)
+	}
+}
+
+// FindByLabelKey returns the first type of the given kind whose label-set
+// key equals key, or nil.
+func (s *Schema) FindByLabelKey(kind ElementKind, key string) *Type {
+	for _, t := range s.Types(kind) {
+		if t.LabelKey() == key {
+			return t
+		}
+	}
+	return nil
+}
+
+// AllLabels returns the union of labels across all types of the kind.
+func (s *Schema) AllLabels(kind ElementKind) StringSet {
+	out := StringSet{}
+	for _, t := range s.Types(kind) {
+		out.AddAll(t.Labels)
+	}
+	return out
+}
+
+// AllPropertyKeys returns the union of property keys across all types of
+// the kind.
+func (s *Schema) AllPropertyKeys(kind ElementKind) StringSet {
+	out := StringSet{}
+	for _, t := range s.Types(kind) {
+		for k := range t.Props {
+			out.Add(k)
+		}
+	}
+	return out
+}
+
+// Covers reports whether the schema has a type of the given kind whose
+// labels include all of labels and whose property keys include all of keys
+// — the type-completeness guarantee of §4.7.
+func (s *Schema) Covers(kind ElementKind, labels []string, keys []string) bool {
+	for _, t := range s.Types(kind) {
+		ok := true
+		for _, l := range labels {
+			if !t.Labels.Has(l) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, k := range keys {
+			if _, has := t.Props[k]; !has {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

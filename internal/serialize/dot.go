@@ -1,0 +1,67 @@
+package serialize
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pghive/internal/schema"
+)
+
+// WriteDOT renders the schema graph in GraphViz DOT: one record-shaped node
+// per node type (listing its properties) and one directed edge per edge
+// type and (source, target) node-type pair, labeled with the edge name and
+// cardinality.
+func WriteDOT(w io.Writer, def *schema.Def) error {
+	var sb strings.Builder
+	sb.WriteString("digraph schema {\n  rankdir=LR;\n  node [shape=record];\n")
+	for i := range def.Nodes {
+		n := &def.Nodes[i]
+		var props []string
+		for _, p := range n.Properties {
+			mark := ""
+			if !p.Mandatory {
+				mark = "?"
+			}
+			props = append(props, fmt.Sprintf("%s%s: %s", dotEscape(p.Key), mark, p.DataType))
+		}
+		style := ""
+		if n.Abstract {
+			style = ", style=dashed"
+		}
+		fmt.Fprintf(&sb, "  %q [label=\"{%s|%s}\"%s];\n",
+			n.Name, dotEscape(n.Name), strings.Join(props, `\l`), style)
+	}
+	for i := range def.Edges {
+		e := &def.Edges[i]
+		label := dotEscape(e.Name)
+		if e.Cardinality != schema.CardUnknown {
+			label += " [" + e.CardinalityString() + "]"
+		}
+		srcs := e.SrcTypes
+		if len(srcs) == 0 {
+			srcs = []string{"?"}
+		}
+		dsts := e.DstTypes
+		if len(dsts) == 0 {
+			dsts = []string{"?"}
+		}
+		for _, s := range srcs {
+			for _, d := range dsts {
+				fmt.Fprintf(&sb, "  %q -> %q [label=%q];\n", s, d, label)
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func dotEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "{", `\{`)
+	s = strings.ReplaceAll(s, "}", `\}`)
+	s = strings.ReplaceAll(s, "|", `\|`)
+	return s
+}

@@ -1,0 +1,191 @@
+package serialize
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pghive/internal/pg"
+	"pghive/internal/schema"
+)
+
+// jsonSchema is the JSON wire form of a schema definition.
+type jsonSchema struct {
+	NodeTypes []jsonNodeType `json:"nodeTypes"`
+	EdgeTypes []jsonEdgeType `json:"edgeTypes"`
+}
+
+type jsonNodeType struct {
+	Name       string         `json:"name"`
+	Labels     []string       `json:"labels,omitempty"`
+	Abstract   bool           `json:"abstract,omitempty"`
+	Properties []jsonProperty `json:"properties"`
+	Instances  int            `json:"instances"`
+}
+
+type jsonEdgeType struct {
+	Name        string         `json:"name"`
+	Labels      []string       `json:"labels,omitempty"`
+	Abstract    bool           `json:"abstract,omitempty"`
+	Properties  []jsonProperty `json:"properties"`
+	Instances   int            `json:"instances"`
+	SrcTypes    []string       `json:"sourceTypes,omitempty"`
+	DstTypes    []string       `json:"targetTypes,omitempty"`
+	Cardinality string         `json:"cardinality"`
+	MaxOut      int            `json:"maxOutDegree"`
+	MaxIn       int            `json:"maxInDegree"`
+	SrcTotal    bool           `json:"sourceTotalParticipation,omitempty"`
+	DstTotal    bool           `json:"targetTotalParticipation,omitempty"`
+}
+
+type jsonProperty struct {
+	Key       string   `json:"key"`
+	DataType  string   `json:"dataType"`
+	Mandatory bool     `json:"mandatory"`
+	Frequency float64  `json:"frequency"`
+	Unique    bool     `json:"unique,omitempty"`
+	Enum      []string `json:"enum,omitempty"`
+	Min       *float64 `json:"min,omitempty"`
+	Max       *float64 `json:"max,omitempty"`
+}
+
+// ReadJSON parses a schema definition previously written by WriteJSON,
+// enabling schema round-trips, diffing stored snapshots, and validating
+// against a saved schema.
+func ReadJSON(r io.Reader) (*schema.Def, error) {
+	var in jsonSchema
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("serialize: parsing schema JSON: %w", err)
+	}
+	def := &schema.Def{}
+	for _, n := range in.NodeTypes {
+		def.Nodes = append(def.Nodes, schema.NodeTypeDef{
+			Name:       n.Name,
+			Labels:     n.Labels,
+			Abstract:   n.Abstract,
+			Properties: defProps(n.Properties),
+			Instances:  n.Instances,
+		})
+	}
+	for _, e := range in.EdgeTypes {
+		card, srcTotal := parseCardinality(e.Cardinality)
+		def.Edges = append(def.Edges, schema.EdgeTypeDef{
+			Name:       e.Name,
+			Labels:     e.Labels,
+			Abstract:   e.Abstract,
+			Properties: defProps(e.Properties),
+			Instances:  e.Instances,
+			SrcTypes:   e.SrcTypes,
+			DstTypes:   e.DstTypes,
+			// Wire form renders the participation-refined string; keep the
+			// explicit flags authoritative when present.
+			Cardinality: card,
+			MaxOut:      e.MaxOut,
+			MaxIn:       e.MaxIn,
+			SrcTotal:    e.SrcTotal || srcTotal,
+			DstTotal:    e.DstTotal,
+		})
+	}
+	return def, nil
+}
+
+func defProps(props []jsonProperty) []schema.PropertyDef {
+	out := make([]schema.PropertyDef, 0, len(props))
+	for _, p := range props {
+		def := schema.PropertyDef{
+			Key:       p.Key,
+			DataType:  pg.KindFromString(p.DataType),
+			Mandatory: p.Mandatory,
+			Frequency: p.Frequency,
+			Unique:    p.Unique,
+			Enum:      p.Enum,
+		}
+		if p.Min != nil && p.Max != nil {
+			def.HasRange = true
+			def.MinNum = *p.Min
+			def.MaxNum = *p.Max
+		}
+		out = append(out, def)
+	}
+	return out
+}
+
+// parseCardinality maps the rendered cardinality (possibly
+// participation-refined) back to its class plus the source-total flag.
+func parseCardinality(s string) (schema.Cardinality, bool) {
+	switch s {
+	case "0:1":
+		return schema.CardZeroOne, false
+	case "1:1":
+		return schema.CardZeroOne, true
+	case "N:1":
+		return schema.CardNOne, false
+	case "0:N":
+		return schema.CardZeroN, false
+	case "1:N":
+		return schema.CardZeroN, true
+	case "M:N":
+		return schema.CardMN, false
+	default:
+		return schema.CardUnknown, false
+	}
+}
+
+// WriteJSON renders the schema definition as indented JSON.
+func WriteJSON(w io.Writer, def *schema.Def) error {
+	out := jsonSchema{
+		NodeTypes: make([]jsonNodeType, 0, len(def.Nodes)),
+		EdgeTypes: make([]jsonEdgeType, 0, len(def.Edges)),
+	}
+	for i := range def.Nodes {
+		n := &def.Nodes[i]
+		out.NodeTypes = append(out.NodeTypes, jsonNodeType{
+			Name:       n.Name,
+			Labels:     n.Labels,
+			Abstract:   n.Abstract,
+			Properties: jsonProps(n.Properties),
+			Instances:  n.Instances,
+		})
+	}
+	for i := range def.Edges {
+		e := &def.Edges[i]
+		out.EdgeTypes = append(out.EdgeTypes, jsonEdgeType{
+			Name:        e.Name,
+			Labels:      e.Labels,
+			Abstract:    e.Abstract,
+			Properties:  jsonProps(e.Properties),
+			Instances:   e.Instances,
+			SrcTypes:    e.SrcTypes,
+			DstTypes:    e.DstTypes,
+			Cardinality: e.CardinalityString(),
+			MaxOut:      e.MaxOut,
+			MaxIn:       e.MaxIn,
+			SrcTotal:    e.SrcTotal,
+			DstTotal:    e.DstTotal,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func jsonProps(props []schema.PropertyDef) []jsonProperty {
+	out := make([]jsonProperty, 0, len(props))
+	for _, p := range props {
+		jp := jsonProperty{
+			Key:       p.Key,
+			DataType:  p.DataType.String(),
+			Mandatory: p.Mandatory,
+			Frequency: p.Frequency,
+			Unique:    p.Unique,
+			Enum:      p.Enum,
+		}
+		if p.HasRange {
+			min, max := p.MinNum, p.MaxNum
+			jp.Min, jp.Max = &min, &max
+		}
+		out = append(out, jp)
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+// Package serialize exports a discovered schema definition in the formats
+// PG-HIVE emits (§4.5): PG-Schema DDL in both LOOSE and STRICT modes, XSD,
+// JSON, and GraphViz DOT for visual inspection.
+package serialize
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pghive/internal/pg"
+	"pghive/internal/schema"
+)
+
+// Mode selects the PG-Schema constraint level (§4.5): STRICT demands the
+// full structure with data types and constraints; LOOSE allows nodes and
+// edges to deviate (open types, no mandatory markers).
+type Mode uint8
+
+// PG-Schema modes.
+const (
+	Strict Mode = iota
+	Loose
+)
+
+// String returns the keyword.
+func (m Mode) String() string {
+	if m == Loose {
+		return "LOOSE"
+	}
+	return "STRICT"
+}
+
+// WritePGSchema renders the schema as a PG-Schema CREATE GRAPH TYPE
+// declaration. In STRICT mode each type lists every property with its data
+// type, marking optional ones; in LOOSE mode types are OPEN and properties
+// are all optional.
+func WritePGSchema(w io.Writer, def *schema.Def, name string, mode Mode) error {
+	if name == "" {
+		name = "DiscoveredGraphType"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "CREATE GRAPH TYPE %s %s {\n", ident(name), mode)
+
+	lines := make([]string, 0, len(def.Nodes)+len(def.Edges))
+	for i := range def.Nodes {
+		lines = append(lines, nodeTypeDecl(&def.Nodes[i], mode))
+	}
+	for i := range def.Edges {
+		lines = append(lines, edgeTypeDecl(&def.Edges[i], mode))
+	}
+	sb.WriteString(strings.Join(lines, ",\n"))
+	sb.WriteString("\n}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// nodeTypeDecl renders e.g.
+//
+//	(personType : Person {name STRING, OPTIONAL bday DATE})
+//	(abstract0Type ABSTRACT {k STRING})
+func nodeTypeDecl(n *schema.NodeTypeDef, mode Mode) string {
+	var sb strings.Builder
+	sb.WriteString("  (")
+	sb.WriteString(typeIdent(n.Name))
+	if n.Abstract {
+		sb.WriteString(" ABSTRACT")
+	}
+	if len(n.Labels) > 0 {
+		sb.WriteString(" : ")
+		sb.WriteString(labelConj(n.Labels))
+	}
+	sb.WriteString(propBlock(n.Properties, mode))
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// edgeTypeDecl renders e.g.
+//
+//	(: personType)-[worksAtType : WORKS_AT {OPTIONAL from INT}]->(: organizationType) /* N:1 */
+func edgeTypeDecl(e *schema.EdgeTypeDef, mode Mode) string {
+	var sb strings.Builder
+	sb.WriteString("  (: ")
+	sb.WriteString(endpointList(e.SrcTypes))
+	sb.WriteString(")-[")
+	sb.WriteString(typeIdent(e.Name))
+	if e.Abstract {
+		sb.WriteString(" ABSTRACT")
+	}
+	if len(e.Labels) > 0 {
+		sb.WriteString(" : ")
+		sb.WriteString(labelConj(e.Labels))
+	}
+	sb.WriteString(propBlock(e.Properties, mode))
+	sb.WriteString("]->(: ")
+	sb.WriteString(endpointList(e.DstTypes))
+	sb.WriteString(")")
+	if e.Cardinality != schema.CardUnknown {
+		fmt.Fprintf(&sb, " /* %s */", e.CardinalityString())
+	}
+	return sb.String()
+}
+
+func propBlock(props []schema.PropertyDef, mode Mode) string {
+	if len(props) == 0 {
+		if mode == Loose {
+			return " {OPEN}"
+		}
+		return ""
+	}
+	parts := make([]string, 0, len(props)+1)
+	for _, p := range props {
+		decl := ident(p.Key) + " " + p.DataType.String()
+		if mode == Loose || !p.Mandatory {
+			decl = "OPTIONAL " + decl
+		}
+		if mode == Strict {
+			// STRICT mode carries the value-level constraints: key
+			// candidates, enumerations and numeric ranges.
+			if p.Unique {
+				decl += " KEY"
+			}
+			if len(p.Enum) > 0 {
+				decl += " /* enum: " + strings.Join(p.Enum, " | ") + " */"
+			} else if p.HasRange {
+				decl += fmt.Sprintf(" /* range %g..%g */", p.MinNum, p.MaxNum)
+			}
+		}
+		parts = append(parts, decl)
+	}
+	if mode == Loose {
+		parts = append(parts, "OPEN")
+	}
+	return " {" + strings.Join(parts, ", ") + "}"
+}
+
+func endpointList(types []string) string {
+	if len(types) == 0 {
+		return "ANY"
+	}
+	out := make([]string, len(types))
+	for i, t := range types {
+		out[i] = typeIdent(t)
+	}
+	return strings.Join(out, " | ")
+}
+
+// labelConj renders a label set as a conjunction: Person & Student.
+func labelConj(labels []string) string {
+	out := make([]string, len(labels))
+	for i, l := range labels {
+		out[i] = ident(l)
+	}
+	return strings.Join(out, " & ")
+}
+
+// typeIdent derives a camel-cased type identifier: "WORKS_AT" →
+// "worksAtType", "Person&Student" → "personStudentType".
+func typeIdent(name string) string {
+	var sb strings.Builder
+	upperNext := false
+	for _, r := range name {
+		switch {
+		case r == '_' || r == '&' || r == ' ' || r == '-':
+			upperNext = true
+		case sb.Len() == 0:
+			sb.WriteRune(asciiLower(r))
+		case upperNext:
+			sb.WriteRune(asciiUpper(r))
+			upperNext = false
+		default:
+			sb.WriteRune(asciiLower(r))
+		}
+	}
+	if sb.Len() == 0 {
+		return "anonType"
+	}
+	return sb.String() + "Type"
+}
+
+// ident quotes an identifier when it contains characters outside the plain
+// identifier set.
+func ident(s string) string {
+	plain := true
+	for i, r := range s {
+		isAlpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_'
+		isDigit := r >= '0' && r <= '9'
+		if !(isAlpha || (isDigit && i > 0)) {
+			plain = false
+			break
+		}
+	}
+	if plain && s != "" {
+		return s
+	}
+	return "`" + strings.ReplaceAll(s, "`", "``") + "`"
+}
+
+func asciiLower(r rune) rune {
+	if r >= 'A' && r <= 'Z' {
+		return r + ('a' - 'A')
+	}
+	return r
+}
+
+func asciiUpper(r rune) rune {
+	if r >= 'a' && r <= 'z' {
+		return r - ('a' - 'A')
+	}
+	return r
+}
+
+// kindXSD maps a property data type to its XML Schema type.
+func kindXSD(k pg.Kind) string {
+	switch k {
+	case pg.KindInt:
+		return "xs:long"
+	case pg.KindFloat:
+		return "xs:double"
+	case pg.KindBool:
+		return "xs:boolean"
+	case pg.KindDate:
+		return "xs:date"
+	case pg.KindTimestamp:
+		return "xs:dateTime"
+	default:
+		return "xs:string"
+	}
+}

@@ -1,0 +1,409 @@
+package serialize
+
+import (
+	"bytes"
+	"encoding/json"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"pghive/internal/pg"
+	"pghive/internal/schema"
+)
+
+func exampleDef() *schema.Def {
+	return &schema.Def{
+		Nodes: []schema.NodeTypeDef{
+			{
+				Name:   "Person",
+				Labels: []string{"Person"},
+				Properties: []schema.PropertyDef{
+					{Key: "bday", DataType: pg.KindDate, Mandatory: false, Frequency: 0.75},
+					{Key: "name", DataType: pg.KindString, Mandatory: true, Frequency: 1},
+				},
+				Instances: 4,
+			},
+			{
+				Name:       "Abstract0",
+				Abstract:   true,
+				Properties: []schema.PropertyDef{{Key: "blob", DataType: pg.KindString, Mandatory: true, Frequency: 1}},
+				Instances:  1,
+			},
+		},
+		Edges: []schema.EdgeTypeDef{
+			{
+				Name:   "WORKS_AT",
+				Labels: []string{"WORKS_AT"},
+				Properties: []schema.PropertyDef{
+					{Key: "from", DataType: pg.KindInt, Mandatory: false, Frequency: 0.5},
+				},
+				Instances:   2,
+				SrcTypes:    []string{"Person"},
+				DstTypes:    []string{"Organization"},
+				Cardinality: schema.CardNOne,
+				MaxOut:      3,
+				MaxIn:       1,
+			},
+		},
+	}
+}
+
+func TestWritePGSchemaStrict(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePGSchema(&buf, exampleDef(), "SocialGraphType", Strict); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"CREATE GRAPH TYPE SocialGraphType STRICT {",
+		"(personType : Person {OPTIONAL bday DATE, name STRING})",
+		"(abstract0Type ABSTRACT {blob STRING})",
+		"(: personType)-[worksAtType : WORKS_AT {OPTIONAL from INT}]->(: organizationType)",
+		"/* N:1 */",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("STRICT output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "OPEN") {
+		t.Error("STRICT output must not contain OPEN")
+	}
+}
+
+func TestWritePGSchemaLoose(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePGSchema(&buf, exampleDef(), "", Loose); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "CREATE GRAPH TYPE DiscoveredGraphType LOOSE {") {
+		t.Errorf("LOOSE header missing:\n%s", out)
+	}
+	// In LOOSE mode every property is optional and blocks are OPEN.
+	if !strings.Contains(out, "OPTIONAL name STRING") {
+		t.Error("LOOSE mode should mark all properties optional")
+	}
+	if !strings.Contains(out, "OPEN}") {
+		t.Error("LOOSE mode should mark property blocks OPEN")
+	}
+}
+
+func TestTypeIdent(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"Person", "personType"},
+		{"WORKS_AT", "worksAtType"},
+		{"Person&Student", "personStudentType"},
+		{"", "anonType"},
+		{"ALL-CAPS NAME", "allCapsNameType"},
+	}
+	for _, tc := range tests {
+		if got := typeIdent(tc.in); got != tc.want {
+			t.Errorf("typeIdent(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestIdentQuoting(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"name", "name"},
+		{"_private", "_private"},
+		{"a1", "a1"},
+		{"1bad", "`1bad`"},
+		{"with space", "`with space`"},
+		{"tick`inside", "`tick``inside`"},
+		{"", "``"},
+	}
+	for _, tc := range tests {
+		if got := ident(tc.in); got != tc.want {
+			t.Errorf("ident(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestWriteXSDWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteXSD(&buf, exampleDef()); err != nil {
+		t.Fatal(err)
+	}
+	// The output must be well-formed XML.
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("XSD is not well-formed XML: %v\n%s", err, buf.String())
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`name="PersonNodeType"`,
+		`name="WORKS_ATEdgeType"`,
+		`<xs:element name="bday" type="xs:date" minOccurs="0"/>`,
+		`<xs:element name="name" type="xs:string"/>`,
+		`fixed="Person"`,
+		`cardinality N:1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("XSD missing %q", want)
+		}
+	}
+}
+
+func TestKindXSDMapping(t *testing.T) {
+	want := map[pg.Kind]string{
+		pg.KindInt:       "xs:long",
+		pg.KindFloat:     "xs:double",
+		pg.KindBool:      "xs:boolean",
+		pg.KindDate:      "xs:date",
+		pg.KindTimestamp: "xs:dateTime",
+		pg.KindString:    "xs:string",
+		pg.KindNull:      "xs:string",
+	}
+	for k, s := range want {
+		if got := kindXSD(k); got != s {
+			t.Errorf("kindXSD(%v) = %q, want %q", k, got, s)
+		}
+	}
+}
+
+func TestXMLNameSanitizes(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"Person", "Person"},
+		{"A&B", "A_B"},
+		{"9lives", "_lives"},
+		{"", "_"},
+		{"a.b-c", "a.b-c"},
+	}
+	for _, tc := range tests {
+		if got := xmlName(tc.in); got != tc.want {
+			t.Errorf("xmlName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, exampleDef()); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	nodes := decoded["nodeTypes"].([]interface{})
+	if len(nodes) != 2 {
+		t.Fatalf("nodeTypes len = %d, want 2", len(nodes))
+	}
+	person := nodes[0].(map[string]interface{})
+	if person["name"] != "Person" || person["instances"].(float64) != 4 {
+		t.Errorf("person JSON wrong: %v", person)
+	}
+	edges := decoded["edgeTypes"].([]interface{})
+	e := edges[0].(map[string]interface{})
+	if e["cardinality"] != "N:1" || e["maxOutDegree"].(float64) != 3 {
+		t.Errorf("edge JSON wrong: %v", e)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, exampleDef()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph schema {",
+		`"Person" [label=`,
+		`"Person" -> "Organization" [label="WORKS_AT [N:1]"];`,
+		"style=dashed", // abstract type
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTUnresolvedEndpoints(t *testing.T) {
+	def := &schema.Def{
+		Edges: []schema.EdgeTypeDef{{Name: "R", Labels: []string{"R"}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, def); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"?" -> "?"`) {
+		t.Errorf("unresolved endpoints should render as ?: %s", buf.String())
+	}
+}
+
+func TestDotEscape(t *testing.T) {
+	if got := dotEscape(`a"b{c}|d\e`); got != `a\"b\{c\}\|d\\e` {
+		t.Errorf("dotEscape = %q", got)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Strict.String() != "STRICT" || Loose.String() != "LOOSE" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestStrictRendersKeyEnumRange(t *testing.T) {
+	def := &schema.Def{
+		Nodes: []schema.NodeTypeDef{{
+			Name:   "Ticket",
+			Labels: []string{"Ticket"},
+			Properties: []schema.PropertyDef{
+				{Key: "id", DataType: pg.KindString, Mandatory: true, Frequency: 1, Unique: true},
+				{Key: "priority", DataType: pg.KindInt, Mandatory: true, Frequency: 1, HasRange: true, MinNum: 0, MaxNum: 2},
+				{Key: "status", DataType: pg.KindString, Mandatory: true, Frequency: 1, Enum: []string{"closed", "open"}},
+			},
+			Instances: 9,
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WritePGSchema(&buf, def, "T", Strict); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"id STRING KEY",
+		"priority INT /* range 0..2 */",
+		"status STRING /* enum: closed | open */",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("STRICT output missing %q:\n%s", want, out)
+		}
+	}
+	// LOOSE mode omits the value constraints.
+	buf.Reset()
+	if err := WritePGSchema(&buf, def, "T", Loose); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "KEY") || strings.Contains(buf.String(), "enum") {
+		t.Error("LOOSE output should omit value-level constraints")
+	}
+}
+
+func TestXSDEnumRestriction(t *testing.T) {
+	def := &schema.Def{
+		Nodes: []schema.NodeTypeDef{{
+			Name:   "T",
+			Labels: []string{"T"},
+			Properties: []schema.PropertyDef{
+				{Key: "status", DataType: pg.KindString, Mandatory: true, Enum: []string{"a<b", "c"}},
+			},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteXSD(&buf, def); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `<xs:enumeration value="a&lt;b"/>`) {
+		t.Errorf("XSD enum not escaped/rendered:\n%s", out)
+	}
+	// Still well-formed.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("not well-formed: %v", err)
+		}
+	}
+}
+
+func TestJSONIncludesConstraints(t *testing.T) {
+	def := &schema.Def{
+		Nodes: []schema.NodeTypeDef{{
+			Name: "T", Labels: []string{"T"},
+			Properties: []schema.PropertyDef{
+				{Key: "n", DataType: pg.KindInt, Mandatory: true, Unique: true, HasRange: true, MinNum: 1, MaxNum: 5},
+			},
+		}},
+		Edges: []schema.EdgeTypeDef{{
+			Name: "R", Labels: []string{"R"}, Cardinality: schema.CardZeroN, SrcTotal: true,
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, def); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"unique": true`, `"min": 1`, `"max": 5`, `"cardinality": "1:N"`, `"sourceTotalParticipation": true`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONSchemaRoundTrip(t *testing.T) {
+	def := exampleDef()
+	def.Nodes[0].Properties[1].Unique = true
+	def.Nodes[0].Properties = append(def.Nodes[0].Properties, schema.PropertyDef{
+		Key: "age", DataType: pg.KindInt, Mandatory: true, Frequency: 1,
+		HasRange: true, MinNum: 1, MaxNum: 99,
+	})
+	def.Edges[0].SrcTotal = true
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, def); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Nodes) != len(def.Nodes) || len(got.Edges) != len(def.Edges) {
+		t.Fatalf("sizes differ: (%d,%d) vs (%d,%d)", len(got.Nodes), len(got.Edges), len(def.Nodes), len(def.Edges))
+	}
+	person := got.NodeType("Person")
+	name := schema.Property(person.Properties, "name")
+	if name == nil || !name.Unique || name.DataType != pg.KindString {
+		t.Errorf("name = %+v after round trip", name)
+	}
+	age := schema.Property(person.Properties, "age")
+	if age == nil || !age.HasRange || age.MinNum != 1 || age.MaxNum != 99 {
+		t.Errorf("age = %+v after round trip", age)
+	}
+	e := got.EdgeType("WORKS_AT")
+	if e.Cardinality != schema.CardNOne || e.MaxOut != 3 {
+		t.Errorf("edge = %+v after round trip", e)
+	}
+	if !e.SrcTotal {
+		t.Error("SrcTotal lost in round trip")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{{{")); err == nil {
+		t.Error("garbage JSON should fail")
+	}
+}
+
+func TestParseCardinality(t *testing.T) {
+	tests := []struct {
+		in       string
+		card     schema.Cardinality
+		srcTotal bool
+	}{
+		{"0:1", schema.CardZeroOne, false},
+		{"1:1", schema.CardZeroOne, true},
+		{"N:1", schema.CardNOne, false},
+		{"0:N", schema.CardZeroN, false},
+		{"1:N", schema.CardZeroN, true},
+		{"M:N", schema.CardMN, false},
+		{"?", schema.CardUnknown, false},
+		{"junk", schema.CardUnknown, false},
+	}
+	for _, tc := range tests {
+		card, total := parseCardinality(tc.in)
+		if card != tc.card || total != tc.srcTotal {
+			t.Errorf("parseCardinality(%q) = (%v,%v), want (%v,%v)", tc.in, card, total, tc.card, tc.srcTotal)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package serialize
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"pghive/internal/schema"
+)
+
+// WriteXSD renders the schema as an XML Schema document: one complexType
+// per node and edge type, with one element per property (minOccurs="0" for
+// optional ones) and, for edge types, source/target attributes naming the
+// connected node types.
+func WriteXSD(w io.Writer, def *schema.Def) error {
+	var sb strings.Builder
+	sb.WriteString(xml.Header)
+	sb.WriteString(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">` + "\n")
+
+	for i := range def.Nodes {
+		n := &def.Nodes[i]
+		fmt.Fprintf(&sb, "  <xs:complexType name=%q>\n", xmlName(n.Name)+"NodeType")
+		writeXSDAnnotation(&sb, fmt.Sprintf("node type %s (%d instances)%s",
+			n.Name, n.Instances, abstractNote(n.Abstract)))
+		writeXSDProps(&sb, n.Properties)
+		fmt.Fprintf(&sb, "    <xs:attribute name=\"labels\" type=\"xs:string\" fixed=%q/>\n",
+			strings.Join(n.Labels, ";"))
+		sb.WriteString("  </xs:complexType>\n")
+	}
+	for i := range def.Edges {
+		e := &def.Edges[i]
+		fmt.Fprintf(&sb, "  <xs:complexType name=%q>\n", xmlName(e.Name)+"EdgeType")
+		writeXSDAnnotation(&sb, fmt.Sprintf("edge type %s (%d instances, cardinality %s)%s",
+			e.Name, e.Instances, e.Cardinality, abstractNote(e.Abstract)))
+		writeXSDProps(&sb, e.Properties)
+		fmt.Fprintf(&sb, "    <xs:attribute name=\"source\" type=\"xs:string\" fixed=%q/>\n",
+			strings.Join(e.SrcTypes, "|"))
+		fmt.Fprintf(&sb, "    <xs:attribute name=\"target\" type=\"xs:string\" fixed=%q/>\n",
+			strings.Join(e.DstTypes, "|"))
+		sb.WriteString("  </xs:complexType>\n")
+	}
+	sb.WriteString("</xs:schema>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func abstractNote(abstract bool) string {
+	if abstract {
+		return " [ABSTRACT]"
+	}
+	return ""
+}
+
+func writeXSDAnnotation(sb *strings.Builder, doc string) {
+	sb.WriteString("    <xs:annotation><xs:documentation>")
+	xml.EscapeText(sb, []byte(doc)) //nolint:errcheck // strings.Builder cannot fail
+	sb.WriteString("</xs:documentation></xs:annotation>\n")
+}
+
+func writeXSDProps(sb *strings.Builder, props []schema.PropertyDef) {
+	sb.WriteString("    <xs:sequence>\n")
+	for _, p := range props {
+		minOccurs := ""
+		if !p.Mandatory {
+			minOccurs = ` minOccurs="0"`
+		}
+		if len(p.Enum) > 0 {
+			// Enumerations render as inline restrictions.
+			fmt.Fprintf(sb, "      <xs:element name=%q%s>\n", xmlName(p.Key), minOccurs)
+			sb.WriteString("        <xs:simpleType><xs:restriction base=\"" + kindXSD(p.DataType) + "\">\n")
+			for _, v := range p.Enum {
+				sb.WriteString("          <xs:enumeration value=\"")
+				xml.EscapeText(sb, []byte(v)) //nolint:errcheck // strings.Builder cannot fail
+				sb.WriteString("\"/>\n")
+			}
+			sb.WriteString("        </xs:restriction></xs:simpleType>\n")
+			sb.WriteString("      </xs:element>\n")
+			continue
+		}
+		fmt.Fprintf(sb, "      <xs:element name=%q type=%q%s/>\n", xmlName(p.Key), kindXSD(p.DataType), minOccurs)
+	}
+	sb.WriteString("    </xs:sequence>\n")
+}
+
+// xmlName sanitizes a discovered name into a valid XML NCName.
+func xmlName(s string) string {
+	var sb strings.Builder
+	for i, r := range s {
+		ok := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' ||
+			(i > 0 && ((r >= '0' && r <= '9') || r == '-' || r == '.'))
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "_"
+	}
+	return sb.String()
+}

@@ -1,0 +1,110 @@
+// Package stream adapts live element insertions to the incremental
+// pipeline: a thread-safe Collector buffers nodes and edges as they arrive
+// and flushes them into a core.Pipeline in fixed-size batches — the
+// "dynamic environments where updates are frequent" deployment the paper
+// targets (§4.6). The schema is queryable at any time and grows
+// monotonically with every flush.
+package stream
+
+import (
+	"sync"
+
+	"pghive/internal/core"
+	"pghive/internal/pg"
+	"pghive/internal/schema"
+)
+
+// Collector buffers inserted elements and feeds the pipeline batch-wise.
+// All methods are safe for concurrent use.
+type Collector struct {
+	mu        sync.Mutex
+	pipe      *core.Pipeline
+	batchSize int
+	buf       pg.Batch
+	flushes   int
+	elements  int
+}
+
+// DefaultBatchSize is used when NewCollector receives batchSize ≤ 0.
+const DefaultBatchSize = 10_000
+
+// NewCollector wraps a pipeline. Each time batchSize buffered elements
+// accumulate, they are flushed into the pipeline as one batch.
+func NewCollector(pipe *core.Pipeline, batchSize int) *Collector {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	return &Collector{pipe: pipe, batchSize: batchSize}
+}
+
+// AddNode buffers one node record, flushing if the batch is full.
+func (c *Collector) AddNode(rec pg.NodeRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf.Nodes = append(c.buf.Nodes, rec)
+	c.elements++
+	c.maybeFlushLocked()
+}
+
+// AddEdge buffers one edge record (endpoint labels must be resolved by the
+// caller, as in pg.EdgeRecord), flushing if the batch is full.
+func (c *Collector) AddEdge(rec pg.EdgeRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf.Edges = append(c.buf.Edges, rec)
+	c.elements++
+	c.maybeFlushLocked()
+}
+
+func (c *Collector) maybeFlushLocked() {
+	if c.buf.Len() >= c.batchSize {
+		c.flushLocked()
+	}
+}
+
+func (c *Collector) flushLocked() {
+	if c.buf.Len() == 0 {
+		return
+	}
+	batch := c.buf
+	c.buf = pg.Batch{}
+	c.pipe.ProcessBatch(&batch)
+	c.flushes++
+}
+
+// Flush forces buffered elements into the pipeline immediately.
+func (c *Collector) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flushLocked()
+}
+
+// Close flushes any remainder; the collector stays usable (Close is a
+// synonym for Flush, provided for defer-friendly call sites).
+func (c *Collector) Close() { c.Flush() }
+
+// Schema returns the pipeline's evolving schema. Call Flush first to
+// include buffered elements. The returned schema aliases pipeline state:
+// reading it is only safe while no other goroutine is concurrently adding
+// elements (take a Finalize snapshot for concurrent consumption).
+func (c *Collector) Schema() *schema.Schema {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pipe.Schema()
+}
+
+// Finalize flushes and runs post-processing, returning the schema
+// definition.
+func (c *Collector) Finalize() *schema.Def {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flushLocked()
+	return c.pipe.Finalize()
+}
+
+// Stats reports collector progress.
+func (c *Collector) Stats() (elements, flushes, buffered int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.elements, c.flushes, c.buf.Len()
+}

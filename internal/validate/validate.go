@@ -1,0 +1,359 @@
+// Package validate checks a property graph against a discovered schema
+// definition — the downstream use the paper motivates for schema discovery
+// (§4.4: "supports validation processes", "data validation, consistency
+// enforcement"). STRICT mode enforces the full structure: every element
+// must match a type, carry all mandatory properties, respect inferred data
+// types, enumerations and key constraints, and edge types must respect
+// their cardinality upper bounds. LOOSE mode only requires that element
+// labels and property keys are known to the schema (open types).
+package validate
+
+import (
+	"fmt"
+	"sort"
+
+	"pghive/internal/infer"
+	"pghive/internal/pg"
+	"pghive/internal/schema"
+	"pghive/internal/serialize"
+)
+
+// Violation is one conformance failure.
+type Violation struct {
+	// Kind classifies the failure.
+	Kind ViolationKind
+	// Element identifies the offending node or edge.
+	Element pg.ID
+	// IsEdge distinguishes the ID space.
+	IsEdge bool
+	// Detail is a human-readable description.
+	Detail string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	el := "node"
+	if v.IsEdge {
+		el = "edge"
+	}
+	return fmt.Sprintf("%s %d: %s: %s", el, v.Element, v.Kind, v.Detail)
+}
+
+// ViolationKind classifies conformance failures.
+type ViolationKind uint8
+
+// Violation kinds.
+const (
+	// UnknownType: no schema type covers the element's label set.
+	UnknownType ViolationKind = iota
+	// UnknownProperty: the element carries a property key its type does
+	// not declare (STRICT only).
+	UnknownProperty
+	// MissingMandatory: a mandatory property is absent.
+	MissingMandatory
+	// WrongDataType: a value's kind is incompatible with the declared type.
+	WrongDataType
+	// EnumViolation: a value falls outside the declared enumeration.
+	EnumViolation
+	// KeyViolation: two elements of one type share a key property value.
+	KeyViolation
+	// CardinalityViolation: an endpoint exceeds the declared maximum
+	// degree.
+	CardinalityViolation
+	// UnknownEndpoint: an edge connects node types outside its declaration.
+	UnknownEndpoint
+)
+
+// String names the kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case UnknownType:
+		return "unknown type"
+	case UnknownProperty:
+		return "unknown property"
+	case MissingMandatory:
+		return "missing mandatory property"
+	case WrongDataType:
+		return "wrong data type"
+	case EnumViolation:
+		return "enum violation"
+	case KeyViolation:
+		return "key violation"
+	case CardinalityViolation:
+		return "cardinality violation"
+	case UnknownEndpoint:
+		return "unknown endpoint type"
+	default:
+		return fmt.Sprintf("violation(%d)", uint8(k))
+	}
+}
+
+// Report is the outcome of validating a graph.
+type Report struct {
+	Violations []Violation
+	// NodesChecked and EdgesChecked count validated elements.
+	NodesChecked int
+	EdgesChecked int
+}
+
+// Valid reports whether no violations were found.
+func (r *Report) Valid() bool { return len(r.Violations) == 0 }
+
+// CountByKind groups the violations.
+func (r *Report) CountByKind() map[ViolationKind]int {
+	out := map[ViolationKind]int{}
+	for _, v := range r.Violations {
+		out[v.Kind]++
+	}
+	return out
+}
+
+// Options bound a validation run.
+type Options struct {
+	// Mode selects STRICT or LOOSE conformance.
+	Mode serialize.Mode
+	// MaxViolations stops after this many findings (0 = unlimited).
+	MaxViolations int
+}
+
+// Validate checks g against the schema definition.
+func Validate(g *pg.Graph, def *schema.Def, opts Options) *Report {
+	v := &validator{def: def, opts: opts, report: &Report{}}
+	v.indexTypes()
+	g.Nodes(func(n *pg.Node) bool {
+		v.checkNode(n)
+		return !v.full()
+	})
+	g.Edges(func(e *pg.Edge) bool {
+		v.checkEdge(g, e)
+		return !v.full()
+	})
+	return v.report
+}
+
+type validator struct {
+	def    *schema.Def
+	opts   Options
+	report *Report
+
+	nodeByKey map[string]*schema.NodeTypeDef
+	edgeByKey map[string]*schema.EdgeTypeDef
+	// nodeTypeName maps a node label-set key to its type name, for
+	// endpoint checks.
+	nodeTypeName map[string]string
+	// keySeen tracks (type, property, value) triples for key constraints.
+	keySeen map[string]pg.ID
+	// outDeg/inDeg track per-edge-type endpoint degrees for cardinality
+	// checks.
+	outDeg map[string]map[pg.ID]int
+	inDeg  map[string]map[pg.ID]int
+}
+
+func (v *validator) indexTypes() {
+	v.nodeByKey = map[string]*schema.NodeTypeDef{}
+	v.nodeTypeName = map[string]string{}
+	for i := range v.def.Nodes {
+		n := &v.def.Nodes[i]
+		key := pg.LabelSetKey(n.Labels)
+		if _, dup := v.nodeByKey[key]; !dup {
+			v.nodeByKey[key] = n
+			v.nodeTypeName[key] = n.Name
+		}
+	}
+	v.edgeByKey = map[string]*schema.EdgeTypeDef{}
+	for i := range v.def.Edges {
+		e := &v.def.Edges[i]
+		key := pg.LabelSetKey(e.Labels)
+		if _, dup := v.edgeByKey[key]; !dup {
+			v.edgeByKey[key] = e
+		}
+	}
+	v.keySeen = map[string]pg.ID{}
+	v.outDeg = map[string]map[pg.ID]int{}
+	v.inDeg = map[string]map[pg.ID]int{}
+}
+
+func (v *validator) full() bool {
+	return v.opts.MaxViolations > 0 && len(v.report.Violations) >= v.opts.MaxViolations
+}
+
+func (v *validator) add(kind ViolationKind, id pg.ID, isEdge bool, format string, args ...interface{}) {
+	if v.full() {
+		return
+	}
+	v.report.Violations = append(v.report.Violations, Violation{
+		Kind: kind, Element: id, IsEdge: isEdge, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+func (v *validator) checkNode(n *pg.Node) {
+	v.report.NodesChecked++
+	key := n.LabelKey()
+	ty, ok := v.nodeByKey[key]
+	if !ok {
+		// LOOSE tolerates subset label matches against a covering type.
+		if ty = v.coveringNodeType(n.Labels); ty == nil {
+			v.add(UnknownType, n.ID, false, "no type for label set %q", key)
+			return
+		}
+	}
+	v.checkProps(n.ID, false, ty.Name, ty.Properties, n.Props)
+}
+
+// coveringNodeType finds a type whose label set is a superset of the
+// element's labels (covers partially-labeled data in LOOSE mode).
+func (v *validator) coveringNodeType(labels []string) *schema.NodeTypeDef {
+	if v.opts.Mode != serialize.Loose {
+		return nil
+	}
+	var best *schema.NodeTypeDef
+	for i := range v.def.Nodes {
+		ty := &v.def.Nodes[i]
+		if containsAll(ty.Labels, labels) && (best == nil || len(ty.Labels) < len(best.Labels)) {
+			best = ty
+		}
+	}
+	return best
+}
+
+func containsAll(super, sub []string) bool {
+	set := map[string]struct{}{}
+	for _, s := range super {
+		set[s] = struct{}{}
+	}
+	for _, s := range sub {
+		if _, ok := set[s]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (v *validator) checkProps(id pg.ID, isEdge bool, typeName string, defs []schema.PropertyDef, props pg.Properties) {
+	for _, p := range defs {
+		val, present := props[p.Key]
+		if !present {
+			if p.Mandatory && v.opts.Mode == serialize.Strict {
+				v.add(MissingMandatory, id, isEdge, "type %s requires %q", typeName, p.Key)
+			}
+			continue
+		}
+		if v.opts.Mode != serialize.Strict {
+			continue
+		}
+		if !kindCompatible(p.DataType, val.Kind()) {
+			v.add(WrongDataType, id, isEdge, "%q is %s, type %s declares %s", p.Key, val.Kind(), typeName, p.DataType)
+		}
+		if len(p.Enum) > 0 && !enumContains(p.Enum, val.String()) {
+			v.add(EnumViolation, id, isEdge, "%q = %q outside enum of type %s", p.Key, val.String(), typeName)
+		}
+		if p.Unique {
+			kindMark := "n"
+			if isEdge {
+				kindMark = "e"
+			}
+			keyID := kindMark + "\x00" + typeName + "\x00" + p.Key + "\x00" + val.String()
+			if prev, dup := v.keySeen[keyID]; dup {
+				v.add(KeyViolation, id, isEdge, "%q = %q duplicates element %d", p.Key, val.String(), prev)
+			} else {
+				v.keySeen[keyID] = id
+			}
+		}
+	}
+	if v.opts.Mode == serialize.Strict {
+		declared := map[string]struct{}{}
+		for _, p := range defs {
+			declared[p.Key] = struct{}{}
+		}
+		for _, k := range pg.SortedPropKeys(props) {
+			if _, ok := declared[k]; !ok {
+				v.add(UnknownProperty, id, isEdge, "type %s does not declare %q", typeName, k)
+			}
+		}
+	}
+}
+
+// kindCompatible accepts a value kind for a declared data type following
+// the inference hierarchy: everything fits STRING, INT fits DOUBLE, DATE
+// fits TIMESTAMP.
+func kindCompatible(declared, got pg.Kind) bool {
+	if declared == got || declared == pg.KindString {
+		return true
+	}
+	if declared == pg.KindFloat && got == pg.KindInt {
+		return true
+	}
+	if declared == pg.KindTimestamp && got == pg.KindDate {
+		return true
+	}
+	return false
+}
+
+func enumContains(enum []string, v string) bool {
+	i := sort.SearchStrings(enum, v)
+	return i < len(enum) && enum[i] == v
+}
+
+func (v *validator) checkEdge(g *pg.Graph, e *pg.Edge) {
+	v.report.EdgesChecked++
+	key := e.LabelKey()
+	ty, ok := v.edgeByKey[key]
+	if !ok {
+		v.add(UnknownType, e.ID, true, "no edge type for label set %q", key)
+		return
+	}
+	v.checkProps(e.ID, true, ty.Name, ty.Properties, e.Props)
+
+	if v.opts.Mode == serialize.Strict {
+		v.checkEndpoint(g, e, ty.SrcTypes, e.Src, "source")
+		v.checkEndpoint(g, e, ty.DstTypes, e.Dst, "target")
+
+		// Cardinality upper bounds.
+		if v.outDeg[ty.Name] == nil {
+			v.outDeg[ty.Name] = map[pg.ID]int{}
+			v.inDeg[ty.Name] = map[pg.ID]int{}
+		}
+		v.outDeg[ty.Name][e.Src]++
+		v.inDeg[ty.Name][e.Dst]++
+		if ty.MaxOut > 0 && v.outDeg[ty.Name][e.Src] == ty.MaxOut+1 {
+			v.add(CardinalityViolation, e.ID, true, "source %d exceeds max out-degree %d of %s", e.Src, ty.MaxOut, ty.Name)
+		}
+		if ty.MaxIn > 0 && v.inDeg[ty.Name][e.Dst] == ty.MaxIn+1 {
+			v.add(CardinalityViolation, e.ID, true, "target %d exceeds max in-degree %d of %s", e.Dst, ty.MaxIn, ty.Name)
+		}
+	}
+}
+
+func (v *validator) checkEndpoint(g *pg.Graph, e *pg.Edge, allowed []string, id pg.ID, side string) {
+	if len(allowed) == 0 {
+		return // unresolved endpoints validate openly
+	}
+	node := g.Node(id)
+	if node == nil {
+		v.add(UnknownEndpoint, e.ID, true, "%s node %d missing", side, id)
+		return
+	}
+	name, ok := v.nodeTypeName[node.LabelKey()]
+	if !ok {
+		v.add(UnknownEndpoint, e.ID, true, "%s node %d has no type", side, id)
+		return
+	}
+	for _, a := range allowed {
+		if a == name {
+			return
+		}
+	}
+	v.add(UnknownEndpoint, e.ID, true, "%s type %s not in %v for edge type %s", side, name, allowed, typeNameOf(e))
+}
+
+func typeNameOf(e *pg.Edge) string { return e.LabelKey() }
+
+// ValidateSelf is a convenience: discover-then-validate consistency. A
+// schema finalized from a graph (with full-scan data types) must validate
+// that same graph in LOOSE mode with zero violations, and in STRICT mode
+// too when the graph was fully labeled. It is used by tests and examples
+// as an end-to-end invariant.
+func ValidateSelf(g *pg.Graph, s *schema.Schema, mode serialize.Mode) *Report {
+	def := infer.Finalize(s, infer.Options{})
+	return Validate(g, def, Options{Mode: mode})
+}

@@ -1,0 +1,306 @@
+// Package vectorize turns batches of property-graph elements into the hybrid
+// vector representation of PG-HIVE (§4.1): each node becomes a vector in
+// R^{d+K} — a Word2Vec embedding of its (sorted, concatenated) label set
+// followed by a binary property-presence vector over the batch's K distinct
+// node property keys — and each edge becomes a vector in R^{3d+Q} with three
+// embeddings (edge label, source labels, target labels) followed by its
+// property indicator over the Q distinct edge property keys.
+//
+// It also produces the set representation consumed by MinHash LSH: hashed
+// tokens for the label set, endpoints and property keys.
+package vectorize
+
+import (
+	"hash/fnv"
+
+	"pghive/internal/embed"
+	"pghive/internal/pg"
+)
+
+// Config controls vectorization.
+type Config struct {
+	// Embedding configures the Word2Vec model trained on the batch's label
+	// sentences.
+	Embedding embed.Config
+	// LabelWeight scales the embedding block(s) relative to the binary
+	// property indicators. Labels are exact evidence while property
+	// presence is noisy, so weighting the semantic part keeps
+	// differently-labeled elements apart when property noise shrinks the
+	// structural distance. 0 means the default of 2.
+	LabelWeight float64
+	// SemanticLabels trains the embedding on multi-label co-occurrence
+	// (each label set contributes a sentence of its member labels plus its
+	// set token), so overlapping label sets land nearby. The default
+	// (false) keeps every distinct label set maximally separated — under
+	// the paper's type model distinct label sets ARE distinct types, and
+	// attraction between {AS} and {AS, Tag} merges types that must stay
+	// apart (the IYP failure mode). Enable for integration scenarios where
+	// overlapping sets should cluster.
+	SemanticLabels bool
+}
+
+// DefaultLabelWeight is the default scale of the embedding block.
+const DefaultLabelWeight = 2.0
+
+// DefaultConfig returns the pipeline defaults.
+func DefaultConfig() Config {
+	return Config{Embedding: embed.DefaultConfig(), LabelWeight: DefaultLabelWeight}
+}
+
+// Vectorizer holds the per-batch vocabulary (property-key indexes) and the
+// Word2Vec model, and renders element vectors. Algorithm 1 constructs one
+// Vectorizer per batch (the preprocess step).
+type Vectorizer struct {
+	model       *embed.Model
+	labelWeight float64
+
+	nodeKeys    []string       // sorted distinct node property keys (K)
+	nodeKeyPos  map[string]int // key -> offset in the binary block
+	edgeKeys    []string       // sorted distinct edge property keys (Q)
+	edgeKeyPos  map[string]int
+	labelTokens int // distinct non-empty label-set tokens seen in the batch
+}
+
+// New scans the batch, trains the label embedding on the batch's
+// co-occurrence sentences, and returns a ready Vectorizer.
+func New(b *pg.Batch, cfg Config) *Vectorizer {
+	v := &Vectorizer{
+		nodeKeyPos:  map[string]int{},
+		edgeKeyPos:  map[string]int{},
+		labelWeight: cfg.LabelWeight,
+	}
+	if v.labelWeight <= 0 {
+		v.labelWeight = DefaultLabelWeight
+	}
+	nodeKeySet := map[string]struct{}{}
+	edgeKeySet := map[string]struct{}{}
+	labelSet := map[string]struct{}{}
+
+	// The Word2Vec corpus is the set of observed label sets (§4.1). By
+	// default each distinct set contributes a single-token sentence — the
+	// model assigns every set token a well-separated embedding, keeping
+	// semantically different elements apart even when their structure
+	// matches (distinct label sets are distinct types under the paper's
+	// model). With SemanticLabels, sentences also carry the member labels,
+	// so overlapping sets attract.
+	sentences := map[string][]string{}
+	observe := func(labels []string) {
+		key := pg.LabelSetKey(labels)
+		if key == "" {
+			return
+		}
+		labelSet[key] = struct{}{}
+		if _, seen := sentences[key]; seen {
+			return
+		}
+		if !cfg.SemanticLabels || len(labels) == 1 {
+			sentences[key] = []string{key}
+			return
+		}
+		sentence := make([]string, 0, len(labels)+1)
+		sentence = append(sentence, key)
+		sentence = append(sentence, labels...)
+		sentences[key] = sentence
+	}
+	for i := range b.Nodes {
+		n := &b.Nodes[i]
+		for k := range n.Props {
+			nodeKeySet[k] = struct{}{}
+		}
+		observe(n.Labels)
+	}
+	for i := range b.Edges {
+		e := &b.Edges[i]
+		for k := range e.Props {
+			edgeKeySet[k] = struct{}{}
+		}
+		observe(e.Labels)
+		observe(e.SrcLabels)
+		observe(e.DstLabels)
+	}
+	corpus := make([][]string, 0, len(sentences))
+	for _, key := range sortedSlice(labelSet) {
+		corpus = append(corpus, sentences[key])
+	}
+
+	v.nodeKeys = sortedSlice(nodeKeySet)
+	for i, k := range v.nodeKeys {
+		v.nodeKeyPos[k] = i
+	}
+	v.edgeKeys = sortedSlice(edgeKeySet)
+	for i, k := range v.edgeKeys {
+		v.edgeKeyPos[k] = i
+	}
+	v.labelTokens = len(labelSet)
+	if cfg.Embedding.Dim <= 0 {
+		cfg.Embedding.Dim = adaptiveDim(v.labelTokens)
+	}
+	v.model = embed.Train(corpus, cfg.Embedding)
+	return v
+}
+
+// adaptiveDim picks the embedding dimensionality from the label-token
+// vocabulary: many distinct label sets need more room for near-orthogonal
+// embeddings, or type separation degrades (at 86 types in 16 dimensions the
+// closest token pairs crowd together and ELSH mixes their clusters).
+func adaptiveDim(labelTokens int) int {
+	switch {
+	case labelTokens <= 24:
+		return 16
+	case labelTokens <= 96:
+		return 32
+	default:
+		return 48
+	}
+}
+
+func sortedSlice(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	// Insertion sort keeps this dependency-free; key sets are small.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Model exposes the trained label embedding.
+func (v *Vectorizer) Model() *embed.Model { return v.model }
+
+// NodeDim returns d + K, the node vector dimensionality.
+func (v *Vectorizer) NodeDim() int { return v.model.Dim() + len(v.nodeKeys) }
+
+// EdgeDim returns 3d + Q, the edge vector dimensionality.
+func (v *Vectorizer) EdgeDim() int { return 3*v.model.Dim() + len(v.edgeKeys) }
+
+// NodePropertyKeys returns the batch's distinct node property keys in sorted
+// order (the binary block layout).
+func (v *Vectorizer) NodePropertyKeys() []string { return v.nodeKeys }
+
+// EdgePropertyKeys returns the batch's distinct edge property keys.
+func (v *Vectorizer) EdgePropertyKeys() []string { return v.edgeKeys }
+
+// LabelTokens returns the number of distinct non-empty label-set tokens
+// observed, the L used by adaptive LSH parameterization (§4.2).
+func (v *Vectorizer) LabelTokens() int { return v.labelTokens }
+
+// NodeVector renders one node record as f_v ∈ R^{d+K}: the label embedding
+// (zero vector when unlabeled) concatenated with the property indicator.
+func (v *Vectorizer) NodeVector(n *pg.NodeRecord) []float64 {
+	d := v.model.Dim()
+	out := make([]float64, v.NodeDim())
+	v.copyEmbedding(out, pg.LabelSetKey(n.Labels))
+	for k := range n.Props {
+		if pos, ok := v.nodeKeyPos[k]; ok {
+			out[d+pos] = 1
+		}
+	}
+	return out
+}
+
+// copyEmbedding writes the weighted embedding of the label token into
+// dst's first d slots.
+func (v *Vectorizer) copyEmbedding(dst []float64, token string) {
+	vec := v.model.Vector(token)
+	for i, x := range vec {
+		dst[i] = v.labelWeight * x
+	}
+}
+
+// EdgeVector renders one edge record as f_e ∈ R^{3d+Q}: embeddings of the
+// edge label, the source label set and the target label set, then the edge
+// property indicator.
+func (v *Vectorizer) EdgeVector(e *pg.EdgeRecord) []float64 {
+	d := v.model.Dim()
+	out := make([]float64, v.EdgeDim())
+	v.copyEmbedding(out, pg.LabelSetKey(e.Labels))
+	v.copyEmbedding(out[d:], pg.LabelSetKey(e.SrcLabels))
+	v.copyEmbedding(out[2*d:], pg.LabelSetKey(e.DstLabels))
+	for k := range e.Props {
+		if pos, ok := v.edgeKeyPos[k]; ok {
+			out[3*d+pos] = 1
+		}
+	}
+	return out
+}
+
+// NodeVectors renders all node records of the batch, aligned by index.
+func (v *Vectorizer) NodeVectors(b *pg.Batch) [][]float64 {
+	out := make([][]float64, len(b.Nodes))
+	for i := range b.Nodes {
+		out[i] = v.NodeVector(&b.Nodes[i])
+	}
+	return out
+}
+
+// EdgeVectors renders all edge records of the batch, aligned by index.
+func (v *Vectorizer) EdgeVectors(b *pg.Batch) [][]float64 {
+	out := make([][]float64, len(b.Edges))
+	for i := range b.Edges {
+		out[i] = v.EdgeVector(&b.Edges[i])
+	}
+	return out
+}
+
+// Token hashing for the MinHash set representation. Prefixes keep the token
+// namespaces (labels, endpoints, properties) disjoint.
+func hashToken(prefix byte, s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte{prefix, ':'})
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// NodeSet renders a node as a set of hashed tokens: its label-set token (if
+// labeled) plus one token per property key.
+func (v *Vectorizer) NodeSet(n *pg.NodeRecord) []uint64 {
+	out := make([]uint64, 0, len(n.Props)+1)
+	if key := pg.LabelSetKey(n.Labels); key != "" {
+		out = append(out, hashToken('L', key))
+	}
+	for k := range n.Props {
+		out = append(out, hashToken('P', k))
+	}
+	return out
+}
+
+// EdgeSet renders an edge as a set of hashed tokens: label, source and
+// target label-set tokens plus property-key tokens.
+func (v *Vectorizer) EdgeSet(e *pg.EdgeRecord) []uint64 {
+	out := make([]uint64, 0, len(e.Props)+3)
+	if key := pg.LabelSetKey(e.Labels); key != "" {
+		out = append(out, hashToken('L', key))
+	}
+	if key := pg.LabelSetKey(e.SrcLabels); key != "" {
+		out = append(out, hashToken('S', key))
+	}
+	if key := pg.LabelSetKey(e.DstLabels); key != "" {
+		out = append(out, hashToken('T', key))
+	}
+	for k := range e.Props {
+		out = append(out, hashToken('P', k))
+	}
+	return out
+}
+
+// NodeSets renders all node records as token sets, aligned by index.
+func (v *Vectorizer) NodeSets(b *pg.Batch) [][]uint64 {
+	out := make([][]uint64, len(b.Nodes))
+	for i := range b.Nodes {
+		out[i] = v.NodeSet(&b.Nodes[i])
+	}
+	return out
+}
+
+// EdgeSets renders all edge records as token sets, aligned by index.
+func (v *Vectorizer) EdgeSets(b *pg.Batch) [][]uint64 {
+	out := make([][]uint64, len(b.Edges))
+	for i := range b.Edges {
+		out[i] = v.EdgeSet(&b.Edges[i])
+	}
+	return out
+}
