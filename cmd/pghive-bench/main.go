@@ -4,49 +4,84 @@
 // Usage:
 //
 //	pghive-bench [-exp all|table1|table2|fig3|...] [-scale N] [-seed S] [-datasets POLE,LDBC]
+//
+// The -cpuprofile and -memprofile flags write pprof profiles of the run
+// for digging into where discovery time and allocations go.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"pghive/internal/bench"
 )
 
 func main() {
+	if err := mainErr(); err != nil {
+		fatal(err)
+	}
+}
+
+// mainErr holds the whole run so the profiling defers flush before the
+// process exits — os.Exit in main would silently drop them.
+func mainErr() error {
 	exp := flag.String("exp", "all", "experiment to run: all or one of "+strings.Join(bench.ExperimentNames(), ", "))
 	scale := flag.Int("scale", 2000, "generated nodes per dataset")
 	seed := flag.Int64("seed", 1, "random seed")
 	datasets := flag.String("datasets", "", "comma-separated dataset filter (default: all eight)")
+	depth := flag.Int("pipeline-depth", 0, "execution engine depth for PG-HIVE runs: 0/1 = serial, >1 = overlapped batches")
 	csvDir := flag.String("csvdir", "", "also write machine-readable CSVs for every experiment into this directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
-	settings := bench.Settings{Scale: *scale, Seed: *seed}
+	settings := bench.Settings{Scale: *scale, Seed: *seed, PipelineDepth: *depth}
 	if *datasets != "" {
 		settings.Datasets = strings.Split(*datasets, ",")
 	}
 
-	if *csvDir != "" {
-		if err := bench.WriteCSVs(*csvDir, os.Stdout, settings); err != nil {
-			fatal(err)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
 		}
-		return
-	}
-	if *exp == "all" {
-		if err := bench.RunAll(os.Stdout, settings); err != nil {
-			fatal(err)
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
 		}
-		return
+		defer pprof.StopCPUProfile()
 	}
-	runner, ok := bench.Experiments[*exp]
+	runErr := run(*exp, *csvDir, settings)
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return runErr
+}
+
+func run(exp, csvDir string, settings bench.Settings) error {
+	if csvDir != "" {
+		return bench.WriteCSVs(csvDir, os.Stdout, settings)
+	}
+	if exp == "all" {
+		return bench.RunAll(os.Stdout, settings)
+	}
+	runner, ok := bench.Experiments[exp]
 	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q (have: all, %s)", *exp, strings.Join(bench.ExperimentNames(), ", ")))
+		return fmt.Errorf("unknown experiment %q (have: all, %s)", exp, strings.Join(bench.ExperimentNames(), ", "))
 	}
-	if err := runner(os.Stdout, settings); err != nil {
-		fatal(err)
-	}
+	return runner(os.Stdout, settings)
 }
 
 func fatal(err error) {

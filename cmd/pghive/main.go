@@ -38,6 +38,7 @@ func main() {
 		name      = flag.String("name", "DiscoveredGraphType", "graph type name for PG-Schema output")
 		outPath   = flag.String("out", "", "output file (default stdout)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		depth     = flag.Int("pipeline-depth", 0, "execution engine depth: 1 = serial, >1 = overlapped batches (0 = default)")
 		sample    = flag.Bool("sample-datatypes", false, "infer property data types from a sample instead of a full scan")
 		particip  = flag.Bool("participation", false, "analyze edge participation to refine cardinality lower bounds")
 		selfCheck = flag.Bool("validate", false, "validate the input graph against its own discovered schema and report violations")
@@ -54,6 +55,7 @@ func main() {
 	cfg.Theta = *theta
 	cfg.SampleDatatypes = *sample
 	cfg.Participation = *particip
+	cfg.PipelineDepth = *depth
 	switch *method {
 	case "elsh":
 		cfg.Method = pghive.MethodELSH

@@ -55,6 +55,20 @@ type Settings struct {
 	Seed int64
 	// Datasets filters by profile name; empty means all eight.
 	Datasets []string
+	// PipelineDepth selects the execution engine depth for PG-HIVE runs.
+	// 0 or 1 keeps the harness serial (the default — per-batch and
+	// per-phase timings stay attributable to a single batch); >1 enables
+	// the overlapped engine.
+	PipelineDepth int
+}
+
+// engineDepth maps the setting onto core.Config.PipelineDepth: the harness
+// defaults to serial rather than core's overlapped default.
+func (s Settings) engineDepth() int {
+	if s.PipelineDepth > 1 {
+		return s.PipelineDepth
+	}
+	return 1
 }
 
 func (s Settings) withDefaults() Settings {
@@ -106,18 +120,19 @@ type Outcome struct {
 }
 
 // RunMethod executes one method on a dataset and scores it.
-func RunMethod(ds *datagen.Dataset, m MethodID, seed int64) Outcome {
+func RunMethod(ds *datagen.Dataset, m MethodID, s Settings) Outcome {
 	switch m {
 	case ELSH, MinHash:
 		cfg := core.DefaultConfig()
 		cfg.TrackMembers = true
-		cfg.Seed = seed
+		cfg.Seed = s.Seed
+		cfg.PipelineDepth = s.engineDepth()
 		if m == MinHash {
 			cfg.Method = core.MethodMinHash
 		}
 		return RunPGHive(ds, cfg)
 	case GMM:
-		return runGMM(ds, seed)
+		return runGMM(ds, s.Seed)
 	case SchemI:
 		return runSchemI(ds)
 	default:

@@ -48,7 +48,7 @@ func TestRunMethodOutcomes(t *testing.T) {
 	ds := cache.get(profileOrSkip(t, s, "POLE"))
 
 	for m := ELSH; m < numMethods; m++ {
-		out := RunMethod(ds, m, s.Seed)
+		out := RunMethod(ds, m, s)
 		if !out.OK {
 			t.Fatalf("%v should run on a clean dataset", m)
 		}
@@ -70,12 +70,12 @@ func TestBaselinesFailWithoutLabels(t *testing.T) {
 	p := profileOrSkip(t, s, "POLE")
 	ds := cache.noisy(p, 0, 0.5)
 	for _, m := range []MethodID{GMM, SchemI} {
-		if out := RunMethod(ds, m, s.Seed); out.OK {
+		if out := RunMethod(ds, m, s); out.OK {
 			t.Errorf("%v should fail at 50%% label availability", m)
 		}
 	}
 	for _, m := range []MethodID{ELSH, MinHash} {
-		if out := RunMethod(ds, m, s.Seed); !out.OK || out.Node.Micro < 0.8 {
+		if out := RunMethod(ds, m, s); !out.OK || out.Node.Micro < 0.8 {
 			t.Errorf("%v should still work at 50%% labels (got OK=%v F1=%.3f)", m, out.OK, out.Node.Micro)
 		}
 	}

@@ -37,7 +37,7 @@ func RunFig3(w io.Writer, s Settings) (*Fig3Result, *Fig3Result, error) {
 			ds := cache.noisy(p, noise, 1.0)
 			outcomes := map[MethodID]Outcome{}
 			for _, m := range nodeMethods {
-				outcomes[m] = RunMethod(ds, m, s.Seed)
+				outcomes[m] = RunMethod(ds, m, s)
 			}
 			for i, m := range nodeMethods {
 				nodeScores[i] = append(nodeScores[i], outcomes[m].Node.Micro)

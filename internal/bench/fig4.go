@@ -40,7 +40,7 @@ func RunFig4(w io.Writer, s Settings) ([]Fig4Cell, error) {
 					if avail < 1 && (m == GMM || m == SchemI) {
 						continue // cannot run without full labels
 					}
-					out := RunMethod(ds, m, s.Seed)
+					out := RunMethod(ds, m, s)
 					cell := Fig4Cell{
 						Dataset: p.Name, Noise: noise, LabelAvail: avail, Method: m,
 						OK: out.OK, NodeF1: out.Node.Micro, EdgeF1: out.Edge.Micro,

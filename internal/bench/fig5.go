@@ -38,7 +38,7 @@ func RunFig5(w io.Writer, s Settings) ([]Fig5Cell, error) {
 			ds := cache.noisy(p, noise, 1.0)
 			row := fmt.Sprintf("    %.0f%%", noise*100)
 			for m := ELSH; m < numMethods; m++ {
-				out := RunMethod(ds, m, s.Seed)
+				out := RunMethod(ds, m, s)
 				cells = append(cells, Fig5Cell{Dataset: p.Name, Noise: noise, Method: m, OK: out.OK, Elapsed: out.Elapsed})
 				if out.OK {
 					row += "\t" + ms(out.Elapsed)

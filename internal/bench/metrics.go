@@ -33,7 +33,7 @@ func RunMetrics(w io.Writer, s Settings) ([]MetricsRow, error) {
 	for _, p := range s.profiles() {
 		ds := cache.get(p)
 		for m := ELSH; m < numMethods; m++ {
-			out := RunMethod(ds, m, s.Seed)
+			out := RunMethod(ds, m, s)
 			row := MetricsRow{Dataset: p.Name, Method: m, OK: out.OK}
 			if out.OK {
 				row.F1 = out.Node.Micro

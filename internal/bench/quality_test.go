@@ -19,7 +19,7 @@ func TestCleanDatasetQuality(t *testing.T) {
 	for _, p := range datagen.Profiles() {
 		ds := datagen.Generate(p, datagen.Options{Nodes: 1000, Seed: 1})
 		for _, m := range []MethodID{ELSH, MinHash} {
-			out := RunMethod(ds, m, 1)
+			out := RunMethod(ds, m, Settings{Seed: 1})
 			if !out.OK {
 				t.Fatalf("%s/%v failed to run", p.Name, m)
 			}
@@ -45,7 +45,7 @@ func TestNoisyNoLabelQuality(t *testing.T) {
 		ds := datagen.Generate(p, datagen.Options{Nodes: 1000, Seed: 1})
 		noisy := datagen.NewNoise(0.4, 0, 2).Apply(ds)
 		for _, m := range []MethodID{ELSH, MinHash} {
-			out := RunMethod(noisy, m, 1)
+			out := RunMethod(noisy, m, Settings{Seed: 1})
 			// LDBC's Post and Comment share almost all structure (both are
 			// Messages); without labels they partially merge, so the floor
 			// here is below the clean-data one.
@@ -69,7 +69,7 @@ func TestIncrementalMatchesSingleBatchQuality(t *testing.T) {
 	p := datagen.ProfileByName("LDBC")
 	ds := datagen.Generate(p, datagen.Options{Nodes: 1000, Seed: 1})
 
-	single := RunMethod(ds, ELSH, 1)
+	single := RunMethod(ds, ELSH, Settings{Seed: 1})
 
 	cfg := core.DefaultConfig()
 	cfg.TrackMembers = true

@@ -48,6 +48,7 @@ func RunScaling(w io.Writer, s Settings) ([]ScalingPoint, error) {
 				cfg := core.DefaultConfig()
 				cfg.Seed = s.Seed
 				cfg.TrackMembers = true
+				cfg.PipelineDepth = s.engineDepth()
 				if m == MinHash {
 					cfg.Method = core.MethodMinHash
 				}

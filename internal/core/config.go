@@ -94,9 +94,25 @@ type Config struct {
 	// Parallelism bounds worker goroutines for vectorization and hashing;
 	// 0 means GOMAXPROCS.
 	Parallelism int
+	// PipelineDepth controls the overlapped batch execution engine used by
+	// Discover/Drain. Values > 1 allow that many batches in flight at once:
+	// a prefetch goroutine keeps the next batch loaded while the current
+	// one computes, preprocessing and LSH clustering of batch i+1 overlap
+	// candidate-building/extraction of batch i, and node and edge
+	// clustering of the same batch run concurrently. Extraction into the
+	// shared schema stays serialized in batch order, so the finalized
+	// schema is byte-identical to a serial run with the same seed (the
+	// monotone guarantee S_i ⊑ S_{i+1} is scheduling-independent).
+	// 1 forces the fully serial path; 0 means DefaultPipelineDepth.
+	PipelineDepth int
 	// Seed drives all randomness.
 	Seed int64
 }
+
+// DefaultPipelineDepth is the batch-overlap depth used when
+// Config.PipelineDepth is 0: deep enough to keep the load, cluster and
+// extract stages all busy, shallow enough to bound resident batches.
+const DefaultPipelineDepth = 4
 
 // DefaultConfig returns the paper's configuration.
 func DefaultConfig() Config {
@@ -122,6 +138,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = DefaultPipelineDepth
 	}
 	return c
 }

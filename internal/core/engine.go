@@ -1,0 +1,119 @@
+// The overlapped batch execution engine: a staged concurrent pipeline over
+// the incremental discovery loop of Algorithm 1.
+//
+//	load ──▶ preprocess ──▶ cluster ──▶ extract
+//	(prefetch   (serial,      (worker     (serial,
+//	 goroutine)  in order)     pool)       in order)
+//
+// Load runs in a prefetch goroutine so the next batch is in memory while the
+// current one computes. Preprocess (align + vectorize) is serialized in
+// batch order because the label aligner and the cross-batch embedding cache
+// are order-dependent, but it only needs the CPU briefly and immediately
+// frees the next batch for clustering. Clustering — the dominant cost — is
+// pure: it reads an immutable Vectorizer snapshot and per-kind seeded hash
+// families, so a pool of workers clusters several batches at once, and node
+// and edge clustering of the same batch run concurrently. Extraction merges
+// candidates into the shared schema and consumes the shared data-type
+// sampler; it is the only order-dependent step and stays serialized in batch
+// order, which preserves the incremental guarantee S_i ⊑ S_{i+1} and makes
+// the finalized schema byte-identical to a serial run with the same seed.
+package core
+
+import (
+	"sync"
+	"time"
+
+	"pghive/internal/pg"
+)
+
+// Drain processes every batch from src through the pipeline. With
+// Config.PipelineDepth > 1 the overlapped engine runs with that many
+// batches in flight; with PipelineDepth <= 1 batches are processed strictly
+// serially. Both paths produce identical schemas.
+func (p *Pipeline) Drain(src pg.Source) {
+	depth := p.cfg.PipelineDepth
+	if depth <= 1 {
+		for b := src.Next(); b != nil; b = src.Next() {
+			p.ProcessBatch(b)
+		}
+		return
+	}
+
+	pf := pg.NewPrefetchSource(src, depth)
+	defer pf.Close()
+
+	prepped := make(chan staged, depth)
+	clustered := make(chan computed, depth)
+
+	// Preprocess stage: align + vectorize, strictly in batch order.
+	go func() {
+		defer close(prepped)
+		for seq := 0; ; seq++ {
+			b := pf.Next()
+			if b == nil {
+				return
+			}
+			prepped <- p.preprocess(b, seq)
+		}
+	}()
+
+	// Cluster stage: a worker pool; batches may finish out of order.
+	workers := depth - 1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for st := range prepped {
+				clustered <- p.clusterStage(st)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(clustered)
+	}()
+
+	// Extract stage: reorder by sequence number and merge in batch order.
+	pending := map[int]computed{}
+	next := 0
+	for c := range clustered {
+		pending[c.seq] = c
+		for {
+			cur, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			p.extract(cur)
+			next++
+		}
+	}
+}
+
+// clusterStage runs LSH clustering for one staged batch, with node and edge
+// clustering concurrent (they are independent: separate hash families,
+// disjoint outputs, and a read-only Vectorizer snapshot between them).
+// Vectors are rendered into contiguous arenas.
+func (p *Pipeline) clusterStage(st staged) computed {
+	c := computed{seq: st.seq, b: st.b, report: st.report}
+	start := time.Now()
+	ns, es := nodeSpec(st.b, st.vz), edgeSpec(st.b, st.vz)
+	if p.cfg.Parallelism > 1 && ns.n > 0 && es.n > 0 {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.edgeClusters, c.report.EdgeParams = p.clusterKind(es, true)
+		}()
+		c.nodeClusters, c.report.NodeParams = p.clusterKind(ns, true)
+		wg.Wait()
+	} else {
+		c.nodeClusters, c.report.NodeParams = p.clusterKind(ns, true)
+		c.edgeClusters, c.report.EdgeParams = p.clusterKind(es, true)
+	}
+	c.report.Cluster = time.Since(start)
+	c.report.NodeClusters = len(c.nodeClusters)
+	c.report.EdgeClusters = len(c.edgeClusters)
+	return c
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Edge cases for the worker fan-out primitive: empty input, more workers
+// than items, and non-positive worker counts must all behave (cover every
+// index exactly once, never panic, never call f for n=0).
+func TestParmapZeroItems(t *testing.T) {
+	for _, workers := range []int{-3, 0, 1, 8} {
+		parmap(0, workers, func(int) { t.Fatalf("workers=%d: f called for n=0", workers) })
+	}
+}
+
+func TestParmapMoreWorkersThanItems(t *testing.T) {
+	const n = 3
+	var hits [n]int32
+	parmap(n, 64, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Errorf("index %d visited %d times, want 1", i, h)
+		}
+	}
+}
+
+func TestParmapNonPositiveWorkersRunsSerially(t *testing.T) {
+	for _, workers := range []int{-1, 0} {
+		n := 10
+		order := make([]int, 0, n)
+		// Appending without synchronization is only safe if execution is
+		// serial — which is exactly the contract for workers <= 1.
+		parmap(n, workers, func(i int) { order = append(order, i) })
+		if len(order) != n {
+			t.Fatalf("workers=%d: covered %d of %d indexes", workers, len(order), n)
+		}
+		for i, got := range order {
+			if got != i {
+				t.Errorf("workers=%d: serial fallback visited %d at position %d", workers, got, i)
+			}
+		}
+	}
+}
+
+func TestParmapSingleItem(t *testing.T) {
+	calls := 0
+	parmap(1, 8, func(i int) {
+		if i != 0 {
+			t.Errorf("got index %d, want 0", i)
+		}
+		calls++
+	})
+	if calls != 1 {
+		t.Errorf("f called %d times, want 1", calls)
+	}
+}

@@ -36,6 +36,7 @@ type Pipeline struct {
 	schema  *schema.Schema
 	sampler *sampler
 	aligner *align.Aligner
+	session *vectorize.Session
 	reports []BatchReport
 }
 
@@ -46,6 +47,7 @@ func NewPipeline(cfg Config) *Pipeline {
 		cfg:     cfg,
 		schema:  schema.NewSchema(),
 		sampler: newSampler(cfg.SampleFraction, cfg.SampleMin, cfg.Seed),
+		session: vectorize.NewSession(cfg.vectorizeConfig()),
 	}
 	if cfg.AlignLabels {
 		// The aligner persists across batches so alignment classes stay
@@ -91,53 +93,133 @@ func (p *Pipeline) Reports() []BatchReport { return p.reports }
 // Config returns the effective configuration.
 func (p *Pipeline) Config() Config { return p.cfg }
 
+// staged is a batch after the preprocess stage: aligned, vectorized, and
+// ready to cluster.
+type staged struct {
+	seq    int
+	b      *pg.Batch
+	vz     *vectorize.Vectorizer
+	report BatchReport
+}
+
+// computed is a batch after the cluster stage, awaiting ordered extraction.
+type computed struct {
+	seq          int
+	b            *pg.Batch
+	nodeClusters []lsh.Cluster
+	edgeClusters []lsh.Cluster
+	report       BatchReport
+}
+
 // ProcessBatch runs the main pipeline of Algorithm 1 (lines 3-6) on one
 // batch: preprocess into vectors/sets, LSH-cluster nodes and edges, build
 // cluster representatives, and merge them into the schema via Algorithm 2.
+// Stages run serially; Drain overlaps them across batches when
+// Config.PipelineDepth > 1.
 func (p *Pipeline) ProcessBatch(b *pg.Batch) BatchReport {
-	report := BatchReport{
-		Batch: len(p.reports),
+	st := p.preprocess(b, 0)
+	c := computed{b: st.b, report: st.report}
+	start := time.Now()
+	c.nodeClusters, c.report.NodeParams = p.clusterKind(nodeSpec(st.b, st.vz), false)
+	c.edgeClusters, c.report.EdgeParams = p.clusterKind(edgeSpec(st.b, st.vz), false)
+	c.report.Cluster = time.Since(start)
+	c.report.NodeClusters = len(c.nodeClusters)
+	c.report.EdgeClusters = len(c.edgeClusters)
+	return p.extract(c)
+}
+
+// preprocess aligns and vectorizes one batch. Calls must happen in batch
+// order: the aligner and the embedding session are order-dependent.
+func (p *Pipeline) preprocess(b *pg.Batch, seq int) staged {
+	st := staged{seq: seq, report: BatchReport{
 		Nodes: len(b.Nodes),
 		Edges: len(b.Edges),
-	}
-
+	}}
 	start := time.Now()
-	b = p.alignBatch(b)
-	vz := vectorize.New(b, p.cfg.vectorizeConfig())
-	report.Preprocess = time.Since(start)
+	st.b = p.alignBatch(b)
+	st.vz = p.session.Vectorize(st.b)
+	st.report.Preprocess = time.Since(start)
+	return st
+}
 
-	start = time.Now()
-	nodeClusters, nodeParams := p.clusterNodes(b, vz)
-	edgeClusters, edgeParams := p.clusterEdges(b, vz)
-	report.Cluster = time.Since(start)
-	report.NodeClusters = len(nodeClusters)
-	report.EdgeClusters = len(edgeClusters)
-	report.NodeParams = nodeParams
-	report.EdgeParams = edgeParams
-
-	start = time.Now()
-	nodeCands := p.nodeCandidates(b, nodeClusters)
-	edgeCands := p.edgeCandidates(b, edgeClusters)
+// extract builds cluster representatives and merges them into the schema
+// (Algorithm 2). It mutates shared, order-dependent state (schema, sampler)
+// and must be called in batch order.
+func (p *Pipeline) extract(c computed) BatchReport {
+	c.report.Batch = len(p.reports)
+	start := time.Now()
+	nodeCands := p.nodeCandidates(c.b, c.nodeClusters)
+	edgeCands := p.edgeCandidates(c.b, c.edgeClusters)
 	ExtractTypes(p.schema, schema.NodeKind, nodeCands, p.cfg.Theta)
 	ExtractTypes(p.schema, schema.EdgeKind, edgeCands, p.cfg.Theta)
-	report.Extract = time.Since(start)
-
-	p.reports = append(p.reports, report)
-	return report
+	c.report.Extract = time.Since(start)
+	p.reports = append(p.reports, c.report)
+	return c.report
 }
 
-// clusterNodes clusters the batch's nodes with the configured method and
-// returns the clusters plus the parameters used.
-func (p *Pipeline) clusterNodes(b *pg.Batch, vz *vectorize.Vectorizer) ([]lsh.Cluster, lsh.Params) {
-	n := len(b.Nodes)
+// kindSpec parameterizes clustering over the element kind, deduplicating
+// the former clusterNodes/clusterEdges bodies. Seeds are offset per kind so
+// node and edge hash families stay independent.
+type kindSpec struct {
+	n           int
+	isEdge      bool
+	manual      *lsh.Params // Config.NodeParams / Config.EdgeParams
+	dim         int
+	labelTokens int
+	vec         func(i int) []float64
+	vecInto     func(i int, dst []float64)
+	sets        func() [][]uint64
+}
+
+func nodeSpec(b *pg.Batch, vz *vectorize.Vectorizer) kindSpec {
+	return kindSpec{
+		n:           len(b.Nodes),
+		dim:         vz.NodeDim(),
+		labelTokens: vz.LabelTokens(),
+		vec:         func(i int) []float64 { return vz.NodeVector(&b.Nodes[i]) },
+		vecInto:     func(i int, dst []float64) { vz.NodeVectorInto(&b.Nodes[i], dst) },
+		sets:        func() [][]uint64 { return vz.NodeSets(b) },
+	}
+}
+
+func edgeSpec(b *pg.Batch, vz *vectorize.Vectorizer) kindSpec {
+	return kindSpec{
+		n:           len(b.Edges),
+		isEdge:      true,
+		dim:         vz.EdgeDim(),
+		labelTokens: vz.LabelTokens(),
+		vec:         func(i int) []float64 { return vz.EdgeVector(&b.Edges[i]) },
+		vecInto:     func(i int, dst []float64) { vz.EdgeVectorInto(&b.Edges[i], dst) },
+		sets:        func() [][]uint64 { return vz.EdgeSets(b) },
+	}
+}
+
+// clusterKind clusters one element kind with the configured method and
+// returns the clusters plus the parameters used. It only reads the
+// Vectorizer snapshot captured in the spec, so different kinds — and
+// different batches — may cluster concurrently. With arena set, element
+// vectors are rendered into one contiguous allocation.
+func (p *Pipeline) clusterKind(spec kindSpec, arena bool) ([]lsh.Cluster, lsh.Params) {
+	n := spec.n
 	if n == 0 {
 		return nil, lsh.Params{}
 	}
+	manual := p.cfg.NodeParams
+	mhSeed, adaptSeed, famSeed := int64(101), int64(11), int64(102)
+	if spec.isEdge {
+		manual = p.cfg.EdgeParams
+		mhSeed, adaptSeed, famSeed = 201, 12, 202
+	}
 	switch p.cfg.Method {
 	case MethodMinHash:
-		params := p.nodeParams(n, vz, func(i int) []float64 { return vz.NodeVector(&b.Nodes[i]) })
-		mh := lsh.NewMinHash(params.Tables, p.cfg.Seed+101)
-		sets := vz.NodeSets(b)
+		params := lsh.Params{}
+		if manual != nil {
+			params = *manual
+		} else {
+			params = adaptFromSample(n, spec.labelTokens, spec.isEdge, p.cfg.Seed+adaptSeed, spec.vec)
+		}
+		mh := lsh.NewMinHash(params.Tables, p.cfg.Seed+mhSeed)
+		sets := spec.sets()
 		if p.cfg.MinHashRows > 0 {
 			return mh.ClusterBanded(sets, p.cfg.MinHashRows), params
 		}
@@ -145,66 +227,35 @@ func (p *Pipeline) clusterNodes(b *pg.Batch, vz *vectorize.Vectorizer) ([]lsh.Cl
 		parmap(n, p.cfg.Parallelism, func(i int) { hashes[i] = mh.SignatureHash(sets[i]) })
 		return lsh.GroupByHash(hashes), params
 	default:
-		vectors := make([][]float64, n)
-		parmap(n, p.cfg.Parallelism, func(i int) { vectors[i] = vz.NodeVector(&b.Nodes[i]) })
-		params := p.cfg.NodeParams
+		vectors := p.renderVectors(spec, arena)
+		params := manual
 		if params == nil {
-			adapted := lsh.AdaptParamsAll(vectors, vz.LabelTokens(), false, p.cfg.Seed+11)
+			adapted := lsh.AdaptParamsAll(vectors, spec.labelTokens, spec.isEdge, p.cfg.Seed+adaptSeed)
 			params = &adapted
 		}
-		fam := lsh.NewELSH(vz.NodeDim(), params.Bucket, params.Tables, p.cfg.Seed+102)
+		fam := lsh.NewELSH(spec.dim, params.Bucket, params.Tables, p.cfg.Seed+famSeed)
 		hashes := make([]uint64, n)
 		parmap(n, p.cfg.Parallelism, func(i int) { hashes[i] = fam.SignatureHash(vectors[i]) })
 		return lsh.GroupByHash(hashes), *params
 	}
 }
 
-// clusterEdges mirrors clusterNodes for the batch's edges.
-func (p *Pipeline) clusterEdges(b *pg.Batch, vz *vectorize.Vectorizer) ([]lsh.Cluster, lsh.Params) {
-	n := len(b.Edges)
-	if n == 0 {
-		return nil, lsh.Params{}
-	}
-	switch p.cfg.Method {
-	case MethodMinHash:
-		params := p.edgeParamsFor(n, vz, func(i int) []float64 { return vz.EdgeVector(&b.Edges[i]) })
-		mh := lsh.NewMinHash(params.Tables, p.cfg.Seed+201)
-		sets := vz.EdgeSets(b)
-		if p.cfg.MinHashRows > 0 {
-			return mh.ClusterBanded(sets, p.cfg.MinHashRows), params
+// renderVectors materializes every element vector of one kind, either as one
+// allocation per record (the serial path's historical pattern) or sliced out
+// of a single contiguous arena — same float values, far fewer allocations
+// and much less GC pressure on large batches.
+func (p *Pipeline) renderVectors(spec kindSpec, arena bool) [][]float64 {
+	vectors := make([][]float64, spec.n)
+	if arena && spec.dim > 0 {
+		backing := make([]float64, spec.n*spec.dim)
+		for i := range vectors {
+			vectors[i] = backing[i*spec.dim : (i+1)*spec.dim : (i+1)*spec.dim]
 		}
-		hashes := make([]uint64, n)
-		parmap(n, p.cfg.Parallelism, func(i int) { hashes[i] = mh.SignatureHash(sets[i]) })
-		return lsh.GroupByHash(hashes), params
-	default:
-		vectors := make([][]float64, n)
-		parmap(n, p.cfg.Parallelism, func(i int) { vectors[i] = vz.EdgeVector(&b.Edges[i]) })
-		params := p.cfg.EdgeParams
-		if params == nil {
-			adapted := lsh.AdaptParamsAll(vectors, vz.LabelTokens(), true, p.cfg.Seed+12)
-			params = &adapted
-		}
-		fam := lsh.NewELSH(vz.EdgeDim(), params.Bucket, params.Tables, p.cfg.Seed+202)
-		hashes := make([]uint64, n)
-		parmap(n, p.cfg.Parallelism, func(i int) { hashes[i] = fam.SignatureHash(vectors[i]) })
-		return lsh.GroupByHash(hashes), *params
+		parmap(spec.n, p.cfg.Parallelism, func(i int) { spec.vecInto(i, vectors[i]) })
+		return vectors
 	}
-}
-
-// nodeParams adapts (or returns the manual) parameters for MinHash node
-// clustering, vectorizing only the adaptation sample.
-func (p *Pipeline) nodeParams(n int, vz *vectorize.Vectorizer, vec func(i int) []float64) lsh.Params {
-	if p.cfg.NodeParams != nil {
-		return *p.cfg.NodeParams
-	}
-	return adaptFromSample(n, vz.LabelTokens(), false, p.cfg.Seed+11, vec)
-}
-
-func (p *Pipeline) edgeParamsFor(n int, vz *vectorize.Vectorizer, vec func(i int) []float64) lsh.Params {
-	if p.cfg.EdgeParams != nil {
-		return *p.cfg.EdgeParams
-	}
-	return adaptFromSample(n, vz.LabelTokens(), true, p.cfg.Seed+12, vec)
+	parmap(spec.n, p.cfg.Parallelism, func(i int) { vectors[i] = spec.vec(i) })
+	return vectors
 }
 
 func adaptFromSample(n, labels int, isEdge bool, seed int64, vec func(i int) []float64) lsh.Params {
@@ -272,13 +323,13 @@ type Result struct {
 }
 
 // Discover drains the source through a pipeline and finalizes the schema —
-// the full Algorithm 1.
+// the full Algorithm 1. With Config.PipelineDepth > 1 (the default) the
+// overlapped execution engine runs; the result is byte-identical to a
+// serial run with the same seed.
 func Discover(src pg.Source, cfg Config) *Result {
 	p := NewPipeline(cfg)
 	start := time.Now()
-	for batch := src.Next(); batch != nil; batch = src.Next() {
-		p.ProcessBatch(batch)
-	}
+	p.Drain(src)
 	discovery := time.Since(start)
 
 	start = time.Now()

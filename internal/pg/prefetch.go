@@ -1,0 +1,61 @@
+package pg
+
+import "sync"
+
+// PrefetchSource wraps a Source with a background loader goroutine so the
+// next batches are already in memory when the consumer asks for them — the
+// load stage of the overlapped execution engine. Up to depth batches are
+// buffered ahead of the consumer. Next returns batches in the wrapped
+// source's order; the wrapper itself is a Source, so prefetching can be
+// slotted in front of any pipeline.
+//
+// Next must not be called concurrently with itself. The wrapped source is
+// only touched from the loader goroutine, so a Source reading from disk or
+// a network store overlaps its I/O with the consumer's compute.
+type PrefetchSource struct {
+	ch   chan *Batch
+	stop chan struct{}
+	once sync.Once
+}
+
+// NewPrefetchSource starts prefetching from src, keeping up to depth
+// batches (at least 1) buffered. Call Close when abandoning the source
+// before exhaustion, or the loader goroutine blocks forever on a full
+// buffer.
+func NewPrefetchSource(src Source, depth int) *PrefetchSource {
+	if depth < 1 {
+		depth = 1
+	}
+	s := &PrefetchSource{
+		ch:   make(chan *Batch, depth),
+		stop: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.ch)
+		for b := src.Next(); b != nil; b = src.Next() {
+			select {
+			case s.ch <- b:
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// Next returns the next batch, blocking until one is loaded, or nil when
+// the wrapped source is exhausted (and forever after).
+func (s *PrefetchSource) Next() *Batch {
+	b, ok := <-s.ch
+	if !ok {
+		return nil
+	}
+	return b
+}
+
+// Close releases the loader goroutine. It is safe to call multiple times,
+// after exhaustion, and concurrently with Next; batches already buffered
+// remain readable.
+func (s *PrefetchSource) Close() {
+	s.once.Do(func() { close(s.stop) })
+}

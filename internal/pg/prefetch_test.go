@@ -1,0 +1,88 @@
+package pg
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPrefetchPreservesOrder(t *testing.T) {
+	batches := make([]*Batch, 5)
+	for i := range batches {
+		batches[i] = &Batch{Nodes: make([]NodeRecord, i+1)}
+	}
+	pf := NewPrefetchSource(NewSliceSource(batches...), 2)
+	defer pf.Close()
+	for i, want := range batches {
+		got := pf.Next()
+		if got != want {
+			t.Fatalf("batch %d: got %p, want %p", i, got, want)
+		}
+	}
+	if pf.Next() != nil || pf.Next() != nil {
+		t.Error("exhausted prefetch source must keep returning nil")
+	}
+}
+
+func TestPrefetchDepthClamped(t *testing.T) {
+	pf := NewPrefetchSource(NewSliceSource(&Batch{}), 0)
+	defer pf.Close()
+	if pf.Next() == nil {
+		t.Fatal("depth clamp broke delivery")
+	}
+	if pf.Next() != nil {
+		t.Error("want nil after exhaustion")
+	}
+}
+
+// endlessSource yields batches forever, counting how many were pulled.
+type endlessSource struct{ calls atomic.Int64 }
+
+func (s *endlessSource) Next() *Batch {
+	s.calls.Add(1)
+	return &Batch{}
+}
+
+func TestPrefetchCloseStopsLoader(t *testing.T) {
+	src := &endlessSource{}
+	pf := NewPrefetchSource(src, 1)
+	if pf.Next() == nil {
+		t.Fatal("expected a batch")
+	}
+	pf.Close()
+	pf.Close() // idempotent
+
+	// The loader may complete at most a couple of in-flight Next calls
+	// after Close; afterwards the count must stop growing.
+	var settled int64
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		settled = src.calls.Load()
+		time.Sleep(20 * time.Millisecond)
+		if src.calls.Load() == settled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("loader did not settle after Close")
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := src.calls.Load(); got != settled {
+		t.Errorf("loader kept pulling after Close: %d -> %d", settled, got)
+	}
+}
+
+func TestPrefetchBuffersAhead(t *testing.T) {
+	src := &endlessSource{}
+	pf := NewPrefetchSource(src, 3)
+	defer pf.Close()
+	// Without consuming anything, the loader should fill the buffer (3)
+	// plus hold one batch in flight.
+	deadline := time.Now().Add(2 * time.Second)
+	for src.calls.Load() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("loader prefetched only %d batches", src.calls.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -8,10 +8,17 @@
 //
 // It also produces the set representation consumed by MinHash LSH: hashed
 // tokens for the label set, endpoints and property keys.
+//
+// Embeddings are cached across batches by a Session: a label-set token keeps
+// the vector it was assigned when first observed, and only the tokens a batch
+// introduces are trained. The weighted embedding block (LabelWeight × vector)
+// is memoized per token, so rendering a record copies a precomputed prefix
+// instead of re-scaling the embedding for every element that shares a token.
 package vectorize
 
 import (
 	"hash/fnv"
+	"sort"
 
 	"pghive/internal/embed"
 	"pghive/internal/pg"
@@ -47,34 +54,66 @@ func DefaultConfig() Config {
 	return Config{Embedding: embed.DefaultConfig(), LabelWeight: DefaultLabelWeight}
 }
 
-// Vectorizer holds the per-batch vocabulary (property-key indexes) and the
-// Word2Vec model, and renders element vectors. Algorithm 1 constructs one
-// Vectorizer per batch (the preprocess step).
-type Vectorizer struct {
-	model       *embed.Model
+// Session carries the label-embedding state of an incremental discovery run
+// across batches. The first batch trains a Word2Vec model over its label-set
+// sentences exactly as a one-shot run would; each subsequent batch reuses the
+// cached vectors of already-seen tokens and trains only on the sentences its
+// new tokens introduce. When the adaptive embedding dimensionality outgrows
+// the current model (the vocabulary crossed an adaptiveDim threshold), the
+// whole corpus is retrained at the new dimensionality — the explicit
+// invalidation path.
+//
+// A Session is not safe for concurrent use: Vectorize calls must be
+// serialized in batch order (the cache is order-dependent). The Vectorizers
+// it returns are immutable snapshots and may be used concurrently with later
+// Vectorize calls — this is what lets the overlapped execution engine
+// cluster batch i while batch i+1 is being vectorized.
+type Session struct {
 	labelWeight float64
-
-	nodeKeys    []string       // sorted distinct node property keys (K)
-	nodeKeyPos  map[string]int // key -> offset in the binary block
-	edgeKeys    []string       // sorted distinct edge property keys (Q)
-	edgeKeyPos  map[string]int
-	labelTokens int // distinct non-empty label-set tokens seen in the batch
+	semantic    bool
+	adaptive    bool         // Embedding.Dim was 0: pick dim from vocab size
+	embCfg      embed.Config // training hyperparameters; Dim set per round
+	model       *embed.Model // combined embedding table, grows across batches
+	// sentences maps every label-set token ever observed to its training
+	// sentence; it is both the dedup set and the retained corpus for the
+	// dim-invalidation retrain.
+	sentences map[string][]string
+	// weighted memoizes labelWeight × vector per token. Entry slices are
+	// never mutated after insertion; invalidation replaces the whole map.
+	weighted map[string][]float64
 }
 
-// New scans the batch, trains the label embedding on the batch's
-// co-occurrence sentences, and returns a ready Vectorizer.
-func New(b *pg.Batch, cfg Config) *Vectorizer {
-	v := &Vectorizer{
-		nodeKeyPos:  map[string]int{},
-		edgeKeyPos:  map[string]int{},
+// NewSession starts an embedding session for one discovery run.
+func NewSession(cfg Config) *Session {
+	s := &Session{
 		labelWeight: cfg.LabelWeight,
+		semantic:    cfg.SemanticLabels,
+		adaptive:    cfg.Embedding.Dim <= 0,
+		embCfg:      cfg.Embedding,
+		sentences:   map[string][]string{},
+		weighted:    map[string][]float64{},
 	}
-	if v.labelWeight <= 0 {
-		v.labelWeight = DefaultLabelWeight
+	if s.labelWeight <= 0 {
+		s.labelWeight = DefaultLabelWeight
 	}
+	return s
+}
+
+// New scans the batch, trains the label embedding, and returns a ready
+// Vectorizer — a one-shot Session for callers without cross-batch state.
+func New(b *pg.Batch, cfg Config) *Vectorizer {
+	return NewSession(cfg).Vectorize(b)
+}
+
+// Vectorize scans the batch (property-key vocabulary, label-set tokens),
+// trains the embedding on the tokens this batch introduces, and returns a
+// Vectorizer rendering against an immutable snapshot of the session's
+// embedding table.
+func (s *Session) Vectorize(b *pg.Batch) *Vectorizer {
 	nodeKeySet := map[string]struct{}{}
 	edgeKeySet := map[string]struct{}{}
-	labelSet := map[string]struct{}{}
+	batchTokens := map[string]struct{}{}
+	var newTokens []string
 
 	// The Word2Vec corpus is the set of observed label sets (§4.1). By
 	// default each distinct set contributes a single-token sentence — the
@@ -83,24 +122,24 @@ func New(b *pg.Batch, cfg Config) *Vectorizer {
 	// matches (distinct label sets are distinct types under the paper's
 	// model). With SemanticLabels, sentences also carry the member labels,
 	// so overlapping sets attract.
-	sentences := map[string][]string{}
 	observe := func(labels []string) {
 		key := pg.LabelSetKey(labels)
 		if key == "" {
 			return
 		}
-		labelSet[key] = struct{}{}
-		if _, seen := sentences[key]; seen {
+		batchTokens[key] = struct{}{}
+		if _, seen := s.sentences[key]; seen {
 			return
 		}
-		if !cfg.SemanticLabels || len(labels) == 1 {
-			sentences[key] = []string{key}
-			return
+		if !s.semantic || len(labels) == 1 {
+			s.sentences[key] = []string{key}
+		} else {
+			sentence := make([]string, 0, len(labels)+1)
+			sentence = append(sentence, key)
+			sentence = append(sentence, labels...)
+			s.sentences[key] = sentence
 		}
-		sentence := make([]string, 0, len(labels)+1)
-		sentence = append(sentence, key)
-		sentence = append(sentence, labels...)
-		sentences[key] = sentence
+		newTokens = append(newTokens, key)
 	}
 	for i := range b.Nodes {
 		n := &b.Nodes[i]
@@ -118,25 +157,99 @@ func New(b *pg.Batch, cfg Config) *Vectorizer {
 		observe(e.SrcLabels)
 		observe(e.DstLabels)
 	}
-	corpus := make([][]string, 0, len(sentences))
-	for _, key := range sortedSlice(labelSet) {
-		corpus = append(corpus, sentences[key])
-	}
 
-	v.nodeKeys = sortedSlice(nodeKeySet)
+	s.train(newTokens)
+
+	v := &Vectorizer{
+		model:       s.model,
+		dim:         s.model.Dim(),
+		labelWeight: s.labelWeight,
+		labelTokens: len(batchTokens),
+		nodeKeys:    sortedSlice(nodeKeySet),
+		edgeKeys:    sortedSlice(edgeKeySet),
+	}
+	v.nodeKeyPos = make(map[string]int, len(v.nodeKeys))
 	for i, k := range v.nodeKeys {
 		v.nodeKeyPos[k] = i
 	}
-	v.edgeKeys = sortedSlice(edgeKeySet)
+	v.edgeKeyPos = make(map[string]int, len(v.edgeKeys))
 	for i, k := range v.edgeKeys {
 		v.edgeKeyPos[k] = i
 	}
-	v.labelTokens = len(labelSet)
-	if cfg.Embedding.Dim <= 0 {
-		cfg.Embedding.Dim = adaptiveDim(v.labelTokens)
+	// Snapshot the weighted table so this Vectorizer stays safe to read
+	// while later Vectorize calls insert new tokens.
+	v.weighted = make(map[string][]float64, len(s.weighted))
+	for k, w := range s.weighted {
+		v.weighted[k] = w
 	}
-	v.model = embed.Train(corpus, cfg.Embedding)
 	return v
+}
+
+// train brings the session's embedding table up to date with the given new
+// tokens (sorted before training so the run is deterministic in batch
+// order).
+func (s *Session) train(newTokens []string) {
+	dim := s.embCfg.Dim
+	if s.adaptive {
+		dim = adaptiveDim(len(s.sentences))
+	}
+	if s.model == nil || s.model.Dim() != dim {
+		s.retrainAll(dim)
+		return
+	}
+	if len(newTokens) == 0 {
+		return
+	}
+	sort.Strings(newTokens)
+	corpus := make([][]string, 0, len(newTokens))
+	for _, tok := range newTokens {
+		corpus = append(corpus, s.sentences[tok])
+	}
+	cfg := s.embCfg
+	cfg.Dim = dim
+	sub := embed.Train(corpus, cfg)
+	for _, tok := range newTokens {
+		s.adopt(tok, sub.Vector(tok))
+	}
+}
+
+// retrainAll rebuilds the whole embedding table at the given dimensionality
+// from every sentence seen so far — the invalidation path taken on the first
+// batch and whenever the adaptive dim changes.
+func (s *Session) retrainAll(dim int) {
+	tokens := make([]string, 0, len(s.sentences))
+	for tok := range s.sentences {
+		tokens = append(tokens, tok)
+	}
+	sort.Strings(tokens)
+	corpus := make([][]string, 0, len(tokens))
+	for _, tok := range tokens {
+		corpus = append(corpus, s.sentences[tok])
+	}
+	cfg := s.embCfg
+	cfg.Dim = dim
+	s.model = embed.Train(corpus, cfg)
+	s.weighted = make(map[string][]float64, len(tokens))
+	for _, tok := range tokens {
+		s.memoize(tok, s.model.Vector(tok))
+	}
+}
+
+// adopt installs a newly trained token into the combined model and the
+// weighted memo.
+func (s *Session) adopt(token string, vec []float64) {
+	s.model.Set(token, vec)
+	s.memoize(token, vec)
+}
+
+// memoize stores the labelWeight-scaled copy of the token's vector. The
+// scaling happens once per token instead of once per record.
+func (s *Session) memoize(token string, vec []float64) {
+	w := make([]float64, len(vec))
+	for i, x := range vec {
+		w[i] = s.labelWeight * x
+	}
+	s.weighted[token] = w
 }
 
 // adaptiveDim picks the embedding dimensionality from the label-token
@@ -159,23 +272,37 @@ func sortedSlice(set map[string]struct{}) []string {
 	for k := range set {
 		out = append(out, k)
 	}
-	// Insertion sort keeps this dependency-free; key sets are small.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }
 
-// Model exposes the trained label embedding.
+// Vectorizer renders one batch's element vectors: it holds the batch's
+// property-key layout and an immutable snapshot of the session's embedding
+// table. Algorithm 1 constructs one Vectorizer per batch (the preprocess
+// step). All methods except Model are safe for concurrent use.
+type Vectorizer struct {
+	model       *embed.Model
+	dim         int
+	weighted    map[string][]float64
+	labelWeight float64
+
+	nodeKeys    []string       // sorted distinct node property keys (K)
+	nodeKeyPos  map[string]int // key -> offset in the binary block
+	edgeKeys    []string       // sorted distinct edge property keys (Q)
+	edgeKeyPos  map[string]int
+	labelTokens int // distinct non-empty label-set tokens seen in the batch
+}
+
+// Model exposes the session's combined label embedding as of this batch. It
+// is a live reference: do not call its methods concurrently with a later
+// Session.Vectorize.
 func (v *Vectorizer) Model() *embed.Model { return v.model }
 
 // NodeDim returns d + K, the node vector dimensionality.
-func (v *Vectorizer) NodeDim() int { return v.model.Dim() + len(v.nodeKeys) }
+func (v *Vectorizer) NodeDim() int { return v.dim + len(v.nodeKeys) }
 
 // EdgeDim returns 3d + Q, the edge vector dimensionality.
-func (v *Vectorizer) EdgeDim() int { return 3*v.model.Dim() + len(v.edgeKeys) }
+func (v *Vectorizer) EdgeDim() int { return 3*v.dim + len(v.edgeKeys) }
 
 // NodePropertyKeys returns the batch's distinct node property keys in sorted
 // order (the binary block layout).
@@ -191,41 +318,59 @@ func (v *Vectorizer) LabelTokens() int { return v.labelTokens }
 // NodeVector renders one node record as f_v ∈ R^{d+K}: the label embedding
 // (zero vector when unlabeled) concatenated with the property indicator.
 func (v *Vectorizer) NodeVector(n *pg.NodeRecord) []float64 {
-	d := v.model.Dim()
 	out := make([]float64, v.NodeDim())
-	v.copyEmbedding(out, pg.LabelSetKey(n.Labels))
-	for k := range n.Props {
-		if pos, ok := v.nodeKeyPos[k]; ok {
-			out[d+pos] = 1
-		}
-	}
+	v.NodeVectorInto(n, out)
 	return out
 }
 
-// copyEmbedding writes the weighted embedding of the label token into
-// dst's first d slots.
-func (v *Vectorizer) copyEmbedding(dst []float64, token string) {
-	vec := v.model.Vector(token)
-	for i, x := range vec {
-		dst[i] = v.labelWeight * x
+// NodeVectorInto renders the node into dst, which must have length
+// NodeDim(). Every slot is written, so dst may be a recycled or arena-backed
+// slice.
+func (v *Vectorizer) NodeVectorInto(n *pg.NodeRecord, dst []float64) {
+	v.copyEmbedding(dst[:v.dim], pg.LabelSetKey(n.Labels))
+	ind := dst[v.dim:]
+	clear(ind)
+	for k := range n.Props {
+		if pos, ok := v.nodeKeyPos[k]; ok {
+			ind[pos] = 1
+		}
 	}
+}
+
+// copyEmbedding writes the weighted embedding of the label token into dst
+// (sliced to exactly d slots), zeroing it for unknown or empty tokens.
+func (v *Vectorizer) copyEmbedding(dst []float64, token string) {
+	if w, ok := v.weighted[token]; ok {
+		copy(dst, w)
+		return
+	}
+	clear(dst)
 }
 
 // EdgeVector renders one edge record as f_e ∈ R^{3d+Q}: embeddings of the
 // edge label, the source label set and the target label set, then the edge
 // property indicator.
 func (v *Vectorizer) EdgeVector(e *pg.EdgeRecord) []float64 {
-	d := v.model.Dim()
 	out := make([]float64, v.EdgeDim())
-	v.copyEmbedding(out, pg.LabelSetKey(e.Labels))
-	v.copyEmbedding(out[d:], pg.LabelSetKey(e.SrcLabels))
-	v.copyEmbedding(out[2*d:], pg.LabelSetKey(e.DstLabels))
+	v.EdgeVectorInto(e, out)
+	return out
+}
+
+// EdgeVectorInto renders the edge into dst, which must have length
+// EdgeDim(). Every slot is written, so dst may be a recycled or arena-backed
+// slice.
+func (v *Vectorizer) EdgeVectorInto(e *pg.EdgeRecord, dst []float64) {
+	d := v.dim
+	v.copyEmbedding(dst[:d], pg.LabelSetKey(e.Labels))
+	v.copyEmbedding(dst[d:2*d], pg.LabelSetKey(e.SrcLabels))
+	v.copyEmbedding(dst[2*d:3*d], pg.LabelSetKey(e.DstLabels))
+	ind := dst[3*d:]
+	clear(ind)
 	for k := range e.Props {
 		if pos, ok := v.edgeKeyPos[k]; ok {
-			out[3*d+pos] = 1
+			ind[pos] = 1
 		}
 	}
-	return out
 }
 
 // NodeVectors renders all node records of the batch, aligned by index.

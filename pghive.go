@@ -125,6 +125,10 @@ const (
 	MethodMinHash = core.MethodMinHash
 )
 
+// DefaultPipelineDepth is the execution engine's default batch window; see
+// Config.PipelineDepth.
+const DefaultPipelineDepth = core.DefaultPipelineDepth
+
 // DefaultConfig returns the paper's configuration: ELSH with adaptive
 // parameters, merge threshold θ = 0.9, and 10 %/≥1000 data-type sampling.
 func DefaultConfig() Config { return core.DefaultConfig() }
