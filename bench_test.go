@@ -169,6 +169,64 @@ func BenchmarkDiscover(b *testing.B) {
 	}
 }
 
+// memCheckpointer keeps only the latest checkpoint in memory, isolating the
+// encoding cost of per-batch checkpointing from filesystem noise.
+type memCheckpointer struct{ state []byte }
+
+func (m *memCheckpointer) Save(state []byte) error {
+	m.state = append(m.state[:0], state...)
+	return nil
+}
+
+// BenchmarkDiscoverFaults measures the cost of the fault-tolerance layer on
+// an 8-batch stream: the FT drain loop itself (clean), seeded transient
+// faults absorbed by retry with backoff computed but not slept (fault10/50),
+// and per-batch checkpointing of the full pipeline state (checkpoint).
+// Every scenario must finalize the same schema as the plain engine; the
+// identity sweep lives in internal/bench (pghive-bench -exp faults).
+func BenchmarkDiscoverFaults(b *testing.B) {
+	ds := benchDataset("LDBC", 2500)
+	batches := ds.Graph.SplitRandom(8, 1)
+	cfg := pghive.DefaultConfig()
+	for _, scenario := range []struct {
+		name       string
+		rate       float64
+		checkpoint bool
+	}{
+		{"clean", 0, false},
+		{"fault10", 0.10, false},
+		{"fault50", 0.50, false},
+		{"checkpoint", 0, true},
+	} {
+		b.Run(scenario.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src := pghive.AsErrSource(pghive.NewSliceSource(batches...))
+				if scenario.rate > 0 {
+					fault := pghive.NewFaultSource(src,
+						pghive.FaultProfile{TransientRate: scenario.rate, Seed: 1})
+					src = pghive.NewRetrySource(fault, pghive.RetryPolicy{
+						MaxAttempts: 20,
+						Sleep:       func(time.Duration) {}, // count, don't wait
+					})
+				}
+				var opts pghive.FTOptions
+				if scenario.checkpoint {
+					opts.Checkpoint = &memCheckpointer{}
+				}
+				res, err := pghive.DiscoverStreamFT(src, cfg, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Def.Nodes) == 0 {
+					b.Fatal("no types discovered")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkDiscoverELSHPole(b *testing.B)    { benchmarkDiscover(b, "POLE", pghive.MethodELSH) }
 func BenchmarkDiscoverELSHLdbc(b *testing.B)    { benchmarkDiscover(b, "LDBC", pghive.MethodELSH) }
 func BenchmarkDiscoverELSHIyp(b *testing.B)     { benchmarkDiscover(b, "IYP", pghive.MethodELSH) }

@@ -39,6 +39,9 @@ func main() {
 		outPath   = flag.String("out", "", "output file (default stdout)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		depth     = flag.Int("pipeline-depth", 0, "execution engine depth: 1 = serial, >1 = overlapped batches (0 = default)")
+		retry     = flag.Int("retry", 0, "retry transient source faults up to this many attempts per batch (0 = fail fast)")
+		ckptPath  = flag.String("checkpoint", "", "checkpoint file: save pipeline state after every batch; resume from it when it already exists")
+		faultRate = flag.Float64("fault-rate", 0, "inject seeded transient faults at this per-attempt probability (exercises -retry)")
 		sample    = flag.Bool("sample-datatypes", false, "infer property data types from a sample instead of a full scan")
 		particip  = flag.Bool("participation", false, "analyze edge participation to refine cardinality lower bounds")
 		selfCheck = flag.Bool("validate", false, "validate the input graph against its own discovered schema and report violations")
@@ -66,10 +69,19 @@ func main() {
 	}
 
 	var result *pghive.Result
-	if *batches > 1 {
+	switch {
+	case *retry > 0 || *ckptPath != "" || *faultRate > 0:
+		result, err = discoverFT(g, cfg, *batches, *seed, *retry, *ckptPath, *faultRate)
+		if err != nil {
+			fatal(err)
+		}
+	case *batches > 1:
 		result = pghive.DiscoverStream(pghive.NewSliceSource(g.SplitRandom(*batches, *seed)...), cfg)
-	} else {
+	default:
 		result = pghive.Discover(g, cfg)
+	}
+	for _, s := range result.Skipped {
+		fmt.Fprintf(os.Stderr, "batch %d quarantined: %s\n", s.Seq, s.Reason)
 	}
 	for _, r := range result.Reports {
 		fmt.Fprintf(os.Stderr, "batch %d: %d nodes, %d edges, %d+%d clusters in %v\n",
@@ -111,6 +123,35 @@ func main() {
 	if err := writeSchema(out, result.Def, *format, *mode, *name); err != nil {
 		fatal(err)
 	}
+}
+
+// discoverFT runs discovery through the fault-tolerant path: the batch
+// stream is treated as fallible, transient faults are retried with backoff,
+// poisoned batches are quarantined, and — with -checkpoint — the pipeline
+// state is persisted after every batch so a killed run resumes where it
+// stopped (the finalized schema is byte-identical to an uninterrupted run).
+func discoverFT(g *pghive.Graph, cfg pghive.Config, batches int, seed int64, retry int, ckptPath string, faultRate float64) (*pghive.Result, error) {
+	src := pghive.AsErrSource(pghive.NewSliceSource(g.SplitRandom(batches, seed)...))
+	if faultRate > 0 {
+		src = pghive.NewFaultSource(src, pghive.FaultProfile{TransientRate: faultRate, Seed: seed})
+	}
+	if retry > 0 {
+		src = pghive.NewRetrySource(src, pghive.RetryPolicy{MaxAttempts: retry, Seed: seed})
+	}
+	var opts pghive.FTOptions
+	if ckptPath != "" {
+		ck := pghive.FileCheckpointer{Path: ckptPath}
+		opts.Checkpoint = ck
+		state, ok, err := ck.Load()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			fmt.Fprintf(os.Stderr, "resuming from checkpoint %s\n", ckptPath)
+			return pghive.ResumeDiscoverStreamFT(state, src, cfg, opts)
+		}
+	}
+	return pghive.DiscoverStreamFT(src, cfg, opts)
 }
 
 func loadGraph(jsonlPath, binPath, nodesPath, edgesPath, dataset string, scale int, seed int64) (*pghive.Graph, error) {

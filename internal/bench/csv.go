@@ -165,8 +165,26 @@ func WriteCSVs(dir string, w writerFlusher, s Settings) error {
 			strconv.FormatInt(p.PerElem.Nanoseconds(), 10), f(p.NodeF1),
 		})
 	}
-	return writeCSV(dir, "scaling.csv",
-		[]string{"dataset", "method", "nodes", "edges", "elapsed_us", "per_element_ns", "node_f1"}, scalRows)
+	if err := writeCSV(dir, "scaling.csv",
+		[]string{"dataset", "method", "nodes", "edges", "elapsed_us", "per_element_ns", "node_f1"}, scalRows); err != nil {
+		return err
+	}
+
+	faults, err := RunFaults(w, s)
+	if err != nil {
+		return err
+	}
+	var faultRows [][]string
+	for _, p := range faults {
+		faultRows = append(faultRows, []string{
+			p.Dataset, p.Method.String(), f(p.TransientRate),
+			strconv.Itoa(p.Retries), strconv.FormatInt(p.Backoff.Microseconds(), 10),
+			strconv.FormatInt(p.Elapsed.Microseconds(), 10),
+			f(p.Overhead), strconv.FormatBool(p.Identical),
+		})
+	}
+	return writeCSV(dir, "faults.csv",
+		[]string{"dataset", "method", "transient_rate", "retries", "backoff_us", "elapsed_us", "overhead", "identical"}, faultRows)
 }
 
 // writerFlusher is satisfied by io.Writer targets the runners print to.

@@ -27,6 +27,10 @@ var Experiments = map[string]func(io.Writer, Settings) error{
 		_, err := RunFig6(w, s)
 		return err
 	},
+	"faults": func(w io.Writer, s Settings) error {
+		_, err := RunFaults(w, s)
+		return err
+	},
 	"fig7": func(w io.Writer, s Settings) error {
 		_, err := RunFig7(w, s)
 		return err

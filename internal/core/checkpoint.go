@@ -1,0 +1,366 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"pghive/internal/lsh"
+	"pghive/internal/pg"
+	"pghive/internal/schema"
+)
+
+// Checkpoint codec: a complete serialization of an in-flight discovery run —
+// the evolving schema with its evidence, the data-type sampler counters, the
+// embedding session, the label aligner, the per-batch reports and the stream
+// position. A pipeline restored from a checkpoint continues the run exactly
+// where the writer left off: feeding it the remaining batches yields a
+// Finalize output byte-identical to an uninterrupted run (the crash/resume
+// tests enforce this).
+//
+// Consistency under the overlapped engine: the extract frontier (schema,
+// sampler, reports) always lags the preprocess frontier (session, aligner),
+// so a checkpoint taken after extract(k) must NOT serialize the live session
+// — it may already have trained on batches k+1, k+2, and in the adaptive-dim
+// case even retrained every vector. DrainFT therefore snapshots the
+// session/aligner state at preprocess(k) time and pairs it with the
+// post-extract(k) schema, giving the resumed run the exact state the
+// original run had when it began batch k+1.
+
+// checkpointMagic versions the checkpoint format.
+const checkpointMagic = "PGCK1"
+
+// Codec bounds for untrusted counts.
+const (
+	maxSkipped = 1 << 24
+	maxReports = 1 << 24
+	maxSamples = 1 << 24
+)
+
+// SkipReport records one quarantined batch: its stream slot and why it was
+// poisoned.
+type SkipReport struct {
+	// Seq is the batch's slot in the source stream (delivered and
+	// quarantined batches both advance the slot counter; retried transient
+	// faults do not).
+	Seq int
+	// Reason describes the fault, from the source's error.
+	Reason string
+}
+
+// fingerprint renders every configuration field that affects discovery
+// output. A checkpoint written under one fingerprint cannot be resumed under
+// another: the replayed batches would be processed differently and the
+// byte-identity guarantee would silently break. Execution-only knobs
+// (Parallelism, PipelineDepth) are excluded — the engine produces identical
+// schemas at every depth.
+func (c Config) fingerprint() string {
+	return fmt.Sprintf("v1 m=%d th=%g emb=%+v lw=%g sem=%t al=%t at=%g np=%s ep=%s mhr=%d sdt=%t part=%t sf=%g smin=%d tm=%t seed=%d",
+		c.Method, c.Theta, c.Embedding, c.LabelWeight, c.SemanticLabels,
+		c.AlignLabels, c.AlignThreshold, paramsFingerprint(c.NodeParams),
+		paramsFingerprint(c.EdgeParams), c.MinHashRows, c.SampleDatatypes,
+		c.Participation, c.SampleFraction, c.SampleMin, c.TrackMembers, c.Seed)
+}
+
+func paramsFingerprint(p *lsh.Params) string {
+	if p == nil {
+		return "auto"
+	}
+	return fmt.Sprintf("%+v", *p)
+}
+
+// stateSnapshot encodes the preprocess-frontier state (aligner + embedding
+// session) into a self-delimiting byte string. Under the overlapped engine it
+// is captured immediately after preprocess(seq) so a checkpoint emitted at
+// extract(seq) pairs a consistent pair of frontiers.
+func (p *Pipeline) stateSnapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	w := pg.NewWireWriter(&buf)
+	if p.aligner == nil {
+		w.Bool(false)
+	} else {
+		w.Bool(true)
+		order, canonical := p.aligner.State()
+		w.Uvarint(uint64(len(order)))
+		for _, rep := range order {
+			w.String(rep)
+		}
+		labels := make([]string, 0, len(canonical))
+		for l := range canonical {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		w.Uvarint(uint64(len(labels)))
+		for _, l := range labels {
+			w.String(l)
+			w.String(canonical[l])
+		}
+	}
+	if err := p.session.WriteState(w); err != nil {
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// restoreSnapshot decodes a stateSnapshot into the pipeline's aligner and
+// session.
+func (p *Pipeline) restoreSnapshot(r *pg.WireReader) error {
+	hasAligner, err := r.Bool()
+	if err != nil {
+		return fmt.Errorf("aligner flag: %w", err)
+	}
+	if hasAligner {
+		if p.aligner == nil {
+			return fmt.Errorf("checkpoint carries aligner state but AlignLabels is off")
+		}
+		n, err := r.Uvarint(maxSamples)
+		if err != nil {
+			return err
+		}
+		order := make([]string, n)
+		for i := range order {
+			if order[i], err = r.String(); err != nil {
+				return err
+			}
+		}
+		m, err := r.Uvarint(maxSamples)
+		if err != nil {
+			return err
+		}
+		canonical := make(map[string]string, m)
+		for i := uint64(0); i < m; i++ {
+			l, err := r.String()
+			if err != nil {
+				return err
+			}
+			if canonical[l], err = r.String(); err != nil {
+				return err
+			}
+		}
+		p.aligner.Restore(order, canonical)
+	} else if p.aligner != nil {
+		return fmt.Errorf("AlignLabels is on but checkpoint has no aligner state")
+	}
+	return p.session.ReadState(r)
+}
+
+// encodeCheckpoint writes the full checkpoint. snap is the preprocess-frontier
+// snapshot to embed (from stateSnapshot); slots is the stream position
+// consumed so far (delivered + quarantined batches).
+func (p *Pipeline) encodeCheckpoint(w io.Writer, slots int, skipped []SkipReport, snap []byte) error {
+	bw := pg.NewWireWriter(w)
+	bw.Raw([]byte(checkpointMagic))
+	bw.String(p.cfg.fingerprint())
+	bw.Uvarint(uint64(slots))
+
+	bw.Uvarint(uint64(len(skipped)))
+	for _, s := range skipped {
+		bw.Varint(int64(s.Seq))
+		bw.String(s.Reason)
+	}
+
+	bw.Uvarint(uint64(len(p.reports)))
+	for _, r := range p.reports {
+		writeReport(bw, r)
+	}
+
+	if err := schema.WriteSchema(bw, p.schema); err != nil {
+		return err
+	}
+	p.sampler.writeState(bw)
+	bw.Raw(snap)
+	return bw.Flush()
+}
+
+// EncodeCheckpoint serializes the pipeline's current state. The pipeline
+// must be quiescent (no Drain in flight): the live session and aligner are
+// snapshotted directly.
+func (p *Pipeline) EncodeCheckpoint(w io.Writer, slots int, skipped []SkipReport) error {
+	snap, err := p.stateSnapshot()
+	if err != nil {
+		return err
+	}
+	return p.encodeCheckpoint(w, slots, skipped, snap)
+}
+
+// ResumePipeline reconstructs a pipeline from a checkpoint. The provided
+// config must match the writer's (fingerprint-checked): resuming under a
+// different configuration would process the remaining batches differently
+// and break the byte-identity guarantee. It returns the restored pipeline,
+// the stream position to skip to, and the batches quarantined before the
+// checkpoint.
+func ResumePipeline(r io.Reader, cfg Config) (*Pipeline, int, []SkipReport, error) {
+	p := NewPipeline(cfg)
+	br := pg.NewWireReader(r)
+	if err := br.Expect(checkpointMagic); err != nil {
+		return nil, 0, nil, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	fp, err := br.String()
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("core: checkpoint fingerprint: %w", err)
+	}
+	if want := p.cfg.fingerprint(); fp != want {
+		return nil, 0, nil, fmt.Errorf("core: checkpoint was written under a different configuration:\n  checkpoint: %s\n  current:    %s", fp, want)
+	}
+	slots, err := br.Uvarint(1 << 40)
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("core: checkpoint slots: %w", err)
+	}
+
+	skipCount, err := br.Uvarint(maxSkipped)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	var skipped []SkipReport
+	for i := uint64(0); i < skipCount; i++ {
+		seq, err := br.Varint()
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		reason, err := br.String()
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		skipped = append(skipped, SkipReport{Seq: int(seq), Reason: reason})
+	}
+
+	reportCount, err := br.Uvarint(maxReports)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	p.reports = make([]BatchReport, 0, reportCount)
+	for i := uint64(0); i < reportCount; i++ {
+		rep, err := readReport(br)
+		if err != nil {
+			return nil, 0, nil, fmt.Errorf("core: checkpoint report %d: %w", i, err)
+		}
+		p.reports = append(p.reports, rep)
+	}
+
+	if p.schema, err = schema.ReadSchema(br); err != nil {
+		return nil, 0, nil, fmt.Errorf("core: checkpoint schema: %w", err)
+	}
+	if err := p.sampler.readState(br); err != nil {
+		return nil, 0, nil, fmt.Errorf("core: checkpoint sampler: %w", err)
+	}
+	if err := p.restoreSnapshot(br); err != nil {
+		return nil, 0, nil, fmt.Errorf("core: checkpoint state: %w", err)
+	}
+	return p, int(slots), skipped, nil
+}
+
+func writeReport(w *pg.WireWriter, r BatchReport) {
+	w.Varint(int64(r.Batch))
+	w.Varint(int64(r.Nodes))
+	w.Varint(int64(r.Edges))
+	w.Varint(int64(r.NodeClusters))
+	w.Varint(int64(r.EdgeClusters))
+	writeParams(w, r.NodeParams)
+	writeParams(w, r.EdgeParams)
+	w.Varint(int64(r.Preprocess))
+	w.Varint(int64(r.Cluster))
+	w.Varint(int64(r.Extract))
+}
+
+func readReport(r *pg.WireReader) (BatchReport, error) {
+	var rep BatchReport
+	fields := []*int{&rep.Batch, &rep.Nodes, &rep.Edges, &rep.NodeClusters, &rep.EdgeClusters}
+	for _, f := range fields {
+		v, err := r.Varint()
+		if err != nil {
+			return rep, err
+		}
+		*f = int(v)
+	}
+	var err error
+	if rep.NodeParams, err = readParams(r); err != nil {
+		return rep, err
+	}
+	if rep.EdgeParams, err = readParams(r); err != nil {
+		return rep, err
+	}
+	for _, d := range []*time.Duration{&rep.Preprocess, &rep.Cluster, &rep.Extract} {
+		v, err := r.Varint()
+		if err != nil {
+			return rep, err
+		}
+		*d = time.Duration(v)
+	}
+	return rep, nil
+}
+
+func writeParams(w *pg.WireWriter, p lsh.Params) {
+	w.Float64(p.Mu)
+	w.Float64(p.BBase)
+	w.Float64(p.Alpha)
+	w.Float64(p.Bucket)
+	w.Varint(int64(p.Tables))
+}
+
+func readParams(r *pg.WireReader) (lsh.Params, error) {
+	var p lsh.Params
+	var err error
+	if p.Mu, err = r.Float64(); err != nil {
+		return p, err
+	}
+	if p.BBase, err = r.Float64(); err != nil {
+		return p, err
+	}
+	if p.Alpha, err = r.Float64(); err != nil {
+		return p, err
+	}
+	if p.Bucket, err = r.Float64(); err != nil {
+		return p, err
+	}
+	tables, err := r.Varint()
+	if err != nil {
+		return p, err
+	}
+	p.Tables = int(tables)
+	return p, nil
+}
+
+// writeState serializes the sampler's per-key observation counters (sorted;
+// frac/min/seed come from configuration).
+func (s *sampler) writeState(w *pg.WireWriter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.counts))
+	for k := range s.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+		w.Varint(int64(s.counts[k]))
+	}
+}
+
+func (s *sampler) readState(r *pg.WireReader) error {
+	n, err := r.Uvarint(maxSamples)
+	if err != nil {
+		return err
+	}
+	counts := make(map[string]int, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := r.String()
+		if err != nil {
+			return err
+		}
+		c, err := r.Varint()
+		if err != nil {
+			return err
+		}
+		counts[k] = int(c)
+	}
+	s.mu.Lock()
+	s.counts = counts
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pghive/internal/pg"
+	"pghive/internal/schema"
+	"pghive/internal/serialize"
+)
+
+// renderDef serializes a finalized schema both ways the CLI can emit it —
+// JSON and PG-Schema DDL — so equality checks are on the actual output
+// bytes, not on Go-level structural equality.
+func renderDef(t *testing.T, def *schema.Def) (jsonBytes, ddlBytes []byte) {
+	t.Helper()
+	j, err := json.Marshal(def)
+	if err != nil {
+		t.Fatalf("marshal def: %v", err)
+	}
+	var ddl bytes.Buffer
+	if err := serialize.WritePGSchema(&ddl, def, "g", serialize.Strict); err != nil {
+		t.Fatalf("render DDL: %v", err)
+	}
+	return j, ddl.Bytes()
+}
+
+func faultFreeBatches(t testing.TB, nodes, batches int) []*pg.Batch {
+	g := engineGraph(t, nodes)
+	return g.SplitRandom(batches, 11)
+}
+
+// noSleep strips real latency out of retry backoff in tests.
+func noSleep(time.Duration) {}
+
+// TestDiscoverFTMatchesDiscover: over a fault-free source, the
+// fault-tolerant path is just Discover — identical finalized output, no
+// quarantine.
+func TestDiscoverFTMatchesDiscover(t *testing.T) {
+	batches := faultFreeBatches(t, 300, 5)
+	for _, depth := range []int{1, 4} {
+		cfg := DefaultConfig()
+		cfg.PipelineDepth = depth
+		want := Discover(pg.NewSliceSource(batches...), cfg)
+		got, err := DiscoverFT(pg.AsErrSource(pg.NewSliceSource(batches...)), cfg, FTOptions{})
+		if err != nil {
+			t.Fatalf("depth=%d: %v", depth, err)
+		}
+		if len(got.Skipped) != 0 {
+			t.Errorf("depth=%d: fault-free run quarantined %d batches", depth, len(got.Skipped))
+		}
+		defsEqual(t, "ft-vs-plain", want.Def, got.Def)
+	}
+}
+
+// TestDiscoverFTTransientIdentity is the acceptance criterion for graceful
+// degradation: with well over 10% of pulls failing transiently, discovery
+// completes and the finalized schema is byte-identical to the fault-free
+// run — at serial and overlapped depths, for both LSH methods, with and
+// without a retry/backoff layer in between.
+func TestDiscoverFTTransientIdentity(t *testing.T) {
+	batches := faultFreeBatches(t, 300, 6)
+	for _, m := range []Method{MethodELSH, MethodMinHash} {
+		cfg := DefaultConfig()
+		cfg.Method = m
+		wantJSON, wantDDL := renderDef(t, Discover(pg.NewSliceSource(batches...), cfg).Def)
+		for _, depth := range []int{1, 2, 4} {
+			for _, withRetry := range []bool{false, true} {
+				cfg := cfg
+				cfg.PipelineDepth = depth
+				var src pg.ErrSource = pg.NewFaultSource(
+					pg.AsErrSource(pg.NewSliceSource(batches...)),
+					pg.FaultProfile{TransientRate: 0.3, Seed: 77})
+				if withRetry {
+					src = pg.NewRetrySource(src, pg.RetryPolicy{Sleep: noSleep})
+				}
+				res, err := DiscoverFT(src, cfg, FTOptions{})
+				if err != nil {
+					t.Fatalf("%v depth=%d retry=%t: %v", m, depth, withRetry, err)
+				}
+				if len(res.Skipped) != 0 {
+					t.Errorf("%v depth=%d: transient faults must not quarantine batches, skipped %d", m, depth, len(res.Skipped))
+				}
+				gotJSON, gotDDL := renderDef(t, res.Def)
+				if !bytes.Equal(wantJSON, gotJSON) {
+					t.Errorf("%v depth=%d retry=%t: JSON diverges from fault-free run\nwant %s\ngot  %s", m, depth, withRetry, wantJSON, gotJSON)
+				}
+				if !bytes.Equal(wantDDL, gotDDL) {
+					t.Errorf("%v depth=%d retry=%t: DDL diverges from fault-free run", m, depth, withRetry)
+				}
+			}
+		}
+	}
+}
+
+// TestDiscoverFTQuarantinesCorrupt: poisoned batches are skipped — the run
+// completes, every batch is either extracted or quarantined with a reason,
+// and the quarantine list is identical at every pipeline depth.
+func TestDiscoverFTQuarantinesCorrupt(t *testing.T) {
+	batches := faultFreeBatches(t, 300, 8)
+	profile := pg.FaultProfile{CorruptRate: 0.3, TruncateRate: 0.2, Seed: 5}
+	var wantSkipped []SkipReport
+	for i, depth := range []int{1, 2, 4} {
+		cfg := DefaultConfig()
+		cfg.PipelineDepth = depth
+		src := pg.NewFaultSource(pg.AsErrSource(pg.NewSliceSource(batches...)), profile)
+		res, err := DiscoverFT(src, cfg, FTOptions{})
+		if err != nil {
+			t.Fatalf("depth=%d: %v", depth, err)
+		}
+		if len(res.Skipped) == 0 {
+			t.Fatal("corrupt rate 0.3+0.2 over 8 batches quarantined nothing")
+		}
+		if len(res.Skipped)+len(res.Reports) != len(batches) {
+			t.Errorf("depth=%d: %d skipped + %d extracted != %d batches", depth, len(res.Skipped), len(res.Reports), len(batches))
+		}
+		for _, s := range res.Skipped {
+			if s.Reason == "" || s.Seq < 0 || s.Seq >= len(batches) {
+				t.Errorf("depth=%d: malformed skip report %+v", depth, s)
+			}
+		}
+		if i == 0 {
+			wantSkipped = res.Skipped
+		} else if len(res.Skipped) != len(wantSkipped) {
+			t.Errorf("depth=%d quarantined %d batches, serial run %d", depth, len(res.Skipped), len(wantSkipped))
+		}
+	}
+}
+
+// TestDrainFTTransientBudget: an endlessly transient source exhausts the
+// per-slot budget instead of hanging.
+func TestDrainFTTransientBudget(t *testing.T) {
+	always := errSourceFunc(func() (*pg.Batch, error) { return nil, &pg.TransientError{} })
+	p := NewPipeline(DefaultConfig())
+	_, err := p.DrainFT(always, FTOptions{MaxTransient: 7})
+	if err == nil || !pg.IsTransient(err) {
+		t.Fatalf("want transient-budget error, got %v", err)
+	}
+}
+
+// errSourceFunc adapts a function to pg.ErrSource for in-test fakes.
+type errSourceFunc func() (*pg.Batch, error)
+
+func (f errSourceFunc) Next() (*pg.Batch, error) { return f() }
+
+// TestCrashResumeByteIdentical is the tentpole guarantee: kill a
+// checkpointing run after k extracted batches, resume from the checkpoint
+// file, and the finalized DDL and JSON are byte-identical to an
+// uninterrupted run — for a crash before any batch, mid-stream, and after
+// the last batch, at serial and overlapped depths.
+func TestCrashResumeByteIdentical(t *testing.T) {
+	batches := faultFreeBatches(t, 300, 6)
+	cfgBase := DefaultConfig()
+	wantJSON, wantDDL := renderDef(t, Discover(pg.NewSliceSource(batches...), cfgBase).Def)
+
+	for _, depth := range []int{1, 4} {
+		for _, kill := range []int{0, 3, len(batches)} {
+			cfg := cfgBase
+			cfg.PipelineDepth = depth
+			ck := FileCheckpointer{Path: filepath.Join(t.TempDir(), "run.ck")}
+
+			// Phase 1: the run dies after `kill` delivered batches
+			// (FailAfter=0 means no fault, so a crash-at-once source
+			// stands in for kill=0).
+			var crash pg.ErrSource = pg.NewFaultSource(pg.AsErrSource(pg.NewSliceSource(batches...)),
+				pg.FaultProfile{FailAfter: kill, Seed: 1})
+			if kill == 0 {
+				crash = errSourceFunc(func() (*pg.Batch, error) { return nil, pg.ErrPermanentFault })
+			}
+			if _, err := DiscoverFT(crash, cfg, FTOptions{Checkpoint: ck}); !errors.Is(err, pg.ErrPermanentFault) {
+				t.Fatalf("depth=%d kill=%d: want permanent fault, got %v", depth, kill, err)
+			}
+
+			// Phase 2: resume from the last checkpoint over a healthy
+			// replay of the same stream.
+			state, ok, err := ck.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != (kill > 0) {
+				t.Fatalf("depth=%d kill=%d: checkpoint exists=%t", depth, kill, ok)
+			}
+			replay := pg.AsErrSource(pg.NewSliceSource(batches...))
+			var res *Result
+			if ok {
+				res, err = ResumeDiscoverFT(state, replay, cfg, FTOptions{Checkpoint: ck})
+			} else {
+				res, err = DiscoverFT(replay, cfg, FTOptions{Checkpoint: ck})
+			}
+			if err != nil {
+				t.Fatalf("depth=%d kill=%d: resume: %v", depth, kill, err)
+			}
+
+			gotJSON, gotDDL := renderDef(t, res.Def)
+			if !bytes.Equal(wantJSON, gotJSON) {
+				t.Errorf("depth=%d kill=%d: resumed JSON diverges\nwant %s\ngot  %s", depth, kill, wantJSON, gotJSON)
+			}
+			if !bytes.Equal(wantDDL, gotDDL) {
+				t.Errorf("depth=%d kill=%d: resumed DDL diverges\nwant:\n%s\ngot:\n%s", depth, kill, wantDDL, gotDDL)
+			}
+			if len(res.Reports) != len(batches) {
+				t.Errorf("depth=%d kill=%d: %d reports after resume, want %d", depth, kill, len(res.Reports), len(batches))
+			}
+		}
+	}
+}
+
+// TestCrashResumeWithCorruption: crash/resume composes with quarantine —
+// the resumed run inherits the checkpointed skip list and the final
+// quarantine set matches an uninterrupted faulty run's.
+func TestCrashResumeWithCorruption(t *testing.T) {
+	batches := faultFreeBatches(t, 300, 8)
+	cfg := DefaultConfig()
+	profile := pg.FaultProfile{CorruptRate: 0.3, Seed: 9}
+
+	uninterrupted, err := DiscoverFT(
+		pg.NewFaultSource(pg.AsErrSource(pg.NewSliceSource(batches...)), profile), cfg, FTOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := renderDef(t, uninterrupted.Def)
+
+	ck := FileCheckpointer{Path: filepath.Join(t.TempDir(), "run.ck")}
+	crashProfile := profile
+	crashProfile.FailAfter = 3 // dies after 3 pulled batches (delivered or quarantined)
+	crash := pg.NewFaultSource(pg.AsErrSource(pg.NewSliceSource(batches...)), crashProfile)
+	if _, err := DiscoverFT(crash, cfg, FTOptions{Checkpoint: ck}); !errors.Is(err, pg.ErrPermanentFault) {
+		t.Fatalf("want permanent fault, got %v", err)
+	}
+
+	state, ok, err := ck.Load()
+	if err != nil || !ok {
+		t.Fatalf("no checkpoint after crash: ok=%t err=%v", ok, err)
+	}
+	replay := pg.NewFaultSource(pg.AsErrSource(pg.NewSliceSource(batches...)), profile)
+	res, err := ResumeDiscoverFT(state, replay, cfg, FTOptions{Checkpoint: ck})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	gotJSON, _ := renderDef(t, res.Def)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("resumed faulty run diverges from uninterrupted faulty run\nwant %s\ngot  %s", wantJSON, gotJSON)
+	}
+	if len(res.Skipped) != len(uninterrupted.Skipped) {
+		t.Errorf("resumed run skipped %d batches, uninterrupted %d", len(res.Skipped), len(uninterrupted.Skipped))
+	}
+}
+
+// TestResumeRejectsConfigMismatch: a checkpoint written under one
+// configuration must refuse to resume under another.
+func TestResumeRejectsConfigMismatch(t *testing.T) {
+	batches := faultFreeBatches(t, 100, 3)
+	cfg := DefaultConfig()
+	p := NewPipeline(cfg)
+	if _, err := p.DrainFT(pg.AsErrSource(pg.NewSliceSource(batches...)), FTOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.EncodeCheckpoint(&buf, len(batches), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	other := cfg
+	other.Theta = 0.5
+	if _, _, _, err := ResumePipeline(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Error("resume under a different Theta succeeded, want fingerprint error")
+	}
+	// Execution-only knobs may differ.
+	deeper := cfg
+	deeper.PipelineDepth = 8
+	if _, _, _, err := ResumePipeline(bytes.NewReader(buf.Bytes()), deeper); err != nil {
+		t.Errorf("resume under different PipelineDepth failed: %v", err)
+	}
+}
+
+// TestPipelineCheckpointRoundTrip: encode a quiescent mid-run pipeline,
+// restore it, and both must produce identical output on the remaining
+// batches — the unit-level core of the crash/resume property.
+func TestPipelineCheckpointRoundTrip(t *testing.T) {
+	batches := faultFreeBatches(t, 300, 6)
+	cfg := DefaultConfig()
+	cfg.PipelineDepth = 1
+	cfg.AlignLabels = true
+
+	p := NewPipeline(cfg)
+	for _, b := range batches[:3] {
+		p.ProcessBatch(b)
+	}
+	var buf bytes.Buffer
+	if err := p.EncodeCheckpoint(&buf, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	restored, slots, skipped, err := ResumePipeline(bytes.NewReader(buf.Bytes()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slots != 3 || len(skipped) != 0 {
+		t.Fatalf("slots=%d skipped=%d, want 3, 0", slots, len(skipped))
+	}
+	for _, b := range batches[3:] {
+		p.ProcessBatch(b)
+		restored.ProcessBatch(b)
+	}
+	defsEqual(t, "checkpoint-roundtrip", p.Finalize(), restored.Finalize())
+}

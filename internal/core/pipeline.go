@@ -314,6 +314,9 @@ type Result struct {
 	Schema *schema.Schema
 	// Reports holds one entry per processed batch.
 	Reports []BatchReport
+	// Skipped lists the batches quarantined by a fault-tolerant run
+	// (always empty for Discover/DiscoverGraph over infallible sources).
+	Skipped []SkipReport
 	// Discovery is the total time spent in the main pipeline (load +
 	// preprocess + cluster + extract), the quantity Figure 5 plots.
 	Discovery time.Duration

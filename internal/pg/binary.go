@@ -1,12 +1,8 @@
 package pg
 
 import (
-	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
-	"time"
 )
 
 // Binary snapshot format: a compact length-prefixed encoding that loads
@@ -16,16 +12,16 @@ import (
 //
 // Layout: magic, string table (varint count, then varint-length strings),
 // node count + nodes, edge count + edges. Nodes are (id, label refs, props);
-// edges add src/dst. Property values are (kind byte, payload).
+// edges add src/dst. Property values are (kind byte, payload). The low-level
+// primitives live in wire.go and are shared with the pipeline checkpoint
+// format.
 
 const binaryMagic = "PGHV1\n"
 
 // WriteBinary writes the graph in the binary snapshot format.
 func WriteBinary(w io.Writer, g *Graph) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(binaryMagic); err != nil {
-		return err
-	}
+	bw := NewWireWriter(w)
+	bw.Raw([]byte(binaryMagic))
 
 	// Build the string table: all labels and property keys.
 	table := map[string]uint64{}
@@ -58,12 +54,12 @@ func WriteBinary(w io.Writer, g *Graph) error {
 		return true
 	})
 
-	putUvarint(bw, uint64(len(strings)))
+	bw.Uvarint(uint64(len(strings)))
 	for _, s := range strings {
-		putString(bw, s)
+		bw.String(s)
 	}
 
-	putUvarint(bw, uint64(g.NumNodes()))
+	bw.Uvarint(uint64(g.NumNodes()))
 	var err error
 	g.Nodes(func(n *Node) bool {
 		err = writeElement(bw, table, int64(n.ID), n.Labels, n.Props, nil)
@@ -72,7 +68,7 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	if err != nil {
 		return err
 	}
-	putUvarint(bw, uint64(g.NumEdges()))
+	bw.Uvarint(uint64(g.NumEdges()))
 	g.Edges(func(e *Edge) bool {
 		endpoints := []int64{int64(e.Src), int64(e.Dst)}
 		err = writeElement(bw, table, int64(e.ID), e.Labels, e.Props, endpoints)
@@ -84,83 +80,34 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-func writeElement(bw *bufio.Writer, table map[string]uint64, id int64, labels []string, props Properties, endpoints []int64) error {
-	putVarint(bw, id)
+func writeElement(bw *WireWriter, table map[string]uint64, id int64, labels []string, props Properties, endpoints []int64) error {
+	bw.Varint(id)
 	for _, ep := range endpoints {
-		putVarint(bw, ep)
+		bw.Varint(ep)
 	}
-	putUvarint(bw, uint64(len(labels)))
+	bw.Uvarint(uint64(len(labels)))
 	for _, l := range labels {
-		putUvarint(bw, table[l])
+		bw.Uvarint(table[l])
 	}
 	keys := SortedPropKeys(props)
-	putUvarint(bw, uint64(len(keys)))
+	bw.Uvarint(uint64(len(keys)))
 	for _, k := range keys {
-		putUvarint(bw, table[k])
-		if err := writeValue(bw, props[k]); err != nil {
+		bw.Uvarint(table[k])
+		if err := bw.Value(props[k]); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func writeValue(bw *bufio.Writer, v Value) error {
-	if err := bw.WriteByte(byte(v.Kind())); err != nil {
-		return err
-	}
-	switch v.Kind() {
-	case KindNull:
-	case KindInt:
-		putVarint(bw, v.AsInt())
-	case KindFloat:
-		var buf [8]byte
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.AsFloat()))
-		bw.Write(buf[:]) //nolint:errcheck // flushed error surfaces at Flush
-	case KindBool:
-		b := byte(0)
-		if v.AsBool() {
-			b = 1
-		}
-		bw.WriteByte(b) //nolint:errcheck
-	case KindDate, KindTimestamp:
-		putVarint(bw, v.AsTime().Unix())
-	case KindString:
-		putString(bw, v.AsString())
-	default:
-		return fmt.Errorf("pg: cannot encode value kind %v", v.Kind())
-	}
-	return nil
-}
-
-func putUvarint(bw *bufio.Writer, x uint64) {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], x)
-	bw.Write(buf[:n]) //nolint:errcheck
-}
-
-func putVarint(bw *bufio.Writer, x int64) {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutVarint(buf[:], x)
-	bw.Write(buf[:n]) //nolint:errcheck
-}
-
-func putString(bw *bufio.Writer, s string) {
-	putUvarint(bw, uint64(len(s)))
-	bw.WriteString(s) //nolint:errcheck
-}
-
 // ReadBinary loads a graph written by WriteBinary.
 func ReadBinary(r io.Reader) (*Graph, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(binaryMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("pg: reading binary magic: %w", err)
-	}
-	if string(magic) != binaryMagic {
-		return nil, fmt.Errorf("pg: not a binary graph snapshot (magic %q)", magic)
+	br := NewWireReader(r)
+	if err := br.Expect(binaryMagic); err != nil {
+		return nil, fmt.Errorf("pg: not a binary graph snapshot: %w", err)
 	}
 
-	tableLen, err := readUvarint(br, 1<<31)
+	tableLen, err := br.Uvarint(1 << 31)
 	if err != nil {
 		return nil, fmt.Errorf("pg: string table length: %w", err)
 	}
@@ -168,7 +115,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	// is capped (a corrupt header must not allocate gigabytes up front).
 	strings := make([]string, 0, min(tableLen, 4096))
 	for i := uint64(0); i < tableLen; i++ {
-		s, err := readString(br)
+		s, err := br.String()
 		if err != nil {
 			return nil, fmt.Errorf("pg: string table entry %d: %w", i, err)
 		}
@@ -182,7 +129,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	}
 
 	g := NewGraph()
-	nodeCount, err := readUvarint(br, 1<<40)
+	nodeCount, err := br.Uvarint(1 << 40)
 	if err != nil {
 		return nil, fmt.Errorf("pg: node count: %w", err)
 	}
@@ -195,7 +142,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 			return nil, err
 		}
 	}
-	edgeCount, err := readUvarint(br, 1<<40)
+	edgeCount, err := br.Uvarint(1 << 40)
 	if err != nil {
 		return nil, fmt.Errorf("pg: edge count: %w", err)
 	}
@@ -211,24 +158,24 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	return g, nil
 }
 
-func readElement(br *bufio.Reader, lookup func(uint64) (string, error), endpointCount int) (int64, []string, Properties, []int64, error) {
-	id, err := binary.ReadVarint(br)
+func readElement(br *WireReader, lookup func(uint64) (string, error), endpointCount int) (int64, []string, Properties, []int64, error) {
+	id, err := br.Varint()
 	if err != nil {
 		return 0, nil, nil, nil, err
 	}
 	endpoints := make([]int64, endpointCount)
 	for i := range endpoints {
-		if endpoints[i], err = binary.ReadVarint(br); err != nil {
+		if endpoints[i], err = br.Varint(); err != nil {
 			return 0, nil, nil, nil, err
 		}
 	}
-	labelCount, err := readUvarint(br, 1<<16)
+	labelCount, err := br.Uvarint(1 << 16)
 	if err != nil {
 		return 0, nil, nil, nil, err
 	}
 	var labels []string
 	for i := uint64(0); i < labelCount; i++ {
-		ref, err := readUvarint(br, 1<<31)
+		ref, err := br.Uvarint(1 << 31)
 		if err != nil {
 			return 0, nil, nil, nil, err
 		}
@@ -238,13 +185,13 @@ func readElement(br *bufio.Reader, lookup func(uint64) (string, error), endpoint
 		}
 		labels = append(labels, l)
 	}
-	propCount, err := readUvarint(br, 1<<24)
+	propCount, err := br.Uvarint(1 << 24)
 	if err != nil {
 		return 0, nil, nil, nil, err
 	}
 	props := Properties{}
 	for i := uint64(0); i < propCount; i++ {
-		ref, err := readUvarint(br, 1<<31)
+		ref, err := br.Uvarint(1 << 31)
 		if err != nil {
 			return 0, nil, nil, nil, err
 		}
@@ -252,98 +199,11 @@ func readElement(br *bufio.Reader, lookup func(uint64) (string, error), endpoint
 		if err != nil {
 			return 0, nil, nil, nil, err
 		}
-		v, err := readValue(br)
+		v, err := br.Value()
 		if err != nil {
 			return 0, nil, nil, nil, err
 		}
 		props[key] = v
 	}
 	return id, labels, props, endpoints, nil
-}
-
-func readValue(br *bufio.Reader) (Value, error) {
-	kindByte, err := br.ReadByte()
-	if err != nil {
-		return Null(), err
-	}
-	switch Kind(kindByte) {
-	case KindNull:
-		return Null(), nil
-	case KindInt:
-		x, err := binary.ReadVarint(br)
-		return Int(x), err
-	case KindFloat:
-		var buf [8]byte
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return Null(), err
-		}
-		return Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))), nil
-	case KindBool:
-		b, err := br.ReadByte()
-		return Bool(b != 0), err
-	case KindDate:
-		sec, err := binary.ReadVarint(br)
-		return Date(time.Unix(sec, 0).UTC()), err
-	case KindTimestamp:
-		sec, err := binary.ReadVarint(br)
-		return Timestamp(time.Unix(sec, 0).UTC()), err
-	case KindString:
-		s, err := readString(br)
-		return Str(s), err
-	default:
-		return Null(), fmt.Errorf("pg: unknown value kind byte %d", kindByte)
-	}
-}
-
-func readUvarint(br *bufio.Reader, max uint64) (uint64, error) {
-	x, err := binary.ReadUvarint(br)
-	if err != nil {
-		return 0, err
-	}
-	if x > max {
-		return 0, fmt.Errorf("pg: varint %d exceeds bound %d (corrupt snapshot)", x, max)
-	}
-	return x, nil
-}
-
-func readString(br *bufio.Reader) (string, error) {
-	n, err := readUvarint(br, 1<<30)
-	if err != nil {
-		return "", err
-	}
-	// Chunked reads keep a corrupt length claim from allocating the whole
-	// (bogus) size up front.
-	const chunk = 64 * 1024
-	if n <= chunk {
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return "", err
-		}
-		return string(buf), nil
-	}
-	var sb bytesBuilder
-	tmp := make([]byte, chunk)
-	for remaining := n; remaining > 0; {
-		step := min(remaining, chunk)
-		if _, err := io.ReadFull(br, tmp[:step]); err != nil {
-			return "", err
-		}
-		sb.write(tmp[:step])
-		remaining -= step
-	}
-	return sb.String(), nil
-}
-
-// bytesBuilder is a minimal growable byte accumulator (strings.Builder
-// without the import churn in this file's hot path).
-type bytesBuilder struct{ b []byte }
-
-func (s *bytesBuilder) write(p []byte) { s.b = append(s.b, p...) }
-func (s *bytesBuilder) String() string { return string(s.b) }
-
-func min(a, b uint64) uint64 {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -2,6 +2,7 @@ package pg
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -43,9 +44,25 @@ func FuzzReadJSONL(f *testing.F) {
 	f.Add(`{"type":"node","id":1}`)
 	f.Add(`{"type":"edge","id":1,"src":0,"dst":0}`)
 	f.Add("{}")
+	// Truncation and malformation crashers from the fault-injection work:
+	// streams cut mid-object, mistyped fields, duplicate IDs, nested noise.
+	f.Add("{\"type\":\"node\",\"id\":1}\n{\"type\":\"no")
+	f.Add(`{"type":"node","id":"two"}`)
+	f.Add("{\"type\":\"node\",\"id\":1}\n{\"type\":\"node\",\"id\":1}")
+	f.Add(`{"type":"node","id":2,"props":{"k":"v","k2":""}}`)
+	f.Add(`{"type":"edge","id":9,"src":1,"dst":1,"labels":[]}`)
+	f.Add("\xff\xfe{\"type\":\"node\"}")
 	f.Fuzz(func(t *testing.T, input string) {
 		g, err := ReadJSONL(strings.NewReader(input))
 		if err != nil {
+			// Failures must be typed ParseErrors with a positive line.
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("ReadJSONL error %v (%T) is not a *ParseError", err, err)
+			}
+			if pe.Line < 1 {
+				t.Fatalf("ParseError.Line = %d, want >= 1", pe.Line)
+			}
 			return
 		}
 		// A successfully loaded graph must round-trip.
@@ -61,9 +78,23 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("_id,_labels,name\n1,Person,Ann\n")
 	f.Add("_id,_labels\n")
 	f.Add("not,a,header\n1,2,3\n")
+	// Truncation and malformation crashers: short rows, unbalanced quotes,
+	// duplicate IDs, streams cut mid-row.
+	f.Add("_id,_labels,name\n1,Person,Ann\n2,Person\n")
+	f.Add("_id,_labels\n1,\"A\n")
+	f.Add("_id,_labels\n1,A\n1,B\n")
+	f.Add("_id,_labels,a,b\n1,A,x")
+	f.Add("_id,_labels\nxyz,A\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		g, err := ReadCSV(strings.NewReader(input), nil)
 		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("ReadCSV error %v (%T) is not a *ParseError", err, err)
+			}
+			if pe.Line < 1 {
+				t.Fatalf("ParseError.Line = %d, want >= 1", pe.Line)
+			}
 			return
 		}
 		g.ComputeStats()

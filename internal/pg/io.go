@@ -17,6 +17,32 @@ import (
 // inside one cell; empty cells mean "property absent". Values are rendered
 // and re-inferred with ParseValue.
 
+// ParseError reports where a JSONL or CSV graph stream went bad: the
+// format, the 1-based line (JSONL) or row (CSV) number, and the underlying
+// cause. Loaders return it for every malformed-input failure, so ingestion
+// layers can quarantine the offending line instead of discarding the whole
+// stream.
+type ParseError struct {
+	// Format names the input format: "jsonl", "node csv" or "edge csv".
+	Format string
+	// Line is the 1-based line/row number of the offending element.
+	Line int
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error formats the position and cause.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("pg: %s line %d: %v", e.Format, e.Line, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+func parseErrorf(format string, line int, msg string, args ...any) *ParseError {
+	return &ParseError{Format: format, Line: line, Err: fmt.Errorf(msg, args...)}
+}
+
 // WriteNodesCSV writes all nodes of g to w.
 func WriteNodesCSV(w io.Writer, g *Graph) error {
 	keys := g.NodePropertyKeys()
@@ -99,10 +125,10 @@ func readNodesCSV(g *Graph, r io.Reader) error {
 	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
-		return fmt.Errorf("pg: reading node CSV header: %w", err)
+		return &ParseError{Format: "node csv", Line: 1, Err: fmt.Errorf("reading header: %w", err)}
 	}
 	if len(header) < 2 || header[0] != "_id" || header[1] != "_labels" {
-		return fmt.Errorf("pg: node CSV must start with _id,_labels columns, got %v", header)
+		return parseErrorf("node csv", 1, "header must start with _id,_labels columns, got %v", header)
 	}
 	keys := append([]string(nil), header[2:]...)
 	for line := 2; ; line++ {
@@ -111,11 +137,11 @@ func readNodesCSV(g *Graph, r io.Reader) error {
 			return nil
 		}
 		if err != nil {
-			return fmt.Errorf("pg: node CSV line %d: %w", line, err)
+			return &ParseError{Format: "node csv", Line: line, Err: err}
 		}
 		id, err := strconv.ParseInt(row[0], 10, 64)
 		if err != nil {
-			return fmt.Errorf("pg: node CSV line %d: bad _id %q", line, row[0])
+			return parseErrorf("node csv", line, "bad _id %q", row[0])
 		}
 		labels := splitLabels(row[1])
 		props := Properties{}
@@ -125,7 +151,7 @@ func readNodesCSV(g *Graph, r io.Reader) error {
 			}
 		}
 		if err := g.AddNodeWithID(ID(id), labels, props); err != nil {
-			return fmt.Errorf("pg: node CSV line %d: %w", line, err)
+			return &ParseError{Format: "node csv", Line: line, Err: err}
 		}
 	}
 }
@@ -135,10 +161,10 @@ func readEdgesCSV(g *Graph, r io.Reader) error {
 	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
-		return fmt.Errorf("pg: reading edge CSV header: %w", err)
+		return &ParseError{Format: "edge csv", Line: 1, Err: fmt.Errorf("reading header: %w", err)}
 	}
 	if len(header) < 4 || header[0] != "_id" || header[1] != "_labels" || header[2] != "_src" || header[3] != "_dst" {
-		return fmt.Errorf("pg: edge CSV must start with _id,_labels,_src,_dst columns, got %v", header)
+		return parseErrorf("edge csv", 1, "header must start with _id,_labels,_src,_dst columns, got %v", header)
 	}
 	keys := append([]string(nil), header[4:]...)
 	for line := 2; ; line++ {
@@ -147,12 +173,12 @@ func readEdgesCSV(g *Graph, r io.Reader) error {
 			return nil
 		}
 		if err != nil {
-			return fmt.Errorf("pg: edge CSV line %d: %w", line, err)
+			return &ParseError{Format: "edge csv", Line: line, Err: err}
 		}
 		src, err1 := strconv.ParseInt(row[2], 10, 64)
 		dst, err2 := strconv.ParseInt(row[3], 10, 64)
 		if err1 != nil || err2 != nil {
-			return fmt.Errorf("pg: edge CSV line %d: bad endpoints %q -> %q", line, row[2], row[3])
+			return parseErrorf("edge csv", line, "bad endpoints %q -> %q", row[2], row[3])
 		}
 		labels := splitLabels(row[1])
 		props := Properties{}
@@ -162,7 +188,7 @@ func readEdgesCSV(g *Graph, r io.Reader) error {
 			}
 		}
 		if _, err := g.AddEdge(labels, ID(src), ID(dst), props); err != nil {
-			return fmt.Errorf("pg: edge CSV line %d: %w", line, err)
+			return &ParseError{Format: "edge csv", Line: line, Err: err}
 		}
 	}
 }
@@ -228,7 +254,7 @@ func ReadJSONL(r io.Reader) (*Graph, error) {
 		if err := dec.Decode(&el); err == io.EOF {
 			return g, nil
 		} else if err != nil {
-			return nil, fmt.Errorf("pg: JSONL element %d: %w", line, err)
+			return nil, &ParseError{Format: "jsonl", Line: line, Err: err}
 		}
 		props := Properties{}
 		for k, s := range el.Props {
@@ -237,14 +263,14 @@ func ReadJSONL(r io.Reader) (*Graph, error) {
 		switch el.Type {
 		case "node":
 			if err := g.AddNodeWithID(ID(el.ID), el.Labels, props); err != nil {
-				return nil, fmt.Errorf("pg: JSONL element %d: %w", line, err)
+				return nil, &ParseError{Format: "jsonl", Line: line, Err: err}
 			}
 		case "edge":
 			if _, err := g.AddEdge(el.Labels, ID(el.Src), ID(el.Dst), props); err != nil {
-				return nil, fmt.Errorf("pg: JSONL element %d: %w", line, err)
+				return nil, &ParseError{Format: "jsonl", Line: line, Err: err}
 			}
 		default:
-			return nil, fmt.Errorf("pg: JSONL element %d: unknown type %q", line, el.Type)
+			return nil, parseErrorf("jsonl", line, "unknown type %q", el.Type)
 		}
 	}
 }

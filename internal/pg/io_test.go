@@ -2,6 +2,7 @@ package pg
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -75,16 +76,21 @@ func TestJSONLRoundTrip(t *testing.T) {
 
 func TestReadCSVErrors(t *testing.T) {
 	tests := []struct {
-		name  string
-		nodes string
-		edges string
+		name     string
+		nodes    string
+		edges    string
+		wantFmt  string
+		wantLine int
 	}{
-		{"bad node header", "id,stuff\n1,x\n", ""},
-		{"bad node id", "_id,_labels\nxyz,A\n", ""},
-		{"bad edge header", "_id,_labels\n1,A\n", "foo,bar\n"},
-		{"bad edge endpoint", "_id,_labels\n1,A\n", "_id,_labels,_src,_dst\n1,R,1,zz\n"},
-		{"dangling edge", "_id,_labels\n1,A\n", "_id,_labels,_src,_dst\n1,R,1,99\n"},
-		{"duplicate node id", "_id,_labels\n1,A\n1,B\n", ""},
+		{"bad node header", "id,stuff\n1,x\n", "", "node csv", 1},
+		{"bad node id", "_id,_labels\nxyz,A\n", "", "node csv", 2},
+		{"bad edge header", "_id,_labels\n1,A\n", "foo,bar\n", "edge csv", 1},
+		{"bad edge endpoint", "_id,_labels\n1,A\n", "_id,_labels,_src,_dst\n1,R,1,zz\n", "edge csv", 2},
+		{"dangling edge", "_id,_labels\n1,A\n", "_id,_labels,_src,_dst\n1,R,1,99\n", "edge csv", 2},
+		{"duplicate node id", "_id,_labels\n1,A\n1,B\n", "", "node csv", 3},
+		{"truncated node row", "_id,_labels,name\n1,A,x\n2,B\n", "", "node csv", 3},
+		{"unbalanced quotes", "_id,_labels\n1,\"A\n", "", "node csv", 2},
+		{"short row line 4", "_id,_labels,a,b\n1,A,x,y\n2,A,x,y\n3,A\n", "", "node csv", 4},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -99,7 +105,20 @@ func TestReadCSVErrors(t *testing.T) {
 				_, err = ReadCSV(strings.NewReader(tc.nodes), nil)
 			}
 			if err == nil {
-				t.Error("want error, got nil")
+				t.Fatal("want error, got nil")
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v (%T) is not a *ParseError", err, err)
+			}
+			if pe.Format != tc.wantFmt {
+				t.Errorf("ParseError.Format = %q, want %q", pe.Format, tc.wantFmt)
+			}
+			if pe.Line != tc.wantLine {
+				t.Errorf("ParseError.Line = %d, want %d (err: %v)", pe.Line, tc.wantLine, pe)
+			}
+			if pe.Err == nil {
+				t.Error("ParseError.Err is nil")
 			}
 		})
 	}
@@ -107,20 +126,46 @@ func TestReadCSVErrors(t *testing.T) {
 
 func TestReadJSONLErrors(t *testing.T) {
 	tests := []struct {
-		name string
-		in   string
+		name     string
+		in       string
+		wantLine int
 	}{
-		{"unknown type", `{"type":"blob","id":1}`},
-		{"dangling edge", `{"type":"edge","id":1,"src":5,"dst":6}`},
-		{"garbage", `{{{`},
-		{"duplicate node", "{\"type\":\"node\",\"id\":1}\n{\"type\":\"node\",\"id\":1}"},
+		{"unknown type", `{"type":"blob","id":1}`, 1},
+		{"dangling edge", `{"type":"edge","id":1,"src":5,"dst":6}`, 1},
+		{"garbage", `{{{`, 1},
+		{"duplicate node", "{\"type\":\"node\",\"id\":1}\n{\"type\":\"node\",\"id\":1}", 2},
+		{"truncated mid-object", "{\"type\":\"node\",\"id\":1}\n{\"type\":\"no", 2},
+		{"wrong field type", "{\"type\":\"node\",\"id\":1}\n{\"type\":\"node\",\"id\":\"two\"}", 2},
+		{"bare text", "not json at all", 1},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
-			if _, err := ReadJSONL(strings.NewReader(tc.in)); err == nil {
-				t.Error("want error, got nil")
+			_, err := ReadJSONL(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v (%T) is not a *ParseError", err, err)
+			}
+			if pe.Format != "jsonl" {
+				t.Errorf("ParseError.Format = %q, want jsonl", pe.Format)
+			}
+			if pe.Line != tc.wantLine {
+				t.Errorf("ParseError.Line = %d, want %d (err: %v)", pe.Line, tc.wantLine, pe)
 			}
 		})
+	}
+}
+
+func TestParseErrorUnwrap(t *testing.T) {
+	cause := errors.New("boom")
+	pe := &ParseError{Format: "jsonl", Line: 3, Err: cause}
+	if !errors.Is(pe, cause) {
+		t.Error("ParseError should unwrap to its cause")
+	}
+	if got := pe.Error(); !strings.Contains(got, "line 3") || !strings.Contains(got, "jsonl") {
+		t.Errorf("ParseError.Error() = %q, want format and line in message", got)
 	}
 }
 

@@ -1,0 +1,240 @@
+package pg
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Wire codec: the length-prefixed varint encoding shared by the binary
+// graph snapshot (binary.go) and the pipeline checkpoint format
+// (internal/schema, internal/vectorize, internal/core). WireWriter buffers
+// and defers error checks to Flush; WireReader bounds every claimed length
+// so corrupt input cannot trigger huge allocations.
+
+// WireWriter writes wire-format primitives to a buffered stream. Write
+// errors are sticky and surface at Flush (the bufio contract), so encoders
+// can emit unconditionally and check once.
+type WireWriter struct {
+	bw *bufio.Writer
+}
+
+// NewWireWriter wraps w for wire-format output.
+func NewWireWriter(w io.Writer) *WireWriter {
+	if bw, ok := w.(*bufio.Writer); ok {
+		return &WireWriter{bw: bw}
+	}
+	return &WireWriter{bw: bufio.NewWriter(w)}
+}
+
+// Uvarint writes an unsigned varint.
+func (w *WireWriter) Uvarint(x uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], x)
+	w.bw.Write(buf[:n]) //nolint:errcheck // surfaces at Flush
+}
+
+// Varint writes a signed varint.
+func (w *WireWriter) Varint(x int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], x)
+	w.bw.Write(buf[:n]) //nolint:errcheck
+}
+
+// Byte writes one byte.
+func (w *WireWriter) Byte(b byte) {
+	w.bw.WriteByte(b) //nolint:errcheck
+}
+
+// Bool writes a boolean as one byte.
+func (w *WireWriter) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	w.Byte(b)
+}
+
+// Float64 writes a little-endian IEEE-754 double.
+func (w *WireWriter) Float64(f float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+	w.bw.Write(buf[:]) //nolint:errcheck
+}
+
+// String writes a length-prefixed string.
+func (w *WireWriter) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.bw.WriteString(s) //nolint:errcheck
+}
+
+// Raw writes the magic or other pre-formatted bytes verbatim.
+func (w *WireWriter) Raw(p []byte) {
+	w.bw.Write(p) //nolint:errcheck
+}
+
+// Value writes a property value as (kind byte, payload).
+func (w *WireWriter) Value(v Value) error {
+	w.Byte(byte(v.Kind()))
+	switch v.Kind() {
+	case KindNull:
+	case KindInt:
+		w.Varint(v.AsInt())
+	case KindFloat:
+		w.Float64(v.AsFloat())
+	case KindBool:
+		w.Bool(v.AsBool())
+	case KindDate, KindTimestamp:
+		w.Varint(v.AsTime().Unix())
+	case KindString:
+		w.String(v.AsString())
+	default:
+		return fmt.Errorf("pg: cannot encode value kind %v", v.Kind())
+	}
+	return nil
+}
+
+// Flush drains the buffer and returns the first error encountered by any
+// prior write.
+func (w *WireWriter) Flush() error { return w.bw.Flush() }
+
+// WireReader reads wire-format primitives.
+type WireReader struct {
+	br *bufio.Reader
+}
+
+// NewWireReader wraps r for wire-format input.
+func NewWireReader(r io.Reader) *WireReader {
+	if br, ok := r.(*bufio.Reader); ok {
+		return &WireReader{br: br}
+	}
+	return &WireReader{br: bufio.NewReader(r)}
+}
+
+// Uvarint reads an unsigned varint and rejects values above max (a corrupt
+// length claim must not drive huge allocations downstream).
+func (r *WireReader) Uvarint(max uint64) (uint64, error) {
+	x, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return 0, err
+	}
+	if x > max {
+		return 0, fmt.Errorf("pg: varint %d exceeds bound %d (corrupt snapshot)", x, max)
+	}
+	return x, nil
+}
+
+// Varint reads a signed varint.
+func (r *WireReader) Varint() (int64, error) {
+	return binary.ReadVarint(r.br)
+}
+
+// Byte reads one byte.
+func (r *WireReader) Byte() (byte, error) {
+	return r.br.ReadByte()
+}
+
+// Bool reads a one-byte boolean.
+func (r *WireReader) Bool() (bool, error) {
+	b, err := r.br.ReadByte()
+	return b != 0, err
+}
+
+// Float64 reads a little-endian IEEE-754 double.
+func (r *WireReader) Float64() (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r.br, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+// String reads a length-prefixed string (length capped at 1 GiB). Chunked
+// reads keep a corrupt length claim from allocating the whole bogus size up
+// front.
+func (r *WireReader) String() (string, error) {
+	n, err := r.Uvarint(1 << 30)
+	if err != nil {
+		return "", err
+	}
+	const chunk = 64 * 1024
+	if n <= chunk {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r.br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	var sb bytesBuilder
+	tmp := make([]byte, chunk)
+	for remaining := n; remaining > 0; {
+		step := min(remaining, chunk)
+		if _, err := io.ReadFull(r.br, tmp[:step]); err != nil {
+			return "", err
+		}
+		sb.write(tmp[:step])
+		remaining -= step
+	}
+	return sb.String(), nil
+}
+
+// Expect consumes len(magic) bytes and verifies them.
+func (r *WireReader) Expect(magic string) error {
+	buf := make([]byte, len(magic))
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return fmt.Errorf("pg: reading magic: %w", err)
+	}
+	if string(buf) != magic {
+		return fmt.Errorf("pg: bad magic %q (want %q)", buf, magic)
+	}
+	return nil
+}
+
+// Value reads a property value written by WireWriter.Value.
+func (r *WireReader) Value() (Value, error) {
+	kindByte, err := r.Byte()
+	if err != nil {
+		return Null(), err
+	}
+	switch Kind(kindByte) {
+	case KindNull:
+		return Null(), nil
+	case KindInt:
+		x, err := r.Varint()
+		return Int(x), err
+	case KindFloat:
+		f, err := r.Float64()
+		return Float(f), err
+	case KindBool:
+		b, err := r.Bool()
+		return Bool(b), err
+	case KindDate:
+		sec, err := r.Varint()
+		return Date(time.Unix(sec, 0).UTC()), err
+	case KindTimestamp:
+		sec, err := r.Varint()
+		return Timestamp(time.Unix(sec, 0).UTC()), err
+	case KindString:
+		s, err := r.String()
+		return Str(s), err
+	default:
+		return Null(), fmt.Errorf("pg: unknown value kind byte %d", kindByte)
+	}
+}
+
+// bytesBuilder is a minimal growable byte accumulator (strings.Builder
+// without the import churn in this file's hot path).
+type bytesBuilder struct{ b []byte }
+
+func (s *bytesBuilder) write(p []byte) { s.b = append(s.b, p...) }
+func (s *bytesBuilder) String() string { return string(s.b) }
+
+func min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

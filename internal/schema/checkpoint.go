@@ -1,0 +1,357 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+
+	"pghive/internal/pg"
+)
+
+// Checkpoint codec: a complete, deterministic wire encoding of the evolving
+// schema — every type with its full evidence (property statistics, value
+// stats, endpoint degrees, members). Encoding the same schema twice yields
+// identical bytes (all map iteration is sorted), which is what lets the
+// crash/resume tests compare checkpoints directly.
+
+// Codec bounds: untrusted counts are capped so corrupt checkpoints cannot
+// drive huge allocations.
+const (
+	maxTypes   = 1 << 24
+	maxLabels  = 1 << 16
+	maxProps   = 1 << 24
+	maxMembers = 1 << 40
+	maxDegrees = 1 << 40
+	maxHashes  = distinctHashCap
+)
+
+// WriteSchema encodes the schema onto a wire stream. Errors surface at the
+// caller's Flush.
+func WriteSchema(w *pg.WireWriter, s *Schema) error {
+	for _, types := range [][]*Type{s.NodeTypes, s.EdgeTypes} {
+		w.Uvarint(uint64(len(types)))
+		for _, t := range types {
+			if err := writeType(w, t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadSchema decodes a schema written by WriteSchema.
+func ReadSchema(r *pg.WireReader) (*Schema, error) {
+	s := NewSchema()
+	for pass, kind := range []ElementKind{NodeKind, EdgeKind} {
+		n, err := r.Uvarint(maxTypes)
+		if err != nil {
+			return nil, fmt.Errorf("schema: type count (pass %d): %w", pass, err)
+		}
+		for i := uint64(0); i < n; i++ {
+			t, err := readType(r, kind)
+			if err != nil {
+				return nil, fmt.Errorf("schema: %v type %d: %w", kind, i, err)
+			}
+			s.Add(t)
+		}
+	}
+	return s, nil
+}
+
+func writeStringSet(w *pg.WireWriter, s StringSet) {
+	sorted := s.Sorted()
+	w.Uvarint(uint64(len(sorted)))
+	for _, e := range sorted {
+		w.String(e)
+	}
+}
+
+func readStringSet(r *pg.WireReader) (StringSet, error) {
+	n, err := r.Uvarint(maxLabels)
+	if err != nil {
+		return nil, err
+	}
+	s := make(StringSet, n)
+	for i := uint64(0); i < n; i++ {
+		e, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		s.Add(e)
+	}
+	return s, nil
+}
+
+func writeDegrees(w *pg.WireWriter, deg map[pg.ID]int) {
+	ids := make([]pg.ID, 0, len(deg))
+	for id := range deg {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		w.Varint(int64(id))
+		w.Varint(int64(deg[id]))
+	}
+}
+
+func readDegrees(r *pg.WireReader) (map[pg.ID]int, error) {
+	n, err := r.Uvarint(maxDegrees)
+	if err != nil {
+		return nil, err
+	}
+	deg := make(map[pg.ID]int, n)
+	for i := uint64(0); i < n; i++ {
+		id, err := r.Varint()
+		if err != nil {
+			return nil, err
+		}
+		c, err := r.Varint()
+		if err != nil {
+			return nil, err
+		}
+		deg[pg.ID(id)] = int(c)
+	}
+	return deg, nil
+}
+
+func writeType(w *pg.WireWriter, t *Type) error {
+	w.Byte(byte(t.Kind))
+	writeStringSet(w, t.Labels)
+	w.Varint(int64(t.Instances))
+	w.Bool(t.Abstract)
+
+	keys := make([]string, 0, len(t.Props))
+	for k := range t.Props {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+		writePropStat(w, t.Props[k])
+	}
+
+	if t.Kind == EdgeKind {
+		writeStringSet(w, t.SrcLabels)
+		writeStringSet(w, t.DstLabels)
+		writeDegrees(w, t.OutDeg)
+		writeDegrees(w, t.InDeg)
+	}
+
+	w.Uvarint(uint64(len(t.Members)))
+	for _, id := range t.Members {
+		w.Varint(int64(id))
+	}
+	return nil
+}
+
+func readType(r *pg.WireReader, wantKind ElementKind) (*Type, error) {
+	kindByte, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	if ElementKind(kindByte) != wantKind {
+		return nil, fmt.Errorf("kind %d out of place (want %d)", kindByte, wantKind)
+	}
+	t := NewType(wantKind)
+	if t.Labels, err = readStringSet(r); err != nil {
+		return nil, fmt.Errorf("labels: %w", err)
+	}
+	inst, err := r.Varint()
+	if err != nil {
+		return nil, err
+	}
+	t.Instances = int(inst)
+	if t.Abstract, err = r.Bool(); err != nil {
+		return nil, err
+	}
+
+	propCount, err := r.Uvarint(maxProps)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < propCount; i++ {
+		k, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		p, err := readPropStat(r)
+		if err != nil {
+			return nil, fmt.Errorf("prop %q: %w", k, err)
+		}
+		t.Props[k] = p
+	}
+
+	if wantKind == EdgeKind {
+		if t.SrcLabels, err = readStringSet(r); err != nil {
+			return nil, fmt.Errorf("src labels: %w", err)
+		}
+		if t.DstLabels, err = readStringSet(r); err != nil {
+			return nil, fmt.Errorf("dst labels: %w", err)
+		}
+		if t.OutDeg, err = readDegrees(r); err != nil {
+			return nil, fmt.Errorf("out degrees: %w", err)
+		}
+		if t.InDeg, err = readDegrees(r); err != nil {
+			return nil, fmt.Errorf("in degrees: %w", err)
+		}
+	}
+
+	memberCount, err := r.Uvarint(maxMembers)
+	if err != nil {
+		return nil, err
+	}
+	if memberCount > 0 {
+		t.Members = make([]pg.ID, memberCount)
+		for i := range t.Members {
+			id, err := r.Varint()
+			if err != nil {
+				return nil, err
+			}
+			t.Members[i] = pg.ID(id)
+		}
+	}
+	return t, nil
+}
+
+func writeKindCounts(w *pg.WireWriter, m map[pg.Kind]int) {
+	kinds := make([]int, 0, len(m))
+	for k := range m {
+		kinds = append(kinds, int(k))
+	}
+	sort.Ints(kinds)
+	w.Uvarint(uint64(len(kinds)))
+	for _, k := range kinds {
+		w.Byte(byte(k))
+		w.Varint(int64(m[pg.Kind(k)]))
+	}
+}
+
+func readKindCounts(r *pg.WireReader) (map[pg.Kind]int, error) {
+	n, err := r.Uvarint(256)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[pg.Kind]int, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := r.Byte()
+		if err != nil {
+			return nil, err
+		}
+		c, err := r.Varint()
+		if err != nil {
+			return nil, err
+		}
+		m[pg.Kind(k)] = int(c)
+	}
+	return m, nil
+}
+
+func writePropStat(w *pg.WireWriter, p *PropStat) {
+	w.Varint(int64(p.Count))
+	writeKindCounts(w, p.Kinds)
+	writeKindCounts(w, p.SampleKinds)
+	p.Values.encode(w)
+}
+
+func readPropStat(r *pg.WireReader) (*PropStat, error) {
+	p := NewPropStat()
+	count, err := r.Varint()
+	if err != nil {
+		return nil, err
+	}
+	p.Count = int(count)
+	if p.Kinds, err = readKindCounts(r); err != nil {
+		return nil, fmt.Errorf("kinds: %w", err)
+	}
+	if p.SampleKinds, err = readKindCounts(r); err != nil {
+		return nil, fmt.Errorf("sample kinds: %w", err)
+	}
+	if p.Values, err = decodeValueStat(r); err != nil {
+		return nil, fmt.Errorf("values: %w", err)
+	}
+	return p, nil
+}
+
+// encode serializes the value-evidence accumulator, including the distinct
+// hash set — resuming from a checkpoint must keep certifying uniqueness
+// exactly where the crashed run left off.
+func (s *ValueStat) encode(w *pg.WireWriter) {
+	w.Bool(s.dup)
+	w.Bool(s.overflow)
+	hashes := make([]uint64, 0, len(s.hashes))
+	for h := range s.hashes {
+		hashes = append(hashes, h)
+	}
+	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+	w.Uvarint(uint64(len(hashes)))
+	for _, h := range hashes {
+		w.Uvarint(h)
+	}
+
+	enum := make([]string, 0, len(s.enum))
+	for v := range s.enum {
+		enum = append(enum, v)
+	}
+	sort.Strings(enum)
+	w.Uvarint(uint64(len(enum)))
+	for _, v := range enum {
+		w.String(v)
+	}
+
+	w.Varint(int64(s.numCount))
+	w.Float64(s.minNum)
+	w.Float64(s.maxNum)
+}
+
+func decodeValueStat(r *pg.WireReader) (*ValueStat, error) {
+	s := NewValueStat()
+	var err error
+	if s.dup, err = r.Bool(); err != nil {
+		return nil, err
+	}
+	if s.overflow, err = r.Bool(); err != nil {
+		return nil, err
+	}
+	hashCount, err := r.Uvarint(maxHashes)
+	if err != nil {
+		return nil, err
+	}
+	if s.dup || s.overflow {
+		s.hashes = nil
+	}
+	for i := uint64(0); i < hashCount; i++ {
+		h, err := r.Uvarint(^uint64(0))
+		if err != nil {
+			return nil, err
+		}
+		if s.hashes != nil {
+			s.hashes[h] = struct{}{}
+		}
+	}
+
+	enumCount, err := r.Uvarint(EnumCap + 2)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < enumCount; i++ {
+		v, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		s.enum[v] = struct{}{}
+	}
+
+	numCount, err := r.Varint()
+	if err != nil {
+		return nil, err
+	}
+	s.numCount = int(numCount)
+	if s.minNum, err = r.Float64(); err != nil {
+		return nil, err
+	}
+	if s.maxNum, err = r.Float64(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

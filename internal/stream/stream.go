@@ -23,6 +23,12 @@ type Collector struct {
 	buf       pg.Batch
 	flushes   int
 	elements  int
+	// onFlush, when set, inspects each batch before it enters the
+	// pipeline; see SetOnFlush for the error contract.
+	onFlush func(*pg.Batch) error
+	skipped []core.SkipReport
+	err     error // last non-transient flush error
+	slot    int   // flush slots consumed (processed + quarantined)
 }
 
 // DefaultBatchSize is used when NewCollector receives batchSize ≤ 0.
@@ -37,7 +43,25 @@ func NewCollector(pipe *core.Pipeline, batchSize int) *Collector {
 	return &Collector{pipe: pipe, batchSize: batchSize}
 }
 
-// AddNode buffers one node record, flushing if the batch is full.
+// SetOnFlush installs a pre-flight check invoked on each batch before it
+// enters the pipeline (e.g. validation against an upstream contract, or a
+// write-ahead persist that may fail). Its error decides the batch's fate
+// using the pg fault taxonomy:
+//
+//   - a transient error (pg.IsTransient) keeps the batch buffered — the
+//     next Flush retries it;
+//   - any other error quarantines the batch (recorded in Skipped, dropped
+//     from the buffer) and is remembered as Err.
+//
+// Must be set before elements arrive; not safe to change concurrently.
+func (c *Collector) SetOnFlush(fn func(*pg.Batch) error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onFlush = fn
+}
+
+// AddNode buffers one node record, flushing if the batch is full. A flush
+// failure is reported by Err (and by the next explicit Flush).
 func (c *Collector) AddNode(rec pg.NodeRecord) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -47,7 +71,8 @@ func (c *Collector) AddNode(rec pg.NodeRecord) {
 }
 
 // AddEdge buffers one edge record (endpoint labels must be resolved by the
-// caller, as in pg.EdgeRecord), flushing if the batch is full.
+// caller, as in pg.EdgeRecord), flushing if the batch is full. A flush
+// failure is reported by Err (and by the next explicit Flush).
 func (c *Collector) AddEdge(rec pg.EdgeRecord) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -62,26 +87,57 @@ func (c *Collector) maybeFlushLocked() {
 	}
 }
 
-func (c *Collector) flushLocked() {
+func (c *Collector) flushLocked() error {
 	if c.buf.Len() == 0 {
-		return
+		return nil
+	}
+	if c.onFlush != nil {
+		if err := c.onFlush(&c.buf); err != nil {
+			if pg.IsTransient(err) {
+				return err // keep the buffer; retry on the next flush
+			}
+			c.skipped = append(c.skipped, core.SkipReport{Seq: c.slot, Reason: err.Error()})
+			c.slot++
+			c.buf = pg.Batch{}
+			c.err = err
+			return err
+		}
 	}
 	batch := c.buf
 	c.buf = pg.Batch{}
 	c.pipe.ProcessBatch(&batch)
 	c.flushes++
+	c.slot++
+	return nil
 }
 
-// Flush forces buffered elements into the pipeline immediately.
-func (c *Collector) Flush() {
+// Flush forces buffered elements into the pipeline immediately. The error
+// is the OnFlush verdict: transient errors leave the buffer intact for a
+// retry, others quarantine the batch.
+func (c *Collector) Flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.flushLocked()
+	return c.flushLocked()
 }
 
 // Close flushes any remainder; the collector stays usable (Close is a
 // synonym for Flush, provided for defer-friendly call sites).
-func (c *Collector) Close() { c.Flush() }
+func (c *Collector) Close() error { return c.Flush() }
+
+// Err returns the last non-transient flush error, nil if every flush
+// succeeded.
+func (c *Collector) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Skipped lists batches quarantined by OnFlush.
+func (c *Collector) Skipped() []core.SkipReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]core.SkipReport(nil), c.skipped...)
+}
 
 // Schema returns the pipeline's evolving schema. Call Flush first to
 // include buffered elements. The returned schema aliases pipeline state:

@@ -1,0 +1,103 @@
+package vectorize
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"pghive/internal/pg"
+)
+
+// checkpointBatch builds a batch whose elements carry distinct label sets so
+// the session trains several tokens.
+func checkpointBatch(start, n int) *pg.Batch {
+	b := &pg.Batch{}
+	for i := 0; i < n; i++ {
+		b.Nodes = append(b.Nodes, pg.NodeRecord{
+			ID:     pg.ID(start + i),
+			Labels: []string{fmt.Sprintf("L%d", (start+i)%5)},
+			Props:  pg.Properties{"p": pg.Int(int64(i))},
+		})
+	}
+	return b
+}
+
+func encodeSession(t *testing.T, s *Session) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := pg.NewWireWriter(&buf)
+	if err := s.WriteState(w); err != nil {
+		t.Fatalf("WriteState: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestSessionStateRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Embedding.Seed = 9
+
+	orig := NewSession(cfg)
+	orig.Vectorize(checkpointBatch(0, 20))
+	orig.Vectorize(checkpointBatch(20, 20))
+	state := encodeSession(t, orig)
+
+	restored := NewSession(cfg)
+	if err := restored.ReadState(pg.NewWireReader(bytes.NewReader(state))); err != nil {
+		t.Fatalf("ReadState: %v", err)
+	}
+	if re := encodeSession(t, restored); !bytes.Equal(state, re) {
+		t.Fatal("restored session re-encodes to different bytes")
+	}
+
+	// The restored session must continue the run exactly as the original:
+	// feed both a batch with a brand-new label set and compare rendered
+	// vectors for every element.
+	next := checkpointBatch(40, 10)
+	next.Nodes = append(next.Nodes, pg.NodeRecord{ID: 99, Labels: []string{"Brand", "New"}})
+	va, vb := orig.Vectorize(next), restored.Vectorize(next)
+	for i := range next.Nodes {
+		a, b := va.NodeVector(&next.Nodes[i]), vb.NodeVector(&next.Nodes[i])
+		if len(a) != len(b) {
+			t.Fatalf("node %d: dim %d vs %d", i, len(a), len(b))
+		}
+		for d := range a {
+			if a[d] != b[d] {
+				t.Fatalf("node %d dim %d: %v vs %v — resumed session diverged", i, d, a[d], b[d])
+			}
+		}
+	}
+
+	// And their post-batch states stay byte-identical.
+	if !bytes.Equal(encodeSession(t, orig), encodeSession(t, restored)) {
+		t.Error("sessions diverge after one more batch")
+	}
+}
+
+func TestSessionStateEmpty(t *testing.T) {
+	cfg := DefaultConfig()
+	s := NewSession(cfg)
+	state := encodeSession(t, s)
+	restored := NewSession(cfg)
+	if err := restored.ReadState(pg.NewWireReader(bytes.NewReader(state))); err != nil {
+		t.Fatalf("ReadState on empty state: %v", err)
+	}
+	if restored.model != nil || len(restored.sentences) != 0 {
+		t.Error("restored empty session is not empty")
+	}
+}
+
+func TestSessionStateTruncated(t *testing.T) {
+	cfg := DefaultConfig()
+	s := NewSession(cfg)
+	s.Vectorize(checkpointBatch(0, 10))
+	state := encodeSession(t, s)
+	for _, cut := range []int{0, 1, len(state) / 2, len(state) - 1} {
+		r := NewSession(cfg)
+		if err := r.ReadState(pg.NewWireReader(bytes.NewReader(state[:cut]))); err == nil {
+			t.Errorf("decoding %d/%d bytes succeeded, want error", cut, len(state))
+		}
+	}
+}

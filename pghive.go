@@ -147,6 +147,68 @@ func NewPipeline(cfg Config) *Pipeline { return core.NewPipeline(cfg) }
 // NewSliceSource wraps pre-built batches as a Source.
 func NewSliceSource(batches ...*Batch) Source { return pg.NewSliceSource(batches...) }
 
+// Fault-tolerant ingestion: fallible sources, fault injection, retry with
+// backoff, quarantine, and per-batch checkpointing.
+type (
+	// ErrSource streams batches from a fallible origin: Next may fail
+	// transiently (retry), with a poisoned batch (quarantine), or
+	// permanently (resume from a checkpoint).
+	ErrSource = pg.ErrSource
+	// TransientError marks a retryable failure.
+	TransientError = pg.TransientError
+	// CorruptBatchError marks a poisoned batch the pipeline quarantines.
+	CorruptBatchError = pg.CorruptBatchError
+	// ParseError locates a malformed CSV/JSONL input line.
+	ParseError = pg.ParseError
+	// FaultProfile configures seeded fault injection for testing.
+	FaultProfile = pg.FaultProfile
+	// FaultSource wraps a source with deterministic fault injection.
+	FaultSource = pg.FaultSource
+	// RetryPolicy configures exponential backoff with jitter.
+	RetryPolicy = pg.RetryPolicy
+	// RetrySource absorbs transient faults with backoff.
+	RetrySource = pg.RetrySource
+	// RetryExhaustedError reports a slot that kept failing transiently.
+	RetryExhaustedError = pg.RetryExhaustedError
+	// FTOptions configures fault-tolerant discovery.
+	FTOptions = core.FTOptions
+	// SkipReport records one quarantined batch.
+	SkipReport = core.SkipReport
+	// Checkpointer persists per-batch pipeline checkpoints.
+	Checkpointer = core.Checkpointer
+	// FileCheckpointer writes checkpoints atomically to one file.
+	FileCheckpointer = core.FileCheckpointer
+)
+
+// ErrPermanentFault is the permanent failure a FaultSource injects.
+var ErrPermanentFault = pg.ErrPermanentFault
+
+// AsErrSource adapts an infallible Source to ErrSource.
+func AsErrSource(src Source) ErrSource { return pg.AsErrSource(src) }
+
+// NewFaultSource wraps a source with seeded, deterministic fault injection
+// (transient errors, latency, truncation/corruption, permanent failure).
+func NewFaultSource(src ErrSource, p FaultProfile) *FaultSource { return pg.NewFaultSource(src, p) }
+
+// NewRetrySource absorbs transient faults with exponential backoff and
+// jitter, bounded by a per-batch attempt budget.
+func NewRetrySource(src ErrSource, p RetryPolicy) *RetrySource { return pg.NewRetrySource(src, p) }
+
+// DiscoverStreamFT drains a fallible source with graceful degradation:
+// transient faults are retried, poisoned batches are quarantined into
+// Result.Skipped, and — when opts.Checkpoint is set — the pipeline state is
+// checkpointed after every batch.
+func DiscoverStreamFT(src ErrSource, cfg Config, opts FTOptions) (*Result, error) {
+	return core.DiscoverFT(src, cfg, opts)
+}
+
+// ResumeDiscoverStreamFT restores a run from checkpoint bytes and continues
+// it over a replay of the same stream; the finalized schema is
+// byte-identical to an uninterrupted run.
+func ResumeDiscoverStreamFT(state []byte, src ErrSource, cfg Config, opts FTOptions) (*Result, error) {
+	return core.ResumeDiscoverFT(state, src, cfg, opts)
+}
+
 // Collector buffers live element insertions and flushes them into an
 // incremental pipeline in fixed-size batches (thread-safe).
 type Collector = stream.Collector
