@@ -34,7 +34,7 @@ func mainErr() error {
 	seed := flag.Int64("seed", 1, "random seed")
 	datasets := flag.String("datasets", "", "comma-separated dataset filter (default: all eight)")
 	depth := flag.Int("pipeline-depth", 0, "execution engine depth for PG-HIVE runs: 0/1 = serial, >1 = overlapped batches")
-	csvDir := flag.String("csvdir", "", "also write machine-readable CSVs for every experiment into this directory")
+	csvDir := flag.String("csvdir", "", "also write machine-readable CSVs into this directory (every experiment, or just lsh.csv with -exp lsh)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -72,6 +72,9 @@ func mainErr() error {
 
 func run(exp, csvDir string, settings bench.Settings) error {
 	if csvDir != "" {
+		if exp == "lsh" {
+			return bench.WriteLSHCSV(csvDir, os.Stdout, settings)
+		}
 		return bench.WriteCSVs(csvDir, os.Stdout, settings)
 	}
 	if exp == "all" {

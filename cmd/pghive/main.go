@@ -39,6 +39,7 @@ func main() {
 		outPath   = flag.String("out", "", "output file (default stdout)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		depth     = flag.Int("pipeline-depth", 0, "execution engine depth: 1 = serial, >1 = overlapped batches (0 = default)")
+		denseSigs = flag.Bool("dense-signatures", false, "use the dense reference signature kernels instead of the factored sparse ones (identical output, for A/B timing)")
 		retry     = flag.Int("retry", 0, "retry transient source faults up to this many attempts per batch (0 = fail fast)")
 		ckptPath  = flag.String("checkpoint", "", "checkpoint file: save pipeline state after every batch; resume from it when it already exists")
 		faultRate = flag.Float64("fault-rate", 0, "inject seeded transient faults at this per-attempt probability (exercises -retry)")
@@ -59,6 +60,7 @@ func main() {
 	cfg.SampleDatatypes = *sample
 	cfg.Participation = *particip
 	cfg.PipelineDepth = *depth
+	cfg.DenseSignatures = *denseSigs
 	switch *method {
 	case "elsh":
 		cfg.Method = pghive.MethodELSH

@@ -230,7 +230,7 @@ func TestRunFig8BinsNormalized(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	want := []string{"ablation", "faults", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "metrics", "scaling", "table1", "table2"}
+	want := []string{"ablation", "faults", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "lsh", "metrics", "scaling", "table1", "table2"}
 	got := ExperimentNames()
 	if len(got) != len(want) {
 		t.Fatalf("experiments = %v, want %v", got, want)
@@ -334,6 +334,40 @@ func TestRunAllTinyPipeline(t *testing.T) {
 	}
 }
 
+func TestRunLSHSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kernel sweep is slow")
+	}
+	var buf bytes.Buffer
+	points, err := RunLSH(&buf, smallSettings("POLE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kernelRows, e2eRows int
+	for _, p := range points {
+		if p.Dense <= 0 || p.Factored <= 0 {
+			t.Errorf("%s: non-positive timing %v / %v", p.Case, p.Dense, p.Factored)
+		}
+		if p.K > 0 {
+			kernelRows++
+			// The kernel comparison at low occupancy is the tentpole; a
+			// tiny margin keeps the test robust to scheduler noise while
+			// still catching a silent fall-back to the dense path.
+			if p.NNZ <= 0.10 && p.Speedup < 1.5 {
+				t.Errorf("%s K=%d nnz=%.2f: factored speedup %.2fx, expected sparse win", p.Case, p.K, p.NNZ, p.Speedup)
+			}
+		} else {
+			e2eRows++
+		}
+	}
+	if kernelRows != 12 { // 2 layouts x 2 K x 3 occupancy levels
+		t.Errorf("got %d kernel rows, want 12", kernelRows)
+	}
+	if e2eRows != 2 { // one dataset x both methods
+		t.Errorf("got %d end-to-end rows, want 2", e2eRows)
+	}
+}
+
 func TestWriteCSVs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full CSV sweep is slow")
@@ -348,7 +382,7 @@ func TestWriteCSVs(t *testing.T) {
 	files := []string{
 		"fig3_ranks.csv", "fig4_quality.csv", "fig5_runtime.csv",
 		"fig6_heatmap.csv", "fig7_incremental.csv", "fig8_sampling.csv",
-		"ablation.csv", "metrics.csv", "scaling.csv",
+		"ablation.csv", "metrics.csv", "scaling.csv", "lsh.csv",
 	}
 	for _, name := range files {
 		data, err := os.ReadFile(filepath.Join(dir, name))

@@ -183,8 +183,36 @@ func WriteCSVs(dir string, w writerFlusher, s Settings) error {
 			f(p.Overhead), strconv.FormatBool(p.Identical),
 		})
 	}
-	return writeCSV(dir, "faults.csv",
-		[]string{"dataset", "method", "transient_rate", "retries", "backoff_us", "elapsed_us", "overhead", "identical"}, faultRows)
+	if err := writeCSV(dir, "faults.csv",
+		[]string{"dataset", "method", "transient_rate", "retries", "backoff_us", "elapsed_us", "overhead", "identical"}, faultRows); err != nil {
+		return err
+	}
+
+	return WriteLSHCSV(dir, w, s)
+}
+
+// WriteLSHCSV runs only the lsh experiment and writes lsh.csv into dir —
+// the dense-vs-factored kernel comparison is cheap enough to regenerate on
+// every CI run without dragging the full figure suite along.
+func WriteLSHCSV(dir string, w writerFlusher, s Settings) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	lshPoints, err := RunLSH(w, s)
+	if err != nil {
+		return err
+	}
+	var lshRows [][]string
+	for _, p := range lshPoints {
+		lshRows = append(lshRows, []string{
+			p.Case, strconv.Itoa(p.K), f(p.NNZ),
+			strconv.FormatInt(p.Dense.Nanoseconds(), 10),
+			strconv.FormatInt(p.Factored.Nanoseconds(), 10),
+			f(p.DenseAllocs), f(p.FactoredAllocs), f(p.Speedup),
+		})
+	}
+	return writeCSV(dir, "lsh.csv",
+		[]string{"case", "k", "nnz", "dense_ns", "factored_ns", "dense_allocs", "factored_allocs", "speedup"}, lshRows)
 }
 
 // writerFlusher is satisfied by io.Writer targets the runners print to.

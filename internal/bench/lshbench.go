@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"pghive/internal/core"
+	"pghive/internal/datagen"
+	"pghive/internal/lsh"
+)
+
+// LSHPoint is one dense-vs-factored comparison row from the lsh experiment:
+// either a signature-kernel microbenchmark (Dense/Factored are per-operation
+// times over a synthetic hybrid workload at suffix width K and occupancy NNZ)
+// or an end-to-end Discover run on a generated dataset (Dense/Factored are
+// discovery wall-clock, K/NNZ zero).
+type LSHPoint struct {
+	Case           string
+	K              int
+	NNZ            float64
+	Dense          time.Duration
+	Factored       time.Duration
+	DenseAllocs    float64 // allocations per op
+	FactoredAllocs float64
+	Speedup        float64
+}
+
+// kernelWorkload is a synthetic batch of hybrid vectors in both
+// representations: materialized dense vectors for the reference kernel and
+// (prefix id, sorted suffix indexes) records for the factored one.
+type kernelWorkload struct {
+	prefixes [][]float64
+	tokenIDs []int
+	suffixes [][]int32
+	dense    [][]float64
+}
+
+func genKernelWorkload(rng *rand.Rand, elements, prefixDim, suffixLen, nPrefix int, nnz float64) kernelWorkload {
+	var w kernelWorkload
+	for p := 0; p < nPrefix; p++ {
+		pre := make([]float64, prefixDim)
+		for d := range pre {
+			pre[d] = rng.NormFloat64() * 2
+		}
+		w.prefixes = append(w.prefixes, pre)
+	}
+	for i := 0; i < elements; i++ {
+		id := rng.Intn(nPrefix)
+		var suffix []int32
+		for k := 0; k < suffixLen; k++ {
+			if rng.Float64() < nnz {
+				suffix = append(suffix, int32(k))
+			}
+		}
+		v := make([]float64, prefixDim+suffixLen)
+		copy(v, w.prefixes[id])
+		for _, k := range suffix {
+			v[prefixDim+int(k)] = 1
+		}
+		w.tokenIDs = append(w.tokenIDs, id)
+		w.suffixes = append(w.suffixes, suffix)
+		w.dense = append(w.dense, v)
+	}
+	return w
+}
+
+// timeOp runs f repeatedly for at least minDur (after one warm-up sweep of
+// n operations) and returns the mean time and heap allocations per
+// operation. f(i) performs operation i%n.
+func timeOp(n int, minDur time.Duration, f func(i int)) (time.Duration, float64) {
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	ops := 0
+	start := time.Now()
+	for time.Since(start) < minDur {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		ops += n
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return elapsed / time.Duration(ops), float64(ms1.Mallocs-ms0.Mallocs) / float64(ops)
+}
+
+// RunLSH compares the dense and factored signature kernels: first on
+// isolated signature microbenchmarks over the node layout (one embedding
+// block) and the edge layout (three concatenated blocks) across suffix
+// occupancy levels, then end-to-end — Discover wall-clock on generated
+// datasets under Config.DenseSignatures on and off, for both LSH methods.
+// Expected shape: factored wins grow as occupancy falls (the dense kernel
+// pays O(d+K) per table regardless of sparsity); at 1% occupancy and K=512
+// the kernel speedup should be an order of magnitude, and end-to-end
+// discovery — which also pays vectorize, dedup and extraction — improves by
+// a smaller but consistent factor.
+func RunLSH(w io.Writer, s Settings) ([]LSHPoint, error) {
+	s = s.withDefaults()
+	fmt.Fprintln(w, "== LSH signature kernels: dense vs factored ==")
+	rng := rand.New(rand.NewSource(s.Seed))
+	const (
+		tables   = 25
+		elements = 256
+		minDur   = 20 * time.Millisecond
+	)
+	var points []LSHPoint
+
+	tab := newTable(w)
+	fmt.Fprintln(tab, "case\tK\tnnz\tdense/op\tfactored/op\tspeedup")
+	for _, layout := range []struct {
+		name      string
+		prefixDim int
+	}{{"sig-node", 32}, {"sig-edge", 96}} {
+		for _, k := range []int{256, 512} {
+			for _, nnz := range []float64{0.01, 0.10, 0.50} {
+				wl := genKernelWorkload(rng, elements, layout.prefixDim, k, 8, nnz)
+				e := lsh.NewELSH(layout.prefixDim+k, 2.0, tables, s.Seed)
+				fk := lsh.NewFactoredELSH(e, layout.prefixDim, wl.prefixes)
+				h := fk.Hasher()
+				dNs, dAllocs := timeOp(elements, minDur, func(i int) { e.SignatureHash(wl.dense[i]) })
+				fNs, fAllocs := timeOp(elements, minDur, func(i int) { h.SignatureHash(wl.tokenIDs[i], wl.suffixes[i]) })
+				p := LSHPoint{
+					Case: layout.name, K: k, NNZ: nnz,
+					Dense: dNs, Factored: fNs,
+					DenseAllocs: dAllocs, FactoredAllocs: fAllocs,
+					Speedup: float64(dNs) / float64(fNs),
+				}
+				points = append(points, p)
+				fmt.Fprintf(tab, "%s\t%d\t%.2f\t%v\t%v\t%.1fx\n", p.Case, p.K, p.NNZ, p.Dense, p.Factored, p.Speedup)
+			}
+		}
+	}
+	tab.Flush()
+
+	fmt.Fprintln(w, "\nEnd-to-end Discover (DenseSignatures on vs off, best of 3):")
+	tab = newTable(w)
+	fmt.Fprintln(tab, "dataset\tmethod\tdense\tfactored\tspeedup")
+	cache := newDatasetCache(s)
+	// One Discover run is dominated by embedding training and swings ±40%
+	// on a loaded single-core host; the minimum over a few runs is the
+	// standard noise-robust wall-clock estimator.
+	best := func(ds *datagen.Dataset, cfg core.Config) time.Duration {
+		min := time.Duration(0)
+		for r := 0; r < 3; r++ {
+			if el := RunPGHive(ds, cfg).Elapsed; min == 0 || el < min {
+				min = el
+			}
+		}
+		return min
+	}
+	for _, prof := range s.profiles() {
+		ds := cache.get(prof)
+		for _, m := range []core.Method{core.MethodELSH, core.MethodMinHash} {
+			cfg := core.DefaultConfig()
+			cfg.Method = m
+			cfg.Seed = s.Seed
+			cfg.PipelineDepth = s.engineDepth()
+			denseCfg := cfg
+			denseCfg.DenseSignatures = true
+			p := LSHPoint{
+				Case:     "discover/" + prof.Name + "/" + m.String(),
+				Dense:    best(ds, denseCfg),
+				Factored: best(ds, cfg),
+			}
+			p.Speedup = float64(p.Dense) / float64(p.Factored)
+			points = append(points, p)
+			fmt.Fprintf(tab, "%s\t%v\t%s\t%s\t%.2fx\n", prof.Name, m, ms(p.Dense), ms(p.Factored), p.Speedup)
+		}
+	}
+	tab.Flush()
+	return points, nil
+}

@@ -54,8 +54,10 @@ type SkipReport struct {
 // output. A checkpoint written under one fingerprint cannot be resumed under
 // another: the replayed batches would be processed differently and the
 // byte-identity guarantee would silently break. Execution-only knobs
-// (Parallelism, PipelineDepth) are excluded — the engine produces identical
-// schemas at every depth.
+// (Parallelism, PipelineDepth, DenseSignatures) are excluded — the engine
+// produces identical schemas at every depth, and the factored and dense
+// signature kernels are bit-identical, so a checkpoint written under one
+// kernel resumes cleanly under the other.
 func (c Config) fingerprint() string {
 	return fmt.Sprintf("v1 m=%d th=%g emb=%+v lw=%g sem=%t al=%t at=%g np=%s ep=%s mhr=%d sdt=%t part=%t sf=%g smin=%d tm=%t seed=%d",
 		c.Method, c.Theta, c.Embedding, c.LabelWeight, c.SemanticLabels,

@@ -91,6 +91,18 @@ type Config struct {
 	// TrackMembers records per-type member element IDs (needed by the
 	// evaluation harness to compute F1*; costs memory).
 	TrackMembers bool
+	// DenseSignatures disables the factored signature kernels and hashes
+	// every element through the dense O(T·(d+K)) loops over materialized
+	// hybrid vectors — the pre-factoring behaviour, retained for A/B
+	// benchmarking (pghive-bench -exp lsh) and as an escape hatch. The
+	// default factored path exploits the shared-prefix/sparse-suffix
+	// structure of §4.1's vectors: per-(label-token, table) projection dots
+	// are cached and each element costs O(T·nnz); MinHash signatures are
+	// memoized per distinct element record. Both paths produce bit-identical
+	// signatures and therefore byte-identical schemas
+	// (TestFactoredMatchesDense), so this knob — like Parallelism and
+	// PipelineDepth — is excluded from the checkpoint fingerprint.
+	DenseSignatures bool
 	// Parallelism bounds worker goroutines for vectorization and hashing;
 	// 0 means GOMAXPROCS.
 	Parallelism int
@@ -166,6 +178,17 @@ func (c Config) vectorizeConfig() vectorize.Config {
 // Results written to index-disjoint slots keep the computation
 // deterministic.
 func parmap(n, workers int, f func(i int)) {
+	parmapChunks(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+	})
+}
+
+// parmapChunks partitions [0, n) into at most workers contiguous ranges and
+// runs f(lo, hi) on each, one range per goroutine — the chunked variant for
+// workers that carry per-goroutine scratch (e.g. a factored-LSH hasher).
+func parmapChunks(n, workers int, f func(lo, hi int)) {
 	if n == 0 {
 		return
 	}
@@ -173,9 +196,7 @@ func parmap(n, workers int, f func(i int)) {
 		workers = n
 	}
 	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
+		f(0, n)
 		return
 	}
 	var wg sync.WaitGroup
@@ -192,9 +213,7 @@ func parmap(n, workers int, f func(i int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				f(i)
-			}
+			f(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"pghive/internal/pg"
+)
+
+// TestFactoredMatchesDense is the tentpole guarantee: the factored signature
+// kernels (the default) produce a finalized schema byte-identical — as JSON
+// and as PG-Schema DDL — to the dense reference path behind
+// Config.DenseSignatures, for both LSH methods, with banded MinHash, at
+// serial and overlapped pipeline depths.
+func TestFactoredMatchesDense(t *testing.T) {
+	g := engineGraph(t, 400)
+	cases := []struct {
+		name string
+		set  func(*Config)
+	}{
+		{"elsh", func(c *Config) { c.Method = MethodELSH }},
+		{"minhash", func(c *Config) { c.Method = MethodMinHash }},
+		{"minhash-banded", func(c *Config) { c.Method = MethodMinHash; c.MinHashRows = 4 }},
+	}
+	for _, tc := range cases {
+		for _, depth := range []int{1, 4} {
+			cfg := DefaultConfig()
+			tc.set(&cfg)
+			cfg.PipelineDepth = depth
+
+			dense := cfg
+			dense.DenseSignatures = true
+			wantJSON, wantDDL := renderDef(t, discoverSplit(g, dense, 6, 11).Def)
+			gotJSON, gotDDL := renderDef(t, discoverSplit(g, cfg, 6, 11).Def)
+
+			if !bytes.Equal(wantJSON, gotJSON) {
+				t.Errorf("%s depth=%d: factored JSON diverges from dense\ndense:    %s\nfactored: %s",
+					tc.name, depth, wantJSON, gotJSON)
+			}
+			if !bytes.Equal(wantDDL, gotDDL) {
+				t.Errorf("%s depth=%d: factored DDL diverges from dense\ndense:\n%s\nfactored:\n%s",
+					tc.name, depth, wantDDL, gotDDL)
+			}
+		}
+	}
+}
+
+// TestFactoredReportsMatchDense: per-batch cluster counts and adapted LSH
+// parameters — not just the final schema — agree between the two kernels.
+// This pins the claim that the factored path's sample-based adaptation sees
+// exactly the vectors the dense path renders.
+func TestFactoredReportsMatchDense(t *testing.T) {
+	g := engineGraph(t, 300)
+	for _, m := range []Method{MethodELSH, MethodMinHash} {
+		cfg := DefaultConfig()
+		cfg.Method = m
+		dense := cfg
+		dense.DenseSignatures = true
+		want := discoverSplit(g, dense, 5, 3)
+		got := discoverSplit(g, cfg, 5, 3)
+		if len(want.Reports) != len(got.Reports) {
+			t.Fatalf("%v: %d factored reports, %d dense", m, len(got.Reports), len(want.Reports))
+		}
+		for i := range want.Reports {
+			w, gr := want.Reports[i], got.Reports[i]
+			if w.NodeClusters != gr.NodeClusters || w.EdgeClusters != gr.EdgeClusters {
+				t.Errorf("%v batch %d: clusters (n=%d,e=%d) factored vs (n=%d,e=%d) dense",
+					m, i, gr.NodeClusters, gr.EdgeClusters, w.NodeClusters, w.EdgeClusters)
+			}
+			if w.NodeParams != gr.NodeParams || w.EdgeParams != gr.EdgeParams {
+				t.Errorf("%v batch %d: adapted params diverge\nfactored: %+v / %+v\ndense:    %+v / %+v",
+					m, i, gr.NodeParams, gr.EdgeParams, w.NodeParams, w.EdgeParams)
+			}
+		}
+	}
+}
+
+// TestResumeAcrossKernels: DenseSignatures is execution-only — a checkpoint
+// written by a dense run (crashed mid-stream) resumes under the factored
+// kernels, and vice versa, finishing byte-identical to an uninterrupted run.
+func TestResumeAcrossKernels(t *testing.T) {
+	batches := faultFreeBatches(t, 300, 6)
+	base := DefaultConfig()
+	wantJSON, wantDDL := renderDef(t, Discover(pg.NewSliceSource(batches...), base).Def)
+
+	for _, flip := range []struct {
+		name           string
+		writer, reader bool // DenseSignatures at crash time / resume time
+	}{
+		{"dense-to-factored", true, false},
+		{"factored-to-dense", false, true},
+	} {
+		cfg := base
+		cfg.DenseSignatures = flip.writer
+		ck := FileCheckpointer{Path: filepath.Join(t.TempDir(), "run.ck")}
+		crash := pg.NewFaultSource(pg.AsErrSource(pg.NewSliceSource(batches...)),
+			pg.FaultProfile{FailAfter: 3, Seed: 1})
+		if _, err := DiscoverFT(crash, cfg, FTOptions{Checkpoint: ck}); !errors.Is(err, pg.ErrPermanentFault) {
+			t.Fatalf("%s: want permanent fault, got %v", flip.name, err)
+		}
+
+		state, ok, err := ck.Load()
+		if err != nil || !ok {
+			t.Fatalf("%s: no checkpoint after crash: ok=%t err=%v", flip.name, ok, err)
+		}
+		cfg.DenseSignatures = flip.reader
+		res, err := ResumeDiscoverFT(state, pg.AsErrSource(pg.NewSliceSource(batches...)), cfg, FTOptions{Checkpoint: ck})
+		if err != nil {
+			t.Fatalf("%s: resume: %v", flip.name, err)
+		}
+		gotJSON, gotDDL := renderDef(t, res.Def)
+		if !bytes.Equal(wantJSON, gotJSON) {
+			t.Errorf("%s: resumed JSON diverges\nwant %s\ngot  %s", flip.name, wantJSON, gotJSON)
+		}
+		if !bytes.Equal(wantDDL, gotDDL) {
+			t.Errorf("%s: resumed DDL diverges", flip.name)
+		}
+	}
+}

@@ -169,6 +169,7 @@ type kindSpec struct {
 	vec         func(i int) []float64
 	vecInto     func(i int, dst []float64)
 	sets        func() [][]uint64
+	enc         func() *vectorize.Encoding
 }
 
 func nodeSpec(b *pg.Batch, vz *vectorize.Vectorizer) kindSpec {
@@ -179,6 +180,7 @@ func nodeSpec(b *pg.Batch, vz *vectorize.Vectorizer) kindSpec {
 		vec:         func(i int) []float64 { return vz.NodeVector(&b.Nodes[i]) },
 		vecInto:     func(i int, dst []float64) { vz.NodeVectorInto(&b.Nodes[i], dst) },
 		sets:        func() [][]uint64 { return vz.NodeSets(b) },
+		enc:         func() *vectorize.Encoding { return vz.NodeEncoding(b) },
 	}
 }
 
@@ -191,6 +193,7 @@ func edgeSpec(b *pg.Batch, vz *vectorize.Vectorizer) kindSpec {
 		vec:         func(i int) []float64 { return vz.EdgeVector(&b.Edges[i]) },
 		vecInto:     func(i int, dst []float64) { vz.EdgeVectorInto(&b.Edges[i], dst) },
 		sets:        func() [][]uint64 { return vz.EdgeSets(b) },
+		enc:         func() *vectorize.Encoding { return vz.EdgeEncoding(b) },
 	}
 }
 
@@ -216,28 +219,92 @@ func (p *Pipeline) clusterKind(spec kindSpec, arena bool) ([]lsh.Cluster, lsh.Pa
 		if manual != nil {
 			params = *manual
 		} else {
-			params = adaptFromSample(n, spec.labelTokens, spec.isEdge, p.cfg.Seed+adaptSeed, spec.vec)
+			params = adaptFromSample(spec, p.cfg.Seed+adaptSeed)
 		}
 		mh := lsh.NewMinHash(params.Tables, p.cfg.Seed+mhSeed)
-		sets := spec.sets()
-		if p.cfg.MinHashRows > 0 {
-			return mh.ClusterBanded(sets, p.cfg.MinHashRows), params
+		if p.cfg.DenseSignatures {
+			sets := spec.sets()
+			if p.cfg.MinHashRows > 0 {
+				return mh.ClusterBanded(sets, p.cfg.MinHashRows), params
+			}
+			hashes := make([]uint64, n)
+			parmap(n, p.cfg.Parallelism, func(i int) { hashes[i] = mh.SignatureHash(sets[i]) })
+			return lsh.GroupByHash(hashes), params
 		}
-		hashes := make([]uint64, n)
-		parmap(n, p.cfg.Parallelism, func(i int) { hashes[i] = mh.SignatureHash(sets[i]) })
-		return lsh.GroupByHash(hashes), params
+		return p.clusterMinHashFactored(spec, mh), params
 	default:
-		vectors := p.renderVectors(spec, arena)
+		if p.cfg.DenseSignatures {
+			vectors := p.renderVectors(spec, arena)
+			params := manual
+			if params == nil {
+				adapted := lsh.AdaptParamsAll(vectors, spec.labelTokens, spec.isEdge, p.cfg.Seed+adaptSeed)
+				params = &adapted
+			}
+			fam := lsh.NewELSH(spec.dim, params.Bucket, params.Tables, p.cfg.Seed+famSeed)
+			hashes := make([]uint64, n)
+			parmap(n, p.cfg.Parallelism, func(i int) { hashes[i] = fam.SignatureHash(vectors[i]) })
+			return lsh.GroupByHash(hashes), *params
+		}
 		params := manual
 		if params == nil {
-			adapted := lsh.AdaptParamsAll(vectors, spec.labelTokens, spec.isEdge, p.cfg.Seed+adaptSeed)
+			// Adaptation needs Euclidean distances, so only the µ sample is
+			// rendered densely; the signature pass below never materializes
+			// a vector. Same sample indexes and float values as the dense
+			// path's AdaptParamsAll → identical parameters.
+			adapted := adaptFromSample(spec, p.cfg.Seed+adaptSeed)
 			params = &adapted
 		}
 		fam := lsh.NewELSH(spec.dim, params.Bucket, params.Tables, p.cfg.Seed+famSeed)
+		enc := spec.enc()
+		fk := lsh.NewFactoredELSH(fam, enc.PrefixDim, enc.Prefixes)
 		hashes := make([]uint64, n)
-		parmap(n, p.cfg.Parallelism, func(i int) { hashes[i] = fam.SignatureHash(vectors[i]) })
+		parmapChunks(n, p.cfg.Parallelism, func(lo, hi int) {
+			h := fk.Hasher()
+			for i := lo; i < hi; i++ {
+				r := enc.Records[i]
+				hashes[i] = h.SignatureHash(r.TokenID, r.Props)
+			}
+		})
 		return lsh.GroupByHash(hashes), *params
 	}
+}
+
+// clusterMinHashFactored is the factored MinHash path: elements sharing a
+// record (prefix tokens + property-index set — the common case, most
+// elements share a type) are deduplicated and each distinct record's
+// signature is computed once. Exact-key dedup keeps the per-element hashes
+// bit-identical to the dense per-element loop.
+func (p *Pipeline) clusterMinHashFactored(spec kindSpec, mh *lsh.MinHash) []lsh.Cluster {
+	enc := spec.enc()
+	recID, reps := enc.DistinctRecords()
+	if p.cfg.MinHashRows > 0 {
+		distinct := make([][]uint64, len(reps))
+		parmapChunks(len(reps), p.cfg.Parallelism, func(lo, hi int) {
+			var set []uint64
+			for j := lo; j < hi; j++ {
+				set = enc.AppendSet(set[:0], reps[j])
+				distinct[j] = mh.Signature(set)
+			}
+		})
+		sigs := make([][]uint64, spec.n)
+		for i, id := range recID {
+			sigs[i] = distinct[id]
+		}
+		return mh.ClusterBandedSignatures(sigs, p.cfg.MinHashRows)
+	}
+	distinct := make([]uint64, len(reps))
+	parmapChunks(len(reps), p.cfg.Parallelism, func(lo, hi int) {
+		var set []uint64
+		for j := lo; j < hi; j++ {
+			set = enc.AppendSet(set[:0], reps[j])
+			distinct[j] = mh.SignatureHash(set)
+		}
+	})
+	hashes := make([]uint64, spec.n)
+	for i, id := range recID {
+		hashes[i] = distinct[id]
+	}
+	return lsh.GroupByHash(hashes)
 }
 
 // renderVectors materializes every element vector of one kind, either as one
@@ -258,13 +325,20 @@ func (p *Pipeline) renderVectors(spec kindSpec, arena bool) [][]float64 {
 	return vectors
 }
 
-func adaptFromSample(n, labels int, isEdge bool, seed int64, vec func(i int) []float64) lsh.Params {
-	idx := lsh.SampleIndexes(n, seed)
+// adaptFromSample draws the paper's adaptation sample and renders only those
+// elements densely (into one arena) to estimate the distance scale µ — the
+// same indexes and float values AdaptParamsAll sees, without materializing
+// the full batch.
+func adaptFromSample(spec kindSpec, seed int64) lsh.Params {
+	idx := lsh.SampleIndexes(spec.n, seed)
+	backing := make([]float64, len(idx)*spec.dim)
 	sample := make([][]float64, len(idx))
 	for i, j := range idx {
-		sample[i] = vec(j)
+		v := backing[i*spec.dim : (i+1)*spec.dim : (i+1)*spec.dim]
+		spec.vecInto(j, v)
+		sample[i] = v
 	}
-	return lsh.AdaptParams(sample, n, labels, isEdge, seed)
+	return lsh.AdaptParams(sample, spec.n, spec.labelTokens, spec.isEdge, seed)
 }
 
 // nodeCandidates turns node clusters into candidate types (cluster

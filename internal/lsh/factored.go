@@ -1,0 +1,129 @@
+package lsh
+
+import (
+	"fmt"
+	"math"
+)
+
+// FactoredELSH is the structure-exploiting signature kernel for hybrid
+// vectors (§4.1/§4.2): every vector is a shared weighted-embedding prefix
+// (one of few distinct vectors) followed by a sparse 0/1 property-presence
+// suffix, and the p-stable projection is linear, so the dot product factors:
+//
+//	a_t · x = a_t[:P] · prefix  +  Σ_{k : suffix bit k set} a_t[P+k]
+//
+// The prefix dots are precomputed once per (distinct prefix, table) and the
+// suffix columns are transposed into key-major order, so hashing one element
+// costs O(T·nnz) adds instead of the dense O(T·(P+K)) multiply-adds.
+//
+// The result is bit-identical to ELSH.Signature/SignatureHash on the
+// materialized vector: the prefix dot accumulates the same floats in the
+// same order as the dense loop, the set suffix bits contribute a_t[P+k]·1.0
+// = a_t[P+k] exactly, and the skipped zero bits contribute ±0.0 terms that
+// can only flip the sign of an all-zero accumulator — a distinction
+// ⌊(dot+u)/b⌋ erases (see TestFactoredMatchesDenseELSH).
+//
+// A FactoredELSH is immutable after construction; obtain one Hasher per
+// goroutine for the accumulator scratch.
+type FactoredELSH struct {
+	e         *ELSH
+	prefixDim int
+	prefDots  [][]float64 // per prefix id: T per-table prefix dots
+	cols      []float64   // key-major suffix columns: cols[k*T+t] = proj[t][prefixDim+k]
+}
+
+// NewFactoredELSH factors the family over the given distinct prefixes
+// (each of length prefixDim ≤ the family's dimension). Elements are later
+// hashed by prefix id plus ascending suffix indexes in [0, dim-prefixDim).
+func NewFactoredELSH(e *ELSH, prefixDim int, prefixes [][]float64) *FactoredELSH {
+	if prefixDim < 0 || prefixDim > e.dim {
+		panic(fmt.Sprintf("lsh: prefix dimension %d outside [0, %d]", prefixDim, e.dim))
+	}
+	tables := len(e.proj)
+	f := &FactoredELSH{
+		e:         e,
+		prefixDim: prefixDim,
+		prefDots:  make([][]float64, len(prefixes)),
+		cols:      make([]float64, (e.dim-prefixDim)*tables),
+	}
+	for id, w := range prefixes {
+		if len(w) != prefixDim {
+			panic(fmt.Sprintf("lsh: prefix %d has dimension %d, want %d", id, len(w), prefixDim))
+		}
+		dots := make([]float64, tables)
+		for t, p := range e.proj {
+			// Accumulate in ascending dimension order — the dense loop's
+			// exact operation sequence over the prefix block.
+			var dot float64
+			for d, v := range w {
+				dot += p[d] * v
+			}
+			dots[t] = dot
+		}
+		f.prefDots[id] = dots
+	}
+	for k := 0; k < e.dim-prefixDim; k++ {
+		for t, p := range e.proj {
+			f.cols[k*tables+t] = p[prefixDim+k]
+		}
+	}
+	return f
+}
+
+// Tables returns T.
+func (f *FactoredELSH) Tables() int { return len(f.e.proj) }
+
+// Hasher returns a signature hasher with its own accumulator scratch. A
+// Hasher is not safe for concurrent use; Hashers of one family are.
+func (f *FactoredELSH) Hasher() *FactoredHasher {
+	return &FactoredHasher{f: f, acc: make([]float64, len(f.e.proj))}
+}
+
+// FactoredHasher computes factored signatures. Methods must not be called
+// concurrently on one Hasher.
+type FactoredHasher struct {
+	f   *FactoredELSH
+	acc []float64
+}
+
+// dots fills the accumulator with the element's T projection dots: the
+// cached prefix dots plus the suffix columns of its set bits, added in
+// ascending index order (the dense loop's order within each table).
+func (h *FactoredHasher) dots(prefixID int, suffix []int32) []float64 {
+	f := h.f
+	acc := h.acc
+	copy(acc, f.prefDots[prefixID])
+	T := len(acc)
+	for _, k := range suffix {
+		col := f.cols[int(k)*T : int(k)*T+T]
+		for t, c := range col {
+			acc[t] += c
+		}
+	}
+	return acc
+}
+
+// Signature returns the element's T bucket ids, bit-identical to
+// ELSH.Signature on the materialized vector.
+func (h *FactoredHasher) Signature(prefixID int, suffix []int32) []int64 {
+	acc := h.dots(prefixID, suffix)
+	e := h.f.e
+	sig := make([]int64, len(acc))
+	for t, dot := range acc {
+		sig[t] = int64(math.Floor((dot + e.offsets[t]) / e.bucket))
+	}
+	return sig
+}
+
+// SignatureHash hashes the element's full T-value signature into 64 bits
+// without allocating, bit-identical to ELSH.SignatureHash on the
+// materialized vector.
+func (h *FactoredHasher) SignatureHash(prefixID int, suffix []int32) uint64 {
+	acc := h.dots(prefixID, suffix)
+	e := h.f.e
+	hash := uint64(fnvOffset)
+	for t, dot := range acc {
+		hash = fnvMix(hash, uint64(int64(math.Floor((dot+e.offsets[t])/e.bucket))))
+	}
+	return hash
+}

@@ -3,8 +3,10 @@ package lsh
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // MinHash approximates Jaccard similarity between token sets (§4.2): the
@@ -42,6 +44,15 @@ func (m *MinHash) Tables() int { return len(m.a) }
 // 1 against each other).
 const emptySetSentinel = ^uint64(0)
 
+// minInit initializes the running minimum of a signature slot. permute
+// returns values < mersennePrime = 2^61−1 (reduction modulo the Mersenne
+// prime; pinned by TestPermuteOutputRange), so any initializer ≥
+// mersennePrime acts as +∞ over a non-empty set. All-ones stays safe even
+// if permute's range ever widens to the full uint64 domain, and non-empty
+// sets can never be mistaken for empty ones: their minima stay below
+// mersennePrime < emptySetSentinel.
+const minInit = ^uint64(0)
+
 // Signature returns the T minima of the permuted token set.
 func (m *MinHash) Signature(set []uint64) []uint64 {
 	sig := make([]uint64, len(m.a))
@@ -52,7 +63,7 @@ func (m *MinHash) Signature(set []uint64) []uint64 {
 		return sig
 	}
 	for i := range m.a {
-		min := uint64(1<<63 - 1)
+		min := uint64(minInit)
 		a, b := m.a[i], m.b[i]
 		for _, tok := range set {
 			h := permute(tok, a, b)
@@ -124,7 +135,7 @@ func (m *MinHash) SignatureHash(set []uint64) uint64 {
 		return h
 	}
 	for i := range m.a {
-		min := uint64(1<<63 - 1)
+		min := uint64(minInit)
 		a, b := m.a[i], m.b[i]
 		for _, tok := range set {
 			if v := permute(tok, a, b); v < min {
@@ -149,24 +160,41 @@ func (m *MinHash) Cluster(sets [][]uint64) []Cluster {
 // into bands of rowsPerBand values; sets colliding in at least one band are
 // unioned into one cluster. Smaller bands raise recall and lower precision.
 func (m *MinHash) ClusterBanded(sets [][]uint64, rowsPerBand int) []Cluster {
+	sigs := make([][]uint64, len(sets))
+	for i, s := range sets {
+		sigs[i] = m.Signature(s)
+	}
+	return m.ClusterBandedSignatures(sigs, rowsPerBand)
+}
+
+// ClusterBandedSignatures is ClusterBanded over precomputed signatures (the
+// factored pipeline computes each distinct element record's signature once
+// and shares the slice across duplicates). Band buckets are keyed by an
+// allocation-free 64-bit FNV hash of (band index, band values) instead of
+// the former decimal strings; a cross-band hash collision would union two
+// clusters, with the same negligible probability and the same downstream
+// tolerance as GroupByHash.
+func (m *MinHash) ClusterBandedSignatures(sigs [][]uint64, rowsPerBand int) []Cluster {
 	if rowsPerBand < 1 {
 		rowsPerBand = 1
 	}
 	if rowsPerBand > len(m.a) {
 		rowsPerBand = len(m.a)
 	}
-	uf := newUnionFind(len(sets))
+	uf := newUnionFind(len(sigs))
 	bands := (len(m.a) + rowsPerBand - 1) / rowsPerBand
-	buckets := make(map[string]int)
-	for i, s := range sets {
-		sig := m.Signature(s)
+	buckets := make(map[uint64]int)
+	for i, sig := range sigs {
 		for b := 0; b < bands; b++ {
 			lo := b * rowsPerBand
 			hi := lo + rowsPerBand
 			if hi > len(sig) {
 				hi = len(sig)
 			}
-			key := strconv.Itoa(b) + "|" + sigKey(sig[lo:hi])
+			key := fnvMix(uint64(fnvOffset), uint64(b))
+			for _, s := range sig[lo:hi] {
+				key = fnvMix(key, s)
+			}
 			if first, ok := buckets[key]; ok {
 				uf.union(first, i)
 			} else {
@@ -188,29 +216,48 @@ func sigKey(sig []uint64) string {
 	return sb.String()
 }
 
-// Jaccard computes the exact Jaccard similarity of two token sets.
+// jaccardScratch pools the sort buffers of Jaccard: the function runs per
+// candidate pair during similarity checks, and the former two-map
+// implementation allocated both maps on every call.
+var jaccardScratch = sync.Pool{New: func() any { return new(jaccardBuf) }}
+
+type jaccardBuf struct{ a, b []uint64 }
+
+// Jaccard computes the exact Jaccard similarity of two token sets
+// (duplicate tokens are ignored). Sort-and-merge over pooled scratch
+// buffers: zero steady-state allocations versus two maps per call
+// (BenchmarkJaccard).
 func Jaccard(a, b []uint64) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
 	}
-	seen := make(map[uint64]struct{}, len(a))
-	for _, x := range a {
-		seen[x] = struct{}{}
-	}
-	inter := 0
-	seenB := make(map[uint64]struct{}, len(b))
-	for _, x := range b {
-		if _, dup := seenB[x]; dup {
-			continue
-		}
-		seenB[x] = struct{}{}
-		if _, ok := seen[x]; ok {
+	buf := jaccardScratch.Get().(*jaccardBuf)
+	sa := append(buf.a[:0], a...)
+	sb := append(buf.b[:0], b...)
+	slices.Sort(sa)
+	slices.Sort(sb)
+	inter, union := 0, 0
+	i, j := 0, 0
+	for i < len(sa) || j < len(sb) {
+		var v uint64
+		switch {
+		case j >= len(sb) || (i < len(sa) && sa[i] < sb[j]):
+			v = sa[i]
+		case i >= len(sa) || sb[j] < sa[i]:
+			v = sb[j]
+		default:
+			v = sa[i]
 			inter++
 		}
+		union++
+		for i < len(sa) && sa[i] == v {
+			i++
+		}
+		for j < len(sb) && sb[j] == v {
+			j++
+		}
 	}
-	union := len(seen) + len(seenB) - inter
-	if union == 0 {
-		return 1
-	}
+	buf.a, buf.b = sa, sb
+	jaccardScratch.Put(buf)
 	return float64(inter) / float64(union)
 }

@@ -1,8 +1,12 @@
 package lsh
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
+	"strconv"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -207,5 +211,219 @@ func TestJaccardSymmetricQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestPermuteOutputRange pins the invariant the signature minimum
+// initializer relies on (see minInit): permute reduces modulo the Mersenne
+// prime, so its output is always < 2^61−1 — including at the extremes of
+// the coefficient and token domains.
+func TestPermuteOutputRange(t *testing.T) {
+	extremes := []uint64{0, 1, mersennePrime - 1, mersennePrime, mersennePrime + 1, 1 << 61, 1 << 62, ^uint64(0)}
+	for _, x := range extremes {
+		for _, a := range []uint64{1, 2, mersennePrime - 1} {
+			for _, b := range []uint64{0, 1, mersennePrime - 1} {
+				if got := permute(x, a, b); got >= mersennePrime {
+					t.Fatalf("permute(%d,%d,%d) = %d, outside [0, 2^61-1)", x, a, b, got)
+				}
+			}
+		}
+	}
+	if minInit <= mersennePrime-1 {
+		t.Fatalf("minInit %d does not dominate permute's range bound %d", uint64(minInit), uint64(mersennePrime-1))
+	}
+}
+
+// stringKeyClusterBanded is the pre-optimization reference: band buckets
+// keyed by decimal strings. Kept to pin that the FNV band keys preserve the
+// cluster output.
+func stringKeyClusterBanded(m *MinHash, sets [][]uint64, rowsPerBand int) []Cluster {
+	if rowsPerBand < 1 {
+		rowsPerBand = 1
+	}
+	if rowsPerBand > len(m.a) {
+		rowsPerBand = len(m.a)
+	}
+	uf := newUnionFind(len(sets))
+	bands := (len(m.a) + rowsPerBand - 1) / rowsPerBand
+	buckets := make(map[string]int)
+	for i, s := range sets {
+		sig := m.Signature(s)
+		for b := 0; b < bands; b++ {
+			lo := b * rowsPerBand
+			hi := lo + rowsPerBand
+			if hi > len(sig) {
+				hi = len(sig)
+			}
+			key := strconv.Itoa(b) + "|" + sigKey(sig[lo:hi])
+			if first, ok := buckets[key]; ok {
+				uf.union(first, i)
+			} else {
+				buckets[key] = i
+			}
+		}
+	}
+	return uf.clusters()
+}
+
+// TestClusterBandedMatchesStringKeyReference: the allocation-free FNV band
+// keys produce the same clusters as the former string keys over random
+// workloads of near-duplicate and disjoint sets.
+func TestClusterBandedMatchesStringKeyReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		m := NewMinHash(8+rng.Intn(28), rng.Int63())
+		var sets [][]uint64
+		nFamilies := 1 + rng.Intn(6)
+		families := make([][]uint64, nFamilies)
+		for f := range families {
+			base := make([]uint64, 5+rng.Intn(20))
+			for i := range base {
+				base[i] = rng.Uint64()
+			}
+			families[f] = base
+		}
+		for i := 0; i < 40; i++ {
+			base := families[rng.Intn(nFamilies)]
+			s := append([]uint64(nil), base...)
+			if rng.Intn(2) == 0 && len(s) > 1 {
+				s[rng.Intn(len(s))] = rng.Uint64()
+			}
+			sets = append(sets, s)
+		}
+		rows := 1 + rng.Intn(6)
+		want := stringKeyClusterBanded(m, sets, rows)
+		got := m.ClusterBanded(sets, rows)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("trial %d (rows=%d): FNV band keys changed the clustering\nwant %v\ngot  %v", trial, rows, want, got)
+		}
+	}
+}
+
+// TestClusterBandedSignaturesSharedSlices: the precomputed-signature entry
+// point — including one signature slice shared by many elements, as the
+// factored pipeline does — matches hashing every element's set.
+func TestClusterBandedSignaturesSharedSlices(t *testing.T) {
+	m := NewMinHash(16, 3)
+	sets := [][]uint64{{1, 2, 3}, {1, 2, 3}, {9, 10}, {1, 2, 3}, {9, 10}, {42}}
+	want := m.ClusterBanded(sets, 4)
+
+	distinct := map[string][]uint64{}
+	sigs := make([][]uint64, len(sets))
+	for i, s := range sets {
+		k := sigKey(m.Signature(s))
+		if _, ok := distinct[k]; !ok {
+			distinct[k] = m.Signature(s)
+		}
+		sigs[i] = distinct[k] // shared slice across duplicates
+	}
+	got := m.ClusterBandedSignatures(sigs, 4)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("shared-slice signatures diverge: want %v, got %v", want, got)
+	}
+}
+
+// mapJaccard is the pre-optimization reference implementation (two maps per
+// call), kept for equivalence testing and the before/after benchmark.
+func mapJaccard(a, b []uint64) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	seen := make(map[uint64]struct{}, len(a))
+	for _, x := range a {
+		seen[x] = struct{}{}
+	}
+	inter := 0
+	seenB := make(map[uint64]struct{}, len(b))
+	for _, x := range b {
+		if _, dup := seenB[x]; dup {
+			continue
+		}
+		seenB[x] = struct{}{}
+		if _, ok := seen[x]; ok {
+			inter++
+		}
+	}
+	union := len(seen) + len(seenB) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// TestJaccardMatchesMapReference: the sort-based rewrite is exactly the old
+// map-based similarity, duplicates and all.
+func TestJaccardMatchesMapReference(t *testing.T) {
+	f := func(a, b []uint64) bool {
+		return Jaccard(a, b) == mapJaccard(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Duplicate-heavy small-alphabet inputs, where map dedup matters most.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 500; trial++ {
+		gen := func() []uint64 {
+			s := make([]uint64, rng.Intn(12))
+			for i := range s {
+				s[i] = uint64(rng.Intn(6))
+			}
+			return s
+		}
+		a, b := gen(), gen()
+		if got, want := Jaccard(a, b), mapJaccard(a, b); got != want {
+			t.Fatalf("Jaccard(%v,%v) = %v, map reference %v", a, b, got, want)
+		}
+	}
+}
+
+// TestJaccardConcurrent exercises the scratch pool under the race detector.
+func TestJaccardConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				a := []uint64{rng.Uint64(), rng.Uint64(), rng.Uint64()}
+				b := []uint64{a[0], rng.Uint64()}
+				if Jaccard(a, a) != 1 {
+					t.Error("self similarity != 1")
+					return
+				}
+				_ = Jaccard(a, b)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}
+
+// BenchmarkJaccard records the satellite's before/after: the sort-based
+// rewrite with pooled scratch vs the former two-maps-per-call version, at
+// the small set sizes type extraction compares.
+func BenchmarkJaccard(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	mkSet := func(n int) []uint64 {
+		s := make([]uint64, n)
+		for i := range s {
+			s[i] = rng.Uint64() % 64
+		}
+		return s
+	}
+	for _, n := range []int{4, 16, 64} {
+		x, y := mkSet(n), mkSet(n)
+		b.Run(fmt.Sprintf("n=%d/sorted", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Jaccard(x, y)
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/maps", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mapJaccard(x, y)
+			}
+		})
 	}
 }
