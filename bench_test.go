@@ -227,6 +227,50 @@ func BenchmarkDiscoverFaults(b *testing.B) {
 	}
 }
 
+// BenchmarkDiscoverTelemetry measures the observability layer's end-to-end
+// cost on an 8-batch stream: no sink (the provably-free default), a
+// Registry aggregating every event, and a Registry fanned out with a
+// Chrome-trace writer. The instrumentation sites are per-batch and
+// per-cluster, never per-element, so the deltas sit inside run-to-run
+// jitter; the disabled emit path is separately pinned to 0 allocs by
+// BenchmarkInstrDisabled in internal/obs.
+func BenchmarkDiscoverTelemetry(b *testing.B) {
+	ds := benchDataset("LDBC", 2500)
+	batches := ds.Graph.SplitRandom(8, 1)
+	for _, scenario := range []string{"none", "registry", "registry+trace"} {
+		b.Run(scenario, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := pghive.DefaultConfig()
+				var reg *pghive.TelemetryRegistry
+				var tw *pghive.TraceWriter
+				switch scenario {
+				case "registry":
+					reg = pghive.NewTelemetryRegistry()
+					cfg.Telemetry = reg
+				case "registry+trace":
+					reg = pghive.NewTelemetryRegistry()
+					tw = pghive.NewTraceWriter(io.Discard)
+					cfg.Telemetry = pghive.TelemetryMulti(reg, tw)
+				}
+				res := pghive.DiscoverStream(pghive.NewSliceSource(batches...), cfg)
+				if tw != nil {
+					if err := tw.Close(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if len(res.Def.Nodes) == 0 {
+					b.Fatal("no types discovered")
+				}
+				if reg != nil && res.Telemetry.Counter(pghive.CtrBatches) != uint64(len(res.Reports)) {
+					b.Fatal("telemetry snapshot inconsistent")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDiscoverKernels contrasts the dense reference signature path
 // (Config.DenseSignatures) with the default factored kernels end-to-end:
 // the whole Discover run, not just hashing, so the delta also includes the

@@ -17,6 +17,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"pghive"
 	"pghive/internal/bench"
 )
 
@@ -37,11 +38,45 @@ func mainErr() error {
 	csvDir := flag.String("csvdir", "", "also write machine-readable CSVs into this directory (every experiment, or just lsh.csv with -exp lsh)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	telemetry := flag.Bool("telemetry", false, "aggregate metrics over every PG-HIVE run and print a summary to stderr at exit")
+	metrics := flag.String("metrics-addr", "", "serve live metrics at http://ADDR/metrics while the harness runs; implies -telemetry")
+	traceOut := flag.String("trace-out", "", "stream per-stage spans of every PG-HIVE run to this file in Chrome trace format")
 	flag.Parse()
 
 	settings := bench.Settings{Scale: *scale, Seed: *seed, PipelineDepth: *depth}
 	if *datasets != "" {
 		settings.Datasets = strings.Split(*datasets, ",")
+	}
+
+	// Telemetry wiring mirrors cmd/pghive: one registry/trace spans the
+	// whole harness run, aggregated across every PG-HIVE discovery it
+	// performs (baselines are not instrumented).
+	var reg *pghive.TelemetryRegistry
+	var sinks []pghive.TelemetrySink
+	if *telemetry || *metrics != "" {
+		reg = pghive.NewTelemetryRegistry()
+		sinks = append(sinks, reg)
+	}
+	if *metrics != "" {
+		addr, closer, err := pghive.ServeTelemetry(*metrics, reg)
+		if err != nil {
+			return err
+		}
+		defer closer.Close()
+		fmt.Fprintf(os.Stderr, "metrics at http://%s/metrics\n", addr)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		tw := pghive.NewTraceWriter(f)
+		defer tw.Close()
+		sinks = append(sinks, tw)
+	}
+	settings.Telemetry = pghive.TelemetryMulti(sinks...)
+	if reg != nil {
+		defer func() { reg.Snapshot().WriteText(os.Stderr) }()
 	}
 
 	if *cpuProfile != "" {

@@ -46,12 +46,41 @@ func main() {
 		sample    = flag.Bool("sample-datatypes", false, "infer property data types from a sample instead of a full scan")
 		particip  = flag.Bool("participation", false, "analyze edge participation to refine cardinality lower bounds")
 		selfCheck = flag.Bool("validate", false, "validate the input graph against its own discovered schema and report violations")
+		telemetry = flag.Bool("telemetry", false, "aggregate run metrics and print a summary to stderr")
+		metrics   = flag.String("metrics-addr", "", "serve live metrics at http://ADDR/metrics during the run (JSON; ?format=prometheus for text exposition); implies -telemetry")
+		traceOut  = flag.String("trace-out", "", "stream per-stage spans to this file in Chrome trace format (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
 	g, err := loadGraph(*jsonlPath, *binPath, *nodesPath, *edgesPath, *dataset, *scale, *seed)
 	if err != nil {
 		fatal(err)
+	}
+
+	// Telemetry wiring: a registry aggregates metrics (printed at the end
+	// and served live with -metrics-addr), a trace writer streams spans.
+	var reg *pghive.TelemetryRegistry
+	var sinks []pghive.TelemetrySink
+	if *telemetry || *metrics != "" {
+		reg = pghive.NewTelemetryRegistry()
+		sinks = append(sinks, reg)
+	}
+	if *metrics != "" {
+		addr, closer, err := pghive.ServeTelemetry(*metrics, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer closer.Close()
+		fmt.Fprintf(os.Stderr, "metrics at http://%s/metrics\n", addr)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		tw := pghive.NewTraceWriter(f)
+		defer tw.Close()
+		sinks = append(sinks, tw)
 	}
 
 	cfg := pghive.DefaultConfig()
@@ -61,6 +90,7 @@ func main() {
 	cfg.Participation = *particip
 	cfg.PipelineDepth = *depth
 	cfg.DenseSignatures = *denseSigs
+	cfg.Telemetry = pghive.TelemetryMulti(sinks...)
 	switch *method {
 	case "elsh":
 		cfg.Method = pghive.MethodELSH
@@ -86,11 +116,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "batch %d quarantined: %s\n", s.Seq, s.Reason)
 	}
 	for _, r := range result.Reports {
-		fmt.Fprintf(os.Stderr, "batch %d: %d nodes, %d edges, %d+%d clusters in %v\n",
-			r.Batch, r.Nodes, r.Edges, r.NodeClusters, r.EdgeClusters, r.Total())
+		fmt.Fprintf(os.Stderr, "batch %d: %d nodes, %d edges, %d+%d clusters in %v (%.0f elem/s)\n",
+			r.Batch, r.Nodes, r.Edges, r.NodeClusters, r.EdgeClusters, r.Total(), r.Throughput())
 	}
 	fmt.Fprintf(os.Stderr, "discovered %d node types, %d edge types in %v (+%v post-processing)\n",
 		len(result.Def.Nodes), len(result.Def.Edges), result.Discovery, result.PostProcess)
+	if reg != nil {
+		reg.Snapshot().WriteText(os.Stderr)
+	}
 
 	if *selfCheck {
 		m := pghive.Loose
@@ -138,7 +171,9 @@ func discoverFT(g *pghive.Graph, cfg pghive.Config, batches int, seed int64, ret
 		src = pghive.NewFaultSource(src, pghive.FaultProfile{TransientRate: faultRate, Seed: seed})
 	}
 	if retry > 0 {
-		src = pghive.NewRetrySource(src, pghive.RetryPolicy{MaxAttempts: retry, Seed: seed})
+		rs := pghive.NewRetrySource(src, pghive.RetryPolicy{MaxAttempts: retry, Seed: seed})
+		rs.Instrument(cfg.Telemetry)
+		src = rs
 	}
 	var opts pghive.FTOptions
 	if ckptPath != "" {

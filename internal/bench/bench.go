@@ -17,6 +17,7 @@ import (
 	"pghive/internal/core"
 	"pghive/internal/datagen"
 	"pghive/internal/eval"
+	"pghive/internal/obs"
 	"pghive/internal/pg"
 	"pghive/internal/schema"
 )
@@ -60,6 +61,12 @@ type Settings struct {
 	// per-phase timings stay attributable to a single batch); >1 enables
 	// the overlapped engine.
 	PipelineDepth int
+	// Telemetry, when non-nil, is attached to every PG-HIVE run the
+	// harness performs (cmd/pghive-bench wires -telemetry/-metrics-addr/
+	// -trace-out into it). The sink observes, it never participates, so
+	// scores and schemas are unaffected; timings absorb the (sub-jitter)
+	// emit cost.
+	Telemetry obs.Sink
 }
 
 // engineDepth maps the setting onto core.Config.PipelineDepth: the harness
@@ -127,6 +134,7 @@ func RunMethod(ds *datagen.Dataset, m MethodID, s Settings) Outcome {
 		cfg.TrackMembers = true
 		cfg.Seed = s.Seed
 		cfg.PipelineDepth = s.engineDepth()
+		cfg.Telemetry = s.Telemetry
 		if m == MinHash {
 			cfg.Method = core.MethodMinHash
 		}

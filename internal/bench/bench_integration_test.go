@@ -230,7 +230,7 @@ func TestRunFig8BinsNormalized(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	want := []string{"ablation", "faults", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "lsh", "metrics", "scaling", "table1", "table2"}
+	want := []string{"ablation", "faults", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "lsh", "metrics", "scaling", "table1", "table2", "telemetry"}
 	got := ExperimentNames()
 	if len(got) != len(want) {
 		t.Fatalf("experiments = %v, want %v", got, want)
@@ -313,6 +313,42 @@ func TestRunScalingSmall(t *testing.T) {
 	}
 }
 
+func TestRunTelemetrySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("telemetry sweep is slow")
+	}
+	var buf bytes.Buffer
+	points, err := RunTelemetry(&buf, smallSettings("POLE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 { // 1 dataset × 2 methods × 3 sink configs
+		t.Fatalf("got %d points, want 6", len(points))
+	}
+	for _, p := range points {
+		if !p.Identical {
+			t.Errorf("%s/%s/%s: schema diverged from sink-free baseline", p.Dataset, p.Method, p.Sink)
+		}
+		if p.Elapsed <= 0 {
+			t.Errorf("%s/%s/%s: non-positive elapsed", p.Dataset, p.Method, p.Sink)
+		}
+		switch p.Sink {
+		case "none":
+			if p.Spans != 0 || p.TraceBytes != 0 {
+				t.Errorf("sink-free point recorded telemetry: %+v", p)
+			}
+		case "registry":
+			if p.Spans == 0 {
+				t.Errorf("registry point recorded no spans: %+v", p)
+			}
+		case "registry+trace":
+			if p.Spans == 0 || p.TraceBytes == 0 {
+				t.Errorf("trace point missing spans or trace output: %+v", p)
+			}
+		}
+	}
+}
+
 func TestRunAllTinyPipeline(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full harness is slow")
@@ -327,7 +363,7 @@ func TestRunAllTinyPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"Table 1", "Table 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6", "Figure 7", "Figure 8", "Ablation", "Supplementary", "Scaling"} {
+	for _, want := range []string{"Table 1", "Table 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6", "Figure 7", "Figure 8", "Ablation", "Supplementary", "Scaling", "Telemetry"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("RunAll output missing %q", want)
 		}

@@ -64,6 +64,7 @@ func RunFaults(w io.Writer, s Settings) ([]FaultPoint, error) {
 		for _, m := range []MethodID{ELSH, MinHash} {
 			cfg := core.DefaultConfig()
 			cfg.Seed = s.Seed
+			cfg.Telemetry = s.Telemetry
 			cfg.TrackMembers = true
 			cfg.PipelineDepth = s.engineDepth()
 			if m == MinHash {

@@ -159,6 +159,7 @@ func RunLSH(w io.Writer, s Settings) ([]LSHPoint, error) {
 			cfg := core.DefaultConfig()
 			cfg.Method = m
 			cfg.Seed = s.Seed
+			cfg.Telemetry = s.Telemetry
 			cfg.PipelineDepth = s.engineDepth()
 			denseCfg := cfg
 			denseCfg.DenseSignatures = true

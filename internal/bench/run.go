@@ -55,6 +55,10 @@ var Experiments = map[string]func(io.Writer, Settings) error{
 		_, err := RunLSH(w, s)
 		return err
 	},
+	"telemetry": func(w io.Writer, s Settings) error {
+		_, err := RunTelemetry(w, s)
+		return err
+	},
 }
 
 // ExperimentNames returns the registered identifiers in sorted order.

@@ -47,6 +47,7 @@ func RunScaling(w io.Writer, s Settings) ([]ScalingPoint, error) {
 				ds := datagen.Generate(p, datagen.Options{Nodes: n, Seed: s.Seed})
 				cfg := core.DefaultConfig()
 				cfg.Seed = s.Seed
+				cfg.Telemetry = s.Telemetry
 				cfg.TrackMembers = true
 				cfg.PipelineDepth = s.engineDepth()
 				if m == MinHash {

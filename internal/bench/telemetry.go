@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"pghive/internal/core"
+	"pghive/internal/datagen"
+	"pghive/internal/obs"
+	"pghive/internal/pg"
+)
+
+// TelemetryPoint is one telemetry-overhead measurement: streaming discovery
+// over the same batches with a given sink configuration, compared against
+// the sink-free run.
+type TelemetryPoint struct {
+	Dataset string
+	Method  MethodID
+	// Sink names the configuration: "none", "registry", or
+	// "registry+trace".
+	Sink string
+	// Elapsed is the best-of-N discovery wall-clock time.
+	Elapsed time.Duration
+	// Overhead is Elapsed relative to the sink-free baseline - 1 (zero for
+	// the baseline row itself).
+	Overhead float64
+	// Spans is how many stage spans the registry aggregated (0 for the
+	// baseline).
+	Spans uint64
+	// TraceBytes is the size of the emitted Chrome trace (0 unless the
+	// configuration streams one).
+	TraceBytes int
+	// Identical reports whether the finalized schema matched the sink-free
+	// run byte-for-byte (it must: telemetry observes, it never
+	// participates).
+	Identical bool
+}
+
+// telemetryBatches is how many batches each dataset is split into.
+const telemetryBatches = 8
+
+// telemetryRuns is the best-of repetition count per configuration (the
+// overhead budget is a couple of percent, well inside single-run jitter).
+const telemetryRuns = 3
+
+// RunTelemetry measures the wall-clock overhead of the observability layer:
+// the same batch stream is discovered with no sink, with a Registry
+// aggregating every event, and with a Registry plus a streaming Chrome-trace
+// writer. The report records the overhead of each configuration and verifies
+// output identity — the telemetry subsystem's acceptance criterion (<2%
+// with the registry sink; the disabled path is separately pinned to
+// 0 allocs by BenchmarkInstrDisabled in internal/obs).
+func RunTelemetry(w io.Writer, s Settings) ([]TelemetryPoint, error) {
+	s = s.withDefaults()
+	profiles := s.profiles()
+	if len(s.Datasets) == 0 {
+		profiles = []*datagen.Profile{datagen.ProfileByName("LDBC"), datagen.ProfileByName("ICIJ")}
+	}
+	var points []TelemetryPoint
+
+	fmt.Fprintln(w, "Telemetry: sink overhead on streaming discovery (schema must stay identical)")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "  dataset\tmethod\tsink\ttotal(ms)\toverhead\tspans\ttrace(KB)\tidentical")
+	for _, p := range profiles {
+		ds := datagen.Generate(p, datagen.Options{Nodes: s.Scale, Seed: s.Seed})
+		batches := ds.Graph.SplitRandom(telemetryBatches, s.Seed)
+		for _, m := range []MethodID{ELSH, MinHash} {
+			cfg := core.DefaultConfig()
+			cfg.Seed = s.Seed
+			cfg.PipelineDepth = s.engineDepth()
+			if m == MinHash {
+				cfg.Method = core.MethodMinHash
+			}
+
+			var baseElapsed time.Duration
+			var baseJSON []byte
+			for _, sink := range []string{"none", "registry", "registry+trace"} {
+				pt := TelemetryPoint{Dataset: p.Name, Method: m, Sink: sink}
+				var best *core.Result
+				for run := 0; run < telemetryRuns; run++ {
+					rcfg := cfg
+					var reg *obs.Registry
+					var trace bytes.Buffer
+					var tracer *obs.TraceWriter
+					switch sink {
+					case "registry":
+						reg = obs.NewRegistry()
+						rcfg.Telemetry = reg
+					case "registry+trace":
+						reg = obs.NewRegistry()
+						tracer = obs.NewTraceWriter(&trace)
+						rcfg.Telemetry = obs.Multi(reg, tracer)
+					}
+					start := time.Now()
+					res := core.Discover(pg.NewSliceSource(batches...), rcfg)
+					elapsed := time.Since(start)
+					if tracer != nil {
+						if err := tracer.Close(); err != nil {
+							return nil, err
+						}
+					}
+					if best == nil || elapsed < pt.Elapsed {
+						pt.Elapsed = elapsed
+						best = res
+						pt.TraceBytes = trace.Len()
+						if reg != nil {
+							pt.Spans = 0
+							for _, st := range res.Telemetry.Stages {
+								pt.Spans += st.Count
+							}
+						}
+					}
+				}
+				gotJSON, err := json.Marshal(best.Def)
+				if err != nil {
+					return nil, err
+				}
+				if sink == "none" {
+					baseElapsed, baseJSON = pt.Elapsed, gotJSON
+				} else {
+					pt.Overhead = float64(pt.Elapsed)/float64(baseElapsed) - 1
+				}
+				pt.Identical = bytes.Equal(baseJSON, gotJSON)
+				points = append(points, pt)
+				fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\t%+.1f%%\t%d\t%.1f\t%t\n",
+					p.Name, m, sink, ms(pt.Elapsed), pt.Overhead*100,
+					pt.Spans, float64(pt.TraceBytes)/1024, pt.Identical)
+			}
+		}
+	}
+	return points, tw.Flush()
+}

@@ -29,8 +29,11 @@ import (
 // post-extract(k) schema, giving the resumed run the exact state the
 // original run had when it began batch k+1.
 
-// checkpointMagic versions the checkpoint format.
-const checkpointMagic = "PGCK1"
+// checkpointMagic versions the checkpoint format. PGCK2 extended the
+// per-batch report record with the Load and Wall durations; PGCK1
+// checkpoints are rejected (resume from scratch rather than resume with
+// silently zeroed timing columns).
+const checkpointMagic = "PGCK2"
 
 // Codec bounds for untrusted counts.
 const (
@@ -54,10 +57,11 @@ type SkipReport struct {
 // output. A checkpoint written under one fingerprint cannot be resumed under
 // another: the replayed batches would be processed differently and the
 // byte-identity guarantee would silently break. Execution-only knobs
-// (Parallelism, PipelineDepth, DenseSignatures) are excluded — the engine
-// produces identical schemas at every depth, and the factored and dense
-// signature kernels are bit-identical, so a checkpoint written under one
-// kernel resumes cleanly under the other.
+// (Parallelism, PipelineDepth, DenseSignatures, Telemetry) are excluded —
+// the engine produces identical schemas at every depth, the factored and
+// dense signature kernels are bit-identical, and telemetry only observes,
+// so a checkpoint written under one of these settings resumes cleanly
+// under any other.
 func (c Config) fingerprint() string {
 	return fmt.Sprintf("v1 m=%d th=%g emb=%+v lw=%g sem=%t al=%t at=%g np=%s ep=%s mhr=%d sdt=%t part=%t sf=%g smin=%d tm=%t seed=%d",
 		c.Method, c.Theta, c.Embedding, c.LabelWeight, c.SemanticLabels,
@@ -264,9 +268,11 @@ func writeReport(w *pg.WireWriter, r BatchReport) {
 	w.Varint(int64(r.EdgeClusters))
 	writeParams(w, r.NodeParams)
 	writeParams(w, r.EdgeParams)
+	w.Varint(int64(r.Load))
 	w.Varint(int64(r.Preprocess))
 	w.Varint(int64(r.Cluster))
 	w.Varint(int64(r.Extract))
+	w.Varint(int64(r.Wall))
 }
 
 func readReport(r *pg.WireReader) (BatchReport, error) {
@@ -286,7 +292,7 @@ func readReport(r *pg.WireReader) (BatchReport, error) {
 	if rep.EdgeParams, err = readParams(r); err != nil {
 		return rep, err
 	}
-	for _, d := range []*time.Duration{&rep.Preprocess, &rep.Cluster, &rep.Extract} {
+	for _, d := range []*time.Duration{&rep.Load, &rep.Preprocess, &rep.Cluster, &rep.Extract, &rep.Wall} {
 		v, err := r.Varint()
 		if err != nil {
 			return rep, err

@@ -12,6 +12,7 @@ import (
 	"pghive/internal/align"
 	"pghive/internal/embed"
 	"pghive/internal/lsh"
+	"pghive/internal/obs"
 	"pghive/internal/vectorize"
 )
 
@@ -106,6 +107,15 @@ type Config struct {
 	// Parallelism bounds worker goroutines for vectorization and hashing;
 	// 0 means GOMAXPROCS.
 	Parallelism int
+	// Telemetry receives execution events during the run: per-stage spans,
+	// counters (batches, elements, clusters, retries, cache hits, checkpoint
+	// bytes) and LSH bucket-occupancy histograms. nil disables
+	// instrumentation — the no-op path costs zero allocations and is pinned
+	// by a benchmark. The sink must be safe for concurrent use: the
+	// overlapped engine emits from several goroutines. Execution-only: like
+	// Parallelism and PipelineDepth it never affects the discovered schema
+	// and is excluded from the checkpoint fingerprint.
+	Telemetry obs.Sink
 	// PipelineDepth controls the overlapped batch execution engine used by
 	// Discover/Drain. Values > 1 allow that many batches in flight at once:
 	// a prefetch goroutine keeps the next batch loaded while the current

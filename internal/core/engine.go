@@ -33,10 +33,16 @@ import (
 func (p *Pipeline) Drain(src pg.Source) {
 	depth := p.cfg.PipelineDepth
 	if depth <= 1 {
-		for b := src.Next(); b != nil; b = src.Next() {
-			p.ProcessBatch(b)
+		for {
+			t0 := time.Now()
+			b := src.Next()
+			if b == nil {
+				return
+			}
+			load := time.Since(t0)
+			p.loadSpan(len(p.reports), b, t0, load)
+			p.processSerial(b, load)
 		}
-		return
 	}
 
 	pf := pg.NewPrefetchSource(src, depth)
@@ -45,15 +51,23 @@ func (p *Pipeline) Drain(src pg.Source) {
 	prepped := make(chan staged, depth)
 	clustered := make(chan computed, depth)
 
-	// Preprocess stage: align + vectorize, strictly in batch order.
+	// Preprocess stage: align + vectorize, strictly in batch order. Batch
+	// sequence numbers continue from any batches already processed, so they
+	// match the report indexes the extract stage assigns.
+	base := len(p.reports)
 	go func() {
 		defer close(prepped)
-		for seq := 0; ; seq++ {
+		for seq := base; ; seq++ {
+			t0 := time.Now()
 			b := pf.Next()
 			if b == nil {
 				return
 			}
-			prepped <- p.preprocess(b, seq)
+			load := time.Since(t0)
+			p.loadSpan(seq, b, t0, load)
+			st := p.preprocess(b, seq)
+			st.report.Load = load
+			prepped <- st
 		}
 	}()
 
@@ -76,7 +90,7 @@ func (p *Pipeline) Drain(src pg.Source) {
 
 	// Extract stage: reorder by sequence number and merge in batch order.
 	pending := map[int]computed{}
-	next := 0
+	next := base
 	for c := range clustered {
 		pending[c.seq] = c
 		for {
@@ -96,7 +110,7 @@ func (p *Pipeline) Drain(src pg.Source) {
 // disjoint outputs, and a read-only Vectorizer snapshot between them).
 // Vectors are rendered into contiguous arenas.
 func (p *Pipeline) clusterStage(st staged) computed {
-	c := computed{seq: st.seq, b: st.b, report: st.report}
+	c := computed{seq: st.seq, b: st.b, start: st.start, report: st.report}
 	start := time.Now()
 	ns, es := nodeSpec(st.b, st.vz), edgeSpec(st.b, st.vz)
 	if p.cfg.Parallelism > 1 && ns.n > 0 && es.n > 0 {
@@ -115,5 +129,6 @@ func (p *Pipeline) clusterStage(st staged) computed {
 	c.report.Cluster = time.Since(start)
 	c.report.NodeClusters = len(c.nodeClusters)
 	c.report.EdgeClusters = len(c.edgeClusters)
+	p.clusterSpan(&c, start)
 	return c
 }

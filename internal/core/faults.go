@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"pghive/internal/obs"
 	"pghive/internal/pg"
 )
 
@@ -96,6 +97,7 @@ type ftStaged struct {
 type puller struct {
 	src     pg.ErrSource
 	opts    FTOptions
+	instr   obs.Instr
 	slot    int // stream position: delivered + quarantined batches
 	skipped []SkipReport
 }
@@ -127,6 +129,7 @@ func (pl *puller) next() (*pg.Batch, error) {
 			if transients >= budget {
 				return nil, fmt.Errorf("core: slot %d: %d consecutive transient faults: %w", pl.slot, transients, err)
 			}
+			pl.instr.Add(obs.CtrRetries, 1)
 		case pg.IsCorrupt(err):
 			pl.slot++
 			transients = 0
@@ -134,6 +137,7 @@ func (pl *puller) next() (*pg.Batch, error) {
 				continue
 			}
 			pl.skipped = append(pl.skipped, SkipReport{Seq: pl.slot - 1, Reason: err.Error()})
+			pl.instr.Add(obs.CtrQuarantined, 1)
 		default:
 			return nil, err
 		}
@@ -147,18 +151,24 @@ func (pl *puller) next() (*pg.Batch, error) {
 // overlapped execution; both produce identical schemas and identical
 // checkpoint sequences.
 func (p *Pipeline) DrainFT(src pg.ErrSource, opts FTOptions) ([]SkipReport, error) {
-	pl := &puller{src: src, opts: opts, skipped: append([]SkipReport(nil), opts.Skipped...)}
+	pl := &puller{src: src, opts: opts, instr: p.instr, skipped: append([]SkipReport(nil), opts.Skipped...)}
 
 	// prep pulls, preprocesses and (when checkpointing) snapshots the
 	// preprocess-frontier state for one batch. Must be called in batch
-	// order.
-	seq := 0
+	// order. Sequence numbers continue from any restored reports so they
+	// match the report indexes extract assigns (and the trace's batch
+	// labels stay globally consistent across a resume).
+	seq := len(p.reports)
 	prep := func() (ftStaged, bool, error) {
+		t0 := time.Now()
 		b, err := pl.next()
 		if err != nil || b == nil {
 			return ftStaged{}, false, err
 		}
+		load := time.Since(t0)
+		p.loadSpan(seq, b, t0, load)
 		fs := ftStaged{st: p.preprocess(b, seq)}
+		fs.st.report.Load = load
 		seq++
 		if opts.Checkpoint != nil {
 			if fs.snap, err = p.stateSnapshot(); err != nil {
@@ -175,6 +185,7 @@ func (p *Pipeline) DrainFT(src pg.ErrSource, opts FTOptions) ([]SkipReport, erro
 	// stamped when the batch was pulled — quarantines discovered after it
 	// belong to the next checkpoint.
 	save := func(snap []byte, slotAfter int, skipped []SkipReport) error {
+		start := time.Now()
 		var buf bytes.Buffer
 		if err := p.encodeCheckpoint(&buf, slotAfter, skipped, snap); err != nil {
 			return fmt.Errorf("core: encode checkpoint: %w", err)
@@ -182,6 +193,13 @@ func (p *Pipeline) DrainFT(src pg.ErrSource, opts FTOptions) ([]SkipReport, erro
 		if err := opts.Checkpoint.Save(buf.Bytes()); err != nil {
 			return fmt.Errorf("core: save checkpoint: %w", err)
 		}
+		p.instr.Add(obs.CtrCheckpoints, 1)
+		p.instr.Add(obs.CtrCheckpointBytes, uint64(buf.Len()))
+		p.instr.Span(obs.Span{
+			Stage: obs.StageCheckpoint, Batch: len(p.reports) - 1,
+			Start: start, Duration: time.Since(start),
+			Elements: buf.Len(),
+		})
 		return nil
 	}
 
@@ -192,15 +210,7 @@ func (p *Pipeline) DrainFT(src pg.ErrSource, opts FTOptions) ([]SkipReport, erro
 			if err != nil || !ok {
 				return pl.skipped, err
 			}
-			st := fs.st
-			c := computed{b: st.b, report: st.report}
-			start := time.Now()
-			c.nodeClusters, c.report.NodeParams = p.clusterKind(nodeSpec(st.b, st.vz), false)
-			c.edgeClusters, c.report.EdgeParams = p.clusterKind(edgeSpec(st.b, st.vz), false)
-			c.report.Cluster = time.Since(start)
-			c.report.NodeClusters = len(c.nodeClusters)
-			c.report.EdgeClusters = len(c.edgeClusters)
-			p.extract(c)
+			p.extract(p.clusterSerial(fs.st))
 			if opts.Checkpoint != nil {
 				if err := save(fs.snap, fs.snapSlot, fs.snapSkipped); err != nil {
 					return pl.skipped, err
@@ -260,7 +270,7 @@ func (p *Pipeline) DrainFT(src pg.ErrSource, opts FTOptions) ([]SkipReport, erro
 
 	var ckErr error
 	pending := map[int]ftComputed{}
-	next := 0
+	next := len(p.reports)
 	for fc := range clustered {
 		pending[fc.c.seq] = fc
 		for {
@@ -323,5 +333,6 @@ func (p *Pipeline) finishFT(src pg.ErrSource, opts FTOptions) (*Result, error) {
 		Skipped:     skipped,
 		Discovery:   discovery,
 		PostProcess: post,
+		Telemetry:   telemetrySnapshot(p.cfg),
 	}, nil
 }

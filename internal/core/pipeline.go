@@ -6,6 +6,7 @@ import (
 	"pghive/internal/align"
 	"pghive/internal/infer"
 	"pghive/internal/lsh"
+	"pghive/internal/obs"
 	"pghive/internal/pg"
 	"pghive/internal/schema"
 	"pghive/internal/vectorize"
@@ -13,7 +14,8 @@ import (
 
 // BatchReport records what happened while processing one batch: sizes,
 // chosen LSH parameters, cluster counts and per-phase wall-clock durations
-// (the timings behind Figures 5 and 7).
+// (the timings behind Figures 5 and 7). Load and Wall are recorded even
+// without a telemetry sink, so throughput reporting never requires one.
 type BatchReport struct {
 	Batch        int
 	Nodes, Edges int
@@ -21,13 +23,31 @@ type BatchReport struct {
 	EdgeClusters int
 	NodeParams   lsh.Params
 	EdgeParams   lsh.Params
-	Preprocess   time.Duration
-	Cluster      time.Duration
-	Extract      time.Duration
+	// Load is the time spent pulling this batch from the source (under the
+	// overlapped engine: the stall waiting on the prefetcher).
+	Load       time.Duration
+	Preprocess time.Duration
+	Cluster    time.Duration
+	Extract    time.Duration
+	// Wall is the real elapsed time from the batch's pull to the end of its
+	// extraction. Under the overlapped engine it includes queue waits, so
+	// Wall ≥ Load + Preprocess + Cluster + Extract and the per-batch Wall
+	// values of concurrent batches overlap.
+	Wall time.Duration
 }
 
-// Total returns the batch's end-to-end processing time.
+// Total returns the batch's end-to-end processing time (CPU-stage sum,
+// excluding load and queue waits).
 func (r BatchReport) Total() time.Duration { return r.Preprocess + r.Cluster + r.Extract }
+
+// Throughput returns the batch's elements per second of wall-clock time
+// (0 when Wall was not recorded).
+func (r BatchReport) Throughput() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Nodes+r.Edges) / r.Wall.Seconds()
+}
 
 // Pipeline is an incremental PG-HIVE discovery session. Feed it batches
 // with ProcessBatch; the schema grows monotonically (S_i ⊑ S_{i+1}).
@@ -38,6 +58,11 @@ type Pipeline struct {
 	aligner *align.Aligner
 	session *vectorize.Session
 	reports []BatchReport
+	instr   obs.Instr
+	// lastSess is the session-stats frontier already emitted to the sink;
+	// preprocess emits per-batch deltas against it (preprocess is
+	// serialized, so no locking is needed).
+	lastSess vectorize.SessionStats
 }
 
 // NewPipeline starts a discovery session.
@@ -48,6 +73,7 @@ func NewPipeline(cfg Config) *Pipeline {
 		schema:  schema.NewSchema(),
 		sampler: newSampler(cfg.SampleFraction, cfg.SampleMin, cfg.Seed),
 		session: vectorize.NewSession(cfg.vectorizeConfig()),
+		instr:   obs.NewInstr(cfg.Telemetry),
 	}
 	if cfg.AlignLabels {
 		// The aligner persists across batches so alignment classes stay
@@ -94,11 +120,13 @@ func (p *Pipeline) Reports() []BatchReport { return p.reports }
 func (p *Pipeline) Config() Config { return p.cfg }
 
 // staged is a batch after the preprocess stage: aligned, vectorized, and
-// ready to cluster.
+// ready to cluster. seq is the absolute batch index within the run (the
+// Batch the report will carry once extracted in order).
 type staged struct {
 	seq    int
 	b      *pg.Batch
 	vz     *vectorize.Vectorizer
+	start  time.Time // preprocess begin; anchors the report's Wall
 	report BatchReport
 }
 
@@ -106,9 +134,19 @@ type staged struct {
 type computed struct {
 	seq          int
 	b            *pg.Batch
+	start        time.Time
 	nodeClusters []lsh.Cluster
 	edgeClusters []lsh.Cluster
 	report       BatchReport
+}
+
+// slot maps a batch sequence number onto its pipeline-depth slot — the
+// trace track the batch's spans render on.
+func (p *Pipeline) slot(seq int) int {
+	if d := p.cfg.PipelineDepth; d > 1 {
+		return seq % d
+	}
+	return 0
 }
 
 // ProcessBatch runs the main pipeline of Algorithm 1 (lines 3-6) on one
@@ -117,15 +155,49 @@ type computed struct {
 // Stages run serially; Drain overlaps them across batches when
 // Config.PipelineDepth > 1.
 func (p *Pipeline) ProcessBatch(b *pg.Batch) BatchReport {
-	st := p.preprocess(b, 0)
-	c := computed{b: st.b, report: st.report}
+	return p.processSerial(b, 0)
+}
+
+// processSerial is ProcessBatch with the already-measured load time
+// threaded through (Drain's serial path measures the source pull).
+func (p *Pipeline) processSerial(b *pg.Batch, load time.Duration) BatchReport {
+	st := p.preprocess(b, len(p.reports))
+	st.report.Load = load
+	return p.extract(p.clusterSerial(st))
+}
+
+// clusterSerial runs the cluster stage for one staged batch on the calling
+// goroutine, node kind then edge kind — the strictly serial counterpart of
+// the engine's clusterStage (which see), shared by ProcessBatch and the
+// depth-1 DrainFT path.
+func (p *Pipeline) clusterSerial(st staged) computed {
+	c := computed{seq: st.seq, b: st.b, start: st.start, report: st.report}
 	start := time.Now()
 	c.nodeClusters, c.report.NodeParams = p.clusterKind(nodeSpec(st.b, st.vz), false)
 	c.edgeClusters, c.report.EdgeParams = p.clusterKind(edgeSpec(st.b, st.vz), false)
 	c.report.Cluster = time.Since(start)
 	c.report.NodeClusters = len(c.nodeClusters)
 	c.report.EdgeClusters = len(c.edgeClusters)
-	return p.extract(c)
+	p.clusterSpan(&c, start)
+	return c
+}
+
+// clusterSpan emits the cluster-stage span for one computed batch.
+func (p *Pipeline) clusterSpan(c *computed, start time.Time) {
+	p.instr.Span(obs.Span{
+		Stage: obs.StageCluster, Batch: c.seq, Slot: p.slot(c.seq),
+		Start: start, Duration: c.report.Cluster,
+		Elements: c.report.Nodes + c.report.Edges,
+	})
+}
+
+// loadSpan emits the load-stage span for one pulled batch.
+func (p *Pipeline) loadSpan(seq int, b *pg.Batch, start time.Time, d time.Duration) {
+	p.instr.Span(obs.Span{
+		Stage: obs.StageLoad, Batch: seq, Slot: p.slot(seq),
+		Start: start, Duration: d,
+		Elements: len(b.Nodes) + len(b.Edges),
+	})
 }
 
 // preprocess aligns and vectorizes one batch. Calls must happen in batch
@@ -136,9 +208,22 @@ func (p *Pipeline) preprocess(b *pg.Batch, seq int) staged {
 		Edges: len(b.Edges),
 	}}
 	start := time.Now()
+	st.start = start
 	st.b = p.alignBatch(b)
 	st.vz = p.session.Vectorize(st.b)
 	st.report.Preprocess = time.Since(start)
+	if p.instr.Enabled() {
+		ss := p.session.Stats()
+		p.instr.Add(obs.CtrEmbedTokensReused, ss.TokensReused-p.lastSess.TokensReused)
+		p.instr.Add(obs.CtrEmbedTokensTrained, ss.TokensTrained-p.lastSess.TokensTrained)
+		p.instr.Add(obs.CtrEmbedRetrains, ss.Retrains-p.lastSess.Retrains)
+		p.lastSess = ss
+		p.instr.Span(obs.Span{
+			Stage: obs.StagePreprocess, Batch: seq, Slot: p.slot(seq),
+			Start: start, Duration: st.report.Preprocess,
+			Elements: st.report.Nodes + st.report.Edges,
+		})
+	}
 	return st
 }
 
@@ -150,10 +235,35 @@ func (p *Pipeline) extract(c computed) BatchReport {
 	start := time.Now()
 	nodeCands := p.nodeCandidates(c.b, c.nodeClusters)
 	edgeCands := p.edgeCandidates(c.b, c.edgeClusters)
+	typesBefore := 0
+	if p.instr.Enabled() {
+		typesBefore = len(p.schema.Types(schema.NodeKind)) + len(p.schema.Types(schema.EdgeKind))
+	}
 	ExtractTypes(p.schema, schema.NodeKind, nodeCands, p.cfg.Theta)
 	ExtractTypes(p.schema, schema.EdgeKind, edgeCands, p.cfg.Theta)
 	c.report.Extract = time.Since(start)
+	if !c.start.IsZero() {
+		// Wall spans the batch's pull through its extraction: the load time
+		// plus everything since preprocess began (including queue waits
+		// under the overlapped engine).
+		c.report.Wall = c.report.Load + time.Since(c.start)
+	}
 	p.reports = append(p.reports, c.report)
+	if p.instr.Enabled() {
+		created := len(p.schema.Types(schema.NodeKind)) + len(p.schema.Types(schema.EdgeKind)) - typesBefore
+		p.instr.Add(obs.CtrTypesCreated, uint64(created))
+		p.instr.Add(obs.CtrTypesMerged, uint64(len(nodeCands)+len(edgeCands)-created))
+		p.instr.Add(obs.CtrBatches, 1)
+		p.instr.Add(obs.CtrNodes, uint64(c.report.Nodes))
+		p.instr.Add(obs.CtrEdges, uint64(c.report.Edges))
+		p.instr.Add(obs.CtrNodeClusters, uint64(c.report.NodeClusters))
+		p.instr.Add(obs.CtrEdgeClusters, uint64(c.report.EdgeClusters))
+		p.instr.Span(obs.Span{
+			Stage: obs.StageExtract, Batch: c.report.Batch, Slot: p.slot(c.seq),
+			Start: start, Duration: c.report.Extract,
+			Elements: c.report.Nodes + c.report.Edges,
+		})
+	}
 	return c.report
 }
 
@@ -203,6 +313,20 @@ func edgeSpec(b *pg.Batch, vz *vectorize.Vectorizer) kindSpec {
 // different batches — may cluster concurrently. With arena set, element
 // vectors are rendered into one contiguous allocation.
 func (p *Pipeline) clusterKind(spec kindSpec, arena bool) ([]lsh.Cluster, lsh.Params) {
+	clusters, params := p.clusterKindInner(spec, arena)
+	if p.instr.Enabled() && len(clusters) > 0 {
+		hist := obs.HistNodeOccupancy
+		if spec.isEdge {
+			hist = obs.HistEdgeOccupancy
+		}
+		for _, c := range clusters {
+			p.instr.Observe(hist, uint64(len(c.Members)))
+		}
+	}
+	return clusters, params
+}
+
+func (p *Pipeline) clusterKindInner(spec kindSpec, arena bool) ([]lsh.Cluster, lsh.Params) {
 	n := spec.n
 	if n == 0 {
 		return nil, lsh.Params{}
@@ -257,6 +381,10 @@ func (p *Pipeline) clusterKind(spec kindSpec, arena bool) ([]lsh.Cluster, lsh.Pa
 		fam := lsh.NewELSH(spec.dim, params.Bucket, params.Tables, p.cfg.Seed+famSeed)
 		enc := spec.enc()
 		fk := lsh.NewFactoredELSH(fam, enc.PrefixDim, enc.Prefixes)
+		// The factored kernel computes one projection-dot set per distinct
+		// label prefix; every further element sharing that prefix is a hit.
+		p.instr.Add(obs.CtrPrefixDotsComputed, uint64(len(enc.Prefixes)))
+		p.instr.Add(obs.CtrPrefixDotHits, uint64(n-len(enc.Prefixes)))
 		hashes := make([]uint64, n)
 		parmapChunks(n, p.cfg.Parallelism, func(lo, hi int) {
 			h := fk.Hasher()
@@ -277,6 +405,9 @@ func (p *Pipeline) clusterKind(spec kindSpec, arena bool) ([]lsh.Cluster, lsh.Pa
 func (p *Pipeline) clusterMinHashFactored(spec kindSpec, mh *lsh.MinHash) []lsh.Cluster {
 	enc := spec.enc()
 	recID, reps := enc.DistinctRecords()
+	// One signature per distinct record; every duplicate record is a hit.
+	p.instr.Add(obs.CtrRecordSigsComputed, uint64(len(reps)))
+	p.instr.Add(obs.CtrRecordSigHits, uint64(spec.n-len(reps)))
 	if p.cfg.MinHashRows > 0 {
 		distinct := make([][]uint64, len(reps))
 		parmapChunks(len(reps), p.cfg.Parallelism, func(lo, hi int) {
@@ -374,10 +505,17 @@ func (p *Pipeline) edgeCandidates(b *pg.Batch, clusters []lsh.Cluster) []*schema
 // Finalize runs post-processing (Algorithm 1 lines 7-10) and returns the
 // finalized schema definition.
 func (p *Pipeline) Finalize() *schema.Def {
-	return infer.Finalize(p.schema, infer.Options{
+	start := time.Now()
+	def := infer.Finalize(p.schema, infer.Options{
 		SampleBased:   p.cfg.SampleDatatypes,
 		Participation: p.cfg.Participation,
 	})
+	p.instr.Span(obs.Span{
+		Stage: obs.StagePostprocess, Batch: -1,
+		Start: start, Duration: time.Since(start),
+		Elements: len(def.Nodes) + len(def.Edges),
+	})
+	return def
 }
 
 // Result is the outcome of a full discovery run.
@@ -397,6 +535,19 @@ type Result struct {
 	// PostProcess is the time spent finalizing constraints, data types and
 	// cardinalities.
 	PostProcess time.Duration
+	// Telemetry is the run's aggregated metrics snapshot, present when
+	// Config.Telemetry is (or fans out to) an *obs.Registry; nil otherwise.
+	Telemetry *obs.Snapshot
+}
+
+// telemetrySnapshot captures the registry snapshot behind cfg.Telemetry,
+// if any.
+func telemetrySnapshot(cfg Config) *obs.Snapshot {
+	reg := obs.FindRegistry(cfg.Telemetry)
+	if reg == nil {
+		return nil
+	}
+	return reg.Snapshot()
 }
 
 // Discover drains the source through a pipeline and finalizes the schema —
@@ -419,6 +570,7 @@ func Discover(src pg.Source, cfg Config) *Result {
 		Reports:     p.reports,
 		Discovery:   discovery,
 		PostProcess: post,
+		Telemetry:   telemetrySnapshot(p.cfg),
 	}
 }
 

@@ -1,0 +1,43 @@
+package lsh
+
+// OccupancyStats summarizes how elements distributed over the buckets a
+// clustering round produced. It is the telemetry view of LSH behaviour: a
+// well-parameterized family yields few singletons and a largest bucket far
+// below the element count, while a bucket length that is too wide collapses
+// everything into one bucket and one that is too narrow shatters the batch
+// into singletons.
+type OccupancyStats struct {
+	// Buckets is the number of clusters (occupied buckets).
+	Buckets int
+	// Elements is the total number of clustered elements.
+	Elements int
+	// Singletons counts buckets holding exactly one element.
+	Singletons int
+	// Largest is the size of the biggest bucket.
+	Largest int
+}
+
+// Mean returns the average bucket occupancy (0 when there are no buckets).
+func (o OccupancyStats) Mean() float64 {
+	if o.Buckets == 0 {
+		return 0
+	}
+	return float64(o.Elements) / float64(o.Buckets)
+}
+
+// Occupancy computes bucket-occupancy statistics for one clustering result.
+func Occupancy(clusters []Cluster) OccupancyStats {
+	var o OccupancyStats
+	o.Buckets = len(clusters)
+	for _, c := range clusters {
+		n := len(c.Members)
+		o.Elements += n
+		if n == 1 {
+			o.Singletons++
+		}
+		if n > o.Largest {
+			o.Largest = n
+		}
+	}
+	return o
+}

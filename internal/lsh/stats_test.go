@@ -1,0 +1,24 @@
+package lsh
+
+import "testing"
+
+func TestOccupancy(t *testing.T) {
+	clusters := []Cluster{
+		{Members: []int{0, 2, 5}},
+		{Members: []int{1}},
+		{Members: []int{3, 4}},
+		{Members: []int{6}},
+	}
+	o := Occupancy(clusters)
+	if o.Buckets != 4 || o.Elements != 7 || o.Singletons != 2 || o.Largest != 3 {
+		t.Errorf("Occupancy = %+v, want Buckets 4, Elements 7, Singletons 2, Largest 3", o)
+	}
+	if o.Mean() != 1.75 {
+		t.Errorf("Mean = %v, want 1.75", o.Mean())
+	}
+
+	empty := Occupancy(nil)
+	if empty != (OccupancyStats{}) || empty.Mean() != 0 {
+		t.Errorf("empty Occupancy = %+v, Mean %v", empty, empty.Mean())
+	}
+}

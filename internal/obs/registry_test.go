@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryAggregates(t *testing.T) {
+	r := NewRegistry()
+	r.Add(CtrNodes, 100)
+	r.Add(CtrNodes, 50)
+	r.Add(CtrRetries, 3)
+	r.Span(Span{Stage: StageCluster, Duration: 2 * time.Millisecond, Elements: 10})
+	r.Span(Span{Stage: StageCluster, Duration: 4 * time.Millisecond, Elements: 20})
+	r.Span(Span{Stage: StageExtract, Duration: time.Millisecond})
+	for _, v := range []uint64{1, 1, 2, 3, 5, 100000} {
+		r.Observe(HistNodeOccupancy, v)
+	}
+
+	s := r.Snapshot()
+	if got := s.Counter(CtrNodes); got != 150 {
+		t.Errorf("nodes = %d, want 150", got)
+	}
+	if got := s.Counter(CtrRetries); got != 3 {
+		t.Errorf("retries = %d, want 3", got)
+	}
+	if _, ok := s.Counters[CtrQuarantined.String()]; ok {
+		t.Error("zero counters must be omitted from the snapshot")
+	}
+	cl := s.Stage(StageCluster)
+	if cl.Count != 2 || cl.TotalNs != (6*time.Millisecond).Nanoseconds() ||
+		cl.MinNs != (2*time.Millisecond).Nanoseconds() || cl.MaxNs != (4*time.Millisecond).Nanoseconds() ||
+		cl.Elements != 30 {
+		t.Errorf("cluster stage aggregate wrong: %+v", cl)
+	}
+	if cl.Mean() != 3*time.Millisecond {
+		t.Errorf("mean = %v, want 3ms", cl.Mean())
+	}
+	h := s.Hist(HistNodeOccupancy)
+	if h.Count != 6 || h.Sum != 100012 || h.Max != 100000 {
+		t.Errorf("hist aggregate wrong: %+v", h)
+	}
+	// 1,1 → le 1; 2 → le 2; 3 → le 4; 5 → le 8; 100000 → overflow (le 0).
+	want := []BucketCount{{1, 2}, {2, 1}, {4, 1}, {8, 1}, {0, 1}}
+	if len(h.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", h.Buckets, want)
+	}
+	for i, b := range want {
+		if h.Buckets[i] != b {
+			t.Errorf("bucket %d = %+v, want %+v", i, h.Buckets[i], b)
+		}
+	}
+}
+
+func TestRegistryJSONAndPrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Add(CtrBatches, 8)
+	r.Add(CtrCheckpointBytes, 4096)
+	r.Span(Span{Stage: StagePreprocess, Duration: 3 * time.Millisecond, Elements: 500})
+	r.Observe(HistEdgeOccupancy, 4)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if snap.Counters["batches"] != 8 || snap.Counters["checkpoint_bytes"] != 4096 {
+		t.Errorf("JSON counters wrong: %+v", snap.Counters)
+	}
+	if snap.Stages["preprocess"].Elements != 500 {
+		t.Errorf("JSON stage wrong: %+v", snap.Stages)
+	}
+
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE pghive_batches_total counter",
+		"pghive_batches_total 8",
+		"pghive_checkpoint_bytes_total 4096",
+		`pghive_stage_seconds_total{stage="preprocess"} 0.003`,
+		`pghive_stage_spans_total{stage="preprocess"} 1`,
+		"# TYPE pghive_lsh_edge_bucket_occupancy histogram",
+		`pghive_lsh_edge_bucket_occupancy_bucket{le="4"} 1`,
+		`pghive_lsh_edge_bucket_occupancy_bucket{le="+Inf"} 1`,
+		"pghive_lsh_edge_bucket_occupancy_sum 4",
+		"pghive_lsh_edge_bucket_occupancy_count 1",
+		"pghive_uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Prometheus output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHandlerContentNegotiation(t *testing.T) {
+	r := NewRegistry()
+	r.Add(CtrBatches, 1)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(url, accept string) (string, string) {
+		req := httptest.NewRequest("GET", url, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		rec := httptest.NewRecorder()
+		r.Handler().ServeHTTP(rec, req)
+		return rec.Header().Get("Content-Type"), rec.Body.String()
+	}
+
+	ct, body := get("/metrics", "")
+	if !strings.Contains(ct, "application/json") {
+		t.Errorf("default content type = %q, want JSON", ct)
+	}
+	if !json.Valid([]byte(body)) {
+		t.Errorf("default body is not JSON: %s", body)
+	}
+
+	ct, body = get("/metrics?format=prometheus", "")
+	if !strings.Contains(ct, "text/plain") {
+		t.Errorf("prometheus content type = %q", ct)
+	}
+	if !strings.Contains(body, "pghive_batches_total 1") {
+		t.Errorf("prometheus body missing counter:\n%s", body)
+	}
+
+	ct, _ = get("/metrics", "text/plain")
+	if !strings.Contains(ct, "text/plain") {
+		t.Errorf("Accept: text/plain ignored, content type = %q", ct)
+	}
+}
+
+// TestRegistryConcurrentScrape hammers the registry with writers and
+// scrapers at once; under -race this pins the torn-read-free contract at
+// the aggregation layer (the pipeline-level scrape test lives in core).
+func TestRegistryConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				r.Add(CtrNodes, 1)
+				r.Span(Span{Stage: Stage(i % NumStages), Duration: time.Duration(i), Elements: i})
+				r.Observe(HistNodeOccupancy, uint64(i%1000+1))
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !json.Valid(buf.Bytes()) {
+			t.Fatal("scrape produced invalid JSON")
+		}
+		buf.Reset()
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	var buf bytes.Buffer
+	(r.Snapshot()).WriteText(&buf)
+	if !strings.Contains(buf.String(), "nodes") {
+		t.Errorf("text summary missing counters:\n%s", buf.String())
+	}
+}

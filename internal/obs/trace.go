@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceWriter is a Sink streaming spans as Chrome-trace-format events, one
+// JSON object per line, loadable in chrome://tracing and Perfetto. Every
+// span becomes a complete ("ph":"X") event; the event's tid is the span's
+// pipeline-depth slot, so overlapping batches render on separate tracks and
+// the engine's overlap is visible at a glance. Counter and histogram events
+// are ignored — the trace is a timeline, the Registry is the aggregate.
+//
+// The output is a JSON array whose closing bracket is written by Close;
+// the Chrome trace format treats the terminator as optional, so a trace cut
+// short by a crash still loads. Timestamps are microseconds relative to the
+// first span's start. Field order is fixed (golden-tested), making traces
+// diffable across runs.
+type TraceWriter struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	c       io.Closer // underlying file, when Close should close it
+	base    time.Time
+	started bool
+	named   map[int]bool // tids that already carry a thread_name meta event
+	err     error
+}
+
+// NewTraceWriter starts a trace stream on w. If w is also an io.Closer,
+// Close closes it after flushing.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	t := &TraceWriter{w: bufio.NewWriter(w), named: map[int]bool{}}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// Span implements Sink: it appends one complete event (and, first time a
+// slot appears, a thread_name metadata event naming its track).
+func (t *TraceWriter) Span(s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if !t.started {
+		t.base = s.Start
+		_, t.err = t.w.WriteString("[\n")
+		if t.err != nil {
+			return
+		}
+		t.started = true
+	} else if t.err = t.w.WriteByte(','); t.err == nil {
+		t.err = t.w.WriteByte('\n')
+	}
+	if t.err != nil {
+		return
+	}
+	if !t.named[s.Slot] {
+		t.named[s.Slot] = true
+		_, t.err = fmt.Fprintf(t.w,
+			"{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"slot %d\"}},\n",
+			s.Slot, s.Slot)
+		if t.err != nil {
+			return
+		}
+	}
+	ts := float64(s.Start.Sub(t.base).Nanoseconds()) / 1e3
+	dur := float64(s.Duration.Nanoseconds()) / 1e3
+	_, t.err = fmt.Fprintf(t.w,
+		"{\"name\":%q,\"cat\":\"pipeline\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"batch\":%d,\"elements\":%d}}",
+		s.Stage.String(), ts, dur, s.Slot, s.Batch, s.Elements)
+}
+
+// Add implements Sink (traces carry no counters).
+func (t *TraceWriter) Add(Counter, uint64) {}
+
+// Observe implements Sink (traces carry no histograms).
+func (t *TraceWriter) Observe(Hist, uint64) {}
+
+// Close terminates the JSON array, flushes, and closes the underlying
+// writer when it is closable. Safe to call once; spans arriving after Close
+// are dropped.
+func (t *TraceWriter) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err == nil {
+		if !t.started {
+			_, t.err = t.w.WriteString("[\n")
+		}
+		if t.err == nil {
+			_, t.err = t.w.WriteString("\n]\n")
+		}
+	}
+	if ferr := t.w.Flush(); t.err == nil {
+		t.err = ferr
+	}
+	if t.c != nil {
+		if cerr := t.c.Close(); t.err == nil {
+			t.err = cerr
+		}
+		t.c = nil
+	}
+	err := t.err
+	if t.err == nil {
+		t.err = errClosed
+	}
+	return err
+}
+
+var errClosed = fmt.Errorf("obs: trace writer closed")

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// traceSpans is a deterministic serial-then-overlapped span sequence: two
+// batches on slot 0/1 with overlapping cluster stages, then postprocess.
+func traceSpans() []Span {
+	base := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	at := func(us int64) time.Time { return base.Add(time.Duration(us) * time.Microsecond) }
+	return []Span{
+		{Stage: StageLoad, Batch: 0, Slot: 0, Start: at(0), Duration: 150 * time.Microsecond, Elements: 1200},
+		{Stage: StagePreprocess, Batch: 0, Slot: 0, Start: at(150), Duration: 400 * time.Microsecond, Elements: 1200},
+		{Stage: StageLoad, Batch: 1, Slot: 1, Start: at(550), Duration: 10 * time.Microsecond, Elements: 800},
+		{Stage: StageCluster, Batch: 0, Slot: 0, Start: at(600), Duration: 2000 * time.Microsecond, Elements: 1200},
+		{Stage: StageCluster, Batch: 1, Slot: 1, Start: at(1100), Duration: 1500 * time.Microsecond, Elements: 800},
+		{Stage: StageExtract, Batch: 0, Slot: 0, Start: at(2600), Duration: 300 * time.Microsecond, Elements: 1200},
+		{Stage: StageExtract, Batch: 1, Slot: 1, Start: at(2900), Duration: 250 * time.Microsecond, Elements: 800},
+		{Stage: StagePostprocess, Batch: -1, Slot: 0, Start: at(3200), Duration: 500 * time.Microsecond},
+	}
+}
+
+const goldenTrace = `[
+{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"slot 0"}},
+{"name":"load","cat":"pipeline","ph":"X","ts":0.000,"dur":150.000,"pid":1,"tid":0,"args":{"batch":0,"elements":1200}},
+{"name":"preprocess","cat":"pipeline","ph":"X","ts":150.000,"dur":400.000,"pid":1,"tid":0,"args":{"batch":0,"elements":1200}},
+{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"slot 1"}},
+{"name":"load","cat":"pipeline","ph":"X","ts":550.000,"dur":10.000,"pid":1,"tid":1,"args":{"batch":1,"elements":800}},
+{"name":"cluster","cat":"pipeline","ph":"X","ts":600.000,"dur":2000.000,"pid":1,"tid":0,"args":{"batch":0,"elements":1200}},
+{"name":"cluster","cat":"pipeline","ph":"X","ts":1100.000,"dur":1500.000,"pid":1,"tid":1,"args":{"batch":1,"elements":800}},
+{"name":"extract","cat":"pipeline","ph":"X","ts":2600.000,"dur":300.000,"pid":1,"tid":0,"args":{"batch":0,"elements":1200}},
+{"name":"extract","cat":"pipeline","ph":"X","ts":2900.000,"dur":250.000,"pid":1,"tid":1,"args":{"batch":1,"elements":800}},
+{"name":"postprocess","cat":"pipeline","ph":"X","ts":3200.000,"dur":500.000,"pid":1,"tid":0,"args":{"batch":-1,"elements":0}}
+]
+`
+
+// TestTraceGolden pins the exact byte output: stable field order, one event
+// per line, microsecond timestamps relative to the first span.
+func TestTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	for _, s := range traceSpans() {
+		tw.Span(s)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := buf.String(); got != goldenTrace {
+		t.Errorf("trace output diverges from golden\ngot:\n%s\nwant:\n%s", got, goldenTrace)
+	}
+}
+
+// traceEvent is the decoded shape of one Chrome trace event.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Args struct {
+		Batch    int `json:"batch"`
+		Elements int `json:"elements"`
+	} `json:"args"`
+}
+
+// TestTraceValidAndMonotonic: the stream is strict JSON once closed, every
+// line (between the brackets) is itself a complete JSON object, and within
+// each track (tid) the complete events carry monotonically non-decreasing
+// timestamps.
+func TestTraceValidAndMonotonic(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	for _, s := range traceSpans() {
+		tw.Span(s)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	var events []traceEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("closed trace is not valid JSON: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	for _, line := range lines[1 : len(lines)-1] {
+		line = strings.TrimSuffix(line, ",")
+		if !json.Valid([]byte(line)) {
+			t.Errorf("trace line is not standalone JSON: %s", line)
+		}
+	}
+
+	lastTs := map[int]float64{}
+	spans := 0
+	for _, e := range events {
+		if e.Ph != "X" {
+			continue
+		}
+		spans++
+		if prev, ok := lastTs[e.Tid]; ok && e.Ts < prev {
+			t.Errorf("track %d: ts went backwards (%f after %f)", e.Tid, e.Ts, prev)
+		}
+		lastTs[e.Tid] = e.Ts
+	}
+	if want := len(traceSpans()); spans != want {
+		t.Fatalf("decoded %d complete events, want %d", spans, want)
+	}
+}
+
+// TestTraceCloseEmpty: a trace with no spans still closes to a valid,
+// empty JSON array.
+func TestTraceCloseEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	if err := tw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	var events []traceEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v (%q)", err, buf.String())
+	}
+	if len(events) != 0 {
+		t.Fatalf("empty trace decoded %d events", len(events))
+	}
+}
+
+// TestTraceUnterminatedStillUsable: without Close (a crashed run), the
+// stream is the Chrome trace format's optional-terminator form — every
+// event line is intact JSON.
+func TestTraceUnterminatedStillUsable(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	for _, s := range traceSpans() {
+		tw.Span(s)
+	}
+	tw.mu.Lock()
+	if err := tw.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tw.mu.Unlock()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "[" {
+		t.Fatalf("stream must open with [, got %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		line = strings.TrimSuffix(line, ",")
+		if line == "" {
+			continue
+		}
+		if !json.Valid([]byte(line)) {
+			t.Errorf("unterminated stream line is not JSON: %s", line)
+		}
+	}
+}

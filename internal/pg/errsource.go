@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"pghive/internal/obs"
 )
 
 // Fault-tolerant ingestion: the fallible source interface and the fault
@@ -329,12 +331,15 @@ func (e *RetryExhaustedError) Unwrap() error { return e.Err }
 type RetrySource struct {
 	inner  ErrSource
 	policy RetryPolicy
+	instr  obs.Instr
 
 	attempt  int // attempts spent on the current batch
 	batchIdx int // monotone counter for jitter decorrelation
 
-	retries    int           // total absorbed transient failures
-	totalSleep time.Duration // total backoff slept
+	retries      int           // total absorbed transient failures
+	totalSleep   time.Duration // total backoff slept
+	lastAttempts int           // delivery attempts the last Next outcome consumed
+	lastErr      error         // last transient error absorbed or escalated
 }
 
 // NewRetrySource wraps src with the given retry policy.
@@ -347,11 +352,29 @@ func (r *RetrySource) Stats() (retries int, slept time.Duration) {
 	return r.retries, r.totalSleep
 }
 
+// Attempts reports how many delivery attempts the most recent Next outcome
+// consumed: 1 for a first-try success, n for a success after n-1 absorbed
+// transients, and the full budget when it escalated to RetryExhaustedError.
+// 0 before the first delivery completes.
+func (r *RetrySource) Attempts() int { return r.lastAttempts }
+
+// LastErr returns the most recent transient error seen (absorbed or
+// escalated), nil if none occurred yet. Useful for logging what the retry
+// layer has been hiding.
+func (r *RetrySource) LastErr() error { return r.lastErr }
+
+// Instrument attaches a telemetry sink: every absorbed transient emits
+// CtrRetries, and every completed delivery (success or exhaustion) emits its
+// attempt count as CtrRetryAttempts. A nil sink disables emission.
+func (r *RetrySource) Instrument(s obs.Sink) { r.instr = obs.NewInstr(s) }
+
 // Next delivers the next batch, retrying transient failures.
 func (r *RetrySource) Next() (*Batch, error) {
 	for {
 		b, err := r.inner.Next()
 		if err == nil {
+			r.lastAttempts = r.attempt + 1
+			r.instr.Add(obs.CtrRetryAttempts, uint64(r.lastAttempts))
 			r.attempt = 0
 			r.batchIdx++
 			return b, nil
@@ -360,19 +383,25 @@ func (r *RetrySource) Next() (*Batch, error) {
 			// Corrupt or permanent: not retryable, pass through. A corrupt
 			// batch still resets the budget — the next batch starts fresh.
 			if IsCorrupt(err) {
+				r.lastAttempts = r.attempt + 1
+				r.instr.Add(obs.CtrRetryAttempts, uint64(r.lastAttempts))
 				r.attempt = 0
 				r.batchIdx++
 			}
 			return nil, err
 		}
+		r.lastErr = err
 		r.attempt++
 		if r.attempt >= r.policy.MaxAttempts {
 			attempts := r.attempt
+			r.lastAttempts = attempts
+			r.instr.Add(obs.CtrRetryAttempts, uint64(attempts))
 			r.attempt = 0
 			r.batchIdx++
 			return nil, &RetryExhaustedError{Attempts: attempts, Err: err}
 		}
 		r.retries++
+		r.instr.Add(obs.CtrRetries, 1)
 		d := r.backoff(r.attempt)
 		r.totalSleep += d
 		r.policy.Sleep(d)

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"pghive/internal/obs"
 )
 
 // testBatches builds n tiny distinct batches.
@@ -265,6 +267,76 @@ func TestRetrySourcePassesCorruptThrough(t *testing.T) {
 	}
 	if calls != 2 {
 		t.Errorf("corrupt batch retried: %d inner calls, want 2", calls)
+	}
+}
+
+// TestRetrySourceAttemptsAccessor: a delivery that needs 3 attempts (two
+// absorbed transients, then success) reports Attempts() == 3, keeps the
+// last absorbed error reachable, and emits the matching telemetry counters.
+func TestRetrySourceAttemptsAccessor(t *testing.T) {
+	calls := 0
+	batches := testBatches(2)
+	src := errSourceFunc(func() (*Batch, error) {
+		calls++
+		switch calls {
+		case 1, 2:
+			return nil, &TransientError{Seq: 0, Attempt: calls - 1}
+		case 3:
+			return batches[0], nil
+		case 4:
+			return batches[1], nil
+		}
+		return nil, nil
+	})
+	reg := obs.NewRegistry()
+	retry := NewRetrySource(src, RetryPolicy{Sleep: func(time.Duration) {}})
+	retry.Instrument(reg)
+
+	if retry.Attempts() != 0 || retry.LastErr() != nil {
+		t.Fatal("fresh RetrySource must report zero attempts and no error")
+	}
+	if b, err := retry.Next(); err != nil || b != batches[0] {
+		t.Fatalf("Next = %v, %v; want first batch", b, err)
+	}
+	if got := retry.Attempts(); got != 3 {
+		t.Errorf("Attempts() = %d, want 3 (two transients + success)", got)
+	}
+	var te *TransientError
+	if !errors.As(retry.LastErr(), &te) || te.Attempt != 1 {
+		t.Errorf("LastErr() = %v, want the last absorbed transient (attempt 1)", retry.LastErr())
+	}
+
+	if b, err := retry.Next(); err != nil || b != batches[1] {
+		t.Fatalf("Next = %v, %v; want second batch", b, err)
+	}
+	if got := retry.Attempts(); got != 1 {
+		t.Errorf("Attempts() after clean delivery = %d, want 1", got)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counter(obs.CtrRetries); got != 2 {
+		t.Errorf("retries counter = %d, want 2", got)
+	}
+	if got := snap.Counter(obs.CtrRetryAttempts); got != 4 {
+		t.Errorf("retry_attempts counter = %d, want 4 (3 + 1)", got)
+	}
+}
+
+// TestRetrySourceAttemptsOnExhaustion: when the budget is spent, Attempts()
+// reports the full budget — the same number RetryExhaustedError carries.
+func TestRetrySourceAttemptsOnExhaustion(t *testing.T) {
+	always := errSourceFunc(func() (*Batch, error) { return nil, &TransientError{} })
+	retry := NewRetrySource(always, RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}})
+	_, err := retry.Next()
+	var re *RetryExhaustedError
+	if !errors.As(err, &re) {
+		t.Fatalf("want RetryExhaustedError, got %v", err)
+	}
+	if retry.Attempts() != re.Attempts || retry.Attempts() != 3 {
+		t.Errorf("Attempts() = %d, error carries %d, want both 3", retry.Attempts(), re.Attempts)
+	}
+	if retry.LastErr() == nil {
+		t.Error("LastErr() must hold the escalated transient cause")
 	}
 }
 

@@ -81,7 +81,29 @@ type Session struct {
 	// weighted memoizes labelWeight × vector per token. Entry slices are
 	// never mutated after insertion; invalidation replaces the whole map.
 	weighted map[string][]float64
+	// stats counts cache behaviour across the session's lifetime. Telemetry
+	// only — never persisted in checkpoints (a resumed run restarts at
+	// zero) and never consulted by the pipeline.
+	stats SessionStats
 }
+
+// SessionStats counts the embedding session's cross-batch cache behaviour.
+// Hits and misses are per batch per distinct label-set token: a token a
+// batch needs that was trained by an earlier batch is a reuse, a token the
+// batch introduces is a training.
+type SessionStats struct {
+	// TokensReused counts tokens served from the cross-batch cache.
+	TokensReused uint64
+	// TokensTrained counts tokens newly trained.
+	TokensTrained uint64
+	// Retrains counts full-corpus retrains forced by adaptive embedding
+	// dimensionality growth (the explicit invalidation path).
+	Retrains uint64
+}
+
+// Stats returns the session's cumulative cache counters. Like Vectorize,
+// it must be serialized with other Session calls.
+func (s *Session) Stats() SessionStats { return s.stats }
 
 // NewSession starts an embedding session for one discovery run.
 func NewSession(cfg Config) *Session {
@@ -159,6 +181,8 @@ func (s *Session) Vectorize(b *pg.Batch) *Vectorizer {
 	}
 
 	s.train(newTokens)
+	s.stats.TokensTrained += uint64(len(newTokens))
+	s.stats.TokensReused += uint64(len(batchTokens) - len(newTokens))
 
 	v := &Vectorizer{
 		model:       s.model,
@@ -194,6 +218,11 @@ func (s *Session) train(newTokens []string) {
 		dim = adaptiveDim(len(s.sentences))
 	}
 	if s.model == nil || s.model.Dim() != dim {
+		if s.model != nil {
+			// The first batch's full training is expected; only dim-growth
+			// invalidations count as retrains.
+			s.stats.Retrains++
+		}
 		s.retrainAll(dim)
 		return
 	}

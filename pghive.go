@@ -33,6 +33,7 @@ import (
 	"pghive/internal/core"
 	"pghive/internal/infer"
 	"pghive/internal/lsh"
+	"pghive/internal/obs"
 	"pghive/internal/pg"
 	"pghive/internal/query"
 	"pghive/internal/schema"
@@ -207,6 +208,57 @@ func DiscoverStreamFT(src ErrSource, cfg Config, opts FTOptions) (*Result, error
 // byte-identical to an uninterrupted run.
 func ResumeDiscoverStreamFT(state []byte, src ErrSource, cfg Config, opts FTOptions) (*Result, error) {
 	return core.ResumeDiscoverFT(state, src, cfg, opts)
+}
+
+// Telemetry: zero-dependency observability for discovery runs. Attach a
+// sink via Config.Telemetry; with a nil sink every instrumentation point is
+// a no-op (0 allocations, pinned by benchmark).
+type (
+	// TelemetrySink receives execution events: per-stage spans, counters
+	// and histograms. Implementations must be safe for concurrent use.
+	TelemetrySink = obs.Sink
+	// TelemetryRegistry aggregates events into scrapeable metrics
+	// (JSON or Prometheus text via its HTTP handler, or Result.Telemetry).
+	TelemetryRegistry = obs.Registry
+	// TelemetrySnapshot is a consistent point-in-time metrics view.
+	TelemetrySnapshot = obs.Snapshot
+	// TraceWriter streams spans as Chrome-trace-format JSON, loadable in
+	// chrome://tracing or Perfetto.
+	TraceWriter = obs.TraceWriter
+)
+
+// Commonly consulted telemetry counters, re-exported for use with
+// TelemetrySnapshot.Counter (the full set lives in internal/obs).
+const (
+	CtrBatches            = obs.CtrBatches
+	CtrNodes              = obs.CtrNodes
+	CtrEdges              = obs.CtrEdges
+	CtrRetries            = obs.CtrRetries
+	CtrQuarantined        = obs.CtrQuarantined
+	CtrCheckpoints        = obs.CtrCheckpoints
+	CtrCheckpointBytes    = obs.CtrCheckpointBytes
+	CtrEmbedTokensReused  = obs.CtrEmbedTokensReused
+	CtrEmbedTokensTrained = obs.CtrEmbedTokensTrained
+	CtrTypesCreated       = obs.CtrTypesCreated
+	CtrTypesMerged        = obs.CtrTypesMerged
+)
+
+// NewTelemetryRegistry returns an empty metrics registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return obs.NewRegistry() }
+
+// NewTraceWriter streams spans to w in Chrome trace format; call Close when
+// the run ends to terminate the JSON array (an unterminated stream is still
+// loadable).
+func NewTraceWriter(w io.Writer) *TraceWriter { return obs.NewTraceWriter(w) }
+
+// TelemetryMulti fans events out to several sinks (nils are dropped; an
+// empty result is nil, i.e. telemetry disabled).
+func TelemetryMulti(sinks ...TelemetrySink) TelemetrySink { return obs.Multi(sinks...) }
+
+// ServeTelemetry exposes the registry at /metrics on addr (port 0 picks a
+// free port) and returns the bound address plus a closer for the listener.
+func ServeTelemetry(addr string, r *TelemetryRegistry) (string, io.Closer, error) {
+	return obs.Serve(addr, r)
 }
 
 // Collector buffers live element insertions and flushes them into an
