@@ -159,8 +159,8 @@ func TestGMMSchemaDiscoversTwoTypes(t *testing.T) {
 	}
 	// Each cluster must be label-pure.
 	for _, ty := range res.Types {
-		if ty.Labels.Len() != 1 {
-			t.Errorf("cluster mixes labels: %v", ty.Labels.Sorted())
+		if ty.Labels().Len() != 1 {
+			t.Errorf("cluster mixes labels: %v", ty.LabelStrings())
 		}
 	}
 }

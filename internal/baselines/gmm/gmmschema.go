@@ -82,11 +82,12 @@ func DiscoverNodeTypes(b *pg.Batch, cfg Config) (*Result, error) {
 	bisect(vectors, all, cfg, 0, &leaves)
 
 	res := &Result{Assignments: make([]int, n), Clusters: len(leaves)}
+	tab := schema.NewSymtab()
 	for ti, members := range leaves {
-		t := schema.NewType(schema.NodeKind)
+		t := schema.NewType(tab, schema.NodeKind)
 		for _, i := range members {
 			rec := &b.Nodes[i]
-			t.ObserveNode(rec, func(string) bool { return false }, true)
+			t.ObserveNode(rec, schema.NeverSample, true)
 			res.Assignments[i] = ti
 		}
 		res.Types = append(res.Types, t)

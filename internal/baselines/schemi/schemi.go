@@ -73,6 +73,7 @@ func Discover(b *pg.Batch, cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Hierarchy: map[string][]string{}}
+	tab := schema.NewSymtab()
 
 	// --- Node types: one group per distinct label set, then "groups
 	// similar node types based on shared labels" (the PG-HIVE paper's
@@ -100,14 +101,14 @@ func Discover(b *pg.Batch, cfg Config) (*Result, error) {
 	}
 	res.NodeTypes = make([]*schema.Type, numNodeTypes)
 	for i := range res.NodeTypes {
-		res.NodeTypes[i] = schema.NewType(schema.NodeKind)
+		res.NodeTypes[i] = schema.NewType(tab, schema.NodeKind)
 	}
 	res.NodeAssignments = make([]int, len(b.Nodes))
 	nodeTypeByID := make(map[pg.ID]int, len(b.Nodes))
 	for gi, key := range groupKeys {
 		ti := nodeTypeOf[gi]
 		for _, i := range nodeGroups[key] {
-			res.NodeTypes[ti].ObserveNode(&b.Nodes[i], neverSample, true)
+			res.NodeTypes[ti].ObserveNode(&b.Nodes[i], schema.NeverSample, true)
 			res.NodeAssignments[i] = ti
 			nodeTypeByID[b.Nodes[i].ID] = ti
 		}
@@ -159,13 +160,13 @@ func Discover(b *pg.Batch, cfg Config) (*Result, error) {
 	}
 	res.EdgeTypes = make([]*schema.Type, numEdgeTypes)
 	for i := range res.EdgeTypes {
-		res.EdgeTypes[i] = schema.NewType(schema.EdgeKind)
+		res.EdgeTypes[i] = schema.NewType(tab, schema.EdgeKind)
 	}
 	res.EdgeAssignments = make([]int, len(b.Edges))
 	for gi, key := range edgeKeys {
 		ti := edgeTypeOf[gi]
 		for _, i := range edgeGroups[key] {
-			res.EdgeTypes[ti].ObserveEdge(&b.Edges[i], neverSample, true)
+			res.EdgeTypes[ti].ObserveEdge(&b.Edges[i], schema.NeverSample, true)
 			res.EdgeAssignments[i] = ti
 		}
 	}
@@ -173,8 +174,6 @@ func Discover(b *pg.Batch, cfg Config) (*Result, error) {
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
-
-func neverSample(string) bool { return false }
 
 // primaryLabel returns the alphabetically first label: the conflation rule
 // for multi-labeled elements.

@@ -43,7 +43,7 @@ func TestDiscoverTypes(t *testing.T) {
 	}
 	var person *schema.Type
 	for _, ty := range res.NodeTypes {
-		if ty.Labels.Has("Person") {
+		if ty.HasLabel("Person") {
 			person = ty
 		}
 	}
@@ -55,7 +55,7 @@ func TestDiscoverTypes(t *testing.T) {
 	}
 	// The conflation keeps the Student label via the union (but the type is
 	// keyed on the primary label).
-	if !person.Labels.Has("Student") {
+	if !person.HasLabel("Student") {
 		t.Error("Student label lost")
 	}
 }
@@ -123,7 +123,7 @@ func TestSharedLabelMergesTypes(t *testing.T) {
 		t.Fatalf("got %d node types, want 1 (shared Org label)", len(res.NodeTypes))
 	}
 	ty := res.NodeTypes[0]
-	if !ty.Labels.Has("Company") || !ty.Labels.Has("University") {
+	if !ty.HasLabel("Company") || !ty.HasLabel("University") {
 		t.Error("merged type should carry both labels")
 	}
 }

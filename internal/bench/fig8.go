@@ -65,9 +65,9 @@ func samplingErrorBins(s *schema.Schema) eval.ErrorBins {
 	var bins eval.ErrorBins
 	for _, kind := range []schema.ElementKind{schema.NodeKind, schema.EdgeKind} {
 		for _, t := range s.Types(kind) {
-			for _, stat := range t.Props {
+			t.EachProp(func(_ string, stat *schema.PropStat) {
 				bins.Add(infer.SamplingError(stat))
-			}
+			})
 		}
 	}
 	return bins

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"pghive/internal/core"
+	"pghive/internal/datagen"
+	"pghive/internal/pg"
+)
+
+// InterningPoint is one measurement of the symbol-interning experiment:
+// streaming discovery over a multi-batch stream with the process allocator
+// instrumented, so the allocation rate of the hot path and the steady-state
+// evidence heap retained by the finished schema are both visible.
+type InterningPoint struct {
+	Dataset string
+	Method  MethodID
+	// Elements is the total node+edge count of the stream.
+	Elements int
+	// Elapsed is the end-to-end Discover wall-clock time.
+	Elapsed time.Duration
+	// Allocs and Bytes are the mallocs / bytes allocated by the run
+	// (runtime.MemStats deltas around Discover, after a settling GC).
+	Allocs uint64
+	Bytes  uint64
+	// RetainedBytes is the live-heap growth attributable to the run's
+	// result: HeapAlloc after a post-run GC (result held live) minus
+	// HeapAlloc after a pre-run GC (batches already built in both states).
+	// This is the evidence-retention number the interned degree tables
+	// shrink.
+	RetainedBytes uint64
+	// Symbols is the number of distinct interned strings in the result's
+	// symbol table (0 before the interned core existed).
+	Symbols int
+}
+
+// AllocsPerElement is the run's allocation count normalized by stream size.
+func (p InterningPoint) AllocsPerElement() float64 {
+	if p.Elements == 0 {
+		return 0
+	}
+	return float64(p.Allocs) / float64(p.Elements)
+}
+
+// BytesPerElement is the run's allocated bytes normalized by stream size.
+func (p InterningPoint) BytesPerElement() float64 {
+	if p.Elements == 0 {
+		return 0
+	}
+	return float64(p.Bytes) / float64(p.Elements)
+}
+
+// interningBatches is how many batches each dataset stream is split into —
+// enough that cross-batch evidence folding (the interned hot path)
+// dominates, matching how the engine is meant to be fed.
+const interningBatches = 16
+
+// RunInterning measures the allocation profile of streaming discovery: the
+// mallocs and bytes per stream element spent building candidates and
+// folding evidence, and the live heap the finished schema retains (where
+// the per-endpoint cardinality maps used to keep one string-keyed entry
+// per edge endpoint). Run it at -scale large enough for a million-element
+// stream to reproduce BENCH_interning.json; the defaults keep it quick.
+func RunInterning(w io.Writer, s Settings) ([]InterningPoint, error) {
+	s = s.withDefaults()
+	profiles := s.profiles()
+	if len(s.Datasets) == 0 {
+		profiles = []*datagen.Profile{datagen.ProfileByName("LDBC"), datagen.ProfileByName("ICIJ")}
+	}
+	var points []InterningPoint
+
+	fmt.Fprintln(w, "Interning: allocation profile of streaming discovery (runtime.MemStats deltas)")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "  dataset\tmethod\telements\ttotal(ms)\tallocs/elem\tbytes/elem\tretained(KB)\tsymbols")
+	for _, p := range profiles {
+		ds := datagen.Generate(p, datagen.Options{Nodes: s.Scale, Seed: s.Seed})
+		batches := ds.Graph.SplitRandom(interningBatches, s.Seed)
+		elements := 0
+		for _, b := range batches {
+			elements += b.Len()
+		}
+		for _, m := range []MethodID{ELSH, MinHash} {
+			cfg := core.DefaultConfig()
+			cfg.Seed = s.Seed
+			cfg.PipelineDepth = s.engineDepth()
+			cfg.Telemetry = s.Telemetry
+			if m == MinHash {
+				cfg.Method = core.MethodMinHash
+			}
+
+			pt := InterningPoint{Dataset: p.Name, Method: m, Elements: elements}
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			res := core.Discover(pg.NewSliceSource(batches...), cfg)
+			pt.Elapsed = time.Since(start)
+			runtime.GC()
+			runtime.ReadMemStats(&after)
+			pt.Allocs = after.Mallocs - before.Mallocs
+			pt.Bytes = after.TotalAlloc - before.TotalAlloc
+			if after.HeapAlloc > before.HeapAlloc {
+				pt.RetainedBytes = after.HeapAlloc - before.HeapAlloc
+			}
+			pt.Symbols = interningSymbols(res)
+			runtime.KeepAlive(res)
+
+			points = append(points, pt)
+			fmt.Fprintf(tw, "  %s\t%s\t%d\t%s\t%.1f\t%.1f\t%.1f\t%d\n",
+				p.Name, m, pt.Elements, ms(pt.Elapsed),
+				pt.AllocsPerElement(), pt.BytesPerElement(),
+				float64(pt.RetainedBytes)/1024, pt.Symbols)
+		}
+	}
+	return points, tw.Flush()
+}
+
+// interningSymbols reports the size of the result schema's symbol table.
+func interningSymbols(res *core.Result) int {
+	if res == nil || res.Schema == nil || res.Schema.Tab == nil {
+		return 0
+	}
+	return res.Schema.Tab.Strings()
+}

@@ -29,11 +29,13 @@ import (
 // post-extract(k) schema, giving the resumed run the exact state the
 // original run had when it began batch k+1.
 
-// checkpointMagic versions the checkpoint format. PGCK2 extended the
-// per-batch report record with the Load and Wall durations; PGCK1
-// checkpoints are rejected (resume from scratch rather than resume with
-// silently zeroed timing columns).
-const checkpointMagic = "PGCK2"
+// checkpointMagic versions the checkpoint format. PGCK3 carries the symbol
+// intern table and encodes the schema and sampler state in interned-ID form
+// (the symtab serializes first so a resumed run reassigns the exact same
+// IDs); PGCK2 added Load/Wall timing columns to the per-batch reports.
+// Older checkpoints are rejected (resume from scratch rather than guess at
+// an incompatible layout).
+const checkpointMagic = "PGCK3"
 
 // Codec bounds for untrusted counts.
 const (
@@ -333,19 +335,22 @@ func readParams(r *pg.WireReader) (lsh.Params, error) {
 	return p, nil
 }
 
-// writeState serializes the sampler's per-key observation counters (sorted;
-// frac/min/seed come from configuration).
+// writeState serializes the sampler's per-key observation counters, keyed
+// by (kind tag | interned key ID) and written in sorted key order so the
+// encoding is deterministic (frac/min/seed come from configuration). The
+// IDs resolve against the schema symtab, which the checkpoint restores
+// verbatim before the sampler state is read.
 func (s *sampler) writeState(w *pg.WireWriter) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	keys := make([]string, 0, len(s.counts))
+	keys := make([]uint64, 0, len(s.counts))
 	for k := range s.counts {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	w.Uvarint(uint64(len(keys)))
 	for _, k := range keys {
-		w.String(k)
+		w.Uvarint(k)
 		w.Varint(int64(s.counts[k]))
 	}
 }
@@ -355,12 +360,17 @@ func (s *sampler) readState(r *pg.WireReader) error {
 	if err != nil {
 		return err
 	}
-	counts := make(map[string]int, n)
+	counts := make(map[uint64]int, n)
+	last := int64(-1)
 	for i := uint64(0); i < n; i++ {
-		k, err := r.String()
+		k, err := r.Uvarint(^uint64(0))
 		if err != nil {
 			return err
 		}
+		if int64(k) <= last {
+			return fmt.Errorf("sampler key %d out of order", k)
+		}
+		last = int64(k)
 		c, err := r.Varint()
 		if err != nil {
 			return err

@@ -18,13 +18,16 @@ import (
 //     join the schema as ABSTRACT types (PG-Schema).
 //
 // For node types the Jaccard test runs over property-key sets (§4.3); for
-// edge types it also includes namespaced endpoint labels, since edge
-// patterns are distinguished by (L, K, R) (Definition 3.6).
+// edge types it also includes tagged endpoint labels, since edge patterns
+// are distinguished by (L, K, R) (Definition 3.6). Everything runs on
+// interned IDs: label-set lookup is a hashed ID-tuple probe and the
+// similarity test is a sort-merge over uint64 merge keys — no string keys
+// are built.
 func ExtractTypes(s *schema.Schema, kind schema.ElementKind, candidates []*schema.Type, theta float64) {
 	var unlabeled []*schema.Type
 	for _, c := range candidates {
 		if c.Labeled() {
-			if existing := s.FindByLabelKey(kind, c.LabelKey()); existing != nil {
+			if existing := s.FindByLabelSet(kind, c.LabelIDs()); existing != nil {
 				existing.Merge(c)
 			} else {
 				s.Add(c)
@@ -47,9 +50,10 @@ func ExtractTypes(s *schema.Schema, kind schema.ElementKind, candidates []*schem
 	// first (incremental consistency), then with each other.
 	abstracts := abstractTypes(s, kind)
 	for _, c := range still {
+		cKeys := c.MergeKeys()
 		merged := false
 		for _, a := range abstracts {
-			if schema.Jaccard(mergeKeySet(a), mergeKeySet(c)) >= theta {
+			if schema.JaccardU64(a.MergeKeys(), cKeys) >= theta {
 				a.Merge(c)
 				merged = true
 				break
@@ -67,14 +71,14 @@ func ExtractTypes(s *schema.Schema, kind schema.ElementKind, candidates []*schem
 // highest Jaccard similarity ≥ theta against the candidate, breaking ties
 // toward more instances.
 func bestLabeledMatch(s *schema.Schema, kind schema.ElementKind, c *schema.Type, theta float64) *schema.Type {
-	cKeys := mergeKeySet(c)
+	cKeys := c.MergeKeys()
 	var best *schema.Type
 	bestJ := -1.0
 	for _, t := range s.Types(kind) {
 		if !t.Labeled() {
 			continue
 		}
-		j := schema.Jaccard(mergeKeySet(t), cKeys)
+		j := schema.JaccardU64(t.MergeKeys(), cKeys)
 		if j < theta {
 			continue
 		}
@@ -93,19 +97,4 @@ func abstractTypes(s *schema.Schema, kind schema.ElementKind) []*schema.Type {
 		}
 	}
 	return out
-}
-
-// mergeKeySet builds the comparison set for the Jaccard merge test:
-// property keys, plus namespaced endpoint labels for edge types.
-func mergeKeySet(t *schema.Type) schema.StringSet {
-	set := t.PropKeySet()
-	if t.Kind == schema.EdgeKind {
-		for l := range t.SrcLabels {
-			set.Add("\x00src:" + l)
-		}
-		for l := range t.DstLabels {
-			set.Add("\x00dst:" + l)
-		}
-	}
-	return set
 }

@@ -7,41 +7,43 @@ import (
 	"pghive/internal/schema"
 )
 
-func nodeCandidate(labels []string, keys ...string) *schema.Type {
-	t := schema.NewType(schema.NodeKind)
+// Candidates must share the schema's symbol table (Merge and Add reject
+// foreign types), so the helpers build them from the target schema.
+func nodeCandidate(s *schema.Schema, labels []string, keys ...string) *schema.Type {
+	t := s.NewType(schema.NodeKind)
 	props := pg.Properties{}
 	for _, k := range keys {
 		props[k] = pg.Int(1)
 	}
-	t.ObserveNode(&pg.NodeRecord{Labels: labels, Props: props}, func(string) bool { return false }, false)
+	t.ObserveNode(&pg.NodeRecord{Labels: labels, Props: props}, schema.NeverSample, false)
 	return t
 }
 
-func edgeCandidate(labels, src, dst []string, keys ...string) *schema.Type {
-	t := schema.NewType(schema.EdgeKind)
+func edgeCandidate(s *schema.Schema, labels, src, dst []string, keys ...string) *schema.Type {
+	t := s.NewType(schema.EdgeKind)
 	props := pg.Properties{}
 	for _, k := range keys {
 		props[k] = pg.Int(1)
 	}
 	t.ObserveEdge(&pg.EdgeRecord{Labels: labels, SrcLabels: src, DstLabels: dst, Props: props},
-		func(string) bool { return false }, false)
+		schema.NeverSample, false)
 	return t
 }
 
 func TestExtractMergesSameLabel(t *testing.T) {
 	s := schema.NewSchema()
 	ExtractTypes(s, schema.NodeKind, []*schema.Type{
-		nodeCandidate([]string{"Post"}, "imgFile"),
-		nodeCandidate([]string{"Post"}, "content"),
+		nodeCandidate(s, []string{"Post"}, "imgFile"),
+		nodeCandidate(s, []string{"Post"}, "content"),
 	}, 0.9)
 	if len(s.NodeTypes) != 1 {
 		t.Fatalf("got %d types, want 1 (same label merges)", len(s.NodeTypes))
 	}
 	ty := s.NodeTypes[0]
-	if _, ok := ty.Props["imgFile"]; !ok {
+	if ty.Prop("imgFile") == nil {
 		t.Error("imgFile lost")
 	}
-	if _, ok := ty.Props["content"]; !ok {
+	if ty.Prop("content") == nil {
 		t.Error("content lost")
 	}
 }
@@ -49,8 +51,8 @@ func TestExtractMergesSameLabel(t *testing.T) {
 func TestExtractDistinctLabelSetsStaySeparate(t *testing.T) {
 	s := schema.NewSchema()
 	ExtractTypes(s, schema.NodeKind, []*schema.Type{
-		nodeCandidate([]string{"Person"}, "name"),
-		nodeCandidate([]string{"Person", "Student"}, "name"),
+		nodeCandidate(s, []string{"Person"}, "name"),
+		nodeCandidate(s, []string{"Person", "Student"}, "name"),
 	}, 0.9)
 	if len(s.NodeTypes) != 2 {
 		t.Fatalf("got %d types, want 2 ({Person} vs {Person,Student})", len(s.NodeTypes))
@@ -62,8 +64,8 @@ func TestExtractUnlabeledMergesIntoLabeled(t *testing.T) {
 	// property set as Person and merges into it.
 	s := schema.NewSchema()
 	ExtractTypes(s, schema.NodeKind, []*schema.Type{
-		nodeCandidate([]string{"Person"}, "name", "gender", "bday"),
-		nodeCandidate(nil, "name", "gender", "bday"),
+		nodeCandidate(s, []string{"Person"}, "name", "gender", "bday"),
+		nodeCandidate(s, nil, "name", "gender", "bday"),
 	}, 0.9)
 	if len(s.NodeTypes) != 1 {
 		t.Fatalf("got %d types, want 1", len(s.NodeTypes))
@@ -79,8 +81,8 @@ func TestExtractUnlabeledMergesIntoLabeled(t *testing.T) {
 func TestExtractUnlabeledBelowThetaStaysAbstract(t *testing.T) {
 	s := schema.NewSchema()
 	ExtractTypes(s, schema.NodeKind, []*schema.Type{
-		nodeCandidate([]string{"Person"}, "name", "gender", "bday"),
-		nodeCandidate(nil, "name"), // Jaccard 1/3 < 0.9
+		nodeCandidate(s, []string{"Person"}, "name", "gender", "bday"),
+		nodeCandidate(s, nil, "name"), // Jaccard 1/3 < 0.9
 	}, 0.9)
 	if len(s.NodeTypes) != 2 {
 		t.Fatalf("got %d types, want 2", len(s.NodeTypes))
@@ -96,9 +98,9 @@ func TestExtractUnlabeledPicksBestMatch(t *testing.T) {
 	// fusion of the two labeled types may happen.
 	s := schema.NewSchema()
 	ExtractTypes(s, schema.NodeKind, []*schema.Type{
-		nodeCandidate([]string{"A"}, "a", "b", "c", "d", "e"),
-		nodeCandidate([]string{"B"}, "a", "b", "c", "d", "e", "f"),
-		nodeCandidate(nil, "a", "b", "c", "d", "e"),
+		nodeCandidate(s, []string{"A"}, "a", "b", "c", "d", "e"),
+		nodeCandidate(s, []string{"B"}, "a", "b", "c", "d", "e", "f"),
+		nodeCandidate(s, nil, "a", "b", "c", "d", "e"),
 	}, 0.9)
 	if len(s.NodeTypes) != 2 {
 		t.Fatalf("got %d types, want 2", len(s.NodeTypes))
@@ -114,12 +116,12 @@ func TestExtractUnlabeledPicksBestMatch(t *testing.T) {
 }
 
 func TestExtractUnlabeledTieBreaksOnInstances(t *testing.T) {
-	big := nodeCandidate([]string{"Big"}, "x", "y")
-	big.ObserveNode(&pg.NodeRecord{Labels: []string{"Big"}, Props: pg.Properties{"x": pg.Int(1), "y": pg.Int(1)}},
-		func(string) bool { return false }, false)
-	small := nodeCandidate([]string{"Small"}, "x", "y")
 	s := schema.NewSchema()
-	ExtractTypes(s, schema.NodeKind, []*schema.Type{small, big, nodeCandidate(nil, "x", "y")}, 0.9)
+	big := nodeCandidate(s, []string{"Big"}, "x", "y")
+	big.ObserveNode(&pg.NodeRecord{Labels: []string{"Big"}, Props: pg.Properties{"x": pg.Int(1), "y": pg.Int(1)}},
+		schema.NeverSample, false)
+	small := nodeCandidate(s, []string{"Small"}, "x", "y")
+	ExtractTypes(s, schema.NodeKind, []*schema.Type{small, big, nodeCandidate(s, nil, "x", "y")}, 0.9)
 	b := s.FindByLabelKey(schema.NodeKind, "Big")
 	if b.Instances != 3 {
 		t.Errorf("tie should break toward the larger type; Big has %d instances, want 3", b.Instances)
@@ -129,9 +131,9 @@ func TestExtractUnlabeledTieBreaksOnInstances(t *testing.T) {
 func TestExtractUnlabeledMergeAmongThemselves(t *testing.T) {
 	s := schema.NewSchema()
 	ExtractTypes(s, schema.NodeKind, []*schema.Type{
-		nodeCandidate(nil, "p", "q"),
-		nodeCandidate(nil, "p", "q"),
-		nodeCandidate(nil, "zzz"),
+		nodeCandidate(s, nil, "p", "q"),
+		nodeCandidate(s, nil, "p", "q"),
+		nodeCandidate(s, nil, "zzz"),
 	}, 0.9)
 	if len(s.NodeTypes) != 2 {
 		t.Fatalf("got %d types, want 2 abstract types", len(s.NodeTypes))
@@ -150,8 +152,8 @@ func TestExtractIncrementalAbstractReuse(t *testing.T) {
 	// An unlabeled cluster from a later batch must merge into the abstract
 	// type discovered earlier, not create a duplicate.
 	s := schema.NewSchema()
-	ExtractTypes(s, schema.NodeKind, []*schema.Type{nodeCandidate(nil, "p", "q")}, 0.9)
-	ExtractTypes(s, schema.NodeKind, []*schema.Type{nodeCandidate(nil, "p", "q")}, 0.9)
+	ExtractTypes(s, schema.NodeKind, []*schema.Type{nodeCandidate(s, nil, "p", "q")}, 0.9)
+	ExtractTypes(s, schema.NodeKind, []*schema.Type{nodeCandidate(s, nil, "p", "q")}, 0.9)
 	if len(s.NodeTypes) != 1 {
 		t.Fatalf("got %d types, want 1", len(s.NodeTypes))
 	}
@@ -166,10 +168,10 @@ func TestExtractIncrementalLabelArrivesLater(t *testing.T) {
 	// merging an older abstract into a newer labeled type in Algorithm 2 —
 	// but a *new* unlabeled candidate prefers the labeled type.
 	s := schema.NewSchema()
-	ExtractTypes(s, schema.NodeKind, []*schema.Type{nodeCandidate(nil, "name", "age")}, 0.9)
+	ExtractTypes(s, schema.NodeKind, []*schema.Type{nodeCandidate(s, nil, "name", "age")}, 0.9)
 	ExtractTypes(s, schema.NodeKind, []*schema.Type{
-		nodeCandidate([]string{"Person"}, "name", "age"),
-		nodeCandidate(nil, "name", "age"),
+		nodeCandidate(s, []string{"Person"}, "name", "age"),
+		nodeCandidate(s, nil, "name", "age"),
 	}, 0.9)
 	person := s.FindByLabelKey(schema.NodeKind, "Person")
 	if person == nil || person.Instances != 2 {
@@ -182,14 +184,14 @@ func TestExtractEdgesMergeByLabelOnly(t *testing.T) {
 	// endpoint label sets union (Lemma 2).
 	s := schema.NewSchema()
 	ExtractTypes(s, schema.EdgeKind, []*schema.Type{
-		edgeCandidate([]string{"LIKES"}, []string{"Person"}, []string{"Post"}),
-		edgeCandidate([]string{"LIKES"}, []string{"Bot"}, []string{"Comment"}),
+		edgeCandidate(s, []string{"LIKES"}, []string{"Person"}, []string{"Post"}),
+		edgeCandidate(s, []string{"LIKES"}, []string{"Bot"}, []string{"Comment"}),
 	}, 0.9)
 	if len(s.EdgeTypes) != 1 {
 		t.Fatalf("got %d edge types, want 1", len(s.EdgeTypes))
 	}
 	e := s.EdgeTypes[0]
-	if !e.SrcLabels.Has("Person") || !e.SrcLabels.Has("Bot") {
+	if !e.SrcLabels().Has("Person") || !e.SrcLabels().Has("Bot") {
 		t.Error("source endpoint labels lost in merge")
 	}
 }
@@ -200,8 +202,8 @@ func TestExtractUnlabeledEdgesUseEndpointsInJaccard(t *testing.T) {
 	// by R as well (Definition 3.6).
 	s := schema.NewSchema()
 	ExtractTypes(s, schema.EdgeKind, []*schema.Type{
-		edgeCandidate(nil, []string{"Person"}, []string{"Post"}),
-		edgeCandidate(nil, []string{"Org"}, []string{"Place"}),
+		edgeCandidate(s, nil, []string{"Person"}, []string{"Post"}),
+		edgeCandidate(s, nil, []string{"Org"}, []string{"Place"}),
 	}, 0.9)
 	if len(s.EdgeTypes) != 2 {
 		t.Fatalf("got %d edge types, want 2 (different endpoints)", len(s.EdgeTypes))
@@ -209,8 +211,8 @@ func TestExtractUnlabeledEdgesUseEndpointsInJaccard(t *testing.T) {
 	// Identical endpoints do merge.
 	s2 := schema.NewSchema()
 	ExtractTypes(s2, schema.EdgeKind, []*schema.Type{
-		edgeCandidate(nil, []string{"Person"}, []string{"Post"}),
-		edgeCandidate(nil, []string{"Person"}, []string{"Post"}),
+		edgeCandidate(s2, nil, []string{"Person"}, []string{"Post"}),
+		edgeCandidate(s2, nil, []string{"Person"}, []string{"Post"}),
 	}, 0.9)
 	if len(s2.EdgeTypes) != 1 {
 		t.Fatalf("got %d edge types, want 1 (same endpoints)", len(s2.EdgeTypes))
@@ -220,9 +222,9 @@ func TestExtractUnlabeledEdgesUseEndpointsInJaccard(t *testing.T) {
 func TestExtractThetaZeroMergesEverythingUnlabeled(t *testing.T) {
 	s := schema.NewSchema()
 	ExtractTypes(s, schema.NodeKind, []*schema.Type{
-		nodeCandidate(nil, "a"),
-		nodeCandidate(nil, "b"),
-		nodeCandidate(nil, "c"),
+		nodeCandidate(s, nil, "a"),
+		nodeCandidate(s, nil, "b"),
+		nodeCandidate(s, nil, "c"),
 	}, 0.0)
 	if len(s.NodeTypes) != 1 {
 		t.Fatalf("θ=0: got %d types, want 1", len(s.NodeTypes))
@@ -234,9 +236,9 @@ func TestExtractTypeCompleteness(t *testing.T) {
 	// covered by some type after extraction.
 	s := schema.NewSchema()
 	cands := []*schema.Type{
-		nodeCandidate([]string{"A"}, "k1", "k2"),
-		nodeCandidate([]string{"B"}, "k3"),
-		nodeCandidate(nil, "k4", "k5"),
+		nodeCandidate(s, []string{"A"}, "k1", "k2"),
+		nodeCandidate(s, []string{"B"}, "k3"),
+		nodeCandidate(s, nil, "k4", "k5"),
 	}
 	ExtractTypes(s, schema.NodeKind, cands, 0.9)
 	for _, tc := range []struct {

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pghive/internal/pg"
+	"pghive/internal/schema"
+)
+
+// TestAmpersandLabelsStayDistinct is the StringSet.Key() collision
+// regression: under the old "&"-joined key, {"a&b"} and {"a", "b"} rendered
+// to the same string and the two types fused. With length-prefixed set keys
+// and hashed ID-tuple type lookup they must stay separate end to end.
+func TestAmpersandLabelsStayDistinct(t *testing.T) {
+	g := pg.NewGraph()
+	for i := 0; i < 30; i++ {
+		g.AddNode([]string{"a&b"}, pg.Properties{"x": pg.Int(int64(i))})
+		g.AddNode([]string{"a", "b"}, pg.Properties{"y": pg.Str("s")})
+	}
+	for _, m := range []Method{MethodELSH, MethodMinHash} {
+		cfg := DefaultConfig()
+		cfg.Method = m
+		res := Discover(pg.NewSliceSource(g.SplitRandom(3, 1)...), cfg)
+		if len(res.Schema.NodeTypes) != 2 {
+			t.Fatalf("%v: got %d node types, want 2 ({a&b} vs {a,b})", m, len(res.Schema.NodeTypes))
+		}
+		single := res.Schema.FindByLabelSet(schema.NodeKind, schema.IDSet{mustLookup(t, res.Schema, "a&b")})
+		if single == nil {
+			t.Fatalf("%v: no type with label set {a&b}", m)
+		}
+		if single.Prop("y") != nil {
+			t.Errorf("%v: {a&b} type absorbed {a,b}'s property", m)
+		}
+		if single.Prop("x") == nil {
+			t.Errorf("%v: {a&b} type lost its own property", m)
+		}
+	}
+}
+
+func mustLookup(t *testing.T, s *schema.Schema, label string) uint32 {
+	t.Helper()
+	id, ok := s.Tab.Lookup(label)
+	if !ok {
+		t.Fatalf("label %q not interned", label)
+	}
+	return id
+}
+
+// TestResumePGCK2Rejected: a checkpoint from the pre-interning format must
+// be rejected by its magic, not misparsed into a half-restored pipeline.
+func TestResumePGCK2Rejected(t *testing.T) {
+	stale := append([]byte("PGCK2"), make([]byte, 64)...)
+	_, _, _, err := ResumePipeline(bytes.NewReader(stale), DefaultConfig())
+	if err == nil {
+		t.Fatal("resuming a PGCK2 checkpoint succeeded, want magic error")
+	}
+	if !strings.Contains(err.Error(), "checkpoint") {
+		t.Errorf("error %q does not mention the checkpoint", err)
+	}
+}
+
+// TestResumeAcrossInterning: the checkpoint must restore the symbol table
+// with its exact ID assignment — the resumed pipeline keeps interning where
+// the writer left off, and replaying the remaining batches yields an
+// identical finalized schema AND an identical symtab.
+func TestResumeAcrossInterning(t *testing.T) {
+	batches := engineGraph(t, 300).SplitRandom(6, 9)
+	cfg := DefaultConfig()
+
+	p := NewPipeline(cfg)
+	for _, b := range batches[:3] {
+		p.ProcessBatch(b)
+	}
+	var buf bytes.Buffer
+	if err := p.EncodeCheckpoint(&buf, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	restored, _, _, err := ResumePipeline(bytes.NewReader(buf.Bytes()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The restored table must carry the writer's exact string→ID map.
+	tab, rtab := p.schema.Tab, restored.schema.Tab
+	if rtab.Strings() != tab.Strings() || rtab.Endpoints() != tab.Endpoints() {
+		t.Fatalf("restored symtab sizes (%d,%d), want (%d,%d)",
+			rtab.Strings(), rtab.Endpoints(), tab.Strings(), tab.Endpoints())
+	}
+	for id := 0; id < tab.Strings(); id++ {
+		if got, want := rtab.Str(uint32(id)), tab.Str(uint32(id)); got != want {
+			t.Fatalf("restored symtab id %d = %q, want %q", id, got, want)
+		}
+	}
+
+	for _, b := range batches[3:] {
+		p.ProcessBatch(b)
+		restored.ProcessBatch(b)
+	}
+	defsEqual(t, "resume-across-interning", p.Finalize(), restored.Finalize())
+	// Interning the remainder of the stream must have stayed in lockstep.
+	if restored.schema.Tab.Strings() != p.schema.Tab.Strings() {
+		t.Errorf("post-resume symtab diverged: %d vs %d strings",
+			restored.schema.Tab.Strings(), p.schema.Tab.Strings())
+	}
+}
+
+// TestSamplerStateRoundTrip pins the composite-key sampler codec: counters
+// written under (kind tag | key ID) keys restore exactly, so post-resume
+// sampling decisions continue the original sequence.
+func TestSamplerStateRoundTrip(t *testing.T) {
+	s := newSampler(0.1, 2, 7)
+	for i := 0; i < 40; i++ {
+		s.nextNode(0, "name")
+		s.nextEdge(0, "name")
+		s.nextNode(3, "age")
+	}
+	var buf bytes.Buffer
+	w := pg.NewWireWriter(&buf)
+	s.writeState(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := newSampler(0.1, 2, 7)
+	if err := restored.readState(pg.NewWireReader(bytes.NewReader(buf.Bytes()))); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if s.nextNode(0, "name") != restored.nextNode(0, "name") {
+			t.Fatal("node decisions diverge after state restore")
+		}
+		if s.nextEdge(0, "name") != restored.nextEdge(0, "name") {
+			t.Fatal("edge decisions diverge after state restore")
+		}
+		if s.nextNode(3, "age") != restored.nextNode(3, "age") {
+			t.Fatal("decisions diverge for a second key")
+		}
+	}
+}
+
+// TestSamplerNodeEdgeKeysIndependent: the same interned key ID must keep
+// separate counters per element kind (the samplerEdgeTag bit).
+func TestSamplerNodeEdgeKeysIndependent(t *testing.T) {
+	s := newSampler(0.0, 3, 1)
+	for i := 0; i < 3; i++ {
+		if !s.nextNode(5, "k") {
+			t.Fatal("below-minimum node observation not sampled")
+		}
+	}
+	// Node counter is exhausted; the edge counter for the same ID must
+	// still be at zero and sample its first min observations.
+	for i := 0; i < 3; i++ {
+		if !s.nextEdge(5, "k") {
+			t.Fatal("edge counter shared state with node counter")
+		}
+	}
+}

@@ -36,13 +36,13 @@ func fingerprint(s *schema.Schema) map[string][]string {
 	fold := func(prefix string, types []*schema.Type) {
 		merged := map[string]map[string]struct{}{}
 		for _, t := range types {
-			key := prefix + strings.Join(t.Labels.Sorted(), "|")
+			key := prefix + strings.Join(t.LabelStrings(), "|")
 			props := merged[key]
 			if props == nil {
 				props = map[string]struct{}{}
 				merged[key] = props
 			}
-			for k := range t.Props {
+			for _, k := range t.PropKeyStrings() {
 				props[k] = struct{}{}
 			}
 		}

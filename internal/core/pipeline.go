@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"time"
 
 	"pghive/internal/align"
@@ -58,7 +59,12 @@ type Pipeline struct {
 	aligner *align.Aligner
 	session *vectorize.Session
 	reports []BatchReport
-	instr   obs.Instr
+	// clusterEst tracks the cluster count each kind produced on the most
+	// recent batch — the presize hint for the next batch's signature
+	// bucket map (atomic: cluster stages of different batches may run
+	// concurrently under the overlapped engine).
+	clusterEst [2]atomic.Int64
+	instr      obs.Instr
 	// lastSess is the session-stats frontier already emitted to the sink;
 	// preprocess emits per-batch deltas against it (preprocess is
 	// serialized, so no locking is needed).
@@ -233,6 +239,7 @@ func (p *Pipeline) preprocess(b *pg.Batch, seq int) staged {
 func (p *Pipeline) extract(c computed) BatchReport {
 	c.report.Batch = len(p.reports)
 	start := time.Now()
+	p.internBatch(c.b)
 	nodeCands := p.nodeCandidates(c.b, c.nodeClusters)
 	edgeCands := p.edgeCandidates(c.b, c.edgeClusters)
 	typesBefore := 0
@@ -314,6 +321,7 @@ func edgeSpec(b *pg.Batch, vz *vectorize.Vectorizer) kindSpec {
 // vectors are rendered into one contiguous allocation.
 func (p *Pipeline) clusterKind(spec kindSpec, arena bool) ([]lsh.Cluster, lsh.Params) {
 	clusters, params := p.clusterKindInner(spec, arena)
+	p.clusterEst[kindIndex(spec.isEdge)].Store(int64(len(clusters)))
 	if p.instr.Enabled() && len(clusters) > 0 {
 		hist := obs.HistNodeOccupancy
 		if spec.isEdge {
@@ -324,6 +332,26 @@ func (p *Pipeline) clusterKind(spec kindSpec, arena bool) ([]lsh.Cluster, lsh.Pa
 		}
 	}
 	return clusters, params
+}
+
+func kindIndex(isEdge bool) int {
+	if isEdge {
+		return 1
+	}
+	return 0
+}
+
+// bucketHint returns the presize hint for a signature bucket map: the
+// cluster count the kind produced on the previous batch plus headroom.
+// Batches of one stream keep yielding roughly the same clusters, so this
+// tracks the true bucket count far better than the n/4+1 default; 0 (first
+// batch) falls back to that default.
+func (p *Pipeline) bucketHint(isEdge bool) int {
+	est := int(p.clusterEst[kindIndex(isEdge)].Load())
+	if est <= 0 {
+		return 0
+	}
+	return est + est/8 + 16
 }
 
 func (p *Pipeline) clusterKindInner(spec kindSpec, arena bool) ([]lsh.Cluster, lsh.Params) {
@@ -353,7 +381,7 @@ func (p *Pipeline) clusterKindInner(spec kindSpec, arena bool) ([]lsh.Cluster, l
 			}
 			hashes := make([]uint64, n)
 			parmap(n, p.cfg.Parallelism, func(i int) { hashes[i] = mh.SignatureHash(sets[i]) })
-			return lsh.GroupByHash(hashes), params
+			return lsh.GroupByHashSized(hashes, p.bucketHint(spec.isEdge)), params
 		}
 		return p.clusterMinHashFactored(spec, mh), params
 	default:
@@ -367,7 +395,7 @@ func (p *Pipeline) clusterKindInner(spec kindSpec, arena bool) ([]lsh.Cluster, l
 			fam := lsh.NewELSH(spec.dim, params.Bucket, params.Tables, p.cfg.Seed+famSeed)
 			hashes := make([]uint64, n)
 			parmap(n, p.cfg.Parallelism, func(i int) { hashes[i] = fam.SignatureHash(vectors[i]) })
-			return lsh.GroupByHash(hashes), *params
+			return lsh.GroupByHashSized(hashes, p.bucketHint(spec.isEdge)), *params
 		}
 		params := manual
 		if params == nil {
@@ -393,7 +421,7 @@ func (p *Pipeline) clusterKindInner(spec kindSpec, arena bool) ([]lsh.Cluster, l
 				hashes[i] = h.SignatureHash(r.TokenID, r.Props)
 			}
 		})
-		return lsh.GroupByHash(hashes), *params
+		return lsh.GroupByHashSized(hashes, p.bucketHint(spec.isEdge)), *params
 	}
 }
 
@@ -435,7 +463,7 @@ func (p *Pipeline) clusterMinHashFactored(spec kindSpec, mh *lsh.MinHash) []lsh.
 	for i, id := range recID {
 		hashes[i] = distinct[id]
 	}
-	return lsh.GroupByHash(hashes)
+	return lsh.GroupByHashSized(hashes, p.bucketHint(spec.isEdge))
 }
 
 // renderVectors materializes every element vector of one kind, either as one
@@ -472,16 +500,53 @@ func adaptFromSample(spec kindSpec, seed int64) lsh.Params {
 	return lsh.AdaptParams(sample, spec.n, spec.labelTokens, spec.isEdge, seed)
 }
 
+// internBatch pre-interns every label, property key and endpoint ID the
+// batch's candidate builders will touch. extract is serialized in batch
+// order, so interning here is single-threaded — ID assignment is
+// deterministic in stream order — and the parallel candidate observers
+// below only perform read-only symtab lookups (Intern hits on every call),
+// making the shared table race-free without locking.
+func (p *Pipeline) internBatch(b *pg.Batch) {
+	tab := p.schema.Tab
+	for i := range b.Nodes {
+		n := &b.Nodes[i]
+		for _, l := range n.Labels {
+			tab.Intern(l)
+		}
+		for k := range n.Props {
+			tab.Intern(k)
+		}
+	}
+	for i := range b.Edges {
+		e := &b.Edges[i]
+		for _, l := range e.Labels {
+			tab.Intern(l)
+		}
+		for _, l := range e.SrcLabels {
+			tab.Intern(l)
+		}
+		for _, l := range e.DstLabels {
+			tab.Intern(l)
+		}
+		for k := range e.Props {
+			tab.Intern(k)
+		}
+		tab.InternEp(e.Src)
+		tab.InternEp(e.Dst)
+	}
+}
+
 // nodeCandidates turns node clusters into candidate types (cluster
 // representatives, §4.2): labels and property keys are unioned over the
-// members, and per-property evidence is accumulated.
+// members, and per-property evidence is accumulated. The batch must have
+// been pre-interned (internBatch), so the parallel observers only read the
+// symtab.
 func (p *Pipeline) nodeCandidates(b *pg.Batch, clusters []lsh.Cluster) []*schema.Type {
 	out := make([]*schema.Type, len(clusters))
 	parmap(len(clusters), p.cfg.Parallelism, func(ci int) {
-		t := schema.NewType(schema.NodeKind)
+		t := p.schema.NewType(schema.NodeKind)
 		for _, i := range clusters[ci].Members {
-			rec := &b.Nodes[i]
-			t.ObserveNode(rec, func(key string) bool { return p.sampler.next("n:" + key) }, p.cfg.TrackMembers)
+			t.ObserveNode(&b.Nodes[i], p.sampler.nextNode, p.cfg.TrackMembers)
 		}
 		out[ci] = t
 	})
@@ -492,10 +557,9 @@ func (p *Pipeline) nodeCandidates(b *pg.Batch, clusters []lsh.Cluster) []*schema
 func (p *Pipeline) edgeCandidates(b *pg.Batch, clusters []lsh.Cluster) []*schema.Type {
 	out := make([]*schema.Type, len(clusters))
 	parmap(len(clusters), p.cfg.Parallelism, func(ci int) {
-		t := schema.NewType(schema.EdgeKind)
+		t := p.schema.NewType(schema.EdgeKind)
 		for _, i := range clusters[ci].Members {
-			rec := &b.Edges[i]
-			t.ObserveEdge(rec, func(key string) bool { return p.sampler.next("e:" + key) }, p.cfg.TrackMembers)
+			t.ObserveEdge(&b.Edges[i], p.sampler.nextEdge, p.cfg.TrackMembers)
 		}
 		out[ci] = t
 	})

@@ -302,7 +302,7 @@ func TestSamplerDeterministicAndMinimum(t *testing.T) {
 	s := newSampler(0.1, 5, 42)
 	s2 := newSampler(0.1, 5, 42)
 	for i := 0; i < 200; i++ {
-		a, b := s.next("n:key"), s2.next("n:key")
+		a, b := s.nextNode(7, "key"), s2.nextNode(7, "key")
 		if a != b {
 			t.Fatal("sampler not deterministic")
 		}
@@ -317,7 +317,7 @@ func TestSamplerFractionRoughlyHolds(t *testing.T) {
 	hits := 0
 	const extra = 20000
 	for i := 0; i < 100+extra; i++ {
-		if s.next("e:k") && i >= 100 {
+		if s.nextEdge(3, "k") && i >= 100 {
 			hits++
 		}
 	}

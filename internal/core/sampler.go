@@ -1,7 +1,6 @@
 package core
 
 import (
-	"hash/fnv"
 	"sync"
 )
 
@@ -10,48 +9,87 @@ import (
 // decision is a pure function of (element kind, key, per-key observation
 // ordinal, seed), so it is deterministic regardless of map-iteration or
 // goroutine order. It is safe for concurrent use.
+//
+// Counters are keyed by (kind tag, interned key ID) packed into one uint64,
+// so the hot path never concatenates a "n:"/"e:" prefix onto the key; the
+// decision hash streams the same prefix and key bytes the concatenated form
+// hashed, keeping every decision identical to the string-keyed
+// implementation.
 type sampler struct {
 	mu     sync.Mutex
-	counts map[string]int
+	counts map[uint64]int
 	frac   float64
 	min    int
 	seed   uint64
 }
 
+// samplerEdgeTag marks edge-property counter keys; node keys use the bare
+// interned ID (tag 0).
+const samplerEdgeTag = uint64(1) << 32
+
 func newSampler(frac float64, min int, seed int64) *sampler {
 	return &sampler{
-		counts: map[string]int{},
+		counts: map[uint64]int{},
 		frac:   frac,
 		min:    min,
 		seed:   uint64(seed),
 	}
 }
 
-// next reports whether the next observation of the given property key (with
-// a kind prefix such as "n:" or "e:") joins the sample.
-func (s *sampler) next(key string) bool {
+// nextNode reports whether the next observation of the node-property key
+// joins the sample.
+func (s *sampler) nextNode(id uint32, key string) bool {
+	return s.next(uint64(id), "n:", key)
+}
+
+// nextEdge reports whether the next observation of the edge-property key
+// joins the sample.
+func (s *sampler) nextEdge(id uint32, key string) bool {
+	return s.next(samplerEdgeTag|uint64(id), "e:", key)
+}
+
+func (s *sampler) next(ck uint64, prefix, key string) bool {
 	s.mu.Lock()
-	c := s.counts[key]
-	s.counts[key] = c + 1
+	c := s.counts[ck]
+	s.counts[ck] = c + 1
 	s.mu.Unlock()
 	if c < s.min {
 		return true
 	}
-	return s.uniform(key, c) < s.frac
+	return s.uniform(prefix, key, c) < s.frac
 }
 
-// uniform hashes (key, ordinal, seed) to a float in [0, 1).
-func (s *sampler) uniform(key string, ordinal int) float64 {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	var buf [16]byte
+// FNV-1a parameters (hash/fnv's 64-bit variant, inlined so the decision
+// path allocates nothing).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// uniform hashes (prefix, key, ordinal, seed) to a float in [0, 1). The
+// prefix and key stream through the hash back to back, so the digest —
+// and every sampling decision — equals the former prefix+key
+// concatenation's.
+func (s *sampler) uniform(prefix, key string, ordinal int) float64 {
+	h := fnvString(fnvString(fnvOffset64, prefix), key)
 	o := uint64(ordinal)
 	for i := 0; i < 8; i++ {
-		buf[i] = byte(o >> (8 * i))
-		buf[8+i] = byte(s.seed >> (8 * i))
+		h ^= uint64(byte(o >> (8 * i)))
+		h *= fnvPrime64
 	}
-	h.Write(buf[:])
-	x := splitmix64(h.Sum64())
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(s.seed >> (8 * i)))
+		h *= fnvPrime64
+	}
+	x := splitmix64(h)
 	return float64(x>>11) / float64(1<<53)
 }
 

@@ -9,10 +9,10 @@ import (
 )
 
 func nodeType(n int, props func(i int) pg.Properties) *schema.Type {
-	t := schema.NewType(schema.NodeKind)
+	t := schema.NewType(schema.NewSymtab(), schema.NodeKind)
 	for i := 0; i < n; i++ {
 		t.ObserveNode(&pg.NodeRecord{ID: pg.ID(i), Labels: []string{"T"}, Props: props(i)},
-			func(string) bool { return false }, false)
+			schema.NeverSample, false)
 	}
 	return t
 }
@@ -24,11 +24,11 @@ func TestKeyConstraintDiscovered(t *testing.T) {
 			"name": pg.Str("same"),                  // mandatory, duplicated
 		}
 	})
-	id := PropertyDef("id", ty.Props["id"], ty.Instances, Options{})
+	id := PropertyDef("id", ty.Prop("id"), ty.Instances, Options{})
 	if !id.Unique {
 		t.Error("id should be a key candidate")
 	}
-	name := PropertyDef("name", ty.Props["name"], ty.Instances, Options{})
+	name := PropertyDef("name", ty.Prop("name"), ty.Instances, Options{})
 	if name.Unique {
 		t.Error("duplicated name must not be a key")
 	}
@@ -43,7 +43,7 @@ func TestKeyRequiresMandatory(t *testing.T) {
 		}
 		return p
 	})
-	code := PropertyDef("code", ty.Props["code"], ty.Instances, Options{})
+	code := PropertyDef("code", ty.Prop("code"), ty.Instances, Options{})
 	if code.Unique {
 		t.Error("optional property must not be a key")
 	}
@@ -53,7 +53,7 @@ func TestKeyRequiresSupport(t *testing.T) {
 	ty := nodeType(1, func(i int) pg.Properties {
 		return pg.Properties{"id": pg.Str("only")}
 	})
-	id := PropertyDef("id", ty.Props["id"], ty.Instances, Options{})
+	id := PropertyDef("id", ty.Prop("id"), ty.Instances, Options{})
 	if id.Unique {
 		t.Error("a single instance cannot certify a key")
 	}
@@ -63,7 +63,7 @@ func TestEnumDiscovered(t *testing.T) {
 	ty := nodeType(60, func(i int) pg.Properties {
 		return pg.Properties{"status": pg.Str([]string{"open", "closed"}[i%2])}
 	})
-	status := PropertyDef("status", ty.Props["status"], ty.Instances, Options{})
+	status := PropertyDef("status", ty.Prop("status"), ty.Instances, Options{})
 	if len(status.Enum) != 2 || status.Enum[0] != "closed" || status.Enum[1] != "open" {
 		t.Errorf("Enum = %v, want [closed open]", status.Enum)
 	}
@@ -74,7 +74,7 @@ func TestEnumRequiresSupport(t *testing.T) {
 	ty := nodeType(5, func(i int) pg.Properties {
 		return pg.Properties{"status": pg.Str("open")}
 	})
-	status := PropertyDef("status", ty.Props["status"], ty.Instances, Options{})
+	status := PropertyDef("status", ty.Prop("status"), ty.Instances, Options{})
 	if status.Enum != nil {
 		t.Errorf("Enum = %v on %d observations, want nil", status.Enum, 5)
 	}
@@ -84,7 +84,7 @@ func TestRangeDiscovered(t *testing.T) {
 	ty := nodeType(30, func(i int) pg.Properties {
 		return pg.Properties{"age": pg.Int(int64(10 + i))}
 	})
-	age := PropertyDef("age", ty.Props["age"], ty.Instances, Options{})
+	age := PropertyDef("age", ty.Prop("age"), ty.Instances, Options{})
 	if !age.HasRange || age.MinNum != 10 || age.MaxNum != 39 {
 		t.Errorf("age range = %+v, want [10, 39]", age)
 	}
@@ -99,7 +99,7 @@ func TestRangeOnlyForNumericTypes(t *testing.T) {
 		}
 		return pg.Properties{"mixed": pg.Str("zzz")}
 	})
-	mixed := PropertyDef("mixed", ty.Props["mixed"], ty.Instances, Options{})
+	mixed := PropertyDef("mixed", ty.Prop("mixed"), ty.Instances, Options{})
 	if mixed.HasRange {
 		t.Error("STRING-typed property must not carry a numeric range")
 	}
@@ -107,23 +107,23 @@ func TestRangeOnlyForNumericTypes(t *testing.T) {
 
 func buildParticipationSchema(participating int) *schema.Schema {
 	s := schema.NewSchema()
-	person := schema.NewType(schema.NodeKind)
+	person := s.NewType(schema.NodeKind)
 	for i := 0; i < 10; i++ {
 		person.ObserveNode(&pg.NodeRecord{ID: pg.ID(i), Labels: []string{"Person"}},
-			func(string) bool { return false }, false)
+			schema.NeverSample, false)
 	}
 	s.Add(person)
-	org := schema.NewType(schema.NodeKind)
+	org := s.NewType(schema.NodeKind)
 	org.ObserveNode(&pg.NodeRecord{ID: 100, Labels: []string{"Org"}},
-		func(string) bool { return false }, false)
+		schema.NeverSample, false)
 	s.Add(org)
 
-	worksAt := schema.NewType(schema.EdgeKind)
+	worksAt := s.NewType(schema.EdgeKind)
 	for i := 0; i < participating; i++ {
 		worksAt.ObserveEdge(&pg.EdgeRecord{ID: pg.ID(i), Labels: []string{"WORKS_AT"},
 			Src: pg.ID(i), Dst: 100,
 			SrcLabels: []string{"Person"}, DstLabels: []string{"Org"}},
-			func(string) bool { return false }, false)
+			schema.NeverSample, false)
 	}
 	s.Add(worksAt)
 	return s
@@ -173,7 +173,7 @@ func TestParticipationRejectsForeignSources(t *testing.T) {
 	worksAt.ObserveEdge(&pg.EdgeRecord{ID: 99, Labels: []string{"WORKS_AT"},
 		Src: 999, Dst: 100,
 		SrcLabels: []string{"Person"}, DstLabels: []string{"Org"}},
-		func(string) bool { return false }, false)
+		schema.NeverSample, false)
 	def := Finalize(s, Options{Participation: true})
 	e := def.EdgeType("WORKS_AT")
 	if e.SrcTotal {

@@ -133,7 +133,7 @@ func Finalize(s *schema.Schema, opts Options) *schema.Def {
 		}
 		def.Nodes = append(def.Nodes, schema.NodeTypeDef{
 			Name:       name,
-			Labels:     t.Labels.Sorted(),
+			Labels:     t.LabelStrings(),
 			Abstract:   t.Abstract || !t.Labeled(),
 			Properties: finalizeProps(t, opts),
 			Instances:  t.Instances,
@@ -148,19 +148,19 @@ func Finalize(s *schema.Schema, opts Options) *schema.Def {
 		deg := t.MaxDegrees()
 		ed := schema.EdgeTypeDef{
 			Name:        name,
-			Labels:      t.Labels.Sorted(),
+			Labels:      t.LabelStrings(),
 			Abstract:    t.Abstract || !t.Labeled(),
 			Properties:  finalizeProps(t, opts),
 			Instances:   t.Instances,
-			SrcTypes:    resolveEndpoints(def.Nodes, t.SrcLabels),
-			DstTypes:    resolveEndpoints(def.Nodes, t.DstLabels),
+			SrcTypes:    resolveEndpoints(def.Nodes, t.SrcLabels()),
+			DstTypes:    resolveEndpoints(def.Nodes, t.DstLabels()),
 			Cardinality: schema.CardinalityFromDegrees(deg),
 			MaxOut:      deg.MaxOut,
 			MaxIn:       deg.MaxIn,
 		}
 		if opts.Participation {
-			ed.SrcTotal = totalParticipation(def.Nodes, ed.SrcTypes, len(t.OutDeg))
-			ed.DstTotal = totalParticipation(def.Nodes, ed.DstTypes, len(t.InDeg))
+			ed.SrcTotal = totalParticipation(def.Nodes, ed.SrcTypes, t.OutDistinct())
+			ed.DstTotal = totalParticipation(def.Nodes, ed.DstTypes, t.InDistinct())
 		}
 		def.Edges = append(def.Edges, ed)
 	}
@@ -190,14 +190,11 @@ func totalParticipation(nodes []schema.NodeTypeDef, typeNames []string, particip
 }
 
 func finalizeProps(t *schema.Type, opts Options) []schema.PropertyDef {
-	keys := make([]string, 0, len(t.Props))
-	for k := range t.Props {
-		keys = append(keys, k)
-	}
+	keys := t.PropKeyStrings()
 	sort.Strings(keys)
 	out := make([]schema.PropertyDef, 0, len(keys))
 	for _, k := range keys {
-		out = append(out, PropertyDef(k, t.Props[k], t.Instances, opts))
+		out = append(out, PropertyDef(k, t.Prop(k), t.Instances, opts))
 	}
 	return out
 }

@@ -8,6 +8,8 @@ import (
 	"pghive/internal/schema"
 )
 
+func alwaysSample(uint32, string) bool { return true }
+
 func kinds(pairs ...interface{}) map[pg.Kind]int {
 	m := map[pg.Kind]int{}
 	for i := 0; i < len(pairs); i += 2 {
@@ -125,34 +127,34 @@ func TestSamplingErrorNoSample(t *testing.T) {
 
 func buildExampleSchema() *schema.Schema {
 	s := schema.NewSchema()
-	person := schema.NewType(schema.NodeKind)
+	person := s.NewType(schema.NodeKind)
 	for i := 0; i < 3; i++ {
 		person.ObserveNode(&pg.NodeRecord{ID: pg.ID(i), Labels: []string{"Person"},
 			Props: pg.Properties{"name": pg.Str("x"), "bday": pg.Date(pg.ParseValue("1999-12-19").AsTime())}},
-			func(string) bool { return true }, false)
+			alwaysSample, false)
 	}
 	person.ObserveNode(&pg.NodeRecord{ID: 3, Labels: []string{"Person"},
-		Props: pg.Properties{"name": pg.Str("y")}}, func(string) bool { return true }, false)
+		Props: pg.Properties{"name": pg.Str("y")}}, alwaysSample, false)
 	s.Add(person)
 
-	org := schema.NewType(schema.NodeKind)
+	org := s.NewType(schema.NodeKind)
 	org.ObserveNode(&pg.NodeRecord{ID: 4, Labels: []string{"Organization"},
-		Props: pg.Properties{"name": pg.Str("o"), "url": pg.Str("u")}}, func(string) bool { return true }, false)
+		Props: pg.Properties{"name": pg.Str("o"), "url": pg.Str("u")}}, alwaysSample, false)
 	s.Add(org)
 
-	abstract := schema.NewType(schema.NodeKind)
+	abstract := s.NewType(schema.NodeKind)
 	abstract.Abstract = true
 	abstract.ObserveNode(&pg.NodeRecord{ID: 5, Props: pg.Properties{"blob": pg.Str("?")}},
-		func(string) bool { return true }, false)
+		alwaysSample, false)
 	s.Add(abstract)
 
-	worksAt := schema.NewType(schema.EdgeKind)
+	worksAt := s.NewType(schema.EdgeKind)
 	worksAt.ObserveEdge(&pg.EdgeRecord{ID: 0, Labels: []string{"WORKS_AT"}, Src: 0, Dst: 4,
 		SrcLabels: []string{"Person"}, DstLabels: []string{"Organization"},
-		Props: pg.Properties{"from": pg.Int(2020)}}, func(string) bool { return true }, false)
+		Props: pg.Properties{"from": pg.Int(2020)}}, alwaysSample, false)
 	worksAt.ObserveEdge(&pg.EdgeRecord{ID: 1, Labels: []string{"WORKS_AT"}, Src: 1, Dst: 4,
 		SrcLabels: []string{"Person"}, DstLabels: []string{"Organization"}},
-		func(string) bool { return true }, false)
+		alwaysSample, false)
 	s.Add(worksAt)
 	return s
 }
@@ -238,10 +240,10 @@ func TestResolveEndpointsIntersection(t *testing.T) {
 func TestFinalizeMultipleAbstractNamesDistinct(t *testing.T) {
 	s := schema.NewSchema()
 	for i := 0; i < 3; i++ {
-		ty := schema.NewType(schema.NodeKind)
+		ty := s.NewType(schema.NodeKind)
 		ty.Abstract = true
 		ty.ObserveNode(&pg.NodeRecord{ID: pg.ID(i), Props: pg.Properties{"k": pg.Int(1)}},
-			func(string) bool { return false }, false)
+			schema.NeverSample, false)
 		s.Add(ty)
 	}
 	def := Finalize(s, Options{})

@@ -23,7 +23,13 @@ type Cluster struct {
 // compute keys in parallel). Cluster order is deterministic: clusters are
 // sorted by their smallest member index.
 func GroupByKeys(keys []string) []Cluster {
-	return groupBySignature(len(keys), func(i int) string { return keys[i] })
+	return GroupByKeysSized(keys, 0)
+}
+
+// GroupByKeysSized is GroupByKeys with a bucket-count hint (see
+// GroupByHashSized); hint <= 0 falls back to the n/4+1 default.
+func GroupByKeysSized(keys []string, hint int) []Cluster {
+	return groupBySignature(len(keys), hint, func(i int) string { return keys[i] })
 }
 
 // GroupByHash buckets items by precomputed 64-bit signature hashes — the
@@ -33,7 +39,20 @@ func GroupByKeys(keys []string) []Cluster {
 // approximation error, and the downstream label/Jaccard merge step is
 // tolerant to occasional merges by design.
 func GroupByHash(hashes []uint64) []Cluster {
-	buckets := make(map[uint64][]int, len(hashes)/4+1)
+	return GroupByHashSized(hashes, 0)
+}
+
+// GroupByHashSized is GroupByHash with a bucket-count hint — typically a
+// running estimate of the cluster count from previous batches, which is
+// orders of magnitude below the default n/4+1 guess (batches of the same
+// stream keep producing roughly the same clusters, so the default
+// overallocates the map by ~n/4 buckets every batch). hint <= 0 falls back
+// to the default.
+func GroupByHashSized(hashes []uint64, hint int) []Cluster {
+	if hint <= 0 {
+		hint = len(hashes)/4 + 1
+	}
+	buckets := make(map[uint64][]int, hint)
 	for i, h := range hashes {
 		buckets[h] = append(buckets[h], i)
 	}
@@ -64,9 +83,13 @@ func fnvMix(h, x uint64) uint64 {
 
 // groupBySignature buckets n items by a string key derived from their
 // signatures. Cluster order is deterministic: clusters are sorted by their
-// smallest member index.
-func groupBySignature(n int, key func(i int) string) []Cluster {
-	buckets := make(map[string][]int, n/4+1)
+// smallest member index. hint <= 0 presizes the bucket map at the n/4+1
+// default.
+func groupBySignature(n, hint int, key func(i int) string) []Cluster {
+	if hint <= 0 {
+		hint = n/4 + 1
+	}
+	buckets := make(map[string][]int, hint)
 	for i := 0; i < n; i++ {
 		k := key(i)
 		buckets[k] = append(buckets[k], i)

@@ -74,3 +74,51 @@ func TestUnionFindBasics(t *testing.T) {
 		t.Errorf("singleton = %v, want [2]", clusters[1].Members)
 	}
 }
+
+func TestGroupByHashSizedMatchesDefault(t *testing.T) {
+	// The bucket-count hint is a pure allocation optimization: any hint,
+	// including absurd ones, must leave the clustering unchanged.
+	rng := rand.New(rand.NewSource(3))
+	hashes := make([]uint64, 2000)
+	for i := range hashes {
+		hashes[i] = uint64(rng.Intn(40)) // ~40 clusters
+	}
+	want := GroupByHash(hashes)
+	for _, hint := range []int{-1, 0, 1, 40, 45, 100000} {
+		got := GroupByHashSized(hashes, hint)
+		if len(got) != len(want) {
+			t.Fatalf("hint=%d: %d clusters, want %d", hint, len(got), len(want))
+		}
+		for i := range want {
+			if len(got[i].Members) != len(want[i].Members) || got[i].Members[0] != want[i].Members[0] {
+				t.Fatalf("hint=%d: cluster %d differs", hint, i)
+			}
+		}
+	}
+}
+
+// BenchmarkGroupByHash pins the satellite optimization: batches of the same
+// stream keep producing roughly the same cluster count, so presizing the
+// bucket map from the previous batch's count (sized/hinted) beats the
+// blind n/4+1 default (default), which overallocates by orders of
+// magnitude whenever clusters ≪ n.
+func BenchmarkGroupByHash(b *testing.B) {
+	const n, clusters = 20000, 48
+	rng := rand.New(rand.NewSource(1))
+	hashes := make([]uint64, n)
+	for i := range hashes {
+		hashes[i] = uint64(rng.Intn(clusters))
+	}
+	b.Run("default", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			GroupByHash(hashes)
+		}
+	})
+	b.Run("sized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			GroupByHashSized(hashes, clusters+clusters/8+16)
+		}
+	})
+}

@@ -111,7 +111,7 @@ func (e *ELSH) Cluster(vectors [][]float64) []Cluster {
 	for i, v := range vectors {
 		keys[i] = e.SignatureKey(v)
 	}
-	return groupBySignature(len(vectors), func(i int) string { return keys[i] })
+	return groupBySignature(len(vectors), 0, func(i int) string { return keys[i] })
 }
 
 // CollisionProbability returns p_b(d): the probability that two points at

@@ -153,7 +153,7 @@ func (m *MinHash) Cluster(sets [][]uint64) []Cluster {
 	for i, s := range sets {
 		keys[i] = sigKey(m.Signature(s))
 	}
-	return groupBySignature(len(sets), func(i int) string { return keys[i] })
+	return groupBySignature(len(sets), 0, func(i int) string { return keys[i] })
 }
 
 // ClusterBanded groups sets with classic LSH banding: the signature is cut

@@ -8,10 +8,14 @@ import (
 )
 
 // Checkpoint codec: a complete, deterministic wire encoding of the evolving
-// schema — every type with its full evidence (property statistics, value
-// stats, endpoint degrees, members). Encoding the same schema twice yields
-// identical bytes (all map iteration is sorted), which is what lets the
-// crash/resume tests compare checkpoints directly.
+// schema — the intern table first, then every type with its full evidence
+// (property statistics, value stats, endpoint degrees, members) in interned
+// form. Encoding the same schema twice yields identical bytes (ID slices
+// are sorted, the symtab serializes in assignment order, and residual map
+// iteration is sorted), which is what lets the crash/resume tests compare
+// checkpoints directly. Restoring the symtab verbatim is what keeps ID
+// assignment — and therefore the rest of the stream — deterministic across
+// a resume.
 
 // Codec bounds: untrusted counts are capped so corrupt checkpoints cannot
 // drive huge allocations.
@@ -27,6 +31,7 @@ const (
 // WriteSchema encodes the schema onto a wire stream. Errors surface at the
 // caller's Flush.
 func WriteSchema(w *pg.WireWriter, s *Schema) error {
+	WriteSymtab(w, s.Tab)
 	for _, types := range [][]*Type{s.NodeTypes, s.EdgeTypes} {
 		w.Uvarint(uint64(len(types)))
 		for _, t := range types {
@@ -40,14 +45,18 @@ func WriteSchema(w *pg.WireWriter, s *Schema) error {
 
 // ReadSchema decodes a schema written by WriteSchema.
 func ReadSchema(r *pg.WireReader) (*Schema, error) {
-	s := NewSchema()
+	tab, err := ReadSymtab(r)
+	if err != nil {
+		return nil, fmt.Errorf("schema: %w", err)
+	}
+	s := NewSchemaWith(tab)
 	for pass, kind := range []ElementKind{NodeKind, EdgeKind} {
 		n, err := r.Uvarint(maxTypes)
 		if err != nil {
 			return nil, fmt.Errorf("schema: type count (pass %d): %w", pass, err)
 		}
 		for i := uint64(0); i < n; i++ {
-			t, err := readType(r, kind)
+			t, err := readType(r, tab, kind)
 			if err != nil {
 				return nil, fmt.Errorf("schema: %v type %d: %w", kind, i, err)
 			}
@@ -57,85 +66,95 @@ func ReadSchema(r *pg.WireReader) (*Schema, error) {
 	return s, nil
 }
 
-func writeStringSet(w *pg.WireWriter, s StringSet) {
-	sorted := s.Sorted()
-	w.Uvarint(uint64(len(sorted)))
-	for _, e := range sorted {
-		w.String(e)
+func writeIDSet(w *pg.WireWriter, s IDSet) {
+	w.Uvarint(uint64(len(s)))
+	for _, id := range s {
+		w.Uvarint(uint64(id))
 	}
 }
 
-func readStringSet(r *pg.WireReader) (StringSet, error) {
+func readIDSet(r *pg.WireReader, tab *Symtab) (IDSet, error) {
 	n, err := r.Uvarint(maxLabels)
 	if err != nil {
 		return nil, err
 	}
-	s := make(StringSet, n)
+	if n == 0 {
+		return nil, nil
+	}
+	s := make(IDSet, 0, n)
+	last := int64(-1)
 	for i := uint64(0); i < n; i++ {
-		e, err := r.String()
+		id, err := r.Uvarint(uint64(tab.Strings()))
 		if err != nil {
 			return nil, err
 		}
-		s.Add(e)
+		if int64(id) <= last || id >= uint64(tab.Strings()) {
+			return nil, fmt.Errorf("id %d out of order or range", id)
+		}
+		last = int64(id)
+		s = append(s, uint32(id))
 	}
 	return s, nil
 }
 
-func writeDegrees(w *pg.WireWriter, deg map[pg.ID]int) {
-	ids := make([]pg.ID, 0, len(deg))
-	for id := range deg {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	w.Uvarint(uint64(len(ids)))
-	for _, id := range ids {
-		w.Varint(int64(id))
-		w.Varint(int64(deg[id]))
-	}
+func writeDegrees(w *pg.WireWriter, deg *CounterTable) {
+	deg.normalize()
+	w.Uvarint(uint64(len(deg.ids)))
+	deg.each(func(id, count uint32) {
+		w.Uvarint(uint64(id))
+		w.Uvarint(uint64(count))
+	})
 }
 
-func readDegrees(r *pg.WireReader) (map[pg.ID]int, error) {
+func readDegrees(r *pg.WireReader, tab *Symtab) (CounterTable, error) {
+	var deg CounterTable
 	n, err := r.Uvarint(maxDegrees)
 	if err != nil {
-		return nil, err
+		return deg, err
 	}
-	deg := make(map[pg.ID]int, n)
+	if n == 0 {
+		return deg, nil
+	}
+	deg.ids = make([]uint32, 0, n)
+	deg.counts = make([]uint32, 0, n)
+	last := int64(-1)
 	for i := uint64(0); i < n; i++ {
-		id, err := r.Varint()
+		id, err := r.Uvarint(uint64(tab.Endpoints()))
 		if err != nil {
-			return nil, err
+			return deg, err
 		}
-		c, err := r.Varint()
+		if int64(id) <= last || id >= uint64(tab.Endpoints()) {
+			return deg, fmt.Errorf("endpoint %d out of order or range", id)
+		}
+		last = int64(id)
+		c, err := r.Uvarint(^uint64(0))
 		if err != nil {
-			return nil, err
+			return deg, err
 		}
-		deg[pg.ID(id)] = int(c)
+		deg.ids = append(deg.ids, uint32(id))
+		deg.counts = append(deg.counts, uint32(c))
 	}
 	return deg, nil
 }
 
 func writeType(w *pg.WireWriter, t *Type) error {
 	w.Byte(byte(t.Kind))
-	writeStringSet(w, t.Labels)
+	writeIDSet(w, t.labels)
 	w.Varint(int64(t.Instances))
 	w.Bool(t.Abstract)
 
-	keys := make([]string, 0, len(t.Props))
-	for k := range t.Props {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	w.Uvarint(uint64(len(keys)))
-	for _, k := range keys {
-		w.String(k)
-		writePropStat(w, t.Props[k])
+	w.Uvarint(uint64(t.props.Len()))
+	for i := 0; i < t.props.Len(); i++ {
+		id, p := t.props.At(i)
+		w.Uvarint(uint64(id))
+		writePropStat(w, p)
 	}
 
 	if t.Kind == EdgeKind {
-		writeStringSet(w, t.SrcLabels)
-		writeStringSet(w, t.DstLabels)
-		writeDegrees(w, t.OutDeg)
-		writeDegrees(w, t.InDeg)
+		writeIDSet(w, t.srcLabels)
+		writeIDSet(w, t.dstLabels)
+		writeDegrees(w, &t.outDeg)
+		writeDegrees(w, &t.inDeg)
 	}
 
 	w.Uvarint(uint64(len(t.Members)))
@@ -145,7 +164,7 @@ func writeType(w *pg.WireWriter, t *Type) error {
 	return nil
 }
 
-func readType(r *pg.WireReader, wantKind ElementKind) (*Type, error) {
+func readType(r *pg.WireReader, tab *Symtab, wantKind ElementKind) (*Type, error) {
 	kindByte, err := r.Byte()
 	if err != nil {
 		return nil, err
@@ -153,8 +172,8 @@ func readType(r *pg.WireReader, wantKind ElementKind) (*Type, error) {
 	if ElementKind(kindByte) != wantKind {
 		return nil, fmt.Errorf("kind %d out of place (want %d)", kindByte, wantKind)
 	}
-	t := NewType(wantKind)
-	if t.Labels, err = readStringSet(r); err != nil {
+	t := NewType(tab, wantKind)
+	if t.labels, err = readIDSet(r, tab); err != nil {
 		return nil, fmt.Errorf("labels: %w", err)
 	}
 	inst, err := r.Varint()
@@ -170,29 +189,35 @@ func readType(r *pg.WireReader, wantKind ElementKind) (*Type, error) {
 	if err != nil {
 		return nil, err
 	}
+	last := int64(-1)
 	for i := uint64(0); i < propCount; i++ {
-		k, err := r.String()
+		id, err := r.Uvarint(uint64(tab.Strings()))
 		if err != nil {
 			return nil, err
 		}
+		if int64(id) <= last || id >= uint64(tab.Strings()) {
+			return nil, fmt.Errorf("prop id %d out of order or range", id)
+		}
+		last = int64(id)
 		p, err := readPropStat(r)
 		if err != nil {
-			return nil, fmt.Errorf("prop %q: %w", k, err)
+			return nil, fmt.Errorf("prop %d: %w", id, err)
 		}
-		t.Props[k] = p
+		t.props.ids = append(t.props.ids, uint32(id))
+		t.props.stats = append(t.props.stats, p)
 	}
 
 	if wantKind == EdgeKind {
-		if t.SrcLabels, err = readStringSet(r); err != nil {
+		if t.srcLabels, err = readIDSet(r, tab); err != nil {
 			return nil, fmt.Errorf("src labels: %w", err)
 		}
-		if t.DstLabels, err = readStringSet(r); err != nil {
+		if t.dstLabels, err = readIDSet(r, tab); err != nil {
 			return nil, fmt.Errorf("dst labels: %w", err)
 		}
-		if t.OutDeg, err = readDegrees(r); err != nil {
+		if t.outDeg, err = readDegrees(r, tab); err != nil {
 			return nil, fmt.Errorf("out degrees: %w", err)
 		}
-		if t.InDeg, err = readDegrees(r); err != nil {
+		if t.inDeg, err = readDegrees(r, tab); err != nil {
 			return nil, fmt.Errorf("in degrees: %w", err)
 		}
 	}

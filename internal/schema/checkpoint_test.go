@@ -14,40 +14,40 @@ import (
 func checkpointSchema() *Schema {
 	s := NewSchema()
 
-	person := NewType(NodeKind)
-	person.Labels.Add("Person")
-	person.Labels.Add("Agent")
+	person := s.NewType(NodeKind)
+	person.AddLabel("Person")
+	person.AddLabel("Agent")
 	person.Instances = 42
 	name := NewPropStat()
 	name.Observe(pg.Str("ada"), true)
 	name.Observe(pg.Str("bob"), true)
-	person.Props["name"] = name
+	person.SetProp("name", name)
 	age := NewPropStat()
 	age.Observe(pg.Int(30), true)
 	age.Observe(pg.Int(30), false) // duplicate → dup flag, hashes dropped
 	age.Observe(pg.Float(29.5), true)
-	person.Props["age"] = age
+	person.SetProp("age", age)
 	person.Members = []pg.ID{3, 1, 2}
 	s.Add(person)
 
-	city := NewType(NodeKind)
-	city.Labels.Add("City")
+	city := s.NewType(NodeKind)
+	city.AddLabel("City")
 	city.Instances = 7
 	city.Abstract = true
 	s.Add(city)
 
-	knows := NewType(EdgeKind)
-	knows.Labels.Add("KNOWS")
+	knows := s.NewType(EdgeKind)
+	knows.AddLabel("KNOWS")
 	knows.Instances = 9
 	since := NewPropStat()
 	since.Observe(pg.Int(1999), true)
-	knows.Props["since"] = since
-	knows.SrcLabels.Add("Person")
-	knows.DstLabels.Add("Person")
-	knows.DstLabels.Add("City")
-	knows.OutDeg[pg.ID(1)] = 3
-	knows.OutDeg[pg.ID(2)] = 1
-	knows.InDeg[pg.ID(3)] = 4
+	knows.SetProp("since", since)
+	knows.AddSrcLabel("Person")
+	knows.AddDstLabel("Person")
+	knows.AddDstLabel("City")
+	knows.AddOutDeg(pg.ID(1), 3)
+	knows.AddOutDeg(pg.ID(2), 1)
+	knows.AddInDeg(pg.ID(3), 4)
 	s.Add(knows)
 
 	return s

@@ -8,8 +8,10 @@ import (
 	"pghive/internal/pg"
 )
 
-func never(string) bool  { return false }
-func always(string) bool { return true }
+func never(uint32, string) bool  { return false }
+func always(uint32, string) bool { return true }
+
+var _ SampleFunc = always
 
 func TestStringSetBasics(t *testing.T) {
 	s := NewStringSet("b", "a", "b")
@@ -19,8 +21,13 @@ func TestStringSetBasics(t *testing.T) {
 	if !s.Has("a") || s.Has("c") {
 		t.Error("Has misreports membership")
 	}
-	if s.Key() != "a&b" {
-		t.Errorf("Key = %q, want a&b", s.Key())
+	if s.Key() != "1:a1:b" {
+		t.Errorf("Key = %q, want 1:a1:b", s.Key())
+	}
+	// The encoding is length-prefixed so {"a&b"} and {"a","b"} cannot
+	// collide the way a plain "&"-join would.
+	if NewStringSet("a&b").Key() == NewStringSet("a", "b").Key() {
+		t.Error("Key conflates {a&b} with {a,b}")
 	}
 	c := s.Clone()
 	c.Add("z")
@@ -48,7 +55,7 @@ func TestJaccardSet(t *testing.T) {
 }
 
 func TestObserveNodeAccumulates(t *testing.T) {
-	ty := NewType(NodeKind)
+	ty := NewType(NewSymtab(), NodeKind)
 	ty.ObserveNode(&pg.NodeRecord{ID: 1, Labels: []string{"Person"},
 		Props: pg.Properties{"name": pg.Str("a"), "age": pg.Int(3)}}, never, true)
 	ty.ObserveNode(&pg.NodeRecord{ID: 2, Labels: []string{"Person", "Student"},
@@ -59,10 +66,10 @@ func TestObserveNodeAccumulates(t *testing.T) {
 	if ty.LabelKey() != "Person&Student" {
 		t.Errorf("LabelKey = %q, want Person&Student", ty.LabelKey())
 	}
-	if ty.Props["name"].Count != 2 || ty.Props["age"].Count != 1 {
-		t.Errorf("prop counts = %d,%d, want 2,1", ty.Props["name"].Count, ty.Props["age"].Count)
+	if ty.Prop("name").Count != 2 || ty.Prop("age").Count != 1 {
+		t.Errorf("prop counts = %d,%d, want 2,1", ty.Prop("name").Count, ty.Prop("age").Count)
 	}
-	if ty.Props["age"].Kinds[pg.KindInt] != 1 {
+	if ty.Prop("age").Kinds[pg.KindInt] != 1 {
 		t.Error("age INT kind not recorded")
 	}
 	if len(ty.Members) != 2 {
@@ -71,13 +78,13 @@ func TestObserveNodeAccumulates(t *testing.T) {
 }
 
 func TestObserveEdgeAccumulates(t *testing.T) {
-	ty := NewType(EdgeKind)
+	ty := NewType(NewSymtab(), EdgeKind)
 	ty.ObserveEdge(&pg.EdgeRecord{ID: 1, Labels: []string{"KNOWS"}, Src: 10, Dst: 20,
 		SrcLabels: []string{"Person"}, DstLabels: []string{"Person"},
 		Props: pg.Properties{"since": pg.Int(2017)}}, never, false)
 	ty.ObserveEdge(&pg.EdgeRecord{ID: 2, Labels: []string{"KNOWS"}, Src: 10, Dst: 30,
 		SrcLabels: []string{"Person"}, DstLabels: []string{"Admin"}}, never, false)
-	if !ty.SrcLabels.Has("Person") || !ty.DstLabels.Has("Admin") {
+	if !ty.SrcLabels().Has("Person") || !ty.DstLabels().Has("Admin") {
 		t.Error("endpoint labels not unioned")
 	}
 	d := ty.MaxDegrees()
@@ -95,24 +102,25 @@ func TestObserveKindMismatchPanics(t *testing.T) {
 			t.Error("expected panic")
 		}
 	}()
-	NewType(EdgeKind).ObserveNode(&pg.NodeRecord{}, never, false)
+	NewType(NewSymtab(), EdgeKind).ObserveNode(&pg.NodeRecord{}, never, false)
 }
 
 func TestMergeMonotonicityLemma1(t *testing.T) {
 	// Lemma 1: K_i ⊆ K_M and L_i ⊆ L_M — merging never loses node labels
 	// or property keys.
-	a := NewType(NodeKind)
+	tab := NewSymtab()
+	a := NewType(tab, NodeKind)
 	a.ObserveNode(&pg.NodeRecord{Labels: []string{"Person"}, Props: pg.Properties{"name": pg.Str("x")}}, never, false)
-	b := NewType(NodeKind)
+	b := NewType(tab, NodeKind)
 	b.ObserveNode(&pg.NodeRecord{Labels: []string{"Student"}, Props: pg.Properties{"gpa": pg.Float(4)}}, never, false)
 	a.Merge(b)
 	for _, l := range []string{"Person", "Student"} {
-		if !a.Labels.Has(l) {
+		if !a.HasLabel(l) {
 			t.Errorf("label %q lost in merge", l)
 		}
 	}
 	for _, k := range []string{"name", "gpa"} {
-		if _, ok := a.Props[k]; !ok {
+		if a.Prop(k) == nil {
 			t.Errorf("property %q lost in merge", k)
 		}
 	}
@@ -123,17 +131,18 @@ func TestMergeMonotonicityLemma1(t *testing.T) {
 
 func TestMergeMonotonicityLemma2(t *testing.T) {
 	// Lemma 2: endpoints union too.
-	a := NewType(EdgeKind)
+	tab := NewSymtab()
+	a := NewType(tab, EdgeKind)
 	a.ObserveEdge(&pg.EdgeRecord{Labels: []string{"LIKES"}, Src: 1, Dst: 2,
 		SrcLabels: []string{"Person"}, DstLabels: []string{"Post"}}, never, false)
-	b := NewType(EdgeKind)
+	b := NewType(tab, EdgeKind)
 	b.ObserveEdge(&pg.EdgeRecord{Labels: []string{"LIKES"}, Src: 3, Dst: 4,
 		SrcLabels: []string{"Bot"}, DstLabels: []string{"Comment"}}, never, false)
 	a.Merge(b)
-	if !a.SrcLabels.Has("Person") || !a.SrcLabels.Has("Bot") {
+	if !a.SrcLabels().Has("Person") || !a.SrcLabels().Has("Bot") {
 		t.Error("source labels lost")
 	}
-	if !a.DstLabels.Has("Post") || !a.DstLabels.Has("Comment") {
+	if !a.DstLabels().Has("Post") || !a.DstLabels().Has("Comment") {
 		t.Error("target labels lost")
 	}
 }
@@ -144,14 +153,16 @@ func TestMergeKindMismatchPanics(t *testing.T) {
 			t.Error("expected panic")
 		}
 	}()
-	NewType(NodeKind).Merge(NewType(EdgeKind))
+	tab := NewSymtab()
+	NewType(tab, NodeKind).Merge(NewType(tab, EdgeKind))
 }
 
 func TestMergeRescuesAbstract(t *testing.T) {
-	a := NewType(NodeKind)
+	tab := NewSymtab()
+	a := NewType(tab, NodeKind)
 	a.Abstract = true
 	a.ObserveNode(&pg.NodeRecord{Props: pg.Properties{"x": pg.Int(1)}}, never, false)
-	b := NewType(NodeKind)
+	b := NewType(tab, NodeKind)
 	b.ObserveNode(&pg.NodeRecord{Labels: []string{"T"}}, never, false)
 	a.Merge(b)
 	if a.Abstract {
@@ -161,9 +172,10 @@ func TestMergeRescuesAbstract(t *testing.T) {
 
 func TestMergeDegreeEvidenceSums(t *testing.T) {
 	// The same source node observed in two batches must sum its out-degree.
-	a := NewType(EdgeKind)
+	tab := NewSymtab()
+	a := NewType(tab, EdgeKind)
 	a.ObserveEdge(&pg.EdgeRecord{Labels: []string{"R"}, Src: 1, Dst: 2}, never, false)
-	b := NewType(EdgeKind)
+	b := NewType(tab, EdgeKind)
 	b.ObserveEdge(&pg.EdgeRecord{Labels: []string{"R"}, Src: 1, Dst: 3}, never, false)
 	a.Merge(b)
 	if a.MaxDegrees().MaxOut != 2 {
@@ -189,7 +201,7 @@ func TestPropStatSampling(t *testing.T) {
 
 func TestSchemaFindAndCovers(t *testing.T) {
 	s := NewSchema()
-	ty := NewType(NodeKind)
+	ty := s.NewType(NodeKind)
 	ty.ObserveNode(&pg.NodeRecord{Labels: []string{"Person"},
 		Props: pg.Properties{"name": pg.Str("x"), "age": pg.Int(1)}}, never, false)
 	s.Add(ty)
@@ -212,9 +224,9 @@ func TestSchemaFindAndCovers(t *testing.T) {
 
 func TestSchemaAllAccessors(t *testing.T) {
 	s := NewSchema()
-	n := NewType(NodeKind)
+	n := s.NewType(NodeKind)
 	n.ObserveNode(&pg.NodeRecord{Labels: []string{"A"}, Props: pg.Properties{"p": pg.Int(1)}}, never, false)
-	e := NewType(EdgeKind)
+	e := s.NewType(EdgeKind)
 	e.ObserveEdge(&pg.EdgeRecord{Labels: []string{"R"}, Props: pg.Properties{"q": pg.Int(1)}}, never, false)
 	s.Add(n)
 	s.Add(e)
@@ -234,8 +246,8 @@ func TestMergeMonotoneQuick(t *testing.T) {
 	// and key of both inputs survives the merge.
 	labels := []string{"A", "B", "C", "D"}
 	keys := []string{"k1", "k2", "k3", "k4", "k5"}
-	build := func(rng *rand.Rand) *Type {
-		ty := NewType(NodeKind)
+	build := func(rng *rand.Rand, tab *Symtab) *Type {
+		ty := NewType(tab, NodeKind)
 		n := rng.Intn(4) + 1
 		for i := 0; i < n; i++ {
 			rec := &pg.NodeRecord{Props: pg.Properties{}}
@@ -253,20 +265,21 @@ func TestMergeMonotoneQuick(t *testing.T) {
 	}
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		a, b := build(rng), build(rng)
-		wantLabels := a.Labels.Clone()
-		wantLabels.AddAll(b.Labels)
+		tab := NewSymtab()
+		a, b := build(rng, tab), build(rng, tab)
+		wantLabels := a.Labels()
+		wantLabels.AddAll(b.Labels())
 		wantKeys := a.PropKeySet()
 		wantKeys.AddAll(b.PropKeySet())
 		wantInstances := a.Instances + b.Instances
 		a.Merge(b)
 		for l := range wantLabels {
-			if !a.Labels.Has(l) {
+			if !a.HasLabel(l) {
 				return false
 			}
 		}
 		for k := range wantKeys {
-			if _, ok := a.Props[k]; !ok {
+			if a.Prop(k) == nil {
 				return false
 			}
 		}
@@ -309,12 +322,12 @@ func TestCardinalityString(t *testing.T) {
 }
 
 func TestTypeName(t *testing.T) {
-	labeled := NewType(NodeKind)
-	labeled.Labels.Add("Person")
+	labeled := NewType(NewSymtab(), NodeKind)
+	labeled.AddLabel("Person")
 	if TypeName(labeled, 0) != "Person" {
 		t.Errorf("TypeName = %q, want Person", TypeName(labeled, 0))
 	}
-	abstract := NewType(NodeKind)
+	abstract := NewType(NewSymtab(), NodeKind)
 	if TypeName(abstract, 3) != "Abstract3" {
 		t.Errorf("TypeName = %q, want Abstract3", TypeName(abstract, 3))
 	}

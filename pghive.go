@@ -292,6 +292,8 @@ type (
 	Cardinality = schema.Cardinality
 	// Schema is the raw evolving schema with accumulated evidence.
 	Schema = schema.Schema
+	// PropStat is the accumulated per-property evidence of a raw type.
+	PropStat = schema.PropStat
 )
 
 // Cardinality values (the paper's mapping from max in/out degrees).

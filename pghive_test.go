@@ -215,11 +215,11 @@ func TestPublicAPISamplingError(t *testing.T) {
 	g := buildSocialGraph(t)
 	res := pghive.Discover(g, pghive.DefaultConfig())
 	for _, ty := range res.Schema.NodeTypes {
-		for _, stat := range ty.Props {
+		ty.EachProp(func(_ string, stat *pghive.PropStat) {
 			if e := pghive.SamplingError(stat); e < 0 || e > 1 {
 				t.Errorf("sampling error %v out of range", e)
 			}
-		}
+		})
 	}
 }
 
