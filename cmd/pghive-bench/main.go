@@ -35,7 +35,8 @@ func mainErr() error {
 	seed := flag.Int64("seed", 1, "random seed")
 	datasets := flag.String("datasets", "", "comma-separated dataset filter (default: all eight)")
 	depth := flag.Int("pipeline-depth", 0, "execution engine depth for PG-HIVE runs: 0/1 = serial, >1 = overlapped batches")
-	csvDir := flag.String("csvdir", "", "also write machine-readable CSVs into this directory (every experiment, or just lsh.csv with -exp lsh)")
+	shards := flag.Int("shards", 0, "narrow the shards experiment's sweep to {1, N} discovery shards (0 = full 1/2/4/8 sweep)")
+	csvDir := flag.String("csvdir", "", "also write machine-readable CSVs into this directory (every experiment, or just lsh.csv/shards.csv with -exp lsh/shards)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	telemetry := flag.Bool("telemetry", false, "aggregate metrics over every PG-HIVE run and print a summary to stderr at exit")
@@ -43,10 +44,14 @@ func mainErr() error {
 	traceOut := flag.String("trace-out", "", "stream per-stage spans of every PG-HIVE run to this file in Chrome trace format")
 	flag.Parse()
 
-	settings := bench.Settings{Scale: *scale, Seed: *seed, PipelineDepth: *depth}
+	settings := bench.Settings{Scale: *scale, Seed: *seed, PipelineDepth: *depth, Shards: *shards}
 	if *datasets != "" {
 		settings.Datasets = strings.Split(*datasets, ",")
 	}
+	// Host parallelism up front: every timing below is only interpretable
+	// against it (a 1-CPU host cannot show multi-shard wall-clock wins).
+	fmt.Fprintf(os.Stderr, "host: %d CPUs, GOMAXPROCS %d, %s, shards sweep %s\n",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0), runtime.Version(), shardsDesc(*shards))
 
 	// Telemetry wiring mirrors cmd/pghive: one registry/trace spans the
 	// whole harness run, aggregated across every PG-HIVE discovery it
@@ -107,8 +112,11 @@ func mainErr() error {
 
 func run(exp, csvDir string, settings bench.Settings) error {
 	if csvDir != "" {
-		if exp == "lsh" {
+		switch exp {
+		case "lsh":
 			return bench.WriteLSHCSV(csvDir, os.Stdout, settings)
+		case "shards":
+			return bench.WriteShardsCSV(csvDir, os.Stdout, settings)
 		}
 		return bench.WriteCSVs(csvDir, os.Stdout, settings)
 	}
@@ -120,6 +128,13 @@ func run(exp, csvDir string, settings bench.Settings) error {
 		return fmt.Errorf("unknown experiment %q (have: all, %s)", exp, strings.Join(bench.ExperimentNames(), ", "))
 	}
 	return runner(os.Stdout, settings)
+}
+
+func shardsDesc(n int) string {
+	if n > 0 {
+		return fmt.Sprintf("{1,%d}", n)
+	}
+	return "default"
 }
 
 func fatal(err error) {

@@ -39,6 +39,7 @@ func main() {
 		outPath   = flag.String("out", "", "output file (default stdout)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		depth     = flag.Int("pipeline-depth", 0, "execution engine depth: 1 = serial, >1 = overlapped batches (0 = default)")
+		shards    = flag.Int("shards", 0, "partition the stream across N concurrent discovery pipelines and merge their schemas (0/1 = single pipeline, byte-identical to serial)")
 		denseSigs = flag.Bool("dense-signatures", false, "use the dense reference signature kernels instead of the factored sparse ones (identical output, for A/B timing)")
 		retry     = flag.Int("retry", 0, "retry transient source faults up to this many attempts per batch (0 = fail fast)")
 		ckptPath  = flag.String("checkpoint", "", "checkpoint file: save pipeline state after every batch; resume from it when it already exists")
@@ -89,6 +90,7 @@ func main() {
 	cfg.SampleDatatypes = *sample
 	cfg.Participation = *particip
 	cfg.PipelineDepth = *depth
+	cfg.Shards = *shards
 	cfg.DenseSignatures = *denseSigs
 	cfg.Telemetry = pghive.TelemetryMulti(sinks...)
 	switch *method {
@@ -107,8 +109,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-	case *batches > 1:
-		result = pghive.DiscoverStream(pghive.NewSliceSource(g.SplitRandom(*batches, *seed)...), cfg)
+	case *batches > 1 || cfg.Shards > 1:
+		result = pghive.DiscoverSharded(pghive.NewSliceSource(g.SplitRandom(max(*batches, 1), *seed)...), cfg)
 	default:
 		result = pghive.Discover(g, cfg)
 	}
@@ -185,10 +187,10 @@ func discoverFT(g *pghive.Graph, cfg pghive.Config, batches int, seed int64, ret
 		}
 		if ok {
 			fmt.Fprintf(os.Stderr, "resuming from checkpoint %s\n", ckptPath)
-			return pghive.ResumeDiscoverStreamFT(state, src, cfg, opts)
+			return pghive.ResumeDiscoverShardedFT(state, src, cfg, opts)
 		}
 	}
-	return pghive.DiscoverStreamFT(src, cfg, opts)
+	return pghive.DiscoverShardedFT(src, cfg, opts)
 }
 
 func loadGraph(jsonlPath, binPath, nodesPath, edgesPath, dataset string, scale int, seed int64) (*pghive.Graph, error) {

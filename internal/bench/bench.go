@@ -61,6 +61,10 @@ type Settings struct {
 	// per-phase timings stay attributable to a single batch); >1 enables
 	// the overlapped engine.
 	PipelineDepth int
+	// Shards, when > 1, narrows the shards experiment's fleet-size sweep
+	// to {1, Shards} (cmd/pghive-bench -shards); 0 runs the full default
+	// sweep. Other experiments are unaffected.
+	Shards int
 	// Telemetry, when non-nil, is attached to every PG-HIVE run the
 	// harness performs (cmd/pghive-bench wires -telemetry/-metrics-addr/
 	// -trace-out into it). The sink observes, it never participates, so

@@ -230,7 +230,7 @@ func TestRunFig8BinsNormalized(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	want := []string{"ablation", "faults", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "interning", "lsh", "metrics", "scaling", "table1", "table2", "telemetry"}
+	want := []string{"ablation", "faults", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "interning", "lsh", "metrics", "scaling", "shards", "table1", "table2", "telemetry"}
 	got := ExperimentNames()
 	if len(got) != len(want) {
 		t.Fatalf("experiments = %v, want %v", got, want)
@@ -418,7 +418,7 @@ func TestWriteCSVs(t *testing.T) {
 	files := []string{
 		"fig3_ranks.csv", "fig4_quality.csv", "fig5_runtime.csv",
 		"fig6_heatmap.csv", "fig7_incremental.csv", "fig8_sampling.csv",
-		"ablation.csv", "metrics.csv", "scaling.csv", "lsh.csv",
+		"ablation.csv", "metrics.csv", "scaling.csv", "shards.csv", "lsh.csv",
 	}
 	for _, name := range files {
 		data, err := os.ReadFile(filepath.Join(dir, name))

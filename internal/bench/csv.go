@@ -170,6 +170,10 @@ func WriteCSVs(dir string, w writerFlusher, s Settings) error {
 		return err
 	}
 
+	if err := WriteShardsCSV(dir, w, s); err != nil {
+		return err
+	}
+
 	faults, err := RunFaults(w, s)
 	if err != nil {
 		return err
@@ -189,6 +193,31 @@ func WriteCSVs(dir string, w writerFlusher, s Settings) error {
 	}
 
 	return WriteLSHCSV(dir, w, s)
+}
+
+// WriteShardsCSV runs only the shards experiment and writes shards.csv into
+// dir — CI's multi-core job regenerates it on every run to track the
+// scaling curve without the full figure suite.
+func WriteShardsCSV(dir string, w writerFlusher, s Settings) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	points, err := RunShards(w, s)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.Dataset, p.Method.String(), strconv.Itoa(p.Shards),
+			strconv.Itoa(p.Nodes), strconv.Itoa(p.Edges),
+			strconv.FormatInt(p.Elapsed.Microseconds(), 10),
+			f(p.Speedup), f(p.NodeF1),
+			strconv.Itoa(p.GoMaxProcs), strconv.Itoa(p.NumCPU),
+		})
+	}
+	return writeCSV(dir, "shards.csv",
+		[]string{"dataset", "method", "shards", "nodes", "edges", "elapsed_us", "speedup", "node_f1", "gomaxprocs", "num_cpu"}, rows)
 }
 
 // WriteLSHCSV runs only the lsh experiment and writes lsh.csv into dir —

@@ -51,6 +51,10 @@ var Experiments = map[string]func(io.Writer, Settings) error{
 		_, err := RunScaling(w, s)
 		return err
 	},
+	"shards": func(w io.Writer, s Settings) error {
+		_, err := RunShards(w, s)
+		return err
+	},
 	"lsh": func(w io.Writer, s Settings) error {
 		_, err := RunLSH(w, s)
 		return err

@@ -116,6 +116,20 @@ type Config struct {
 	// Parallelism and PipelineDepth it never affects the discovered schema
 	// and is excluded from the checkpoint fingerprint.
 	Telemetry obs.Sink
+	// Shards partitions the element stream across that many independent
+	// discovery pipelines — each with its own schema, sampler and embedding
+	// session — whose partial schemas are merged when the stream ends
+	// (DiscoverSharded/DiscoverShardedFT). Elements are assigned to shards by
+	// a fixed hash of their IDs (pg.ShardOf), so the partition is
+	// deterministic and batch-boundary independent. 0 or 1 runs the single
+	// unsharded pipeline and produces byte-identical output to Discover.
+	// Values > 1 produce a deterministic schema for a fixed (Seed, Shards),
+	// but not byte-identical to the serial run: each shard clusters and
+	// samples only its own elements, so abstract-type composition and
+	// SampleKinds can differ (see DESIGN.md §11). Not part of the checkpoint
+	// fingerprint — sharded checkpoints use their own container format
+	// (PGCK4) that records the shard count explicitly.
+	Shards int
 	// PipelineDepth controls the overlapped batch execution engine used by
 	// Discover/Drain. Values > 1 allow that many batches in flight at once:
 	// a prefetch goroutine keeps the next batch loaded while the current

@@ -6,95 +6,10 @@ import (
 
 // ExtractTypes implements Algorithm 2 ("Extracting and Merging Types") for
 // one element kind: the batch's candidate types (cluster representatives)
-// are merged into the evolving schema.
-//
-//  1. Labeled candidates merge into the existing type with the same label
-//     set, or are appended as new types.
-//  2. Unlabeled candidates merge into the labeled type whose key set has
-//     Jaccard similarity ≥ θ — the best-scoring candidate, so distinct
-//     labeled types are never fused through an unlabeled bridge.
-//  3. Remaining unlabeled candidates merge with each other (and with
-//     previously discovered abstract types) under the same test; leftovers
-//     join the schema as ABSTRACT types (PG-Schema).
-//
-// For node types the Jaccard test runs over property-key sets (§4.3); for
-// edge types it also includes tagged endpoint labels, since edge patterns
-// are distinguished by (L, K, R) (Definition 3.6). Everything runs on
-// interned IDs: label-set lookup is a hashed ID-tuple probe and the
-// similarity test is a sort-merge over uint64 merge keys — no string keys
-// are built.
+// are merged into the evolving schema. The algorithm itself lives in
+// schema.MergeTypes — the shard-merge driver re-runs the identical rules
+// when folding partial schemas, so the per-batch and cross-shard paths
+// cannot drift.
 func ExtractTypes(s *schema.Schema, kind schema.ElementKind, candidates []*schema.Type, theta float64) {
-	var unlabeled []*schema.Type
-	for _, c := range candidates {
-		if c.Labeled() {
-			if existing := s.FindByLabelSet(kind, c.LabelIDs()); existing != nil {
-				existing.Merge(c)
-			} else {
-				s.Add(c)
-			}
-		} else {
-			unlabeled = append(unlabeled, c)
-		}
-	}
-
-	var still []*schema.Type
-	for _, c := range unlabeled {
-		if target := bestLabeledMatch(s, kind, c, theta); target != nil {
-			target.Merge(c)
-		} else {
-			still = append(still, c)
-		}
-	}
-
-	// Remaining unlabeled candidates: merge with existing abstract types
-	// first (incremental consistency), then with each other.
-	abstracts := abstractTypes(s, kind)
-	for _, c := range still {
-		cKeys := c.MergeKeys()
-		merged := false
-		for _, a := range abstracts {
-			if schema.JaccardU64(a.MergeKeys(), cKeys) >= theta {
-				a.Merge(c)
-				merged = true
-				break
-			}
-		}
-		if !merged {
-			c.Abstract = true
-			s.Add(c)
-			abstracts = append(abstracts, c)
-		}
-	}
-}
-
-// bestLabeledMatch returns the labeled type of the given kind with the
-// highest Jaccard similarity ≥ theta against the candidate, breaking ties
-// toward more instances.
-func bestLabeledMatch(s *schema.Schema, kind schema.ElementKind, c *schema.Type, theta float64) *schema.Type {
-	cKeys := c.MergeKeys()
-	var best *schema.Type
-	bestJ := -1.0
-	for _, t := range s.Types(kind) {
-		if !t.Labeled() {
-			continue
-		}
-		j := schema.JaccardU64(t.MergeKeys(), cKeys)
-		if j < theta {
-			continue
-		}
-		if j > bestJ || (j == bestJ && best != nil && t.Instances > best.Instances) {
-			best, bestJ = t, j
-		}
-	}
-	return best
-}
-
-func abstractTypes(s *schema.Schema, kind schema.ElementKind) []*schema.Type {
-	var out []*schema.Type
-	for _, t := range s.Types(kind) {
-		if !t.Labeled() {
-			out = append(out, t)
-		}
-	}
-	return out
+	schema.MergeTypes(s, kind, candidates, theta)
 }

@@ -35,6 +35,11 @@ type BatchReport struct {
 	// Wall ≥ Load + Preprocess + Cluster + Extract and the per-batch Wall
 	// values of concurrent batches overlap.
 	Wall time.Duration
+	// Shard is the discovery shard that processed this batch (0 for
+	// unsharded runs). Stamped by the shard-merge driver; memory-only, not
+	// serialized into checkpoints (each shard checkpoints its own reports,
+	// whose index already is the shard).
+	Shard int
 }
 
 // Total returns the batch's end-to-end processing time (CPU-stage sum,

@@ -42,11 +42,15 @@ const (
 	StagePostprocess
 	// StageCheckpoint is encoding + persisting one per-batch checkpoint.
 	StageCheckpoint
+	// StageMerge is the cross-shard schema merge of a sharded run: remapping
+	// each partial schema's interned IDs into the global table and re-running
+	// Algorithm 2 across shard boundaries.
+	StageMerge
 	numStages
 )
 
 var stageNames = [numStages]string{
-	"load", "preprocess", "cluster", "extract", "postprocess", "checkpoint",
+	"load", "preprocess", "cluster", "extract", "postprocess", "checkpoint", "merge",
 }
 
 // String returns the stage's snake-case metric name.

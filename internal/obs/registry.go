@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/bits"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +25,17 @@ type Registry struct {
 	counters [numCounters]atomic.Uint64
 	stages   [numStages]stageAgg
 	hists    [numHists]histAgg
+
+	// shards holds per-shard aggregates, created lazily when shard-tagged
+	// events arrive (ShardSpan/ShardObserve); unsharded runs never touch it.
+	shardMu sync.Mutex
+	shards  map[int]*shardAgg
+}
+
+// shardAgg aggregates one shard's spans and histograms.
+type shardAgg struct {
+	stages [numStages]stageAgg
+	hists  [numHists]histAgg
 }
 
 type stageAgg struct {
@@ -52,7 +64,11 @@ func (r *Registry) Span(s Span) {
 	if s.Stage >= numStages {
 		return
 	}
-	a := &r.stages[s.Stage]
+	r.stages[s.Stage].observe(s)
+}
+
+// observe folds one span into the aggregate.
+func (a *stageAgg) observe(s Span) {
 	a.mu.Lock()
 	if a.count == 0 || s.Duration < a.min {
 		a.min = s.Duration
@@ -68,6 +84,40 @@ func (r *Registry) Span(s Span) {
 	a.mu.Unlock()
 }
 
+// shard returns (lazily creating) the aggregate bucket for one shard.
+func (r *Registry) shard(shard int) *shardAgg {
+	r.shardMu.Lock()
+	defer r.shardMu.Unlock()
+	if r.shards == nil {
+		r.shards = map[int]*shardAgg{}
+	}
+	a, ok := r.shards[shard]
+	if !ok {
+		a = &shardAgg{}
+		r.shards[shard] = a
+	}
+	return a
+}
+
+// ShardSpan implements ShardObserver: the span counts toward the run totals
+// exactly as an untagged span would, plus the shard's own bucket.
+func (r *Registry) ShardSpan(shard int, s Span) {
+	if s.Stage >= numStages {
+		return
+	}
+	r.stages[s.Stage].observe(s)
+	r.shard(shard).stages[s.Stage].observe(s)
+}
+
+// ShardObserve implements ShardObserver.
+func (r *Registry) ShardObserve(shard int, h Hist, value uint64) {
+	if h >= numHists {
+		return
+	}
+	r.hists[h].observe(value)
+	r.shard(shard).hists[h].observe(value)
+}
+
 // Add implements Sink.
 func (r *Registry) Add(c Counter, delta uint64) {
 	if c < numCounters {
@@ -80,6 +130,11 @@ func (r *Registry) Observe(h Hist, value uint64) {
 	if h >= numHists {
 		return
 	}
+	r.hists[h].observe(value)
+}
+
+// observe folds one observation into the histogram aggregate.
+func (a *histAgg) observe(value uint64) {
 	// Bucket index = ⌈log2(value)⌉ clamped: value 1 → bucket 0 (le 1),
 	// 2 → 1 (le 2), 3..4 → 2 (le 4), …, > 2^14 → overflow.
 	idx := 0
@@ -89,7 +144,6 @@ func (r *Registry) Observe(h Hist, value uint64) {
 	if idx >= histBuckets {
 		idx = histBuckets - 1
 	}
-	a := &r.hists[h]
 	a.mu.Lock()
 	a.buckets[idx]++
 	a.count++
@@ -156,6 +210,17 @@ type Snapshot struct {
 	Stages map[string]StageSnapshot `json:"stages"`
 	// Hists holds the occupancy histograms that received observations.
 	Hists map[string]HistSnapshot `json:"hists"`
+	// Shards holds per-shard stage/histogram aggregates keyed by the shard
+	// index ("0", "1", …); present only for sharded runs (events tagged via
+	// ShardSink). Shard events also count toward Stages and Hists, so the
+	// run totals stay whole.
+	Shards map[string]ShardSnapshot `json:"shards,omitempty"`
+}
+
+// ShardSnapshot is one shard's aggregate view.
+type ShardSnapshot struct {
+	Stages map[string]StageSnapshot `json:"stages"`
+	Hists  map[string]HistSnapshot  `json:"hists,omitempty"`
 }
 
 // Counter returns a counter's value by enum (0 when absent).
@@ -183,11 +248,29 @@ func (r *Registry) Snapshot() *Snapshot {
 			s.Counters[c.String()] = v
 		}
 	}
+	snapStages(&r.stages, s.Stages)
+	snapHists(&r.hists, s.Hists)
+	r.shardMu.Lock()
+	if len(r.shards) > 0 {
+		s.Shards = make(map[string]ShardSnapshot, len(r.shards))
+		for shard, a := range r.shards {
+			ss := ShardSnapshot{Stages: map[string]StageSnapshot{}, Hists: map[string]HistSnapshot{}}
+			snapStages(&a.stages, ss.Stages)
+			snapHists(&a.hists, ss.Hists)
+			s.Shards[strconv.Itoa(shard)] = ss
+		}
+	}
+	r.shardMu.Unlock()
+	return s
+}
+
+// snapStages reads every active stage aggregate (under its lock) into out.
+func snapStages(stages *[numStages]stageAgg, out map[string]StageSnapshot) {
 	for st := Stage(0); st < numStages; st++ {
-		a := &r.stages[st]
+		a := &stages[st]
 		a.mu.Lock()
 		if a.count > 0 {
-			s.Stages[st.String()] = StageSnapshot{
+			out[st.String()] = StageSnapshot{
 				Count:    a.count,
 				TotalNs:  a.total.Nanoseconds(),
 				MinNs:    a.min.Nanoseconds(),
@@ -197,8 +280,13 @@ func (r *Registry) Snapshot() *Snapshot {
 		}
 		a.mu.Unlock()
 	}
+}
+
+// snapHists reads every active histogram aggregate (under its lock) into
+// out.
+func snapHists(hists *[numHists]histAgg, out map[string]HistSnapshot) {
 	for h := Hist(0); h < numHists; h++ {
-		a := &r.hists[h]
+		a := &hists[h]
 		a.mu.Lock()
 		if a.count > 0 {
 			hs := HistSnapshot{Count: a.count, Sum: a.sum, Max: a.max}
@@ -212,11 +300,10 @@ func (r *Registry) Snapshot() *Snapshot {
 				}
 				hs.Buckets = append(hs.Buckets, BucketCount{Le: le, Count: n})
 			}
-			s.Hists[h.String()] = hs
+			out[h.String()] = hs
 		}
 		a.mu.Unlock()
 	}
-	return s
 }
 
 // WriteJSON renders a snapshot as indented, stable-order JSON — the
@@ -265,6 +352,27 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		})
 	}
 
+	if len(s.Shards) > 0 {
+		p("# TYPE pghive_shard_stage_seconds_total counter\n")
+		eachShard(s, func(shard string, ss ShardSnapshot) {
+			eachStageOf(ss.Stages, func(name string, st StageSnapshot) {
+				p("pghive_shard_stage_seconds_total{shard=%q,stage=%q} %g\n", shard, name, float64(st.TotalNs)/1e9)
+			})
+		})
+		p("# TYPE pghive_shard_stage_spans_total counter\n")
+		eachShard(s, func(shard string, ss ShardSnapshot) {
+			eachStageOf(ss.Stages, func(name string, st StageSnapshot) {
+				p("pghive_shard_stage_spans_total{shard=%q,stage=%q} %d\n", shard, name, st.Count)
+			})
+		})
+		p("# TYPE pghive_shard_stage_elements_total counter\n")
+		eachShard(s, func(shard string, ss ShardSnapshot) {
+			eachStageOf(ss.Stages, func(name string, st StageSnapshot) {
+				p("pghive_shard_stage_elements_total{shard=%q,stage=%q} %d\n", shard, name, st.Elements)
+			})
+		})
+	}
+
 	hnames := make([]string, 0, len(s.Hists))
 	for name := range s.Hists {
 		hnames = append(hnames, name)
@@ -288,13 +396,32 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 func eachStage(s *Snapshot, f func(name string, st StageSnapshot)) {
-	names := make([]string, 0, len(s.Stages))
-	for name := range s.Stages {
+	eachStageOf(s.Stages, f)
+}
+
+func eachStageOf(stages map[string]StageSnapshot, f func(name string, st StageSnapshot)) {
+	names := make([]string, 0, len(stages))
+	for name := range stages {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		f(name, s.Stages[name])
+		f(name, stages[name])
+	}
+}
+
+// eachShard visits shards in ascending numeric index order.
+func eachShard(s *Snapshot, f func(shard string, ss ShardSnapshot)) {
+	idx := make([]int, 0, len(s.Shards))
+	for k := range s.Shards {
+		if i, err := strconv.Atoi(k); err == nil {
+			idx = append(idx, i)
+		}
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		k := strconv.Itoa(i)
+		f(k, s.Shards[k])
 	}
 }
 
@@ -306,6 +433,13 @@ func (s *Snapshot) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "  stage %-12s %4d spans  total %-12v mean %-10v max %v\n",
 			name, st.Count, time.Duration(st.TotalNs).Round(time.Microsecond),
 			st.Mean().Round(time.Microsecond), time.Duration(st.MaxNs).Round(time.Microsecond))
+	})
+	eachShard(s, func(shard string, ss ShardSnapshot) {
+		eachStageOf(ss.Stages, func(name string, st StageSnapshot) {
+			fmt.Fprintf(w, "  shard %s %-12s %4d spans  total %-12v mean %v\n",
+				shard, name, st.Count, time.Duration(st.TotalNs).Round(time.Microsecond),
+				st.Mean().Round(time.Microsecond))
+		})
 	})
 	names := make([]string, 0, len(s.Counters))
 	for name := range s.Counters {

@@ -26,14 +26,15 @@ type TraceWriter struct {
 	c       io.Closer // underlying file, when Close should close it
 	base    time.Time
 	started bool
-	named   map[int]bool // tids that already carry a thread_name meta event
+	named   map[int]bool // pid<<32|tid keys that already carry a thread_name meta event
+	procs   map[int]bool // pids that already carry a process_name meta event
 	err     error
 }
 
 // NewTraceWriter starts a trace stream on w. If w is also an io.Closer,
 // Close closes it after flushing.
 func NewTraceWriter(w io.Writer) *TraceWriter {
-	t := &TraceWriter{w: bufio.NewWriter(w), named: map[int]bool{}}
+	t := &TraceWriter{w: bufio.NewWriter(w), named: map[int]bool{}, procs: map[int]bool{}}
 	if c, ok := w.(io.Closer); ok {
 		t.c = c
 	}
@@ -41,10 +42,30 @@ func NewTraceWriter(w io.Writer) *TraceWriter {
 }
 
 // Span implements Sink: it appends one complete event (and, first time a
-// slot appears, a thread_name metadata event naming its track).
+// slot appears, a thread_name metadata event naming its track). Unsharded
+// spans live on pid 1.
 func (t *TraceWriter) Span(s Span) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.emit(1, s)
+}
+
+// ShardSpan implements ShardObserver: shard i's spans render as their own
+// process row (pid i+2 — pid 1 stays reserved for unsharded, run-level
+// spans), named once via a process_name metadata event.
+func (t *TraceWriter) ShardSpan(shard int, s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.emit(shard+2, s)
+}
+
+// ShardObserve implements ShardObserver (traces carry no histograms).
+func (t *TraceWriter) ShardObserve(int, Hist, uint64) {}
+
+// emit appends one complete event under pid, preceded by one-time
+// process_name (pids > 1) and thread_name metadata events for new tracks.
+// Callers hold t.mu.
+func (t *TraceWriter) emit(pid int, s Span) {
 	if t.err != nil {
 		return
 	}
@@ -61,11 +82,21 @@ func (t *TraceWriter) Span(s Span) {
 	if t.err != nil {
 		return
 	}
-	if !t.named[s.Slot] {
-		t.named[s.Slot] = true
+	if pid != 1 && !t.procs[pid] {
+		t.procs[pid] = true
 		_, t.err = fmt.Fprintf(t.w,
-			"{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"slot %d\"}},\n",
-			s.Slot, s.Slot)
+			"{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":\"shard %d\"}},\n",
+			pid, pid-2)
+		if t.err != nil {
+			return
+		}
+	}
+	track := pid<<32 | s.Slot
+	if !t.named[track] {
+		t.named[track] = true
+		_, t.err = fmt.Fprintf(t.w,
+			"{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"slot %d\"}},\n",
+			pid, s.Slot, s.Slot)
 		if t.err != nil {
 			return
 		}
@@ -73,8 +104,8 @@ func (t *TraceWriter) Span(s Span) {
 	ts := float64(s.Start.Sub(t.base).Nanoseconds()) / 1e3
 	dur := float64(s.Duration.Nanoseconds()) / 1e3
 	_, t.err = fmt.Fprintf(t.w,
-		"{\"name\":%q,\"cat\":\"pipeline\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"batch\":%d,\"elements\":%d}}",
-		s.Stage.String(), ts, dur, s.Slot, s.Batch, s.Elements)
+		"{\"name\":%q,\"cat\":\"pipeline\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"batch\":%d,\"elements\":%d}}",
+		s.Stage.String(), ts, dur, pid, s.Slot, s.Batch, s.Elements)
 }
 
 // Add implements Sink (traces carry no counters).

@@ -1,0 +1,54 @@
+package pg
+
+// Hash partitioning for sharded discovery: every element is assigned to a
+// shard by a fixed hash of its own ID, so the assignment is a pure function
+// of (element, shard count) — deterministic across runs and completely
+// independent of how the stream happens to be chopped into batches. An edge
+// is routed by its edge ID and travels with its resolved endpoint labels
+// (EdgeRecord is self-contained), so the owning shard folds the edge's
+// endpoint evidence without ever seeing the endpoint node records, which may
+// live on other shards.
+
+// shardHash is splitmix64's finalizer — a cheap, well-mixed 64-bit hash, so
+// consecutive IDs spread uniformly across shards.
+func shardHash(id ID) uint64 {
+	z := uint64(id) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ShardOf returns the shard in [0, n) that owns the element with this ID.
+// n ≤ 1 maps everything to shard 0.
+func ShardOf(id ID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(shardHash(id) % uint64(n))
+}
+
+// PartitionBatch splits b into exactly n sub-batches by ShardOf: sub-batch i
+// holds, in stream order, every element the hash assigns to shard i (some
+// sub-batches may be empty). Each element of b lands in exactly one
+// sub-batch, and because the assignment ignores batch boundaries, chopping a
+// stream into different batch sizes changes only how a shard's elements are
+// grouped, never which shard owns them. Records are copied by value; their
+// label/property slices alias b's.
+func PartitionBatch(b *Batch, n int) []*Batch {
+	if n < 1 {
+		n = 1
+	}
+	parts := make([]*Batch, n)
+	for i := range parts {
+		parts[i] = &Batch{}
+	}
+	for i := range b.Nodes {
+		p := parts[ShardOf(b.Nodes[i].ID, n)]
+		p.Nodes = append(p.Nodes, b.Nodes[i])
+	}
+	for i := range b.Edges {
+		p := parts[ShardOf(b.Edges[i].ID, n)]
+		p.Edges = append(p.Edges, b.Edges[i])
+	}
+	return parts
+}

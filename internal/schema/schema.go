@@ -402,17 +402,27 @@ func (t *Type) ObserveEdge(e *pg.EdgeRecord, sampled SampleFunc, trackMembers bo
 	}
 }
 
-// Merge folds other (of the same kind and intern table) into t, unioning
-// labels, properties and endpoints and summing evidence. This is the
-// operation of Lemmas 1 and 2: no label, property key or endpoint label is
-// ever lost. Discovery only ever merges types with equal or empty label
-// sets, which is what keeps Schema's label index valid (see Schema.Add).
+// Merge folds other (of the same kind) into t, unioning labels, properties
+// and endpoints and summing evidence. This is the operation of Lemmas 1 and
+// 2: no label, property key or endpoint label is ever lost. Discovery only
+// ever merges types with equal or empty label sets, which is what keeps
+// Schema's label index valid (see Schema.Add).
+//
+// When other was interned against a different Symtab (a partial schema from
+// another discovery shard), its IDs are translated into t's table first —
+// the same-table fast path is the common case and pays nothing for this.
+// Set DebugSameTab to restore the old panic and catch cross-table merges
+// that should have gone through MergeSchemas.
 func (t *Type) Merge(other *Type) {
 	if t.Kind != other.Kind {
 		panic(fmt.Sprintf("schema: merging %v type into %v type", other.Kind, t.Kind))
 	}
 	if t.tab != other.tab {
-		panic("schema: merging types from different intern tables")
+		if DebugSameTab {
+			panic("schema: merging types from different intern tables")
+		}
+		t.MergeRemapped(other, NewRemap(other.tab, t.tab))
+		return
 	}
 	t.labels.Union(other.labels)
 	for i := 0; i < other.props.Len(); i++ {

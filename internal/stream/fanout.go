@@ -1,0 +1,70 @@
+package stream
+
+import (
+	"sync"
+
+	"pghive/internal/pg"
+)
+
+// Fanout hash-partitions one batch Source across N per-shard Sources
+// (pg.ShardOf / pg.PartitionBatch): every element of the upstream lands in
+// exactly one shard, edges travel with their resolved endpoint labels, and
+// the element→shard assignment is independent of the upstream's batch
+// boundaries. Shard sources may be consumed from different goroutines; a
+// pull on an empty shard queue advances the shared upstream under one
+// mutex, enqueueing the non-empty sub-batches for every shard. Empty
+// sub-batches are dropped — a shard only sees batches that carry at least
+// one of its elements, and it sees them in upstream order.
+type Fanout struct {
+	mu     sync.Mutex
+	src    pg.Source
+	done   bool
+	queues [][]*pg.Batch
+}
+
+// NewFanout wraps src for n shards (n < 1 is treated as 1).
+func NewFanout(src pg.Source, n int) *Fanout {
+	if n < 1 {
+		n = 1
+	}
+	return &Fanout{src: src, queues: make([][]*pg.Batch, n)}
+}
+
+// Shards returns the shard count.
+func (f *Fanout) Shards() int { return len(f.queues) }
+
+// Shard returns shard i's Source view.
+func (f *Fanout) Shard(i int) pg.Source { return &fanoutShard{f: f, i: i} }
+
+// pull returns shard i's next sub-batch, pulling and partitioning upstream
+// batches until one arrives for i or the upstream ends.
+func (f *Fanout) pull(i int) *pg.Batch {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.queues[i]) == 0 && !f.done {
+		b := f.src.Next()
+		if b == nil {
+			f.done = true
+			break
+		}
+		for j, part := range pg.PartitionBatch(b, len(f.queues)) {
+			if part.Len() > 0 {
+				f.queues[j] = append(f.queues[j], part)
+			}
+		}
+	}
+	q := f.queues[i]
+	if len(q) == 0 {
+		return nil
+	}
+	f.queues[i] = q[1:]
+	return q[0]
+}
+
+type fanoutShard struct {
+	f *Fanout
+	i int
+}
+
+// Next implements pg.Source.
+func (s *fanoutShard) Next() *pg.Batch { return s.f.pull(s.i) }

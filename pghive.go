@@ -145,6 +145,13 @@ func DiscoverStream(src Source, cfg Config) *Result { return core.Discover(src, 
 // with ProcessBatch and call Finalize for the schema definition.
 func NewPipeline(cfg Config) *Pipeline { return core.NewPipeline(cfg) }
 
+// DiscoverSharded drains a batch source through Config.Shards concurrent
+// discovery pipelines — the stream is hash-partitioned by element ID — and
+// merges the partial schemas into one global schema. Shards ≤ 1 is exactly
+// DiscoverStream (byte-identical output); N > 1 is deterministic for a
+// fixed (Seed, Shards) and scales across cores.
+func DiscoverSharded(src Source, cfg Config) *Result { return core.DiscoverSharded(src, cfg) }
+
 // NewSliceSource wraps pre-built batches as a Source.
 func NewSliceSource(batches ...*Batch) Source { return pg.NewSliceSource(batches...) }
 
@@ -208,6 +215,23 @@ func DiscoverStreamFT(src ErrSource, cfg Config, opts FTOptions) (*Result, error
 // byte-identical to an uninterrupted run.
 func ResumeDiscoverStreamFT(state []byte, src ErrSource, cfg Config, opts FTOptions) (*Result, error) {
 	return core.ResumeDiscoverFT(state, src, cfg, opts)
+}
+
+// DiscoverShardedFT is DiscoverSharded over a fallible source: the router
+// retries transient faults and quarantines poisoned batches, and — with
+// opts.Checkpoint set — the whole fleet checkpoints into one container
+// (router position + one section per shard). Shards ≤ 1 delegates to
+// DiscoverStreamFT.
+func DiscoverShardedFT(src ErrSource, cfg Config, opts FTOptions) (*Result, error) {
+	return core.DiscoverShardedFT(src, cfg, opts)
+}
+
+// ResumeDiscoverShardedFT restores a sharded run from container bytes and
+// continues it over a replay of the same stream; the finalized schema is
+// byte-identical to an uninterrupted sharded run with the same
+// configuration.
+func ResumeDiscoverShardedFT(state []byte, src ErrSource, cfg Config, opts FTOptions) (*Result, error) {
+	return core.ResumeDiscoverShardedFT(state, src, cfg, opts)
 }
 
 // Telemetry: zero-dependency observability for discovery runs. Attach a
