@@ -1,0 +1,173 @@
+// Command pghive-soak runs sustained schema discovery over a declarative
+// adversarial scenario and checks invariants while it runs: monotone
+// type/property growth, checkpoint resumability, kill/resume byte-identity,
+// sharded-vs-serial equivalence, and a retained-heap budget.
+//
+//	pghive-soak -scenario near-theta -kills 2 -fault-rate 0.1
+//	pghive-soak -scenario workload.json -shards 4 -equivalence
+//	pghive-soak -list
+//
+// The scenario is a built-in name (see -list) or a path to a scenario JSON
+// file. The process exits 1 when any invariant is violated, so a soak run
+// doubles as a CI gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pghive"
+	"pghive/internal/core"
+	"pghive/internal/datagen"
+	"pghive/internal/pg"
+	"pghive/internal/soak"
+)
+
+func main() {
+	var (
+		scenario    = flag.String("scenario", "", "scenario name (see -list) or path to a scenario JSON file")
+		list        = flag.Bool("list", false, "list built-in scenarios and exit")
+		seed        = flag.Int64("seed", 1, "random seed (scenario stream and fault schedule)")
+		repeat      = flag.Int("repeat", 1, "play the scenario timeline this many times back to back")
+		method      = flag.String("method", "elsh", "clustering method: elsh or minhash")
+		theta       = flag.Float64("theta", 0.9, "Jaccard merge threshold")
+		depth       = flag.Int("pipeline-depth", 0, "execution engine depth (0 = default)")
+		shards      = flag.Int("shards", 0, "partition the stream across N concurrent pipelines (0/1 = single)")
+		window      = flag.Int("window", soak.DefaultWindow, "check invariants every N checkpoints")
+		kills       = flag.Int("kills", 0, "inject N kill/resume cycles through the checkpoint path")
+		killEvery   = flag.Int("kill-every", soak.DefaultKillEvery, "deliver N more batches before each kill")
+		faultRate   = flag.Float64("fault-rate", 0, "per-attempt transient fault probability")
+		corruptRate = flag.Float64("corrupt-rate", 0, "per-batch corrupt (quarantine) probability")
+		memBudgetMB = flag.Int("mem-budget-mb", 0, "fail if retained heap exceeds this after GC (0 = unchecked)")
+		equivalence = flag.Bool("equivalence", false, "with -shards > 1, re-run serially and require schema equivalence")
+		noResume    = flag.Bool("skip-resume-check", false, "skip the kill/resume byte-identity reference run")
+		telemetry   = flag.Bool("telemetry", false, "print aggregated run metrics to stderr")
+		metrics     = flag.String("metrics-addr", "", "serve live metrics at http://ADDR/metrics during the run")
+		verbose     = flag.Bool("v", false, "log harness progress to stderr")
+		schemaOut   = flag.String("schema-out", "", "write the final schema JSON to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sc := range datagen.Scenarios() {
+			fmt.Printf("%-14s %3d batches  %s\n", sc.Name, sc.TotalBatches(), sc.Description)
+		}
+		return
+	}
+	if *scenario == "" {
+		fatal(fmt.Errorf("no scenario: pass -scenario NAME (or a .json path); -list shows built-ins"))
+	}
+	sc, err := loadScenario(*scenario)
+	if err != nil {
+		fatal(err)
+	}
+
+	var reg *pghive.TelemetryRegistry
+	if *telemetry || *metrics != "" {
+		reg = pghive.NewTelemetryRegistry()
+	}
+	if *metrics != "" {
+		addr, closer, err := pghive.ServeTelemetry(*metrics, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer closer.Close()
+		fmt.Fprintf(os.Stderr, "metrics at http://%s/metrics\n", addr)
+	}
+
+	cfg := core.Config{
+		Seed:          *seed,
+		Theta:         *theta,
+		PipelineDepth: *depth,
+		Shards:        *shards,
+	}
+	if reg != nil {
+		cfg.Telemetry = reg
+	}
+	switch *method {
+	case "elsh":
+		cfg.Method = core.MethodELSH
+	case "minhash":
+		cfg.Method = core.MethodMinHash
+	default:
+		fatal(fmt.Errorf("unknown method %q (want elsh or minhash)", *method))
+	}
+
+	opts := soak.Options{
+		Scenario:         sc,
+		Seed:             *seed,
+		Repeat:           *repeat,
+		Config:           cfg,
+		Faults:           pg.FaultProfile{TransientRate: *faultRate, CorruptRate: *corruptRate},
+		Window:           *window,
+		Kills:            *kills,
+		KillEvery:        *killEvery,
+		MemBudgetBytes:   uint64(*memBudgetMB) * 1 << 20,
+		CheckEquivalence: *equivalence,
+		SkipResumeCheck:  *noResume,
+	}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+
+	rep, err := soak.Run(opts)
+	if err != nil {
+		fatal(err)
+	}
+	if reg != nil && *telemetry {
+		reg.Snapshot().WriteText(os.Stderr)
+	}
+	if *schemaOut != "" {
+		if err := os.WriteFile(*schemaOut, rep.SchemaJSON, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("scenario %s: %d batches (%d quarantined), %d nodes, %d edges\n",
+		rep.Scenario, rep.Batches, rep.Quarantined, rep.Nodes, rep.Edges)
+	fmt.Printf("stream %s\n", rep.StreamHash)
+	fmt.Printf("schema: %d node types, %d edge types in %v (shards=%d)\n",
+		rep.NodeTypes, rep.EdgeTypes, rep.Elapsed.Round(1e6), rep.Shards)
+	fmt.Printf("harness: %d kills, %d checkpoints, %d windows checked", rep.Kills, rep.Checkpoints, rep.Windows)
+	if rep.HeapPeak > 0 {
+		fmt.Printf(", heap peak %.1f MB", float64(rep.HeapPeak)/(1<<20))
+	}
+	fmt.Println()
+	if rep.OK() {
+		fmt.Println("invariants: OK")
+		return
+	}
+	fmt.Printf("invariants: %d VIOLATIONS\n", len(rep.Violations))
+	for _, v := range rep.Violations {
+		fmt.Printf("  window %d: %s: %s\n", v.Window, v.Invariant, v.Detail)
+	}
+	os.Exit(1)
+}
+
+// loadScenario resolves a -scenario argument: a path to a scenario JSON
+// file (by suffix or by existing on disk), otherwise a built-in name.
+func loadScenario(arg string) (*datagen.Scenario, error) {
+	if strings.HasSuffix(arg, ".json") {
+		f, err := os.Open(arg)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return datagen.ReadScenarioJSON(f)
+	}
+	if sc := datagen.ScenarioByName(arg); sc != nil {
+		return sc, nil
+	}
+	if f, err := os.Open(arg); err == nil {
+		defer f.Close()
+		return datagen.ReadScenarioJSON(f)
+	}
+	return nil, fmt.Errorf("unknown scenario %q (no such built-in or file; -list shows built-ins)", arg)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pghive-soak:", err)
+	os.Exit(1)
+}

@@ -7,9 +7,13 @@
 //	pghive -jsonl graph.jsonl -format pgschema -mode strict
 //	pghive -nodes nodes.csv -edges edges.csv -format json
 //	pghive -dataset LDBC -scale 10000 -format dot -out schema.dot
+//	pghive -scenario near-theta -format json
 //
 // The -batches flag processes the graph incrementally and reports
-// per-batch timings on stderr.
+// per-batch timings on stderr. The -scenario flag streams a declarative
+// adversarial workload (a built-in name or a scenario JSON file) through
+// the pipeline instead of loading a graph; the scenario's own phase
+// timeline defines the batching.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"pghive"
 	"pghive/internal/datagen"
@@ -29,6 +34,7 @@ func main() {
 		nodesPath = flag.String("nodes", "", "input node CSV (with -edges)")
 		edgesPath = flag.String("edges", "", "input edge CSV")
 		dataset   = flag.String("dataset", "", "generate a built-in dataset profile instead (POLE, MB6, HET.IO, FIB25, ICIJ, CORD19, LDBC, IYP)")
+		scenario  = flag.String("scenario", "", "stream a built-in scenario (or scenario JSON file) as input instead of a graph")
 		scale     = flag.Int("scale", 5000, "nodes to generate with -dataset")
 		method    = flag.String("method", "elsh", "clustering method: elsh or minhash")
 		theta     = flag.Float64("theta", 0.9, "Jaccard merge threshold")
@@ -53,9 +59,15 @@ func main() {
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*jsonlPath, *binPath, *nodesPath, *edgesPath, *dataset, *scale, *seed)
-	if err != nil {
-		fatal(err)
+	var g *pghive.Graph
+	var err error
+	if *scenario == "" {
+		g, err = loadGraph(*jsonlPath, *binPath, *nodesPath, *edgesPath, *dataset, *scale, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	} else if *selfCheck {
+		fatal(fmt.Errorf("-validate needs a materialized graph; not available with -scenario"))
 	}
 
 	// Telemetry wiring: a registry aggregates metrics (printed at the end
@@ -104,8 +116,18 @@ func main() {
 
 	var result *pghive.Result
 	switch {
+	case *scenario != "":
+		sc, err := loadScenario(*scenario)
+		if err != nil {
+			fatal(err)
+		}
+		result, err = discoverFT(pghive.AsErrSource(sc.Stream(*seed)), cfg, *seed, *retry, *ckptPath, *faultRate)
+		if err != nil {
+			fatal(err)
+		}
 	case *retry > 0 || *ckptPath != "" || *faultRate > 0:
-		result, err = discoverFT(g, cfg, *batches, *seed, *retry, *ckptPath, *faultRate)
+		src := pghive.AsErrSource(pghive.NewSliceSource(g.SplitRandom(max(*batches, 1), *seed)...))
+		result, err = discoverFT(src, cfg, *seed, *retry, *ckptPath, *faultRate)
 		if err != nil {
 			fatal(err)
 		}
@@ -167,8 +189,7 @@ func main() {
 // poisoned batches are quarantined, and — with -checkpoint — the pipeline
 // state is persisted after every batch so a killed run resumes where it
 // stopped (the finalized schema is byte-identical to an uninterrupted run).
-func discoverFT(g *pghive.Graph, cfg pghive.Config, batches int, seed int64, retry int, ckptPath string, faultRate float64) (*pghive.Result, error) {
-	src := pghive.AsErrSource(pghive.NewSliceSource(g.SplitRandom(batches, seed)...))
+func discoverFT(src pghive.ErrSource, cfg pghive.Config, seed int64, retry int, ckptPath string, faultRate float64) (*pghive.Result, error) {
 	if faultRate > 0 {
 		src = pghive.NewFaultSource(src, pghive.FaultProfile{TransientRate: faultRate, Seed: seed})
 	}
@@ -232,8 +253,29 @@ func loadGraph(jsonlPath, binPath, nodesPath, edgesPath, dataset string, scale i
 		}
 		return datagen.Generate(p, datagen.Options{Nodes: scale, Seed: seed}).Graph, nil
 	default:
-		return nil, fmt.Errorf("no input: pass -jsonl, -binary, -nodes, or -dataset")
+		return nil, fmt.Errorf("no input: pass -jsonl, -binary, -nodes, -dataset, or -scenario")
 	}
+}
+
+// loadScenario resolves a -scenario argument: a path to a scenario JSON
+// file (by suffix or by existing on disk), otherwise a built-in name.
+func loadScenario(arg string) (*datagen.Scenario, error) {
+	if strings.HasSuffix(arg, ".json") {
+		f, err := os.Open(arg)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return datagen.ReadScenarioJSON(f)
+	}
+	if sc := datagen.ScenarioByName(arg); sc != nil {
+		return sc, nil
+	}
+	if f, err := os.Open(arg); err == nil {
+		defer f.Close()
+		return datagen.ReadScenarioJSON(f)
+	}
+	return nil, fmt.Errorf("unknown scenario %q (no such built-in or file)", arg)
 }
 
 func writeSchema(w io.Writer, def *pghive.SchemaDef, format, mode, name string) error {

@@ -192,6 +192,9 @@ func WriteCSVs(dir string, w writerFlusher, s Settings) error {
 		return err
 	}
 
+	if err := WriteScenariosCSV(dir, w, s); err != nil {
+		return err
+	}
 	return WriteLSHCSV(dir, w, s)
 }
 
@@ -218,6 +221,35 @@ func WriteShardsCSV(dir string, w writerFlusher, s Settings) error {
 	}
 	return writeCSV(dir, "shards.csv",
 		[]string{"dataset", "method", "shards", "nodes", "edges", "elapsed_us", "speedup", "node_f1", "gomaxprocs", "num_cpu"}, rows)
+}
+
+// WriteScenariosCSV runs only the scenarios experiment and writes
+// scenarios.csv into dir — CI's soak-smoke job regenerates it on every run
+// so throughput and the determinism/equivalence bits are tracked per
+// adversarial workload.
+func WriteScenariosCSV(dir string, w writerFlusher, s Settings) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	points, err := RunScenarios(w, s)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.Scenario, p.Mode, strconv.Itoa(p.Shards),
+			strconv.Itoa(p.Batches), strconv.Itoa(p.Nodes), strconv.Itoa(p.Edges),
+			strconv.FormatInt(p.Elapsed.Microseconds(), 10), f(p.Throughput),
+			strconv.Itoa(p.NodeTypes), strconv.Itoa(p.EdgeTypes),
+			p.StreamHash,
+			strconv.FormatBool(p.Deterministic), strconv.FormatBool(p.Equivalent), p.EquivLevel,
+		})
+	}
+	return writeCSV(dir, "scenarios.csv",
+		[]string{"scenario", "mode", "shards", "batches", "nodes", "edges",
+			"elapsed_us", "throughput_eps", "node_types", "edge_types",
+			"stream_hash", "deterministic", "equivalent", "equiv_level"}, rows)
 }
 
 // WriteLSHCSV runs only the lsh experiment and writes lsh.csv into dir —

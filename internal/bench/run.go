@@ -59,6 +59,10 @@ var Experiments = map[string]func(io.Writer, Settings) error{
 		_, err := RunLSH(w, s)
 		return err
 	},
+	"scenarios": func(w io.Writer, s Settings) error {
+		_, err := RunScenarios(w, s)
+		return err
+	},
 	"telemetry": func(w io.Writer, s Settings) error {
 		_, err := RunTelemetry(w, s)
 		return err

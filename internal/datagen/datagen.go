@@ -240,7 +240,17 @@ func apportion(total int, weights []float64) []int {
 	return out
 }
 
-func genProps(specs []PropSpec, rng *rand.Rand) pg.Properties {
+// randDraws is the slice of math/rand's API the generators draw from,
+// satisfied by both *rand.Rand (profile generation, call-order seeded) and
+// keyedRand (scenario generation, keyed on element identity so the draw is
+// independent of generation order).
+type randDraws interface {
+	Float64() float64
+	Int63n(n int64) int64
+	Intn(n int) int
+}
+
+func genProps(specs []PropSpec, rng randDraws) pg.Properties {
 	props := pg.Properties{}
 	for _, s := range specs {
 		if s.Presence < 1 && rng.Float64() >= s.Presence {
@@ -264,7 +274,7 @@ var vocab = []string{
 // properties; large enough that values rarely collide.
 const identifierSpace = 1 << 40
 
-func genValue(kind pg.Kind, distinct int, rng *rand.Rand) pg.Value {
+func genValue(kind pg.Kind, distinct int, rng randDraws) pg.Value {
 	pool := int64(identifierSpace)
 	if distinct > 0 {
 		pool = int64(distinct)

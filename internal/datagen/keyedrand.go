@@ -1,0 +1,90 @@
+package datagen
+
+// Keyed randomness: every draw is a pure function of (seed, salt, element
+// identity[, property key]) instead of call order, so generation and noise
+// decisions survive reordering — the same element gets the same fate
+// whether it is visited first or last, alone or among millions, serially
+// or across a sharded fan-out. The mixer is splitmix64 (same finalizer the
+// fault injector and shard router use), which passes BigCrush and makes
+// successive outputs of a chained state independent enough for workload
+// synthesis.
+
+const golden64 = 0x9e3779b97f4a7c15
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashWords folds words into one uniform 64-bit value.
+func hashWords(words ...uint64) uint64 {
+	h := uint64(0x2545f4914f6cdd1d)
+	for _, w := range words {
+		h = mix64(h ^ mix64(w))
+	}
+	return h
+}
+
+// unitDraw maps the words to a uniform draw in [0, 1).
+func unitDraw(words ...uint64) float64 {
+	return float64(hashWords(words...)>>11) / (1 << 53)
+}
+
+// fnv64 hashes a string (FNV-1a), allocation-free.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// propDraw is the removal draw for one property occurrence: uniform in
+// [0, 1) with marginal independent of corr, but correlated within the
+// element — with probability corr the element-level draw is returned (so
+// all such properties on the element share a fate), otherwise an
+// independent per-key draw.
+func propDraw(seed int64, salt uint64, id uint64, key string, corr float64) float64 {
+	k := fnv64(key)
+	if corr > 0 && (corr >= 1 || unitDraw(uint64(seed), salt, id, k, 1) < corr) {
+		return unitDraw(uint64(seed), salt, id, 2)
+	}
+	return unitDraw(uint64(seed), salt, id, k, 3)
+}
+
+// keyedRand is a tiny splitmix64-stream PRNG seeded from (seed, salt, key):
+// a cheap rand.Rand stand-in for generating one element's properties. It
+// implements randDraws.
+type keyedRand struct {
+	state uint64
+}
+
+func newKeyedRand(seed int64, salt uint64, key uint64) *keyedRand {
+	return &keyedRand{state: hashWords(uint64(seed), salt, key)}
+}
+
+func (r *keyedRand) next() uint64 {
+	r.state += golden64
+	return mix64(r.state)
+}
+
+func (r *keyedRand) Float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+func (r *keyedRand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("keyedRand: Int63n with n <= 0")
+	}
+	// Modulo bias is ~n/2^63 — irrelevant for workload synthesis.
+	return int64(r.next()>>1) % n
+}
+
+func (r *keyedRand) Intn(n int) int {
+	return int(r.Int63n(int64(n)))
+}

@@ -1,8 +1,6 @@
 package datagen
 
 import (
-	"math/rand"
-
 	"pghive/internal/pg"
 )
 
@@ -10,10 +8,21 @@ import (
 // occurrences removed uniformly at random, and a label-availability level —
 // the fraction of elements that keep their labels, with the rest stripped
 // entirely.
+//
+// Every draw is keyed on (Seed, element ID[, property key]) rather than
+// call order, so the same element degrades identically no matter how the
+// graph is traversed, batched, or sharded — noise applied before a sharded
+// fan-out equals noise applied shard-locally.
 type Noise struct {
 	// PropRemoval removes each node/edge property occurrence with this
 	// probability (the paper sweeps 0-0.4).
 	PropRemoval float64
+	// Correlation correlates property removal within an element: with this
+	// probability a property's removal draw is the element-level draw (all
+	// such properties on the element live or die together) instead of an
+	// independent per-key draw. The marginal removal rate stays
+	// PropRemoval. The zero value is the paper's independent removal.
+	Correlation float64
 	// LabelAvailability is the fraction of nodes keeping their labels (the
 	// paper tests 1.0, 0.5 and 0.0). It governs node labels: the paper's
 	// edge results remain label-driven across the availability sweep
@@ -41,11 +50,18 @@ func NewNoise(propRemoval, labelAvailability float64, seed int64) Noise {
 // Clean is the no-noise configuration.
 var Clean = Noise{PropRemoval: 0, LabelAvailability: 1}
 
+// Salts separating the noise model's keyed draw families.
+const (
+	saltNoiseNodeLabel uint64 = 0x6e6f64656c61626c // "nodelabl"
+	saltNoiseEdgeLabel uint64 = 0x656467656c61626c // "edgelabl"
+	saltNoiseNodeProp  uint64 = 0x6e6f646570726f70 // "nodeprop"
+	saltNoiseEdgeProp  uint64 = 0x6564676570726f70 // "edgeprop"
+)
+
 // Apply returns a new Dataset with the noise applied: a fresh graph with
 // the same IDs, the same ground truth maps, and degraded labels/properties.
 // The input dataset is not modified.
 func (n Noise) Apply(ds *Dataset) *Dataset {
-	rng := rand.New(rand.NewSource(n.Seed))
 	g := pg.NewGraph()
 	out := &Dataset{
 		Profile:   ds.Profile,
@@ -56,10 +72,10 @@ func (n Noise) Apply(ds *Dataset) *Dataset {
 	}
 	ds.Graph.Nodes(func(node *pg.Node) bool {
 		labels := node.Labels
-		if !keep(n.LabelAvailability, rng) {
+		if !keep(n.LabelAvailability, n.Seed, saltNoiseNodeLabel, uint64(node.ID)) {
 			labels = nil
 		}
-		props := n.degradeProps(node.Props, rng)
+		props := n.degradeProps(node.Props, saltNoiseNodeProp, uint64(node.ID))
 		if err := g.AddNodeWithID(node.ID, labels, props); err != nil {
 			panic(err) // IDs are unique in the source graph
 		}
@@ -67,10 +83,10 @@ func (n Noise) Apply(ds *Dataset) *Dataset {
 	})
 	ds.Graph.Edges(func(edge *pg.Edge) bool {
 		labels := edge.Labels
-		if !keep(1-n.EdgeLabelRemoval, rng) {
+		if !keep(1-n.EdgeLabelRemoval, n.Seed, saltNoiseEdgeLabel, uint64(edge.ID)) {
 			labels = nil
 		}
-		props := n.degradeProps(edge.Props, rng)
+		props := n.degradeProps(edge.Props, saltNoiseEdgeProp, uint64(edge.ID))
 		if err := g.AddEdgeWithID(edge.ID, labels, edge.Src, edge.Dst, props); err != nil {
 			panic(err)
 		}
@@ -79,25 +95,26 @@ func (n Noise) Apply(ds *Dataset) *Dataset {
 	return out
 }
 
-func keep(availability float64, rng *rand.Rand) bool {
+func keep(availability float64, seed int64, salt uint64, id uint64) bool {
 	if availability >= 1 {
 		return true
 	}
 	if availability <= 0 {
 		return false
 	}
-	return rng.Float64() < availability
+	return unitDraw(uint64(seed), salt, id) < availability
 }
 
-// degradeProps removes each property with probability PropRemoval. Keys are
-// visited in sorted order so the noise is deterministic for a given seed.
-func (n Noise) degradeProps(props pg.Properties, rng *rand.Rand) pg.Properties {
+// degradeProps removes each property with probability PropRemoval, drawing
+// per (seed, element, key) so a property's fate is independent of
+// traversal order.
+func (n Noise) degradeProps(props pg.Properties, salt uint64, id uint64) pg.Properties {
 	if n.PropRemoval <= 0 || len(props) == 0 {
 		return props.Clone()
 	}
 	out := pg.Properties{}
 	for _, k := range pg.SortedPropKeys(props) {
-		if rng.Float64() >= n.PropRemoval {
+		if propDraw(n.Seed, salt, id, k, n.Correlation) >= n.PropRemoval {
 			out[k] = props[k]
 		}
 	}

@@ -36,9 +36,13 @@ type jsonProfile struct {
 
 type jsonNodeSpec struct {
 	Name   string         `json:"name"`
-	Labels []string       `json:"labels"`
-	Weight float64        `json:"weight"`
-	Props  []jsonPropSpec `json:"props"`
+	Labels []string       `json:"labels,omitempty"`
+	Weight float64        `json:"weight,omitempty"`
+	Props  []jsonPropSpec `json:"props,omitempty"`
+	// Unlabeled generates the type's instances without labels (adversarial
+	// scenarios: a type discovery can only see through its property
+	// pattern). Without it an empty label list defaults to [name].
+	Unlabeled bool `json:"unlabeled,omitempty"`
 }
 
 type jsonEdgeSpec struct {
@@ -68,6 +72,12 @@ func ReadProfileJSON(r io.Reader) (*Profile, error) {
 	if err := dec.Decode(&in); err != nil {
 		return nil, fmt.Errorf("datagen: parsing profile JSON: %w", err)
 	}
+	return profileFromJSON(&in)
+}
+
+// profileFromJSON validates and converts a decoded profile — shared by the
+// standalone profile format and the scenario format's inline profiles.
+func profileFromJSON(in *jsonProfile) (*Profile, error) {
 	if in.Name == "" {
 		return nil, fmt.Errorf("datagen: profile needs a name")
 	}
@@ -93,7 +103,9 @@ func ReadProfileJSON(r io.Reader) (*Profile, error) {
 			return nil, fmt.Errorf("datagen: node type %q: %w", nt.Name, err)
 		}
 		labels := nt.Labels
-		if len(labels) == 0 {
+		if nt.Unlabeled {
+			labels = nil
+		} else if len(labels) == 0 {
 			labels = []string{nt.Name}
 		}
 		p.NodeTypes = append(p.NodeTypes, NodeTypeSpec{
@@ -193,5 +205,72 @@ func parseShape(s string) (Shape, error) {
 		return OneToOne, nil
 	default:
 		return 0, fmt.Errorf("unknown shape %q (want many-to-many, fan-in, fan-out, one-to-one)", s)
+	}
+}
+
+// profileToJSON is the encode direction, normalized: decoding its output
+// reproduces the Profile exactly (round-trip stability is fuzzed).
+func profileToJSON(p *Profile) *jsonProfile {
+	out := &jsonProfile{Name: p.Name, EdgeFactor: p.EdgeFactor}
+	for i := range p.NodeTypes {
+		nt := &p.NodeTypes[i]
+		out.NodeTypes = append(out.NodeTypes, jsonNodeSpec{
+			Name: nt.Name, Labels: nt.Labels, Weight: nt.Weight,
+			Props: propsToJSON(nt.Props), Unlabeled: len(nt.Labels) == 0,
+		})
+	}
+	for i := range p.EdgeTypes {
+		et := &p.EdgeTypes[i]
+		out.EdgeTypes = append(out.EdgeTypes, jsonEdgeSpec{
+			Name: et.Name, Labels: et.Labels, Src: et.Src, Dst: et.Dst,
+			Weight: et.Weight, Shape: shapeName(et.Shape), Props: propsToJSON(et.Props),
+		})
+	}
+	return out
+}
+
+func propsToJSON(in []PropSpec) []jsonPropSpec {
+	var out []jsonPropSpec
+	for _, ps := range in {
+		j := jsonPropSpec{
+			Key: ps.Key, Kind: kindName(ps.Kind),
+			Presence: ps.Presence, Distinct: ps.Distinct,
+		}
+		if ps.MixedProb > 0 {
+			j.MixedKind = kindName(ps.MixedKind)
+			j.MixedProb = ps.MixedProb
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+func kindName(k pg.Kind) string {
+	switch k {
+	case pg.KindInt:
+		return "INT"
+	case pg.KindFloat:
+		return "DOUBLE"
+	case pg.KindBool:
+		return "BOOLEAN"
+	case pg.KindDate:
+		return "DATE"
+	case pg.KindTimestamp:
+		return "TIMESTAMP"
+	default:
+		return "STRING"
+	}
+}
+
+func shapeName(s Shape) string {
+	switch s {
+	case FanIn:
+		return "fan-in"
+	case FanOut:
+		return "fan-out"
+	case OneToOne:
+		return "one-to-one"
+	default:
+		return "many-to-many"
 	}
 }

@@ -1,0 +1,50 @@
+package datagen
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzScenarioJSON hammers the scenario decoder: arbitrary input must
+// either fail with an error or produce a valid scenario whose encoding is
+// stable — decode(encode(s)) re-encodes to the same bytes, and the decoded
+// scenario streams identically. Never panic.
+func FuzzScenarioJSON(f *testing.F) {
+	for _, sc := range Scenarios() {
+		var buf bytes.Buffer
+		if err := WriteScenarioJSON(&buf, sc); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{"name":"x","dataset":"LDBC","phases":[{"batches":2,"skew":0.5}]}`))
+	f.Add([]byte(`{"name":"x","profile":{"name":"p","nodeTypes":[{"name":"A","props":[{"key":"k","kind":"INT"}]}]},"phases":[{"batches":1}]}`))
+	f.Add([]byte(`{"name":"x","dataset":"LDBC","phases":[{"batches":1,"supernodes":{"count":3,"share":0.4}}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"name":"x","dataset":"LDBC","phases":[{"batches":-4}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ReadScenarioJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid scenario: %v", err)
+		}
+		var enc1 bytes.Buffer
+		if err := WriteScenarioJSON(&enc1, sc); err != nil {
+			t.Fatalf("encoding a decoded scenario: %v", err)
+		}
+		sc2, err := ReadScenarioJSON(bytes.NewReader(enc1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding own encoding: %v\n%s", err, enc1.Bytes())
+		}
+		var enc2 bytes.Buffer
+		if err := WriteScenarioJSON(&enc2, sc2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+			t.Fatalf("encoding not stable:\n%s\nvs\n%s", enc1.Bytes(), enc2.Bytes())
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package datagen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON scenario format: a declarative adversarial workload users can write
+// by hand and feed to pghive-soak -scenario or pghive -scenario. It extends
+// the profile format with a phase timeline. Example:
+//
+//	{
+//	  "name": "drifting-shop",
+//	  "dataset": "LDBC",
+//	  "batchNodes": 300,
+//	  "phases": [
+//	    {"name": "warm", "batches": 4, "skew": 1.2},
+//	    {"name": "drift", "batches": 6, "rampIn": ["Forum"],
+//	     "propNoise": 0.2, "noiseCorr": 0.8, "labelNoise": 0.5,
+//	     "supernodes": {"count": 4, "share": 0.6}}
+//	  ]
+//	}
+//
+// Exactly one of "dataset" (a built-in Table 2 profile name) or "profile"
+// (an inline profile in the pggen -profile format) supplies the blueprint.
+
+type jsonScenario struct {
+	Name        string       `json:"name"`
+	Description string       `json:"description,omitempty"`
+	Dataset     string       `json:"dataset,omitempty"`
+	Profile     *jsonProfile `json:"profile,omitempty"`
+	BatchNodes  int          `json:"batchNodes,omitempty"`
+	Phases      []jsonPhase  `json:"phases"`
+}
+
+type jsonPhase struct {
+	Name            string          `json:"name,omitempty"`
+	Batches         int             `json:"batches"`
+	NodesPerBatch   int             `json:"nodesPerBatch,omitempty"`
+	EdgeFactor      float64         `json:"edgeFactor,omitempty"`
+	Skew            float64         `json:"skew,omitempty"`
+	PropNoise       float64         `json:"propNoise,omitempty"`
+	NoiseCorr       float64         `json:"noiseCorr,omitempty"`
+	LabelNoise      float64         `json:"labelNoise,omitempty"`
+	EdgeLabelNoise  float64         `json:"edgeLabelNoise,omitempty"`
+	ActiveNodeTypes []string        `json:"activeNodeTypes,omitempty"`
+	ActiveEdgeTypes []string        `json:"activeEdgeTypes,omitempty"`
+	RampIn          []string        `json:"rampIn,omitempty"`
+	Supernodes      *jsonSupernodes `json:"supernodes,omitempty"`
+}
+
+type jsonSupernodes struct {
+	Count int     `json:"count"`
+	Share float64 `json:"share"`
+}
+
+// ReadScenarioJSON parses and validates a declarative scenario. Unknown
+// fields are rejected; malformed timelines return errors, never panic.
+func ReadScenarioJSON(r io.Reader) (*Scenario, error) {
+	var in jsonScenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("datagen: parsing scenario JSON: %w", err)
+	}
+	sc := &Scenario{
+		Name:        in.Name,
+		Description: in.Description,
+		Dataset:     in.Dataset,
+		BatchNodes:  in.BatchNodes,
+	}
+	switch {
+	case in.Dataset != "" && in.Profile != nil:
+		return nil, fmt.Errorf("datagen: scenario %q sets both dataset and profile", in.Name)
+	case in.Dataset != "":
+		sc.Profile = ProfileByName(in.Dataset)
+		if sc.Profile == nil {
+			return nil, fmt.Errorf("datagen: scenario %q: unknown dataset %q", in.Name, in.Dataset)
+		}
+	case in.Profile != nil:
+		p, err := profileFromJSON(in.Profile)
+		if err != nil {
+			return nil, err
+		}
+		sc.Profile = p
+	default:
+		return nil, fmt.Errorf("datagen: scenario %q needs a dataset or an inline profile", in.Name)
+	}
+	for _, jp := range in.Phases {
+		ph := ScenarioPhase{
+			Name:            jp.Name,
+			Batches:         jp.Batches,
+			NodesPerBatch:   jp.NodesPerBatch,
+			EdgeFactor:      jp.EdgeFactor,
+			Skew:            jp.Skew,
+			PropNoise:       jp.PropNoise,
+			NoiseCorr:       jp.NoiseCorr,
+			LabelNoise:      jp.LabelNoise,
+			EdgeLabelNoise:  jp.EdgeLabelNoise,
+			ActiveNodeTypes: jp.ActiveNodeTypes,
+			ActiveEdgeTypes: jp.ActiveEdgeTypes,
+			RampIn:          jp.RampIn,
+		}
+		if jp.Supernodes != nil {
+			ph.Supernodes = SupernodeSpec(*jp.Supernodes)
+		}
+		sc.Phases = append(sc.Phases, ph)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// WriteScenarioJSON serializes a scenario so that reading it back yields
+// the same scenario (round-trip stability is fuzzed).
+func WriteScenarioJSON(w io.Writer, sc *Scenario) error {
+	out := jsonScenario{
+		Name:        sc.Name,
+		Description: sc.Description,
+		Dataset:     sc.Dataset,
+		BatchNodes:  sc.BatchNodes,
+	}
+	if sc.Dataset == "" && sc.Profile != nil {
+		out.Profile = profileToJSON(sc.Profile)
+	}
+	for i := range sc.Phases {
+		ph := &sc.Phases[i]
+		jp := jsonPhase{
+			Name:            ph.Name,
+			Batches:         ph.Batches,
+			NodesPerBatch:   ph.NodesPerBatch,
+			EdgeFactor:      ph.EdgeFactor,
+			Skew:            ph.Skew,
+			PropNoise:       ph.PropNoise,
+			NoiseCorr:       ph.NoiseCorr,
+			LabelNoise:      ph.LabelNoise,
+			EdgeLabelNoise:  ph.EdgeLabelNoise,
+			ActiveNodeTypes: ph.ActiveNodeTypes,
+			ActiveEdgeTypes: ph.ActiveEdgeTypes,
+			RampIn:          ph.RampIn,
+		}
+		if ph.Supernodes != (SupernodeSpec{}) {
+			sn := jsonSupernodes(ph.Supernodes)
+			jp.Supernodes = &sn
+		}
+		out.Phases = append(out.Phases, jp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}

@@ -1,0 +1,234 @@
+package datagen
+
+import "pghive/internal/pg"
+
+// Named adversarial scenarios: each stresses one discovery guarantee the
+// soak harness and the metamorphic suite then verify under faults, kills,
+// and sharding. All are fully seeded — same name + seed is a byte-identical
+// stream — and each doubles as a named bench row (scenarios experiment).
+
+// Scenarios returns the built-in scenarios in a fixed order.
+func Scenarios() []*Scenario {
+	return []*Scenario{
+		skewScenario(),
+		gradualDriftScenario(),
+		abruptDriftScenario(),
+		supernodesScenario(),
+		nearThetaScenario(),
+		noiseRampScenario(),
+	}
+}
+
+// ScenarioByName returns the named built-in scenario, or nil.
+func ScenarioByName(name string) *Scenario {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc
+		}
+	}
+	return nil
+}
+
+// skewScenario ramps a Zipf-style skew over LDBC: by the last phase a
+// couple of head types dominate the stream while tail types trickle in at
+// apportion's one-per-type floor — the clustering load becomes wildly
+// unbalanced without any type ever disappearing.
+func skewScenario() *Scenario {
+	return &Scenario{
+		Name:        "skew",
+		Description: "LDBC under a rising Zipf skew: head types dominate, tail types trickle",
+		Dataset:     "LDBC",
+		Profile:     LDBC(),
+		BatchNodes:  300,
+		Phases: []ScenarioPhase{
+			{Name: "uniform", Batches: 4},
+			{Name: "skewed", Batches: 4, Skew: 1.2},
+			{Name: "heavy", Batches: 4, Skew: 2.5},
+		},
+	}
+}
+
+// driftProfile is the blueprint both drift scenarios play: six node types
+// with overlapping property vocabularies and five edge types spanning them.
+func driftProfile() *Profile {
+	return &Profile{
+		Name:       "drift",
+		EdgeFactor: 2,
+		NodeTypes: []NodeTypeSpec{
+			{Name: "User", Labels: []string{"User"}, Weight: 4, Props: []PropSpec{
+				Prop("user_id", pg.KindInt),
+				CatProp("country", pg.KindString, 40),
+				OptProp("email", pg.KindString, 0.8),
+			}},
+			{Name: "Account", Labels: []string{"Account"}, Weight: 3, Props: []PropSpec{
+				Prop("iban", pg.KindString),
+				Prop("balance", pg.KindFloat),
+				OptCatProp("currency", pg.KindString, 12, 0.9),
+			}},
+			{Name: "Device", Labels: []string{"Device"}, Weight: 2, Props: []PropSpec{
+				Prop("device_id", pg.KindString),
+				CatProp("os", pg.KindString, 5),
+			}},
+			{Name: "Session", Labels: []string{"Session"}, Weight: 3, Props: []PropSpec{
+				Prop("session_id", pg.KindString),
+				Prop("started", pg.KindTimestamp),
+				OptCatProp("channel", pg.KindString, 4, 0.7),
+			}},
+			{Name: "Merchant", Labels: []string{"Merchant"}, Weight: 2, Props: []PropSpec{
+				Prop("merchant_id", pg.KindInt),
+				CatProp("category", pg.KindString, 25),
+				CatProp("country", pg.KindString, 40),
+			}},
+			{Name: "Alert", Labels: []string{"Alert"}, Weight: 1, Props: []PropSpec{
+				Prop("alert_id", pg.KindInt),
+				Prop("raised", pg.KindTimestamp),
+				CatProp("severity", pg.KindString, 4),
+			}},
+		},
+		EdgeTypes: []EdgeTypeSpec{
+			{Name: "OWNS", Labels: []string{"OWNS"}, Src: "User", Dst: "Account", Weight: 3, Shape: FanIn},
+			{Name: "USES", Labels: []string{"USES"}, Src: "User", Dst: "Device", Weight: 2},
+			{Name: "LOGIN", Labels: []string{"LOGIN"}, Src: "Session", Dst: "Account", Weight: 3, Props: []PropSpec{
+				OptCatProp("ip_class", pg.KindString, 6, 0.8),
+			}},
+			{Name: "PAYS", Labels: []string{"PAYS"}, Src: "Account", Dst: "Merchant", Weight: 3, Props: []PropSpec{
+				Prop("amount", pg.KindFloat),
+			}},
+			{Name: "FLAGS", Labels: []string{"FLAGS"}, Src: "Alert", Dst: "Account", Weight: 1},
+		},
+	}
+}
+
+// gradualDriftScenario phases new types in with linearly ramping weights:
+// the schema must grow monotonically while each newcomer is still rare.
+func gradualDriftScenario() *Scenario {
+	return &Scenario{
+		Name:        "gradual-drift",
+		Description: "new node and edge types ramp in linearly across phases",
+		Profile:     driftProfile(),
+		BatchNodes:  250,
+		Phases: []ScenarioPhase{
+			{Name: "base", Batches: 4,
+				ActiveNodeTypes: []string{"User", "Account", "Device"},
+				ActiveEdgeTypes: []string{"OWNS", "USES"}},
+			{Name: "sessions", Batches: 6,
+				ActiveNodeTypes: []string{"User", "Account", "Device", "Session", "Merchant"},
+				ActiveEdgeTypes: []string{"OWNS", "USES", "LOGIN", "PAYS"},
+				RampIn:          []string{"Session", "Merchant", "LOGIN", "PAYS"}},
+			{Name: "alerts", Batches: 4,
+				RampIn: []string{"Alert", "FLAGS"}},
+		},
+	}
+}
+
+// abruptDriftScenario swaps the active type set at phase boundaries: whole
+// subgraphs appear at full weight with no warning, and earlier types stop
+// arriving (the discovered schema must keep them).
+func abruptDriftScenario() *Scenario {
+	return &Scenario{
+		Name:        "abrupt-drift",
+		Description: "active type sets swap wholesale at phase boundaries",
+		Profile:     driftProfile(),
+		BatchNodes:  250,
+		Phases: []ScenarioPhase{
+			{Name: "retail", Batches: 4,
+				ActiveNodeTypes: []string{"User", "Account"},
+				ActiveEdgeTypes: []string{"OWNS"}},
+			{Name: "cutover", Batches: 4,
+				ActiveNodeTypes: []string{"Session", "Device", "Merchant"},
+				ActiveEdgeTypes: []string{"LOGIN", "USES", "PAYS"}},
+			{Name: "everything", Batches: 4},
+		},
+	}
+}
+
+// supernodesScenario concentrates ICIJ's edges onto a handful of heavy
+// hitters: by the last phase most edges target two hubs, producing extreme
+// in-degree skew and near-duplicate edge patterns.
+func supernodesScenario() *Scenario {
+	return &Scenario{
+		Name:        "supernodes",
+		Description: "ICIJ edges funneled onto a few heavy-hitter hubs",
+		Dataset:     "ICIJ",
+		Profile:     ICIJ(),
+		BatchNodes:  250,
+		Phases: []ScenarioPhase{
+			{Name: "organic", Batches: 3},
+			{Name: "hubs", Batches: 4, Supernodes: SupernodeSpec{Count: 4, Share: 0.5}},
+			{Name: "black-holes", Batches: 4, EdgeFactor: 4, Supernodes: SupernodeSpec{Count: 2, Share: 0.85}},
+		},
+	}
+}
+
+// nearThetaProfile builds property patterns straddling the θ = 0.9 merge
+// boundary. "Hub" is the labeled anchor with 18 mandatory properties. The
+// three variants are unlabeled, so Algorithm 2 can only merge them into Hub
+// when the Jaccard similarity of the property sets clears θ:
+//
+//	AboveTheta: Hub's 18 props + 1 extra  → J = 18/19 ≈ 0.947  (merges)
+//	AtTheta:    Hub's 18 props + 2 extra  → J = 18/20 = 0.900  (merges, boundary)
+//	BelowTheta: 17 of Hub's props + 3 new → J = 17/21 ≈ 0.810  (stays separate)
+func nearThetaProfile() *Profile {
+	hubProps := func() []PropSpec {
+		var out []PropSpec
+		for i := 0; i < 18; i++ {
+			out = append(out, CatProp(propName("h", i), pg.KindString, 50))
+		}
+		return out
+	}
+	above := append(hubProps(), Prop("x0", pg.KindInt))
+	at := append(hubProps(), Prop("x0", pg.KindInt), Prop("x1", pg.KindInt))
+	below := append(hubProps()[:17], Prop("y0", pg.KindInt), Prop("y1", pg.KindInt), Prop("y2", pg.KindInt))
+	return &Profile{
+		Name:       "near-theta",
+		EdgeFactor: 1.5,
+		NodeTypes: []NodeTypeSpec{
+			{Name: "Hub", Labels: []string{"Hub"}, Weight: 3, Props: hubProps()},
+			{Name: "AboveTheta", Weight: 1, Props: above},
+			{Name: "AtTheta", Weight: 1, Props: at},
+			{Name: "BelowTheta", Weight: 1, Props: below},
+		},
+		EdgeTypes: []EdgeTypeSpec{
+			{Name: "LINKS", Labels: []string{"LINKS"}, Src: "Hub", Dst: "Hub", Weight: 1},
+		},
+	}
+}
+
+func propName(prefix string, i int) string {
+	return prefix + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+// nearThetaScenario seeds the labeled anchor type first, then floods the
+// stream with the unlabeled near-duplicates, and finally adds correlated
+// noise that nudges individual patterns back and forth across θ.
+func nearThetaScenario() *Scenario {
+	return &Scenario{
+		Name:        "near-theta",
+		Description: "unlabeled near-duplicate types straddling the θ=0.9 merge boundary",
+		Profile:     nearThetaProfile(),
+		BatchNodes:  200,
+		Phases: []ScenarioPhase{
+			{Name: "anchor", Batches: 3, ActiveNodeTypes: []string{"Hub"}},
+			{Name: "straddle", Batches: 5},
+			{Name: "jitter", Batches: 4, PropNoise: 0.03, NoiseCorr: 0.9},
+		},
+	}
+}
+
+// noiseRampScenario degrades CORD19 progressively: correlated property
+// removal plus growing label loss, ending with most labels gone and noise
+// that strips whole property groups per element.
+func noiseRampScenario() *Scenario {
+	return &Scenario{
+		Name:        "noise-ramp",
+		Description: "CORD19 under ramping correlated noise and label loss",
+		Dataset:     "CORD19",
+		Profile:     CORD19(),
+		BatchNodes:  250,
+		Phases: []ScenarioPhase{
+			{Name: "clean", Batches: 3},
+			{Name: "worn", Batches: 4, PropNoise: 0.15, NoiseCorr: 0.6, LabelNoise: 0.3},
+			{Name: "harsh", Batches: 4, PropNoise: 0.35, NoiseCorr: 0.9, LabelNoise: 0.7, EdgeLabelNoise: 0.4},
+		},
+	}
+}

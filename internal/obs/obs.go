@@ -128,6 +128,12 @@ const (
 	// computed; CtrRecordSigHits counts elements served by a memoized one.
 	CtrRecordSigsComputed
 	CtrRecordSigHits
+	// CtrSoakWindows counts invariant windows the soak harness checked;
+	// CtrSoakKills counts injected kill/resume cycles; CtrSoakViolations
+	// counts invariant violations observed (0 on a healthy run).
+	CtrSoakWindows
+	CtrSoakKills
+	CtrSoakViolations
 	numCounters
 )
 
@@ -138,6 +144,7 @@ var counterNames = [numCounters]string{
 	"embed_tokens_reused", "embed_tokens_trained", "embed_retrains",
 	"prefix_dots_computed", "prefix_dot_hits",
 	"record_sigs_computed", "record_sig_hits",
+	"soak_windows", "soak_kills", "soak_violations",
 }
 
 // String returns the counter's snake-case metric name.

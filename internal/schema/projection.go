@@ -1,0 +1,101 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Canonical projections of a schema for equivalence and monotonicity
+// checks. Two discovery strategies that are not byte-identical (a sharded
+// run versus a serial one) still have to agree on these.
+
+// LabeledProjection canonicalizes the labeled portion of a finalized
+// schema: for every labeled type, the sorted label set maps to its instance
+// count and per-property data type + mandatory flag. Abstract (unlabeled)
+// types are summarized by their total instance count only — how unlabeled
+// elements group is clustering-order-dependent across strategies, but
+// every element must still be accounted for.
+func LabeledProjection(def *Def) map[string]string {
+	proj := map[string]string{}
+	abstract := 0
+	add := func(kind string, labels []string, isAbstract bool, instances int, props []PropertyDef) {
+		if isAbstract {
+			abstract += instances
+			return
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "inst=%d", instances)
+		sorted := append([]PropertyDef(nil), props...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+		for _, p := range sorted {
+			fmt.Fprintf(&b, " %s:%v/mand=%t", p.Key, p.DataType, p.Mandatory)
+		}
+		key := append([]string(nil), labels...)
+		sort.Strings(key)
+		proj[kind+":"+strings.Join(key, "|")] = b.String()
+	}
+	for _, n := range def.Nodes {
+		add("node", n.Labels, n.Abstract, n.Instances, n.Properties)
+	}
+	for _, e := range def.Edges {
+		add("edge", e.Labels, e.Abstract, e.Instances, e.Properties)
+	}
+	proj["abstract-instances"] = fmt.Sprintf("%d", abstract)
+	return proj
+}
+
+// TypeFingerprint folds an accumulating (pre-finalize) schema into the
+// label-set → property-key-union map monotonicity checks compare: under
+// Algorithm 2 both the type set and each union may only grow batch over
+// batch (PG-HIVE Lemmas 1–2).
+func TypeFingerprint(s *Schema) map[string][]string {
+	out := map[string][]string{}
+	fold := func(prefix string, types []*Type) {
+		merged := map[string]map[string]struct{}{}
+		for _, t := range types {
+			key := prefix + strings.Join(t.LabelStrings(), "|")
+			props := merged[key]
+			if props == nil {
+				props = map[string]struct{}{}
+				merged[key] = props
+			}
+			for _, k := range t.PropKeyStrings() {
+				props[k] = struct{}{}
+			}
+		}
+		for key, props := range merged {
+			keys := make([]string, 0, len(props))
+			for k := range props {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			out[key] = keys
+		}
+	}
+	fold("n:", s.NodeTypes)
+	fold("e:", s.EdgeTypes)
+	return out
+}
+
+// FingerprintSubset reports whether fingerprint a is contained in b: every
+// type key of a exists in b and its property union is a subset of b's —
+// the monotone-growth order on TypeFingerprint outputs.
+func FingerprintSubset(a, b map[string][]string) bool {
+	for key, props := range a {
+		bProps, ok := b[key]
+		if !ok {
+			return false
+		}
+		set := make(map[string]struct{}, len(bProps))
+		for _, k := range bProps {
+			set[k] = struct{}{}
+		}
+		for _, k := range props {
+			if _, ok := set[k]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,81 @@
+package soak
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pghive/internal/core"
+	"pghive/internal/datagen"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSeed pins the regression stream; changing it invalidates testdata.
+const goldenSeed = 7
+
+// Golden regression pin for the near-theta scenario: the same spec + seed
+// must produce a byte-identical stream (by canonical wire hash) and a
+// byte-identical schema JSON, across machines and Go releases. The
+// adversarial point of near-theta is that its types straddle the θ = 0.9
+// merge boundary, so any drift in generation, hashing, clustering, or
+// merging shows up here first. Run with -update to rewrite testdata after
+// an intentional change.
+func TestNearThetaGolden(t *testing.T) {
+	sc := datagen.ScenarioByName("near-theta")
+	if sc == nil {
+		t.Fatal("near-theta scenario missing")
+	}
+
+	hash, batches, nodes, edges := datagen.HashStream(sc.Stream(goldenSeed))
+	streamLine := fmt.Sprintf("%s batches=%d nodes=%d edges=%d\n", hash, batches, nodes, edges)
+
+	res := core.Discover(sc.Stream(goldenSeed), core.Config{})
+
+	checkGolden(t, filepath.Join("testdata", "near-theta.stream"), []byte(streamLine))
+	checkGolden(t, filepath.Join("testdata", "near-theta.schema.json"), schemaJSON(t, res))
+}
+
+// TestScenarioGoldenReproducible is the spec-level reproducibility claim:
+// for every named scenario, two independent streams from the same seed are
+// byte-identical, and so are the schemas discovered from them.
+func TestScenarioGoldenReproducible(t *testing.T) {
+	for _, sc := range datagen.Scenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			h1, _, _, _ := datagen.HashStream(sc.Stream(goldenSeed))
+			h2, _, _, _ := datagen.HashStream(sc.Stream(goldenSeed))
+			if h1 != h2 {
+				t.Fatalf("stream hash not reproducible: %s vs %s", h1, h2)
+			}
+			a := core.Discover(sc.Stream(goldenSeed), core.Config{})
+			b := core.Discover(sc.Stream(goldenSeed), core.Config{})
+			if !bytes.Equal(schemaJSON(t, a), schemaJSON(t, b)) {
+				t.Fatal("schema JSON not reproducible from the same seed")
+			}
+		})
+	}
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", path, err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("%s drifted from golden (run with -update after an intentional change)\n got: %d bytes\nwant: %d bytes",
+			path, len(got), len(want))
+	}
+}

@@ -1,0 +1,188 @@
+package soak
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"pghive/internal/core"
+	"pghive/internal/datagen"
+	"pghive/internal/pg"
+	"pghive/internal/schema"
+	"pghive/internal/serialize"
+)
+
+// Metamorphic suite over every named scenario: properties that must hold
+// for any workload, checked on the adversarial ones.
+//
+//   - depth-1 ≡ depth-4: the overlapped engine is byte-identical to serial
+//   - shards=1 ≡ serial: the sharded entry point degenerates exactly
+//   - shards=2: deterministic run to run, and equivalent to serial under
+//     the labeled projection (sharded runs are not byte-identical — see
+//     Config.Shards)
+//   - batch-order permutation: the type fingerprint is order-invariant for
+//     fully labeled streams; with unlabeled elements Algorithm 2 may route
+//     an unlabeled candidate into a labeled type (rule 2 of MergeTypes), so
+//     only the labeled key set and the per-kind property unions are pinned
+//   - monotone growth: the accumulated schema only gains types/properties
+//     batch over batch
+
+func collectBatches(t *testing.T, sc *datagen.Scenario, seed int64) []*pg.Batch {
+	t.Helper()
+	var out []*pg.Batch
+	src := sc.Stream(seed)
+	for b := src.Next(); b != nil; b = src.Next() {
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		t.Fatal("scenario produced no batches")
+	}
+	return out
+}
+
+func schemaJSON(t *testing.T, res *core.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := serialize.WriteJSON(&buf, res.Def); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fullyLabeled reports whether every element of every batch carries at
+// least one label — the precondition for exact permutation invariance.
+func fullyLabeled(batches []*pg.Batch) bool {
+	for _, b := range batches {
+		for _, n := range b.Nodes {
+			if len(n.Labels) == 0 {
+				return false
+			}
+		}
+		for _, e := range b.Edges {
+			if len(e.Labels) == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// labeledKeys extracts the sorted non-abstract type keys of a fingerprint.
+func labeledKeys(fp map[string][]string) []string {
+	var keys []string
+	for k := range fp {
+		if k != "n:" && k != "e:" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// propUnion folds every property key under one kind prefix into a sorted
+// union.
+func propUnion(fp map[string][]string, prefix string) []string {
+	set := map[string]struct{}{}
+	for k, props := range fp {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		for _, p := range props {
+			set[p] = struct{}{}
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestScenarioMetamorphic(t *testing.T) {
+	for _, name := range []string{"skew", "gradual-drift", "abrupt-drift", "supernodes", "near-theta", "noise-ramp"} {
+		t.Run(name, func(t *testing.T) {
+			sc := shrunk(t, name)
+			batches := collectBatches(t, sc, 1)
+			base := core.Config{PipelineDepth: 1}
+
+			serial := core.Discover(pg.NewSliceSource(batches...), base)
+			serialJSON := schemaJSON(t, serial)
+
+			t.Run("depth", func(t *testing.T) {
+				deep := base
+				deep.PipelineDepth = 4
+				got := core.Discover(pg.NewSliceSource(batches...), deep)
+				if !bytes.Equal(schemaJSON(t, got), serialJSON) {
+					t.Error("depth-4 schema differs from depth-1")
+				}
+			})
+
+			t.Run("shards-1", func(t *testing.T) {
+				cfg := base
+				cfg.Shards = 1
+				got := core.DiscoverSharded(pg.NewSliceSource(batches...), cfg)
+				if !bytes.Equal(schemaJSON(t, got), serialJSON) {
+					t.Error("shards=1 schema differs from serial")
+				}
+			})
+
+			t.Run("shards-2", func(t *testing.T) {
+				cfg := base
+				cfg.Shards = 2
+				a := core.DiscoverSharded(pg.NewSliceSource(batches...), cfg)
+				b := core.DiscoverSharded(pg.NewSliceSource(batches...), cfg)
+				if !bytes.Equal(schemaJSON(t, a), schemaJSON(t, b)) {
+					t.Error("shards=2 not deterministic run to run")
+				}
+				if diff := EquivalenceDiff(serial.Def, a.Def, ScenarioEquivalenceLevel(sc, 1, 1)); diff != "" {
+					t.Errorf("shards=2 not equivalent to serial: %s", diff)
+				}
+			})
+
+			t.Run("permutation", func(t *testing.T) {
+				perm := append([]*pg.Batch(nil), batches...)
+				rand.New(rand.NewSource(99)).Shuffle(len(perm), func(i, j int) {
+					perm[i], perm[j] = perm[j], perm[i]
+				})
+				got := core.Discover(pg.NewSliceSource(perm...), base)
+				a := schema.TypeFingerprint(serial.Schema)
+				b := schema.TypeFingerprint(got.Schema)
+				if fullyLabeled(batches) {
+					if !reflect.DeepEqual(a, b) {
+						t.Error("type fingerprint changed under batch-order permutation")
+					}
+					return
+				}
+				// Unlabeled candidates may be absorbed by different types
+				// depending on arrival order; the labeled key set and the
+				// per-kind property unions must still agree.
+				if !reflect.DeepEqual(labeledKeys(a), labeledKeys(b)) {
+					t.Errorf("labeled type keys changed under permutation:\n%v\nvs\n%v",
+						labeledKeys(a), labeledKeys(b))
+				}
+				for _, prefix := range []string{"n:", "e:"} {
+					if !reflect.DeepEqual(propUnion(a, prefix), propUnion(b, prefix)) {
+						t.Errorf("%s property union changed under permutation", prefix)
+					}
+				}
+			})
+
+			t.Run("monotone", func(t *testing.T) {
+				p := core.NewPipeline(base)
+				prev := schema.TypeFingerprint(p.Schema())
+				for i, b := range batches {
+					p.ProcessBatch(b)
+					cur := schema.TypeFingerprint(p.Schema())
+					if !schema.FingerprintSubset(prev, cur) {
+						t.Fatalf("batch %d: schema lost types or properties", i)
+					}
+					prev = cur
+				}
+			})
+		})
+	}
+}

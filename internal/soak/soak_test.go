@@ -1,0 +1,197 @@
+package soak
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pghive/internal/core"
+	"pghive/internal/datagen"
+	"pghive/internal/pg"
+)
+
+// shrunk returns a -short-friendly copy of a named scenario: fewer batches
+// per phase and smaller batches, same adversarial structure.
+func shrunk(t testing.TB, name string) *datagen.Scenario {
+	sc := datagen.ScenarioByName(name)
+	if sc == nil {
+		t.Fatalf("unknown scenario %q", name)
+	}
+	if !testing.Short() {
+		return sc
+	}
+	small := *sc
+	small.BatchNodes = 80
+	small.Phases = append([]datagen.ScenarioPhase(nil), sc.Phases...)
+	for i := range small.Phases {
+		if small.Phases[i].Batches > 2 {
+			small.Phases[i].Batches = 2
+		}
+		if small.Phases[i].NodesPerBatch > 80 {
+			small.Phases[i].NodesPerBatch = 80
+		}
+	}
+	return &small
+}
+
+func TestSoakCleanRun(t *testing.T) {
+	sc := shrunk(t, "gradual-drift")
+	rep, err := Run(Options{Scenario: sc, Seed: 1, Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("violations on a clean run: %v", rep.Violations)
+	}
+	if rep.Batches != sc.TotalBatches() {
+		t.Errorf("processed %d batches, want %d", rep.Batches, sc.TotalBatches())
+	}
+	if rep.Checkpoints != rep.Batches {
+		t.Errorf("%d checkpoints for %d batches", rep.Checkpoints, rep.Batches)
+	}
+	if rep.Windows == 0 || rep.NodeTypes == 0 || rep.EdgeTypes == 0 {
+		t.Errorf("empty report: %d windows, %d node types, %d edge types",
+			rep.Windows, rep.NodeTypes, rep.EdgeTypes)
+	}
+	if rep.StreamHash == "" || len(rep.SchemaJSON) == 0 {
+		t.Error("missing stream hash or schema JSON")
+	}
+}
+
+// Faults + kill/resume: the harness must survive transient and corrupt
+// batches, one mid-run kill, and still match the uninterrupted run
+// byte-for-byte (checked inside Run; OK() carries the verdict).
+func TestSoakFaultsAndKillResume(t *testing.T) {
+	sc := shrunk(t, "near-theta")
+	rep, err := Run(Options{
+		Scenario:  sc,
+		Seed:      3,
+		Window:    2,
+		Kills:     1,
+		KillEvery: 4,
+		Faults:    pg.FaultProfile{TransientRate: 0.2, CorruptRate: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kills != 1 {
+		t.Errorf("injected %d kills, want 1", rep.Kills)
+	}
+	if !rep.OK() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+}
+
+func TestSoakShardedWithEverything(t *testing.T) {
+	sc := shrunk(t, "abrupt-drift")
+	cfg := core.Config{Shards: 2}
+	rep, err := Run(Options{
+		Scenario:         sc,
+		Seed:             5,
+		Config:           cfg,
+		Window:           2,
+		Kills:            1,
+		KillEvery:        4,
+		Faults:           pg.FaultProfile{TransientRate: 0.15, CorruptRate: 0.04},
+		CheckEquivalence: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kills != 1 {
+		t.Errorf("injected %d kills, want 1", rep.Kills)
+	}
+	if !rep.OK() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+}
+
+func TestSoakHeapBudgetViolation(t *testing.T) {
+	rep, err := Run(Options{
+		Scenario:       shrunk(t, "skew"),
+		Seed:           1,
+		Window:         2,
+		MemBudgetBytes: 1, // impossible budget: the check itself must fire
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("1-byte heap budget not reported as violated")
+	}
+	for _, v := range rep.Violations {
+		if v.Invariant != "heap-budget" {
+			t.Errorf("unexpected violation %v", v)
+		}
+	}
+	if rep.HeapPeak == 0 {
+		t.Error("heap peak not recorded")
+	}
+}
+
+func TestSoakRejectsBadOptions(t *testing.T) {
+	if _, err := Run(Options{}); err == nil {
+		t.Error("nil scenario accepted")
+	}
+	sc := datagen.ScenarioByName("skew")
+	if _, err := Run(Options{Scenario: sc, Faults: pg.FaultProfile{FailAfter: 3}}); err == nil {
+		t.Error("FailAfter accepted — it breaks resume replay")
+	}
+	bad := *sc
+	bad.Phases = nil
+	if _, err := Run(Options{Scenario: &bad}); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
+func TestKillSource(t *testing.T) {
+	sc := datagen.ScenarioByName("skew")
+	src := &killSource{inner: pg.AsErrSource(sc.Stream(1)), budget: 3}
+	for i := 0; i < 3; i++ {
+		b, err := src.Next()
+		if err != nil || b == nil {
+			t.Fatalf("delivery %d: batch %v err %v", i, b != nil, err)
+		}
+	}
+	if _, err := src.Next(); !errors.Is(err, errKill) {
+		t.Fatalf("expected kill, got %v", err)
+	}
+	// budget < 0 never kills.
+	free := &killSource{inner: pg.AsErrSource(sc.Stream(1)), budget: -1}
+	n := 0
+	for {
+		b, err := free.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		n++
+	}
+	if n != sc.TotalBatches() {
+		t.Errorf("drained %d batches, want %d", n, sc.TotalBatches())
+	}
+}
+
+func TestProjectionDiff(t *testing.T) {
+	a := map[string]string{"node:A": "inst=3", "abstract-instances": "0"}
+	if d := projectionDiff(a, map[string]string{"node:A": "inst=3", "abstract-instances": "0"}); d != "" {
+		t.Errorf("equal projections diffed: %s", d)
+	}
+	d := projectionDiff(a, map[string]string{"node:A": "inst=4", "abstract-instances": "0", "node:B": "inst=1"})
+	if !strings.Contains(d, "node:A") || !strings.Contains(d, "unexpected") {
+		t.Errorf("diff missing detail: %s", d)
+	}
+}
+
+func TestUnionSorted(t *testing.T) {
+	got := unionSorted([]string{"a", "c", "e"}, []string{"b", "c", "f"})
+	want := "a b c e f"
+	if strings.Join(got, " ") != want {
+		t.Errorf("unionSorted = %v, want %v", got, want)
+	}
+	if len(unionSorted(nil, nil)) != 0 {
+		t.Error("union of nils not empty")
+	}
+}
