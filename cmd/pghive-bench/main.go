@@ -119,6 +119,8 @@ func run(exp, csvDir string, settings bench.Settings) error {
 			return bench.WriteShardsCSV(csvDir, os.Stdout, settings)
 		case "scenarios":
 			return bench.WriteScenariosCSV(csvDir, os.Stdout, settings)
+		case "memory":
+			return bench.WriteMemoryCSV(csvDir, os.Stdout, settings)
 		}
 		return bench.WriteCSVs(csvDir, os.Stdout, settings)
 	}

@@ -40,7 +40,8 @@ func main() {
 		killEvery   = flag.Int("kill-every", soak.DefaultKillEvery, "deliver N more batches before each kill")
 		faultRate   = flag.Float64("fault-rate", 0, "per-attempt transient fault probability")
 		corruptRate = flag.Float64("corrupt-rate", 0, "per-batch corrupt (quarantine) probability")
-		memBudgetMB = flag.Int("mem-budget-mb", 0, "fail if retained heap exceeds this after GC (0 = unchecked)")
+		memBudgetMB = flag.Int("mem-budget-mb", 0, "enforce this memory budget (sketched evidence) and fail if retained heap or checkpointed evidence exceeds it (0 = unchecked)")
+		exactEv     = flag.Bool("exact-evidence", false, "keep evidence exact even under -mem-budget-mb (escape hatch)")
 		equivalence = flag.Bool("equivalence", false, "with -shards > 1, re-run serially and require schema equivalence")
 		noResume    = flag.Bool("skip-resume-check", false, "skip the kill/resume byte-identity reference run")
 		telemetry   = flag.Bool("telemetry", false, "print aggregated run metrics to stderr")
@@ -105,6 +106,7 @@ func main() {
 		Kills:            *kills,
 		KillEvery:        *killEvery,
 		MemBudgetBytes:   uint64(*memBudgetMB) * 1 << 20,
+		ExactEvidence:    *exactEv,
 		CheckEquivalence: *equivalence,
 		SkipResumeCheck:  *noResume,
 	}
@@ -133,6 +135,9 @@ func main() {
 	fmt.Printf("harness: %d kills, %d checkpoints, %d windows checked", rep.Kills, rep.Checkpoints, rep.Windows)
 	if rep.HeapPeak > 0 {
 		fmt.Printf(", heap peak %.1f MB", float64(rep.HeapPeak)/(1<<20))
+	}
+	if rep.EvidencePeak > 0 {
+		fmt.Printf(", evidence peak %.1f MB", float64(rep.EvidencePeak)/(1<<20))
 	}
 	fmt.Println()
 	if rep.OK() {

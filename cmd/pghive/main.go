@@ -50,6 +50,8 @@ func main() {
 		retry     = flag.Int("retry", 0, "retry transient source faults up to this many attempts per batch (0 = fail fast)")
 		ckptPath  = flag.String("checkpoint", "", "checkpoint file: save pipeline state after every batch; resume from it when it already exists")
 		faultRate = flag.Float64("fault-rate", 0, "inject seeded transient faults at this per-attempt probability (exercises -retry)")
+		memBudget = flag.Int("mem-budget", 0, "memory budget in MB: bound evidence memory with sketched counters sized to the budget (0 = exact, unbounded)")
+		exactEv   = flag.Bool("exact-evidence", false, "keep evidence counters exact even under -mem-budget (escape hatch; byte-identical to no-budget output)")
 		sample    = flag.Bool("sample-datatypes", false, "infer property data types from a sample instead of a full scan")
 		particip  = flag.Bool("participation", false, "analyze edge participation to refine cardinality lower bounds")
 		selfCheck = flag.Bool("validate", false, "validate the input graph against its own discovered schema and report violations")
@@ -103,6 +105,8 @@ func main() {
 	cfg.Participation = *particip
 	cfg.PipelineDepth = *depth
 	cfg.Shards = *shards
+	cfg.MemBudgetBytes = int64(*memBudget) << 20
+	cfg.ExactEvidence = *exactEv
 	cfg.DenseSignatures = *denseSigs
 	cfg.Telemetry = pghive.TelemetryMulti(sinks...)
 	switch *method {

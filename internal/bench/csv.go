@@ -195,7 +195,38 @@ func WriteCSVs(dir string, w writerFlusher, s Settings) error {
 	if err := WriteScenariosCSV(dir, w, s); err != nil {
 		return err
 	}
+	if err := WriteMemoryCSV(dir, w, s); err != nil {
+		return err
+	}
 	return WriteLSHCSV(dir, w, s)
+}
+
+// WriteMemoryCSV runs only the memory experiment and writes memory.csv into
+// dir — CI's memory-budget job regenerates it on every run so the sketched
+// constraint F1 and retained-heap curves are tracked alongside the gates.
+func WriteMemoryCSV(dir string, w writerFlusher, s Settings) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	points, err := RunMemory(w, s)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.Dataset, p.Mode, strconv.FormatInt(p.BudgetBytes, 10),
+			strconv.Itoa(p.Elements),
+			strconv.FormatInt(p.Elapsed.Microseconds(), 10),
+			strconv.FormatUint(p.RetainedBytes, 10),
+			strconv.FormatInt(p.EvidenceBytes, 10),
+			strconv.Itoa(p.Facts), f(p.ConstraintF1),
+			strconv.FormatBool(p.Identical),
+		})
+	}
+	return writeCSV(dir, "memory.csv",
+		[]string{"dataset", "mode", "budget_bytes", "elements", "elapsed_us",
+			"retained_bytes", "evidence_bytes", "facts", "constraint_f1", "identical"}, rows)
 }
 
 // WriteShardsCSV runs only the shards experiment and writes shards.csv into

@@ -71,6 +71,10 @@ var Experiments = map[string]func(io.Writer, Settings) error{
 		_, err := RunInterning(w, s)
 		return err
 	},
+	"memory": func(w io.Writer, s Settings) error {
+		_, err := RunMemory(w, s)
+		return err
+	},
 }
 
 // ExperimentNames returns the registered identifiers in sorted order.

@@ -29,13 +29,15 @@ import (
 // post-extract(k) schema, giving the resumed run the exact state the
 // original run had when it began batch k+1.
 
-// checkpointMagic versions the checkpoint format. PGCK3 carries the symbol
-// intern table and encodes the schema and sampler state in interned-ID form
-// (the symtab serializes first so a resumed run reassigns the exact same
-// IDs); PGCK2 added Load/Wall timing columns to the per-batch reports.
-// Older checkpoints are rejected (resume from scratch rather than guess at
-// an incompatible layout).
-const checkpointMagic = "PGCK3"
+// checkpointMagic versions the checkpoint format. PGCK5 adds the
+// self-describing evidence mode bytes — degree counters and value stats may
+// serialize either as exact tables or as sketches (HLL + count-min + top-k,
+// see schema/checkpoint.go) — and extends the fingerprint with the memory
+// budget; PGCK3 introduced the symbol intern table (symtab serializes first
+// so a resumed run reassigns the exact same IDs); PGCK2 added Load/Wall
+// timing columns to the per-batch reports. Older checkpoints are rejected
+// (resume from scratch rather than guess at an incompatible layout).
+const checkpointMagic = "PGCK5"
 
 // Codec bounds for untrusted counts.
 const (
@@ -65,11 +67,12 @@ type SkipReport struct {
 // so a checkpoint written under one of these settings resumes cleanly
 // under any other.
 func (c Config) fingerprint() string {
-	return fmt.Sprintf("v1 m=%d th=%g emb=%+v lw=%g sem=%t al=%t at=%g np=%s ep=%s mhr=%d sdt=%t part=%t sf=%g smin=%d tm=%t seed=%d",
+	return fmt.Sprintf("v2 m=%d th=%g emb=%+v lw=%g sem=%t al=%t at=%g np=%s ep=%s mhr=%d sdt=%t part=%t sf=%g smin=%d tm=%t mb=%d ee=%t seed=%d",
 		c.Method, c.Theta, c.Embedding, c.LabelWeight, c.SemanticLabels,
 		c.AlignLabels, c.AlignThreshold, paramsFingerprint(c.NodeParams),
 		paramsFingerprint(c.EdgeParams), c.MinHashRows, c.SampleDatatypes,
-		c.Participation, c.SampleFraction, c.SampleMin, c.TrackMembers, c.Seed)
+		c.Participation, c.SampleFraction, c.SampleMin, c.TrackMembers,
+		c.MemBudgetBytes, c.ExactEvidence, c.Seed)
 }
 
 func paramsFingerprint(p *lsh.Params) string {
@@ -253,6 +256,10 @@ func ResumePipeline(r io.Reader, cfg Config) (*Pipeline, int, []SkipReport, erro
 	if p.schema, err = schema.ReadSchema(br); err != nil {
 		return nil, 0, nil, fmt.Errorf("core: checkpoint schema: %w", err)
 	}
+	// The evidence policy is configuration, not state: re-derive it so the
+	// decoded accumulators (whose sketch parameters are self-describing)
+	// keep observing under the same caps the writer used.
+	p.schema.SetEvidencePolicy(p.cfg.evidencePolicy())
 	if err := p.sampler.readState(br); err != nil {
 		return nil, 0, nil, fmt.Errorf("core: checkpoint sampler: %w", err)
 	}

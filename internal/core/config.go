@@ -13,6 +13,7 @@ import (
 	"pghive/internal/embed"
 	"pghive/internal/lsh"
 	"pghive/internal/obs"
+	"pghive/internal/schema"
 	"pghive/internal/vectorize"
 )
 
@@ -128,8 +129,23 @@ type Config struct {
 	// samples only its own elements, so abstract-type composition and
 	// SampleKinds can differ (see DESIGN.md §11). Not part of the checkpoint
 	// fingerprint — sharded checkpoints use their own container format
-	// (PGCK4) that records the shard count explicitly.
+	// (PGCK6) that records the shard count explicitly.
 	Shards int
+	// MemBudgetBytes caps the evidence layer's retained memory. 0 (the
+	// default) keeps today's exact accumulators: per-endpoint degree
+	// counters and per-property value hash sets, whose memory grows with
+	// the number of distinct endpoints and values. A positive budget
+	// switches the schema to sketch-backed evidence (HyperLogLog distinct
+	// counts, count-min + space-saving degree maxima) sized by
+	// schema.PolicyForBudget, so retained evidence memory is constant in
+	// stream size. Sketched evidence changes what the constraints see —
+	// uniqueness and max-degree become statistical estimates — so the
+	// budget is part of the checkpoint fingerprint.
+	MemBudgetBytes int64
+	// ExactEvidence is the escape hatch: with a budget set it forces the
+	// exact accumulators anyway (byte-identical output to an unbudgeted
+	// run), so the budget then only governs the ingest spill thresholds.
+	ExactEvidence bool
 	// PipelineDepth controls the overlapped batch execution engine used by
 	// Discover/Drain. Values > 1 allow that many batches in flight at once:
 	// a prefetch goroutine keeps the next batch loaded while the current
@@ -179,6 +195,17 @@ func (c Config) withDefaults() Config {
 		c.PipelineDepth = DefaultPipelineDepth
 	}
 	return c
+}
+
+// evidencePolicy derives the schema evidence policy from the memory budget:
+// nil (exact evidence, today's behaviour) when no budget is set or the
+// -exact-evidence escape hatch is on, otherwise the sketch parameters
+// PolicyForBudget picks for the budget tier.
+func (c Config) evidencePolicy() *schema.EvidencePolicy {
+	if c.MemBudgetBytes <= 0 || c.ExactEvidence {
+		return nil
+	}
+	return schema.PolicyForBudget(c.MemBudgetBytes)
 }
 
 func (c Config) vectorizeConfig() vectorize.Config {

@@ -61,6 +61,20 @@ func TestResumePGCK2Rejected(t *testing.T) {
 	}
 }
 
+// TestResumePGCK3Rejected: a checkpoint from the pre-sketch evidence format
+// must be rejected by its magic — its degree and value-stat sections carry
+// no mode bytes, so decoding it under the PGCK5 layout would misparse.
+func TestResumePGCK3Rejected(t *testing.T) {
+	stale := append([]byte("PGCK3"), make([]byte, 64)...)
+	_, _, _, err := ResumePipeline(bytes.NewReader(stale), DefaultConfig())
+	if err == nil {
+		t.Fatal("resuming a PGCK3 checkpoint succeeded, want magic error")
+	}
+	if !strings.Contains(err.Error(), "checkpoint") {
+		t.Errorf("error %q does not mention the checkpoint", err)
+	}
+}
+
 // TestResumeAcrossInterning: the checkpoint must restore the symbol table
 // with its exact ID assignment — the resumed pipeline keeps interning where
 // the writer left off, and replaying the remaining batches yields an

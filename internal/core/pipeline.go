@@ -86,6 +86,7 @@ func NewPipeline(cfg Config) *Pipeline {
 		session: vectorize.NewSession(cfg.vectorizeConfig()),
 		instr:   obs.NewInstr(cfg.Telemetry),
 	}
+	p.schema.SetEvidencePolicy(cfg.evidencePolicy())
 	if cfg.AlignLabels {
 		// The aligner persists across batches so alignment classes stay
 		// stable throughout an incremental run.
@@ -275,6 +276,10 @@ func (p *Pipeline) extract(c computed) BatchReport {
 			Start: start, Duration: c.report.Extract,
 			Elements: c.report.Nodes + c.report.Edges,
 		})
+		if p.cfg.MemBudgetBytes > 0 {
+			p.instr.Gauge(obs.GaugeMemBudgetBytes, uint64(p.cfg.MemBudgetBytes))
+		}
+		p.instr.Gauge(obs.GaugeEvidenceBytes, uint64(p.schema.EvidenceBytes()))
 	}
 	return c.report
 }
@@ -513,6 +518,14 @@ func adaptFromSample(spec kindSpec, seed int64) lsh.Params {
 // making the shared table race-free without locking.
 func (p *Pipeline) internBatch(b *pg.Batch) {
 	tab := p.schema.Tab
+	// Under a sketched degree policy endpoint IDs are folded straight into
+	// the sketches keyed by their raw global values, so the symtab endpoint
+	// table — the dominant retained allocation on endpoint-heavy streams —
+	// is never populated.
+	internEps := true
+	if pol := tab.Evidence(); pol != nil && pol.SketchDegrees {
+		internEps = false
+	}
 	for i := range b.Nodes {
 		n := &b.Nodes[i]
 		for _, l := range n.Labels {
@@ -536,8 +549,10 @@ func (p *Pipeline) internBatch(b *pg.Batch) {
 		for k := range e.Props {
 			tab.Intern(k)
 		}
-		tab.InternEp(e.Src)
-		tab.InternEp(e.Dst)
+		if internEps {
+			tab.InternEp(e.Src)
+			tab.InternEp(e.Dst)
+		}
 	}
 }
 

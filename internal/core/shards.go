@@ -9,9 +9,9 @@
 // order keeps the global symtab assignment — and therefore the serialized
 // schema — deterministic for a fixed (Seed, Shards).
 //
-// The fault-tolerant variant checkpoints the whole fleet into one PGCK4
+// The fault-tolerant variant checkpoints the whole fleet into one PGCK6
 // container: the router's stream position and quarantine list plus one
-// complete PGCK3 section per shard. Sections advance independently (each
+// complete PGCK5 section per shard. Sections advance independently (each
 // shard checkpoints after its own extractions), so a container pairs the
 // newest state of the shard that just saved with the latest states of the
 // rest; on resume the router replays the stream from the beginning and each
@@ -137,6 +137,10 @@ func finishSharded(pipes []*Pipeline, cfg Config, start time.Time, skipped []Ski
 
 	mStart := time.Now()
 	global := schema.NewSchema()
+	// The merge target carries the same evidence policy as the shards so
+	// cross-mode conversions only happen for evidence that predates the
+	// policy, and the merged sketches keep their caps.
+	global.SetEvidencePolicy(cfg.evidencePolicy())
 	var reports []BatchReport
 	merged := 0
 	for i, p := range pipes {
@@ -177,16 +181,17 @@ func finishSharded(pipes []*Pipeline, cfg Config, start time.Time, skipped []Ski
 }
 
 // shardCheckpointMagic versions the sharded checkpoint container: router
-// position + quarantine list + one complete PGCK3 section per shard. The
-// shard count is validated explicitly from the header (it is not part of the
-// configuration fingerprint), so a container written for N shards resumes
-// only under Shards = N.
-const shardCheckpointMagic = "PGCK4"
+// position + quarantine list + one complete PGCK5 section per shard (PGCK6
+// tracks the per-shard format's PGCK4→PGCK6 generation jump alongside the
+// single-pipeline PGCK3→PGCK5 one). The shard count is validated explicitly
+// from the header (it is not part of the configuration fingerprint), so a
+// container written for N shards resumes only under Shards = N.
+const shardCheckpointMagic = "PGCK6"
 
 // maxShards bounds the shard count accepted from an untrusted container.
 const maxShards = 1 << 16
 
-// encodeShardContainer writes one PGCK4 container.
+// encodeShardContainer writes one fleet container.
 func encodeShardContainer(w *bytes.Buffer, cfg Config, slots int, skipped []SkipReport, states [][]byte) error {
 	bw := pg.NewWireWriter(w)
 	bw.Raw([]byte(shardCheckpointMagic))
@@ -204,7 +209,7 @@ func encodeShardContainer(w *bytes.Buffer, cfg Config, slots int, skipped []Skip
 	return bw.Flush()
 }
 
-// decodeShardContainer parses a PGCK4 container, validating the fingerprint
+// decodeShardContainer parses a fleet container, validating the fingerprint
 // and that it was written for exactly cfg.Shards shards.
 func decodeShardContainer(state []byte, cfg Config) (sections [][]byte, slots int, skipped []SkipReport, err error) {
 	br := pg.NewWireReader(bytes.NewReader(state))
@@ -256,8 +261,8 @@ func decodeShardContainer(state []byte, cfg Config) (sections [][]byte, slots in
 	return sections, slots, skipped, nil
 }
 
-// shardCoordinator assembles PGCK4 containers: it holds every shard's latest
-// encoded PGCK3 state plus the router's current stream position, and rewrites
+// shardCoordinator assembles PGCK6 containers: it holds every shard's latest
+// encoded PGCK5 state plus the router's current stream position, and rewrites
 // the container whenever any shard checkpoints. One mutex serializes shard
 // saves against router position updates, so a container's position is always
 // ≥ every sub-batch its sections have folded in, and its quarantine list is
@@ -362,7 +367,7 @@ func routeShards(src pg.ErrSource, feeds []chan *pg.Batch, opts FTOptions, co *s
 
 // DiscoverShardedFT is DiscoverFT with the stream partitioned across
 // cfg.Shards pipelines. Shards ≤ 1 delegates to DiscoverFT. Checkpoints are
-// PGCK4 containers covering the whole fleet; resume them with
+// PGCK6 containers covering the whole fleet; resume them with
 // ResumeDiscoverShardedFT.
 func DiscoverShardedFT(src pg.ErrSource, cfg Config, opts FTOptions) (*Result, error) {
 	cfg = cfg.withDefaults()
@@ -372,7 +377,7 @@ func DiscoverShardedFT(src pg.ErrSource, cfg Config, opts FTOptions) (*Result, e
 	return runShardedFT(newShardPipelines(cfg), make([]int, cfg.Shards), src, cfg, opts)
 }
 
-// ResumeDiscoverShardedFT restores a fleet from a PGCK4 container and
+// ResumeDiscoverShardedFT restores a fleet from a PGCK6 container and
 // continues draining src — which must replay the same stream from the
 // beginning — then merges and finalizes. The configuration (including
 // Shards) must match the writer's.
@@ -401,7 +406,7 @@ func ResumeDiscoverShardedFT(state []byte, src pg.ErrSource, cfg Config, opts FT
 }
 
 // runShardedFT drives a fault-tolerant sharded drain: router on the calling
-// goroutine, one DrainFT per shard, PGCK4 checkpoints through the
+// goroutine, one DrainFT per shard, PGCK6 checkpoints through the
 // coordinator, then merge + finalize.
 func runShardedFT(pipes []*Pipeline, shardSlots []int, src pg.ErrSource, cfg Config, opts FTOptions) (*Result, error) {
 	start := time.Now()

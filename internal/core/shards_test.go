@@ -272,7 +272,7 @@ func TestShardedQuarantine(t *testing.T) {
 }
 
 // TestShardedResume is kill-anywhere recovery for the fleet: a sharded run
-// crashes at several stream positions, the PGCK4 container restores all
+// crashes at several stream positions, the PGCK6 container restores all
 // shards plus the router position, and the resumed run finishes
 // byte-identical to an uninterrupted sharded run.
 func TestShardedResume(t *testing.T) {
@@ -306,9 +306,10 @@ func TestShardedResume(t *testing.T) {
 	}
 }
 
-// TestShardedResumeRejects: a PGCK4 container refuses to resume under a
-// different shard count, a different configuration, or as a single-pipeline
-// checkpoint (and vice versa).
+// TestShardedResumeRejects: a PGCK6 container refuses to resume under a
+// different shard count, a different configuration, as a single-pipeline
+// checkpoint (and vice versa), or from the superseded PGCK4 container
+// format.
 func TestShardedResumeRejects(t *testing.T) {
 	batches := faultFreeBatches(t, 200, 4)
 	cfg := DefaultConfig()
@@ -339,10 +340,17 @@ func TestShardedResumeRejects(t *testing.T) {
 	}
 
 	if _, err := ResumeDiscoverFT(state, src(), DefaultConfig(), FTOptions{}); err == nil {
-		t.Error("single-pipeline resume accepted a PGCK4 container")
+		t.Error("single-pipeline resume accepted a fleet container")
 	}
 
-	// And a plain PGCK3 checkpoint must not resume as a fleet.
+	// A container in the superseded pre-sketch format must be rejected by
+	// its magic, not misparsed.
+	stale := append([]byte("PGCK4"), state[len(shardCheckpointMagic):]...)
+	if _, err := ResumeDiscoverShardedFT(stale, src(), cfg, FTOptions{}); err == nil {
+		t.Error("fleet resume accepted a PGCK4 container")
+	}
+
+	// And a plain single-pipeline checkpoint must not resume as a fleet.
 	soloCk := FileCheckpointer{Path: filepath.Join(t.TempDir(), "solo.ck")}
 	soloCrash := pg.NewFaultSource(pg.AsErrSource(pg.NewSliceSource(batches...)),
 		pg.FaultProfile{FailAfter: 2, Seed: 1})
@@ -351,7 +359,7 @@ func TestShardedResumeRejects(t *testing.T) {
 	}
 	soloState, _, _ := soloCk.Load()
 	if _, err := ResumeDiscoverShardedFT(soloState, src(), cfg, FTOptions{}); err == nil {
-		t.Error("fleet resume accepted a PGCK3 checkpoint")
+		t.Error("fleet resume accepted a single-pipeline checkpoint")
 	}
 }
 

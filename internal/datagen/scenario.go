@@ -444,7 +444,9 @@ func dropProps(props pg.Properties, rate, corr float64, seed int64, salt uint64,
 
 // HashStream drains a batch source and returns the hex SHA-256 of a
 // canonical wire encoding of every element, plus what it counted — the
-// byte-identity fingerprint reproducibility tests and benches pin.
+// byte-identity fingerprint reproducibility tests and benches pin. The
+// per-batch encoding is pg.WriteBatch, so the pinned stream hashes also pin
+// the spill queue's on-disk batch format.
 func HashStream(src pg.Source) (digest string, batches, nodes, edges int) {
 	h := sha256.New()
 	w := pg.NewWireWriter(h)
@@ -456,45 +458,12 @@ func HashStream(src pg.Source) (digest string, batches, nodes, edges int) {
 		batches++
 		nodes += len(b.Nodes)
 		edges += len(b.Edges)
-		w.Uvarint(uint64(len(b.Nodes)))
-		w.Uvarint(uint64(len(b.Edges)))
-		for i := range b.Nodes {
-			n := &b.Nodes[i]
-			w.Varint(int64(n.ID))
-			writeLabels(w, n.Labels)
-			writeProps(w, n.Props)
-		}
-		for i := range b.Edges {
-			e := &b.Edges[i]
-			w.Varint(int64(e.ID))
-			writeLabels(w, e.Labels)
-			w.Varint(int64(e.Src))
-			w.Varint(int64(e.Dst))
-			writeLabels(w, e.SrcLabels)
-			writeLabels(w, e.DstLabels)
-			writeProps(w, e.Props)
+		if err := pg.WriteBatch(w, b); err != nil {
+			panic(err) // generated values always have an encodable kind
 		}
 	}
 	if err := w.Flush(); err != nil {
 		panic(err) // sha256.New never fails to write
 	}
 	return hex.EncodeToString(h.Sum(nil)), batches, nodes, edges
-}
-
-func writeLabels(w *pg.WireWriter, labels []string) {
-	w.Uvarint(uint64(len(labels)))
-	for _, l := range labels {
-		w.String(l)
-	}
-}
-
-func writeProps(w *pg.WireWriter, props pg.Properties) {
-	keys := pg.SortedPropKeys(props)
-	w.Uvarint(uint64(len(keys)))
-	for _, k := range keys {
-		w.String(k)
-		if err := w.Value(props[k]); err != nil {
-			panic(err) // generated values always have an encodable kind
-		}
-	}
 }

@@ -134,6 +134,9 @@ const (
 	CtrSoakWindows
 	CtrSoakKills
 	CtrSoakViolations
+	// CtrSpilledBatches counts ingest batches that overflowed the in-memory
+	// queue onto disk (stream.SpillQueue).
+	CtrSpilledBatches
 	numCounters
 )
 
@@ -145,6 +148,7 @@ var counterNames = [numCounters]string{
 	"prefix_dots_computed", "prefix_dot_hits",
 	"record_sigs_computed", "record_sig_hits",
 	"soak_windows", "soak_kills", "soak_violations",
+	"spilled_batches",
 }
 
 // String returns the counter's snake-case metric name.
@@ -183,6 +187,42 @@ func (h Hist) String() string {
 // NumHists is the number of defined histograms.
 const NumHists = int(numHists)
 
+// Gauge enumerates point-in-time levels — last-write-wins values, unlike the
+// monotone Counters. The memory-bounded evidence layer publishes its budget
+// and retained-byte estimates here so an operator can watch a -mem-budget
+// run hold its ceiling.
+type Gauge uint8
+
+// Gauges.
+const (
+	// GaugeMemBudgetBytes is the configured pipeline memory budget
+	// (Config.MemBudgetBytes; absent when unbounded).
+	GaugeMemBudgetBytes Gauge = iota
+	// GaugeEvidenceBytes is the schema evidence layer's estimated retained
+	// bytes (schema.EvidenceBytes), refreshed after every extraction.
+	GaugeEvidenceBytes
+	// GaugeSpillMemBytes and GaugeSpillDiskBytes are the ingest spill
+	// queue's resident and on-disk encoded bytes.
+	GaugeSpillMemBytes
+	GaugeSpillDiskBytes
+	numGauges
+)
+
+var gaugeNames = [numGauges]string{
+	"mem_budget_bytes", "evidence_bytes", "spill_mem_bytes", "spill_disk_bytes",
+}
+
+// String returns the gauge's snake-case metric name.
+func (g Gauge) String() string {
+	if int(g) < len(gaugeNames) {
+		return gaugeNames[g]
+	}
+	return "unknown"
+}
+
+// NumGauges is the number of defined gauges.
+const NumGauges = int(numGauges)
+
 // Sink receives telemetry events. Implementations must be safe for
 // concurrent use: the overlapped engine emits cluster spans and kernel
 // counters from several goroutines at once. A Sink must never block for
@@ -194,6 +234,15 @@ type Sink interface {
 	Add(c Counter, delta uint64)
 	// Observe records one histogram observation.
 	Observe(h Hist, value uint64)
+}
+
+// GaugeSink is optionally implemented by sinks that track gauges. Gauges
+// were added after Sink's method set froze, so they ride on a side
+// interface: emitters type-assert through Instr.Gauge and sinks that don't
+// care never see them.
+type GaugeSink interface {
+	// Gauge sets a gauge to its latest value (last write wins).
+	Gauge(g Gauge, value uint64)
 }
 
 // Instr guards instrumentation call sites. The zero value is disabled:
@@ -230,6 +279,13 @@ func (in Instr) Observe(h Hist, value uint64) {
 	}
 }
 
+// Gauge forwards a gauge update to the sink, if it tracks gauges.
+func (in Instr) Gauge(g Gauge, value uint64) {
+	if gs, ok := in.sink.(GaugeSink); ok {
+		gs.Gauge(g, value)
+	}
+}
+
 // multi fans events out to several sinks.
 type multi []Sink
 
@@ -248,6 +304,16 @@ func (m multi) Add(c Counter, delta uint64) {
 func (m multi) Observe(h Hist, value uint64) {
 	for _, sk := range m {
 		sk.Observe(h, value)
+	}
+}
+
+// Gauge implements GaugeSink for Multi: members that track gauges get the
+// update, the rest never see it.
+func (m multi) Gauge(g Gauge, value uint64) {
+	for _, sk := range m {
+		if gs, ok := sk.(GaugeSink); ok {
+			gs.Gauge(g, value)
+		}
 	}
 }
 

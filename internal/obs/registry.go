@@ -23,6 +23,7 @@ const histBuckets = 16
 type Registry struct {
 	start    time.Time
 	counters [numCounters]atomic.Uint64
+	gauges   [numGauges]atomic.Uint64
 	stages   [numStages]stageAgg
 	hists    [numHists]histAgg
 
@@ -125,6 +126,13 @@ func (r *Registry) Add(c Counter, delta uint64) {
 	}
 }
 
+// Gauge implements GaugeSink (last write wins).
+func (r *Registry) Gauge(g Gauge, value uint64) {
+	if g < numGauges {
+		r.gauges[g].Store(value)
+	}
+}
+
 // Observe implements Sink.
 func (r *Registry) Observe(h Hist, value uint64) {
 	if h >= numHists {
@@ -206,6 +214,8 @@ type Snapshot struct {
 	UptimeNs int64 `json:"uptime_ns"`
 	// Counters holds every non-zero monotone counter.
 	Counters map[string]uint64 `json:"counters"`
+	// Gauges holds every non-zero point-in-time level (latest value).
+	Gauges map[string]uint64 `json:"gauges,omitempty"`
 	// Stages holds per-stage span aggregates for stages that ran.
 	Stages map[string]StageSnapshot `json:"stages"`
 	// Hists holds the occupancy histograms that received observations.
@@ -225,6 +235,9 @@ type ShardSnapshot struct {
 
 // Counter returns a counter's value by enum (0 when absent).
 func (s *Snapshot) Counter(c Counter) uint64 { return s.Counters[c.String()] }
+
+// Gauge returns a gauge's latest value by enum (0 when absent).
+func (s *Snapshot) Gauge(g Gauge) uint64 { return s.Gauges[g.String()] }
 
 // Stage returns a stage's aggregate by enum.
 func (s *Snapshot) Stage(st Stage) StageSnapshot { return s.Stages[st.String()] }
@@ -246,6 +259,14 @@ func (r *Registry) Snapshot() *Snapshot {
 	for c := Counter(0); c < numCounters; c++ {
 		if v := r.counters[c].Load(); v > 0 {
 			s.Counters[c.String()] = v
+		}
+	}
+	for g := Gauge(0); g < numGauges; g++ {
+		if v := r.gauges[g].Load(); v > 0 {
+			if s.Gauges == nil {
+				s.Gauges = make(map[string]uint64)
+			}
+			s.Gauges[g.String()] = v
 		}
 	}
 	snapStages(&r.stages, s.Stages)
@@ -335,6 +356,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		p("# TYPE pghive_%s_total counter\npghive_%s_total %d\n", name, name, s.Counters[name])
+	}
+
+	gnames := make([]string, 0, len(s.Gauges))
+	for name := range s.Gauges {
+		gnames = append(gnames, name)
+	}
+	sort.Strings(gnames)
+	for _, name := range gnames {
+		p("# TYPE pghive_%s gauge\npghive_%s %d\n", name, name, s.Gauges[name])
 	}
 
 	if len(s.Stages) > 0 {
@@ -448,6 +478,14 @@ func (s *Snapshot) WriteText(w io.Writer) {
 	sort.Strings(names)
 	for _, name := range names {
 		fmt.Fprintf(w, "  %-26s %d\n", name, s.Counters[name])
+	}
+	gnames := make([]string, 0, len(s.Gauges))
+	for name := range s.Gauges {
+		gnames = append(gnames, name)
+	}
+	sort.Strings(gnames)
+	for _, name := range gnames {
+		fmt.Fprintf(w, "  %-26s %d (gauge)\n", name, s.Gauges[name])
 	}
 	for _, h := range []Hist{HistNodeOccupancy, HistEdgeOccupancy} {
 		if hs, ok := s.Hists[h.String()]; ok {

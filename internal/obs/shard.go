@@ -49,6 +49,14 @@ func (ss shardSink) Span(s Span) {
 // Add implements Sink (counters are global).
 func (ss shardSink) Add(c Counter, delta uint64) { ss.inner.Add(c, delta) }
 
+// Gauge implements GaugeSink (gauges, like counters, stay global — each
+// shard's evidence bytes are part of one run-wide level).
+func (ss shardSink) Gauge(g Gauge, value uint64) {
+	if gs, ok := ss.inner.(GaugeSink); ok {
+		gs.Gauge(g, value)
+	}
+}
+
 // Observe implements Sink.
 func (ss shardSink) Observe(h Hist, value uint64) {
 	if so, ok := ss.inner.(ShardObserver); ok {

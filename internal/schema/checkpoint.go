@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"pghive/internal/pg"
+	"pghive/internal/sketch"
 )
 
 // Checkpoint codec: a complete, deterministic wire encoding of the evolving
@@ -97,7 +98,20 @@ func readIDSet(r *pg.WireReader, tab *Symtab) (IDSet, error) {
 	return s, nil
 }
 
-func writeDegrees(w *pg.WireWriter, deg *CounterTable) {
+// writeDegrees encodes a degree table behind a mode byte: 0 = exact
+// (id, count) pairs, 1 = sketched (self-describing sketch state). pol
+// parameterizes the lazy fold of pending sketched observations.
+func writeDegrees(w *pg.WireWriter, deg *CounterTable, pol *EvidencePolicy) {
+	if deg.sketched {
+		w.Byte(1)
+		deg.fold(pol)
+		if deg.sk == nil {
+			deg.sk = newDegreeSketch(pol)
+		}
+		deg.sk.write(w)
+		return
+	}
+	w.Byte(0)
 	deg.normalize()
 	w.Uvarint(uint64(len(deg.ids)))
 	deg.each(func(id, count uint32) {
@@ -108,6 +122,23 @@ func writeDegrees(w *pg.WireWriter, deg *CounterTable) {
 
 func readDegrees(r *pg.WireReader, tab *Symtab) (CounterTable, error) {
 	var deg CounterTable
+	mode, err := r.Byte()
+	if err != nil {
+		return deg, err
+	}
+	switch mode {
+	case 1:
+		sk, err := readDegreeSketch(r)
+		if err != nil {
+			return deg, err
+		}
+		deg.sketched = true
+		deg.sk = sk
+		return deg, nil
+	case 0:
+	default:
+		return deg, fmt.Errorf("degree mode byte %d invalid", mode)
+	}
 	n, err := r.Uvarint(maxDegrees)
 	if err != nil {
 		return deg, err
@@ -153,8 +184,9 @@ func writeType(w *pg.WireWriter, t *Type) error {
 	if t.Kind == EdgeKind {
 		writeIDSet(w, t.srcLabels)
 		writeIDSet(w, t.dstLabels)
-		writeDegrees(w, &t.outDeg)
-		writeDegrees(w, &t.inDeg)
+		pol := t.tab.Evidence()
+		writeDegrees(w, &t.outDeg, pol)
+		writeDegrees(w, &t.inDeg, pol)
 	}
 
 	w.Uvarint(uint64(len(t.Members)))
@@ -298,22 +330,29 @@ func readPropStat(r *pg.WireReader) (*PropStat, error) {
 	return p, nil
 }
 
-// encode serializes the value-evidence accumulator, including the distinct
-// hash set — resuming from a checkpoint must keep certifying uniqueness
+// encode serializes the value-evidence accumulator behind a mode byte
+// (0 = exact, 1 = sketched), including the distinct hash set or sketch
+// state — resuming from a checkpoint must keep certifying uniqueness
 // exactly where the crashed run left off.
 func (s *ValueStat) encode(w *pg.WireWriter) {
-	w.Bool(s.dup)
-	w.Bool(s.overflow)
-	hashes := make([]uint64, 0, len(s.hashes))
-	for h := range s.hashes {
-		hashes = append(hashes, h)
-	}
-	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
-	w.Uvarint(uint64(len(hashes)))
-	for _, h := range hashes {
-		w.Uvarint(h)
+	if s.sketched {
+		w.Byte(1)
+		w.Bool(s.dup)
+		w.Bool(s.frontOver)
+		w.Uvarint(s.n)
+		writeHashSet(w, s.front)
+		w.Bool(s.hll != nil)
+		if s.hll != nil {
+			s.hll.Write(w)
+		}
+	} else {
+		w.Byte(0)
+		w.Bool(s.dup)
+		w.Bool(s.overflow)
+		writeHashSet(w, s.hashes)
 	}
 
+	w.Bool(s.enumOver)
 	enum := make([]string, 0, len(s.enum))
 	for v := range s.enum {
 		enum = append(enum, v)
@@ -329,32 +368,99 @@ func (s *ValueStat) encode(w *pg.WireWriter) {
 	w.Float64(s.maxNum)
 }
 
+func writeHashSet(w *pg.WireWriter, set map[uint64]struct{}) {
+	hashes := make([]uint64, 0, len(set))
+	for h := range set {
+		hashes = append(hashes, h)
+	}
+	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+	w.Uvarint(uint64(len(hashes)))
+	for _, h := range hashes {
+		w.Uvarint(h)
+	}
+}
+
+func readHashSet(r *pg.WireReader, into map[uint64]struct{}) error {
+	n, err := r.Uvarint(maxHashes)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		h, err := r.Uvarint(^uint64(0))
+		if err != nil {
+			return err
+		}
+		if into != nil {
+			into[h] = struct{}{}
+		}
+	}
+	return nil
+}
+
 func decodeValueStat(r *pg.WireReader) (*ValueStat, error) {
-	s := NewValueStat()
-	var err error
-	if s.dup, err = r.Bool(); err != nil {
-		return nil, err
-	}
-	if s.overflow, err = r.Bool(); err != nil {
-		return nil, err
-	}
-	hashCount, err := r.Uvarint(maxHashes)
+	mode, err := r.Byte()
 	if err != nil {
 		return nil, err
 	}
-	if s.dup || s.overflow {
-		s.hashes = nil
-	}
-	for i := uint64(0); i < hashCount; i++ {
-		h, err := r.Uvarint(^uint64(0))
+	var s *ValueStat
+	switch mode {
+	case 0:
+		s = NewValueStat()
+		if s.dup, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		if s.overflow, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		if s.dup || s.overflow {
+			s.hashes = nil
+		}
+		if err := readHashSet(r, s.hashes); err != nil {
+			return nil, err
+		}
+	case 1:
+		s = &ValueStat{sketched: true, enum: map[string]struct{}{}}
+		if s.dup, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		if s.frontOver, err = r.Bool(); err != nil {
+			return nil, err
+		}
+		if s.n, err = r.Uvarint(^uint64(0)); err != nil {
+			return nil, err
+		}
+		if !s.dup {
+			s.front = map[uint64]struct{}{}
+		}
+		if err := readHashSet(r, s.front); err != nil {
+			return nil, err
+		}
+		if s.frontOver {
+			for h := range s.front {
+				if h > s.frontMax {
+					s.frontMax = h
+				}
+			}
+		}
+		hasHLL, err := r.Bool()
 		if err != nil {
 			return nil, err
 		}
-		if s.hashes != nil {
-			s.hashes[h] = struct{}{}
+		if hasHLL {
+			if s.hll, err = sketch.ReadHLL(r); err != nil {
+				return nil, err
+			}
 		}
+	default:
+		return nil, fmt.Errorf("value stat mode byte %d invalid", mode)
 	}
 
+	if s.enumOver, err = r.Bool(); err != nil {
+		return nil, err
+	}
+	if s.enumOver {
+		s.enum = nil
+	}
 	enumCount, err := r.Uvarint(EnumCap + 2)
 	if err != nil {
 		return nil, err
@@ -364,7 +470,10 @@ func decodeValueStat(r *pg.WireReader) (*ValueStat, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.enum[v] = struct{}{}
+		if s.enum != nil {
+			s.enum[v] = struct{}{}
+			s.enumBytes += len(v)
+		}
 	}
 
 	numCount, err := r.Varint()

@@ -1,10 +1,10 @@
 package schema
 
 import (
-	"hash/fnv"
 	"sort"
 
 	"pghive/internal/pg"
+	"pghive/internal/sketch"
 )
 
 // Value-evidence limits.
@@ -12,9 +12,17 @@ const (
 	// EnumCap is the maximum number of distinct values a property may have
 	// to be reported as an enumeration.
 	EnumCap = 16
-	// distinctHashCap bounds the memory spent checking uniqueness; beyond
-	// it, uniqueness is reported as unknown (not a key).
+	// distinctHashCap bounds the memory spent checking uniqueness in exact
+	// mode; beyond it, uniqueness is reported as unknown (not a key).
 	distinctHashCap = 1 << 20
+	// DefaultEnumByteCap bounds the total rendered bytes retained for enum
+	// detection — a handful of huge values must not pin megabytes just
+	// because they number fewer than EnumCap.
+	DefaultEnumByteCap = 4096
+	// DefaultDupFrontCap is the sketched-mode exact window: the first
+	// DupFrontCap distinct values are checked for duplicates exactly;
+	// beyond it uniqueness is certified statistically by the HLL.
+	DefaultDupFrontCap = 1024
 )
 
 // ValueStat accumulates value-level evidence for one property: enough to
@@ -23,25 +31,54 @@ const (
 // ranges. It extends PG-HIVE beyond the paper's §4.4 with the future-work
 // items it names: key constraints (intro contribution list) and
 // enumerations/bounded ranges.
+//
+// Two modes. Exact (default): a hash set of observed values certifies
+// uniqueness until distinctHashCap. Sketched (EvidencePolicy.SketchValues):
+// a bounded exact "dup front" window catches early duplicates, then spills
+// into a HyperLogLog whose estimate-vs-count ratio decides uniqueness —
+// constant memory per property regardless of stream size.
 type ValueStat struct {
-	// hashes holds hashes of observed values while all are distinct; once
-	// a duplicate appears the set is dropped.
+	// Exact mode: hashes holds hashes of observed values while all are
+	// distinct; once a duplicate appears the set is dropped.
 	hashes map[uint64]struct{}
-	// dup reports a duplicate value was observed.
+	// dup reports a duplicate value was observed (both modes; in sketched
+	// mode only duplicates caught by the front window set it).
 	dup bool
-	// overflow reports the distinct tracking cap was hit.
+	// overflow reports the exact-mode distinct tracking cap was hit.
 	overflow bool
 
-	// enum holds up to EnumCap+1 distinct rendered values.
-	enum map[string]struct{}
+	// Sketched mode state. Before the spill, front holds every value hash
+	// seen and duplicate detection is exact. After the spill it degrades
+	// into a bottom-k hash sample (the k smallest hashes seen, k =
+	// DupFrontCap): a hash below frontMax is checked against the sample, so
+	// a duplicated value is still caught whenever its hash lands in the
+	// sample — a uniform ~k/distinct fraction of values, covering the whole
+	// stream rather than just its prefix. The HLL certificate alone cannot
+	// separate 100% distinct from 98% distinct; the sample can.
+	sketched  bool
+	front     map[uint64]struct{} // exact window, then bottom-k sample
+	frontMax  uint64              // max hash in front once frontOver
+	frontOver bool                // window spilled into the HLL
+	hll       *sketch.HLL         // allocated at spill time
+	n         uint64              // total observations
+
+	// enum holds up to EnumCap+1 distinct rendered values, bounded in
+	// total retained bytes; enumOver records that the byte cap dropped it.
+	enum      map[string]struct{}
+	enumBytes int
+	enumOver  bool
 
 	// Numeric and temporal ranges (valid when the counts are nonzero).
 	numCount int
 	minNum   float64
 	maxNum   float64
+
+	// pol supplies the caps; nil means the package defaults. Not
+	// serialized — Schema.SetEvidencePolicy re-installs it after decode.
+	pol *EvidencePolicy
 }
 
-// NewValueStat returns an empty accumulator.
+// NewValueStat returns an empty exact-mode accumulator.
 func NewValueStat() *ValueStat {
 	return &ValueStat{
 		hashes: map[uint64]struct{}{},
@@ -49,28 +86,43 @@ func NewValueStat() *ValueStat {
 	}
 }
 
+// newValueStatPol returns an empty accumulator in the mode pol selects.
+func newValueStatPol(pol *EvidencePolicy) *ValueStat {
+	if pol == nil || !pol.SketchValues {
+		s := NewValueStat()
+		s.pol = pol
+		return s
+	}
+	return &ValueStat{
+		sketched: true,
+		front:    map[uint64]struct{}{},
+		enum:     map[string]struct{}{},
+		pol:      pol,
+	}
+}
+
 // Observe folds one value in.
 func (s *ValueStat) Observe(v pg.Value) {
-	rendered := v.String()
-
-	if !s.dup && !s.overflow {
-		h := fnv.New64a()
-		h.Write([]byte{byte(v.Kind())})
-		h.Write([]byte(rendered))
-		sum := h.Sum64()
-		if _, seen := s.hashes[sum]; seen {
+	h := hashValue(v)
+	if s.sketched {
+		s.n++
+		s.observeHashSketched(h)
+	} else if !s.dup && !s.overflow {
+		if _, seen := s.hashes[h]; seen {
 			s.dup = true
 			s.hashes = nil
 		} else if len(s.hashes) >= distinctHashCap {
 			s.overflow = true
 			s.hashes = nil
 		} else {
-			s.hashes[sum] = struct{}{}
+			s.hashes[h] = struct{}{}
 		}
 	}
 
-	if len(s.enum) <= EnumCap {
-		s.enum[rendered] = struct{}{}
+	// Render the value only while the enum set is still live — rendering
+	// per observation was the hot-path cost the interned core left behind.
+	if s.enum != nil && len(s.enum) <= EnumCap {
+		s.addEnum(v.String())
 	}
 
 	switch v.Kind() {
@@ -86,38 +138,219 @@ func (s *ValueStat) Observe(v pg.Value) {
 	}
 }
 
+// observeHashSketched advances the sketched-mode uniqueness state machine
+// by one value hash.
+func (s *ValueStat) observeHashSketched(h uint64) {
+	if s.dup {
+		return
+	}
+	if s.frontOver {
+		s.hll.Add(h)
+		s.sampleCheck(h)
+		return
+	}
+	if _, seen := s.front[h]; seen {
+		s.dup = true
+		s.front = nil
+		s.hll = nil
+		return
+	}
+	if len(s.front) >= s.pol.dupFrontCap() {
+		s.spillFront()
+		s.hll.Add(h)
+		s.sampleCheck(h)
+		return
+	}
+	s.front[h] = struct{}{}
+}
+
+// spillFront feeds the exact window into a freshly allocated HLL and keeps
+// the window itself as the initial bottom-k sample. Lazy allocation
+// matters: short-lived candidate accumulators rarely exceed the window, so
+// they never pay for an HLL.
+func (s *ValueStat) spillFront() {
+	s.frontOver = true
+	if s.hll == nil {
+		s.hll = sketch.NewHLL(s.pol.hllPrecision())
+	}
+	s.frontMax = 0
+	for k := range s.front {
+		s.hll.Add(k)
+		if k > s.frontMax {
+			s.frontMax = k
+		}
+	}
+}
+
+// sampleCheck runs one hash through the post-spill bottom-k sample: a hash
+// already in the sample is a duplicate value (64-bit hash equality is the
+// same evidence exact mode accepts); a smaller hash displaces the sample's
+// current maximum so the sample converges to the k smallest hashes of the
+// stream. Eviction rescans for the new max — insertions below frontMax
+// happen only ~k·ln(n/k) times over a stream, so the scan never shows up.
+func (s *ValueStat) sampleCheck(h uint64) {
+	if s.dup || s.front == nil {
+		return
+	}
+	if _, seen := s.front[h]; seen {
+		s.dup = true
+		s.front = nil
+		s.hll = nil
+		return
+	}
+	if h >= s.frontMax {
+		return
+	}
+	s.front[h] = struct{}{}
+	if len(s.front) > s.pol.dupFrontCap() {
+		delete(s.front, s.frontMax)
+		s.frontMax = 0
+		for k := range s.front {
+			if k > s.frontMax {
+				s.frontMax = k
+			}
+		}
+	}
+}
+
+// addEnum inserts a rendered value, enforcing the byte cap.
+func (s *ValueStat) addEnum(rendered string) {
+	if _, ok := s.enum[rendered]; ok {
+		return
+	}
+	if s.enumBytes+len(rendered) > s.pol.enumByteCap() {
+		s.enumOver = true
+		s.enum = nil
+		s.enumBytes = 0
+		return
+	}
+	s.enum[rendered] = struct{}{}
+	s.enumBytes += len(rendered)
+}
+
+// isEmpty reports whether the accumulator has seen nothing (mode adoption
+// in Merge is safe only then).
+func (s *ValueStat) isEmpty() bool {
+	return !s.dup && !s.overflow && !s.frontOver && s.n == 0 &&
+		len(s.hashes) == 0 && len(s.front) == 0 && len(s.enum) == 0 && s.numCount == 0 && !s.enumOver
+}
+
+// convertToSketched switches an exact accumulator into sketched mode,
+// replaying its hash set through the sketched state machine. like supplies
+// the policy when s has none (cross-mode merges only happen when one side
+// was built before the policy was known).
+func (s *ValueStat) convertToSketched(like *ValueStat) {
+	if s.sketched {
+		return
+	}
+	s.sketched = true
+	if s.pol == nil {
+		s.pol = like.pol
+	}
+	hashes := s.hashes
+	s.hashes = nil
+	s.front = map[uint64]struct{}{}
+	if s.overflow {
+		// The exact set was already dropped: certify statistically from
+		// here with an empty HLL (conservatively under-estimates, so
+		// AllDistinct stays false — same answer overflow gave).
+		s.overflow = false
+		s.frontOver = true
+		s.hll = sketch.NewHLL(s.pol.hllPrecision())
+		s.front = nil
+		return
+	}
+	if s.dup {
+		s.front = nil
+		return
+	}
+	s.n = uint64(len(hashes))
+	for h := range hashes {
+		s.observeHashSketched(h)
+	}
+}
+
 // Merge folds other into s. Uniqueness across two accumulators cannot be
 // certified from hashes of disjoint batches alone, so the merged set keeps
 // checking against the union while both sides are still duplicate-free.
+// Cross-mode merges adopt the sketched side (an empty receiver adopts the
+// other's mode outright).
 func (s *ValueStat) Merge(other *ValueStat) {
-	if other.dup {
-		s.dup = true
-		s.hashes = nil
-	}
-	if other.overflow {
-		s.overflow = true
-		s.hashes = nil
-	}
-	if !s.dup && !s.overflow {
-		for h := range other.hashes {
-			if _, seen := s.hashes[h]; seen {
-				s.dup = true
-				s.hashes = nil
-				break
-			}
-			if len(s.hashes) >= distinctHashCap {
-				s.overflow = true
-				s.hashes = nil
-				break
-			}
-			s.hashes[h] = struct{}{}
+	if s.sketched != other.sketched {
+		if other.sketched {
+			s.convertToSketched(other)
+		} else {
+			// s sketched, other exact: convert other in place (it is
+			// consumed by the merge contract).
+			other.convertToSketched(s)
 		}
 	}
-	for v := range other.enum {
-		if len(s.enum) > EnumCap {
-			break
+
+	if s.sketched {
+		s.n += other.n
+		if other.dup {
+			s.dup = true
+			s.front = nil
+			s.hll = nil
 		}
-		s.enum[v] = struct{}{}
+		if !s.dup {
+			if !other.frontOver {
+				for h := range other.front {
+					s.observeHashSketched(h)
+					if s.dup {
+						break
+					}
+				}
+			} else {
+				if !s.frontOver {
+					s.spillFront()
+				}
+				if other.hll != nil {
+					if err := s.hll.Merge(other.hll); err != nil {
+						panic("schema: value sketch merge: " + err.Error())
+					}
+				}
+				s.mergeSample(other)
+			}
+		}
+	} else {
+		if other.dup {
+			s.dup = true
+			s.hashes = nil
+		}
+		if other.overflow {
+			s.overflow = true
+			s.hashes = nil
+		}
+		if !s.dup && !s.overflow {
+			for h := range other.hashes {
+				if _, seen := s.hashes[h]; seen {
+					s.dup = true
+					s.hashes = nil
+					break
+				}
+				if len(s.hashes) >= distinctHashCap {
+					s.overflow = true
+					s.hashes = nil
+					break
+				}
+				s.hashes[h] = struct{}{}
+			}
+		}
+	}
+
+	if other.enumOver {
+		s.enumOver = true
+		s.enum = nil
+		s.enumBytes = 0
+	}
+	if s.enum != nil {
+		for v := range other.enum {
+			if len(s.enum) > EnumCap {
+				break
+			}
+			s.addEnum(v)
+		}
 	}
 	if other.numCount > 0 {
 		if s.numCount == 0 || other.minNum < s.minNum {
@@ -130,14 +363,88 @@ func (s *ValueStat) Merge(other *ValueStat) {
 	}
 }
 
-// AllDistinct reports whether every observed value was distinct (false
-// when unknown due to overflow).
-func (s *ValueStat) AllDistinct() bool { return !s.dup && !s.overflow }
+// mergeSample folds other's bottom-k sample into s's. A hash present in
+// both samples means each side observed a value with that hash, so the
+// merged stream holds a duplicate — the cross-shard analogue of exact
+// mode's hash-intersection check. The union is then trimmed back to the
+// k smallest hashes.
+func (s *ValueStat) mergeSample(other *ValueStat) {
+	if s.dup || s.front == nil {
+		return
+	}
+	for h := range other.front {
+		if _, seen := s.front[h]; seen {
+			s.dup = true
+			s.front = nil
+			s.hll = nil
+			return
+		}
+		s.front[h] = struct{}{}
+		if h > s.frontMax {
+			s.frontMax = h
+		}
+	}
+	// Trim the union back to the k smallest in one sort — this runs per
+	// property per batch merge, so one-at-a-time eviction (O(k) rescan
+	// each) is too slow here.
+	if cap := s.pol.dupFrontCap(); len(s.front) > cap {
+		hashes := make([]uint64, 0, len(s.front))
+		for h := range s.front {
+			hashes = append(hashes, h)
+		}
+		sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+		s.front = make(map[uint64]struct{}, cap)
+		for _, h := range hashes[:cap] {
+			s.front[h] = struct{}{}
+		}
+		s.frontMax = hashes[cap-1]
+	}
+}
+
+// AllDistinct reports whether every observed value was distinct. Exact
+// mode: false when unknown due to overflow. Sketched mode: exact while
+// the front window holds, then statistical — the HLL estimate must reach
+// the observation count within three standard errors (a single duplicate
+// among millions is below sketch resolution by construction).
+func (s *ValueStat) AllDistinct() bool {
+	if s.sketched {
+		if s.dup {
+			return false
+		}
+		if !s.frontOver {
+			return true // the window caught every duplicate exactly
+		}
+		if s.hll == nil || s.n == 0 {
+			return false
+		}
+		est := float64(s.hll.Estimate())
+		return est >= (1-3*s.hll.RelativeError())*float64(s.n)
+	}
+	return !s.dup && !s.overflow
+}
+
+// DistinctEstimate returns the (possibly approximate) number of distinct
+// values observed while uniqueness tracking was live, 0 once it was
+// abandoned after a duplicate.
+func (s *ValueStat) DistinctEstimate() uint64 {
+	switch {
+	case s.sketched && !s.frontOver:
+		return uint64(len(s.front))
+	case s.sketched:
+		if s.hll == nil {
+			return 0
+		}
+		return s.hll.Estimate()
+	default:
+		return uint64(len(s.hashes))
+	}
+}
 
 // EnumValues returns the sorted distinct values if the property looks like
-// an enumeration (at most EnumCap distinct values), else nil.
+// an enumeration (at most EnumCap distinct values within the byte cap),
+// else nil.
 func (s *ValueStat) EnumValues() []string {
-	if len(s.enum) == 0 || len(s.enum) > EnumCap {
+	if s.enumOver || len(s.enum) == 0 || len(s.enum) > EnumCap {
 		return nil
 	}
 	out := make([]string, 0, len(s.enum))
@@ -152,4 +459,16 @@ func (s *ValueStat) EnumValues() []string {
 // value was seen.
 func (s *ValueStat) NumRange() (min, max float64, ok bool) {
 	return s.minNum, s.maxNum, s.numCount > 0
+}
+
+// MemBytes estimates the accumulator's retained size (map entries are
+// approximated at 16 bytes over the key payload).
+func (s *ValueStat) MemBytes() int64 {
+	b := int64(96) // struct
+	b += int64(len(s.hashes)+len(s.front)) * 24
+	if s.hll != nil {
+		b += int64(s.hll.MemBytes())
+	}
+	b += int64(s.enumBytes) + int64(len(s.enum))*32
+	return b
 }

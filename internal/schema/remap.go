@@ -151,16 +151,17 @@ func (t *Type) MergeRemapped(other *Type, rm *Remap) {
 		panic("schema: merging types of different kinds")
 	}
 	t.labels.Union(RemapIDs(other.labels, rm.StrTable()))
+	pol := t.tab.Evidence()
 	for i := 0; i < other.props.Len(); i++ {
 		id, p := other.props.At(i)
-		t.props.GetOrCreate(rm.Str(id)).Merge(p)
+		t.props.getOrCreatePol(rm.Str(id), pol).Merge(p)
 	}
 	t.Instances += other.Instances
 	if t.Kind == EdgeKind {
 		t.srcLabels.Union(RemapIDs(other.srcLabels, rm.StrTable()))
 		t.dstLabels.Union(RemapIDs(other.dstLabels, rm.StrTable()))
-		t.outDeg.MergeRemapped(&other.outDeg, rm.EpTable())
-		t.inDeg.MergeRemapped(&other.inDeg, rm.EpTable())
+		t.outDeg.mergeEvidence(&other.outDeg, rm.EpTable(), t.tab, pol)
+		t.inDeg.mergeEvidence(&other.inDeg, rm.EpTable(), t.tab, pol)
 	}
 	t.Members = append(t.Members, other.Members...)
 	if t.Labeled() {
@@ -209,7 +210,9 @@ func (p *propPairs) Swap(i, j int) {
 }
 
 // remapInPlace translates the counter's endpoint indexes through table and
-// re-sorts (nil table = no-op beyond normalization).
+// re-sorts (nil table = no-op beyond normalization). Sketched state (sk,
+// rawPending) is keyed by raw global endpoint IDs and passes through
+// untouched — that is the invariant that makes sketches shard-mergeable.
 func (c *CounterTable) remapInPlace(table []uint32) {
 	c.normalize()
 	if table == nil || len(c.ids) == 0 {

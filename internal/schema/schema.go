@@ -115,12 +115,18 @@ type PropStat struct {
 	Values *ValueStat
 }
 
-// NewPropStat returns an empty accumulator.
+// NewPropStat returns an empty accumulator with exact value evidence.
 func NewPropStat() *PropStat {
+	return newPropStatPol(nil)
+}
+
+// newPropStatPol returns an empty accumulator whose value evidence follows
+// the given policy (nil = exact).
+func newPropStatPol(pol *EvidencePolicy) *PropStat {
 	return &PropStat{
 		Kinds:       map[pg.Kind]int{},
 		SampleKinds: map[pg.Kind]int{},
-		Values:      NewValueStat(),
+		Values:      newValueStatPol(pol),
 	}
 }
 
@@ -350,12 +356,23 @@ func (t *Type) AddOutDeg(ep pg.ID, n int) { t.outDeg.Add(t.tab.InternEp(ep), uin
 func (t *Type) AddInDeg(ep pg.ID, n int) { t.inDeg.Add(t.tab.InternEp(ep), uint32(n)) }
 
 // OutDistinct returns how many distinct source endpoints the type's edges
-// were observed on (the out-participation evidence).
-func (t *Type) OutDistinct() int { return t.outDeg.Distinct() }
+// were observed on (the out-participation evidence). In sketched mode it
+// is an HLL estimate.
+func (t *Type) OutDistinct() int {
+	if t.outDeg.sketched {
+		return t.outDeg.distinctSketched(t.tab.Evidence())
+	}
+	return t.outDeg.Distinct()
+}
 
 // InDistinct returns how many distinct target endpoints the type's edges
 // were observed on.
-func (t *Type) InDistinct() int { return t.inDeg.Distinct() }
+func (t *Type) InDistinct() int {
+	if t.inDeg.sketched {
+		return t.inDeg.distinctSketched(t.tab.Evidence())
+	}
+	return t.inDeg.Distinct()
+}
 
 // ObserveNode folds one node record into the type. sampled reports, per
 // property key, whether this occurrence joins the data-type sample.
@@ -367,9 +384,10 @@ func (t *Type) ObserveNode(n *pg.NodeRecord, sampled SampleFunc, trackMembers bo
 	for _, l := range n.Labels {
 		t.labels.Insert(t.tab.Intern(l))
 	}
+	pol := t.tab.Evidence()
 	for k, v := range n.Props {
 		id := t.tab.Intern(k)
-		t.props.GetOrCreate(id).Observe(v, sampled(id, k))
+		t.props.getOrCreatePol(id, pol).Observe(v, sampled(id, k))
 	}
 	if trackMembers {
 		t.Members = append(t.Members, n.ID)
@@ -391,12 +409,21 @@ func (t *Type) ObserveEdge(e *pg.EdgeRecord, sampled SampleFunc, trackMembers bo
 	for _, l := range e.DstLabels {
 		t.dstLabels.Insert(t.tab.Intern(l))
 	}
+	pol := t.tab.Evidence()
 	for k, v := range e.Props {
 		id := t.tab.Intern(k)
-		t.props.GetOrCreate(id).Observe(v, sampled(id, k))
+		t.props.getOrCreatePol(id, pol).Observe(v, sampled(id, k))
 	}
-	t.outDeg.Inc(t.tab.InternEp(e.Src))
-	t.inDeg.Inc(t.tab.InternEp(e.Dst))
+	if pol != nil && pol.SketchDegrees {
+		// Sketched degrees are keyed by the raw global endpoint ID —
+		// skipping InternEp keeps the symtab's endpoint table (the
+		// dominant retained structure on edge-heavy streams) empty.
+		t.outDeg.ObserveKey(uint64(e.Src))
+		t.inDeg.ObserveKey(uint64(e.Dst))
+	} else {
+		t.outDeg.Inc(t.tab.InternEp(e.Src))
+		t.inDeg.Inc(t.tab.InternEp(e.Dst))
+	}
 	if trackMembers {
 		t.Members = append(t.Members, e.ID)
 	}
@@ -425,16 +452,17 @@ func (t *Type) Merge(other *Type) {
 		return
 	}
 	t.labels.Union(other.labels)
+	pol := t.tab.Evidence()
 	for i := 0; i < other.props.Len(); i++ {
 		id, p := other.props.At(i)
-		t.props.GetOrCreate(id).Merge(p)
+		t.props.getOrCreatePol(id, pol).Merge(p)
 	}
 	t.Instances += other.Instances
 	if t.Kind == EdgeKind {
 		t.srcLabels.Union(other.srcLabels)
 		t.dstLabels.Union(other.dstLabels)
-		t.outDeg.Merge(&other.outDeg)
-		t.inDeg.Merge(&other.inDeg)
+		t.outDeg.mergeEvidence(&other.outDeg, nil, t.tab, pol)
+		t.inDeg.mergeEvidence(&other.inDeg, nil, t.tab, pol)
 	}
 	t.Members = append(t.Members, other.Members...)
 	// A merge with a labeled type rescues an abstract one.
@@ -444,9 +472,21 @@ func (t *Type) Merge(other *Type) {
 }
 
 // MaxDegrees returns the maximum out- and in-degree observed for an edge
-// type.
+// type (a sketch-estimated upper bound in sketched mode).
 func (t *Type) MaxDegrees() pg.DegreePair {
-	return pg.DegreePair{MaxOut: t.outDeg.Max(), MaxIn: t.inDeg.Max()}
+	pol := t.tab.Evidence()
+	out, in := 0, 0
+	if t.outDeg.sketched {
+		out = t.outDeg.maxSketched(pol)
+	} else {
+		out = t.outDeg.Max()
+	}
+	if t.inDeg.sketched {
+		in = t.inDeg.maxSketched(pol)
+	} else {
+		in = t.inDeg.Max()
+	}
+	return pg.DegreePair{MaxOut: out, MaxIn: in}
 }
 
 // Schema is the evolving schema graph S_G: the node and edge types

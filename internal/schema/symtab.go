@@ -24,7 +24,19 @@ type Symtab struct {
 	byStr map[string]uint32
 	eps   []pg.ID
 	byEp  map[pg.ID]uint32
+
+	// pol is the evidence policy every type bound to this table reads
+	// (nil = exact evidence). It rides on the symtab because types carry a
+	// tab pointer already and the policy must survive checkpoint decode
+	// re-binding; it is not serialized — the pipeline re-installs it.
+	pol *EvidencePolicy
 }
+
+// SetEvidencePolicy installs the evidence policy (nil = exact).
+func (t *Symtab) SetEvidencePolicy(p *EvidencePolicy) { t.pol = p }
+
+// Evidence returns the installed evidence policy (nil = exact).
+func (t *Symtab) Evidence() *EvidencePolicy { return t.pol }
 
 // NewSymtab returns an empty intern table.
 func NewSymtab() *Symtab {
@@ -329,14 +341,20 @@ func (pt *PropTable) Get(id uint32) *PropStat {
 	return nil
 }
 
-// GetOrCreate returns the accumulator for id, inserting an empty one on
-// first use.
+// GetOrCreate returns the accumulator for id, inserting an empty
+// exact-mode one on first use.
 func (pt *PropTable) GetOrCreate(id uint32) *PropStat {
+	return pt.getOrCreatePol(id, nil)
+}
+
+// getOrCreatePol is GetOrCreate with the evidence policy applied to a
+// freshly created accumulator (Type methods pass their tab's policy).
+func (pt *PropTable) getOrCreatePol(id uint32, pol *EvidencePolicy) *PropStat {
 	i := sort.Search(len(pt.ids), func(i int) bool { return pt.ids[i] >= id })
 	if i < len(pt.ids) && pt.ids[i] == id {
 		return pt.stats[i]
 	}
-	p := NewPropStat()
+	p := newPropStatPol(pol)
 	pt.ids = append(pt.ids, 0)
 	copy(pt.ids[i+1:], pt.ids[i:])
 	pt.ids[i] = id
@@ -366,10 +384,18 @@ func (pt *PropTable) put(id uint32, p *PropStat) {
 // endpoint instead of a string-keyed map entry. Increments append to a
 // pending buffer; reads normalize it into the sorted base with one sort +
 // merge, so candidate building never pays per-increment insertion.
+// In sketched mode (EvidencePolicy.SketchDegrees) the table holds no
+// exact entries: observations are keyed by the raw global endpoint pg.ID,
+// buffered in rawPending, and folded lazily into a degreeSketch — see
+// evidence.go. Raw keys make sketches shard-mergeable without a remap.
 type CounterTable struct {
 	ids     []uint32 // sorted unique endpoint indexes
 	counts  []uint32 // parallel to ids
 	pending []uint32 // unaggregated increments (one entry per Inc)
+
+	sketched   bool
+	rawPending []uint64 // unfolded raw endpoint IDs (one entry per ObserveKey)
+	sk         *degreeSketch
 }
 
 // Inc records one incidence for the endpoint index.

@@ -1,0 +1,163 @@
+// Package sketch provides the zero-dependency probabilistic summaries the
+// memory-bounded evidence layer is built on: HyperLogLog for distinct
+// counts, a space-saving top-k summary for degree maxima and supernode
+// endpoints, and a conservative-update count-min sketch for per-endpoint
+// degree evidence. All three are deterministic for a given observation
+// order, mergeable (shards can accumulate independently and combine), and
+// wire-serializable (schema checkpoints carry them).
+//
+// Callers feed 64-bit keys; the sketches apply their own avalanche mixing
+// (splitmix64), so sequential IDs and low-entropy hashes are fine.
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"pghive/internal/pg"
+)
+
+// Mix64 is the splitmix64 finalizer: a cheap, invertible avalanche over a
+// 64-bit key. The sketches apply it to every incoming key, so raw element
+// IDs (which are often sequential) behave like uniform hashes.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// HLL precision bounds: registers = 1 << p, one byte each.
+const (
+	MinHLLPrecision = 4
+	MaxHLLPrecision = 16
+	// DefaultHLLPrecision (2^12 registers = 4 KiB) gives a relative
+	// standard error of 1.04/sqrt(4096) ≈ 1.6 %.
+	DefaultHLLPrecision = 12
+)
+
+// HLL is a dense HyperLogLog distinct counter with the small-range
+// linear-counting correction. The zero value is unusable; call NewHLL.
+type HLL struct {
+	p    uint8
+	regs []uint8
+}
+
+// NewHLL returns an empty counter with 2^p registers (p clamped to
+// [MinHLLPrecision, MaxHLLPrecision]).
+func NewHLL(p int) *HLL {
+	if p < MinHLLPrecision {
+		p = MinHLLPrecision
+	}
+	if p > MaxHLLPrecision {
+		p = MaxHLLPrecision
+	}
+	return &HLL{p: uint8(p), regs: make([]uint8, 1<<p)}
+}
+
+// Precision returns p.
+func (h *HLL) Precision() int { return int(h.p) }
+
+// Add observes one key.
+func (h *HLL) Add(key uint64) {
+	x := Mix64(key)
+	idx := x >> (64 - h.p)
+	// Rank of the first set bit in the remaining 64-p bits, 1-based; an
+	// all-zero suffix ranks 64-p+1.
+	w := x<<h.p | 1<<(h.p-1) // sentinel guarantees a set bit
+	rank := uint8(1)
+	for w&(1<<63) == 0 {
+		rank++
+		w <<= 1
+	}
+	if rank > h.regs[idx] {
+		h.regs[idx] = rank
+	}
+}
+
+// Estimate returns the approximate number of distinct keys observed.
+func (h *HLL) Estimate() uint64 {
+	m := float64(len(h.regs))
+	sum := 0.0
+	zeros := 0
+	for _, r := range h.regs {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	alpha := 0.7213 / (1 + 1.079/m)
+	switch len(h.regs) {
+	case 16:
+		alpha = 0.673
+	case 32:
+		alpha = 0.697
+	case 64:
+		alpha = 0.709
+	}
+	est := alpha * m * m / sum
+	if est <= 2.5*m && zeros > 0 {
+		// Small-range correction: linear counting over empty registers.
+		est = m * math.Log(m/float64(zeros))
+	}
+	return uint64(est + 0.5)
+}
+
+// RelativeError returns the counter's standard relative error
+// (1.04/sqrt(m)) — callers widen decision thresholds by a multiple of it.
+func (h *HLL) RelativeError() float64 {
+	return 1.04 / math.Sqrt(float64(len(h.regs)))
+}
+
+// Merge folds other into h (register-wise max). Precisions must match.
+func (h *HLL) Merge(other *HLL) error {
+	if h.p != other.p {
+		return fmt.Errorf("sketch: HLL precision mismatch: %d vs %d", h.p, other.p)
+	}
+	for i, r := range other.regs {
+		if r > h.regs[i] {
+			h.regs[i] = r
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (h *HLL) Clone() *HLL {
+	c := &HLL{p: h.p, regs: make([]uint8, len(h.regs))}
+	copy(c.regs, h.regs)
+	return c
+}
+
+// MemBytes estimates the retained size.
+func (h *HLL) MemBytes() int { return len(h.regs) + 16 }
+
+// Write serializes the counter.
+func (h *HLL) Write(w *pg.WireWriter) {
+	w.Byte(h.p)
+	w.Raw(h.regs)
+}
+
+// ReadHLL decodes a counter written by Write.
+func ReadHLL(r *pg.WireReader) (*HLL, error) {
+	p, err := r.Byte()
+	if err != nil {
+		return nil, fmt.Errorf("sketch: HLL precision: %w", err)
+	}
+	if p < MinHLLPrecision || p > MaxHLLPrecision {
+		return nil, fmt.Errorf("sketch: HLL precision %d out of range", p)
+	}
+	h := &HLL{p: p, regs: make([]uint8, 1<<p)}
+	maxRank := uint8(64 - p + 1)
+	for i := range h.regs {
+		b, err := r.Byte()
+		if err != nil {
+			return nil, fmt.Errorf("sketch: HLL register %d: %w", i, err)
+		}
+		if b > maxRank {
+			return nil, fmt.Errorf("sketch: HLL register %d rank %d out of range", i, b)
+		}
+		h.regs[i] = b
+	}
+	return h, nil
+}

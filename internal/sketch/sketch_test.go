@@ -1,0 +1,329 @@
+package sketch
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pghive/internal/pg"
+)
+
+func TestHLLAccuracy(t *testing.T) {
+	for _, n := range []int{100, 10_000, 200_000} {
+		h := NewHLL(DefaultHLLPrecision)
+		for i := 0; i < n; i++ {
+			h.Add(uint64(i)) // sequential keys: Mix64 must handle them
+		}
+		est := float64(h.Estimate())
+		rel := math.Abs(est-float64(n)) / float64(n)
+		if rel > 4*h.RelativeError() {
+			t.Errorf("n=%d: estimate %.0f off by %.2f%% (> 4 sigma)", n, est, rel*100)
+		}
+	}
+}
+
+func TestHLLMergeEqualsUnion(t *testing.T) {
+	a, b, u := NewHLL(12), NewHLL(12), NewHLL(12)
+	for i := 0; i < 50_000; i++ {
+		a.Add(uint64(i))
+		u.Add(uint64(i))
+	}
+	for i := 25_000; i < 80_000; i++ {
+		b.Add(uint64(i))
+		u.Add(uint64(i))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate() != u.Estimate() {
+		t.Errorf("merge %d != union %d", a.Estimate(), u.Estimate())
+	}
+	if err := a.Merge(NewHLL(10)); err == nil {
+		t.Error("expected precision mismatch error")
+	}
+}
+
+func TestHLLSmallRangeNearExact(t *testing.T) {
+	h := NewHLL(12)
+	for i := 0; i < 50; i++ {
+		h.Add(uint64(i) * 0x1234567)
+	}
+	est := h.Estimate()
+	if est < 48 || est > 52 {
+		t.Errorf("linear-counting range estimate %d for 50 distinct", est)
+	}
+}
+
+func TestHLLRoundTrip(t *testing.T) {
+	h := NewHLL(10)
+	for i := 0; i < 10_000; i++ {
+		h.Add(uint64(i))
+	}
+	var buf bytes.Buffer
+	w := pg.NewWireWriter(&buf)
+	h.Write(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHLL(pg.NewWireReader(bytes.NewReader(buf.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate() != h.Estimate() {
+		t.Errorf("round-trip estimate %d != %d", got.Estimate(), h.Estimate())
+	}
+	// Re-encode must be byte-identical (resume identity depends on it).
+	var buf2 bytes.Buffer
+	w2 := pg.NewWireWriter(&buf2)
+	got.Write(w2)
+	if err := w2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("re-encode differs")
+	}
+}
+
+func TestHLLReadRejectsCorrupt(t *testing.T) {
+	if _, err := ReadHLL(pg.NewWireReader(bytes.NewReader([]byte{99}))); err == nil {
+		t.Error("precision 99 accepted")
+	}
+	bad := append([]byte{4}, bytes.Repeat([]byte{200}, 16)...)
+	if _, err := ReadHLL(pg.NewWireReader(bytes.NewReader(bad))); err == nil {
+		t.Error("rank 200 accepted")
+	}
+}
+
+func TestCountMinUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := NewCountMin(10, 4) // deliberately small so collisions happen
+	truth := map[uint64]uint32{}
+	for i := 0; i < 50_000; i++ {
+		k := uint64(rng.Intn(5000))
+		c.Inc(k)
+		truth[k]++
+	}
+	for k, n := range truth {
+		if est := c.Estimate(k); est < n {
+			t.Fatalf("key %d: estimate %d < true %d", k, est, n)
+		}
+	}
+}
+
+func TestCountMinSingletonsNearExact(t *testing.T) {
+	c := NewCountMin(DefaultCMSLogWidth, DefaultCMSDepth)
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		c.Inc(uint64(i))
+	}
+	var sum uint64
+	for i := 0; i < n; i++ {
+		sum += uint64(c.Estimate(uint64(i)))
+	}
+	// 20k keys over 4 rows of 2^14 counters: collisions are expected at
+	// this load, but conservative update keeps the inflation small.
+	if mean := float64(sum) / n; mean > 1.15 {
+		t.Errorf("conservative update drifted: mean singleton estimate %.3f", mean)
+	}
+}
+
+func TestCountMinMerge(t *testing.T) {
+	a, b := NewCountMin(12, 4), NewCountMin(12, 4)
+	truthA := map[uint64]uint32{}
+	truthB := map[uint64]uint32{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20_000; i++ {
+		k := uint64(rng.Intn(2000))
+		a.Inc(k)
+		truthA[k]++
+		k = uint64(rng.Intn(2000)) + 1000
+		b.Inc(k)
+		truthB[k]++
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 3000; k++ {
+		want := truthA[k] + truthB[k]
+		if want == 0 {
+			continue
+		}
+		if est := a.Estimate(k); est < want {
+			t.Fatalf("key %d: merged estimate %d < true %d", k, est, want)
+		}
+	}
+	if err := a.Merge(NewCountMin(10, 4)); err == nil {
+		t.Error("expected shape mismatch error")
+	}
+}
+
+func TestCountMinRoundTrip(t *testing.T) {
+	c := NewCountMin(8, 3)
+	for i := 0; i < 5000; i++ {
+		c.Inc(uint64(i % 700))
+	}
+	var buf bytes.Buffer
+	w := pg.NewWireWriter(&buf)
+	c.Write(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCountMin(pg.NewWireReader(bytes.NewReader(buf.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 700; i++ {
+		if got.Estimate(i) != c.Estimate(i) {
+			t.Fatalf("key %d: decoded estimate %d != %d", i, got.Estimate(i), c.Estimate(i))
+		}
+	}
+}
+
+func TestTopKExactWithinCapacity(t *testing.T) {
+	tk := NewTopK(8)
+	counts := map[uint64]uint64{1: 5, 2: 3, 3: 9}
+	for k, n := range counts {
+		for i := uint64(0); i < n; i++ {
+			tk.Offer(k)
+		}
+	}
+	if tk.MaxCount() != 9 {
+		t.Errorf("MaxCount = %d, want 9", tk.MaxCount())
+	}
+	if tk.MinCount() != 0 {
+		t.Errorf("MinCount = %d with spare capacity, want 0", tk.MinCount())
+	}
+	for _, e := range tk.Entries() {
+		if e.Count != counts[e.Key] || e.Err != 0 {
+			t.Errorf("entry %+v, want exact %d", e, counts[e.Key])
+		}
+	}
+}
+
+func TestTopKHeavyHitterBounds(t *testing.T) {
+	tk := NewTopK(16)
+	truth := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(3))
+	offer := func(k uint64) { tk.Offer(k); truth[k]++ }
+	for i := 0; i < 30_000; i++ {
+		offer(uint64(rng.Intn(500))) // background noise
+		if i%3 == 0 {
+			offer(42) // heavy hitter
+		}
+	}
+	var hot *TopKEntry
+	for i := range tk.Entries() {
+		if tk.Entries()[i].Key == 42 {
+			hot = &tk.Entries()[i]
+		}
+	}
+	if hot == nil {
+		t.Fatal("heavy hitter not monitored")
+	}
+	if hot.Count < truth[42] {
+		t.Errorf("count %d < true %d (must over-estimate)", hot.Count, truth[42])
+	}
+	if hot.Count-hot.Err > truth[42] {
+		t.Errorf("lower bound %d > true %d", hot.Count-hot.Err, truth[42])
+	}
+	if tk.MaxCount() < truth[42] {
+		t.Errorf("MaxCount %d < true max %d", tk.MaxCount(), truth[42])
+	}
+}
+
+func TestTopKMergeBounds(t *testing.T) {
+	a, b := NewTopK(16), NewTopK(16)
+	truth := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20_000; i++ {
+		k := uint64(rng.Intn(300))
+		a.Offer(k)
+		truth[k]++
+		k = uint64(rng.Intn(300))
+		b.Offer(k)
+		truth[k]++
+		if i%4 == 0 {
+			a.Offer(7)
+			b.Offer(7)
+			truth[7] += 2
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Entries()) > 16 {
+		t.Fatalf("merge exceeded capacity: %d entries", len(a.Entries()))
+	}
+	for _, e := range a.Entries() {
+		if e.Count < truth[e.Key] {
+			t.Errorf("key %d: merged count %d < true %d", e.Key, e.Count, truth[e.Key])
+		}
+	}
+	if a.MaxCount() < truth[7] {
+		t.Errorf("merged MaxCount %d < heavy hitter %d", a.MaxCount(), truth[7])
+	}
+	if err := a.Merge(NewTopK(8)); err == nil {
+		t.Error("expected capacity mismatch error")
+	}
+}
+
+func TestTopKRoundTripContinues(t *testing.T) {
+	a := NewTopK(4)
+	for i := 0; i < 1000; i++ {
+		a.Offer(uint64(i % 9))
+	}
+	var buf bytes.Buffer
+	w := pg.NewWireWriter(&buf)
+	a.Write(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadTopK(pg.NewWireReader(bytes.NewReader(buf.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A decoded summary must continue exactly like the original: offer the
+	// same suffix to both and compare entry-for-entry.
+	for i := 0; i < 500; i++ {
+		a.Offer(uint64(i % 11))
+		b.Offer(uint64(i % 11))
+	}
+	ae, be := a.Entries(), b.Entries()
+	if len(ae) != len(be) {
+		t.Fatalf("entry count %d != %d", len(ae), len(be))
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, ae[i], be[i])
+		}
+	}
+}
+
+func TestTopKReadRejectsCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	w := pg.NewWireWriter(&buf)
+	w.Uvarint(4) // k
+	w.Uvarint(1) // one entry
+	w.Uvarint(9) // key
+	w.Uvarint(2) // count
+	w.Uvarint(5) // err > count: invalid
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTopK(pg.NewWireReader(bytes.NewReader(buf.Bytes()))); err == nil {
+		t.Error("err > count accepted")
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Sequential inputs must land in well-spread HLL buckets: check the
+	// top byte of mixed values covers most of the space.
+	seen := map[byte]bool{}
+	for i := 0; i < 4096; i++ {
+		seen[byte(Mix64(uint64(i))>>56)] = true
+	}
+	if len(seen) < 250 {
+		t.Errorf("top-byte coverage %d/256 too low", len(seen))
+	}
+}

@@ -1,0 +1,230 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+
+	"pghive/internal/pg"
+)
+
+// TopK capacity bounds.
+const (
+	MaxTopK = 4096
+	// DefaultTopK keeps the 32 heaviest endpoints per degree direction —
+	// enough to pin the degree maximum and surface supernodes, small
+	// enough that the linear monitored-key scan stays cache-resident.
+	DefaultTopK = 32
+)
+
+// TopKEntry is one monitored key. Count over-estimates the true
+// occurrence count by at most Err (Count−Err is a lower bound).
+type TopKEntry struct {
+	Key   uint64
+	Count uint64
+	Err   uint64
+}
+
+// TopK is a space-saving heavy-hitters summary: it monitors at most k
+// keys; an unmonitored key evicts the current minimum and inherits its
+// count as error. Counts are upper bounds on true frequencies, and every
+// key with true count above MinCount is guaranteed monitored.
+type TopK struct {
+	k       int
+	entries []TopKEntry // insertion order; eviction takes the first minimum
+}
+
+// NewTopK returns an empty summary monitoring at most k keys (clamped to
+// [1, MaxTopK]).
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	if k > MaxTopK {
+		k = MaxTopK
+	}
+	return &TopK{k: k}
+}
+
+// K returns the capacity.
+func (t *TopK) K() int { return t.k }
+
+// Entries exposes the monitored keys in internal order. Read-only: the
+// slice aliases the summary's state.
+func (t *TopK) Entries() []TopKEntry { return t.entries }
+
+// MinCount returns the smallest monitored count, or 0 while the summary
+// has spare capacity. Any key's true count is at most its monitored
+// Count, or MinCount if unmonitored.
+func (t *TopK) MinCount() uint64 {
+	if len(t.entries) < t.k {
+		return 0
+	}
+	min := t.entries[0].Count
+	for _, e := range t.entries[1:] {
+		if e.Count < min {
+			min = e.Count
+		}
+	}
+	return min
+}
+
+// Offer observes one occurrence of key.
+func (t *TopK) Offer(key uint64) {
+	for i := range t.entries {
+		if t.entries[i].Key == key {
+			t.entries[i].Count++
+			return
+		}
+	}
+	if len(t.entries) < t.k {
+		t.entries = append(t.entries, TopKEntry{Key: key, Count: 1})
+		return
+	}
+	// Evict the first minimum-count entry; the newcomer inherits its
+	// count as error. First-minimum (not any-minimum) keeps eviction
+	// deterministic for a given observation order.
+	mi := 0
+	for i := 1; i < len(t.entries); i++ {
+		if t.entries[i].Count < t.entries[mi].Count {
+			mi = i
+		}
+	}
+	min := t.entries[mi].Count
+	t.entries[mi] = TopKEntry{Key: key, Count: min + 1, Err: min}
+}
+
+// OfferN observes n occurrences of key at once.
+func (t *TopK) OfferN(key, n uint64) {
+	if n == 0 {
+		return
+	}
+	for i := range t.entries {
+		if t.entries[i].Key == key {
+			t.entries[i].Count += n
+			return
+		}
+	}
+	if len(t.entries) < t.k {
+		t.entries = append(t.entries, TopKEntry{Key: key, Count: n})
+		return
+	}
+	mi := 0
+	for i := 1; i < len(t.entries); i++ {
+		if t.entries[i].Count < t.entries[mi].Count {
+			mi = i
+		}
+	}
+	min := t.entries[mi].Count
+	t.entries[mi] = TopKEntry{Key: key, Count: min + n, Err: min}
+}
+
+// MaxCount returns the largest monitored count (an upper bound on the
+// stream's true maximum frequency), or 0 when empty.
+func (t *TopK) MaxCount() uint64 {
+	var max uint64
+	for _, e := range t.entries {
+		if e.Count > max {
+			max = e.Count
+		}
+	}
+	return max
+}
+
+// Merge folds other into t (capacities must match). Counts stay upper
+// bounds: a key monitored on only one side is charged the other side's
+// MinCount as additional count and error. The result keeps the k largest
+// combined counts, re-ordered deterministically (count desc, key asc).
+func (t *TopK) Merge(other *TopK) error {
+	if t.k != other.k {
+		return fmt.Errorf("sketch: top-k capacity mismatch: %d vs %d", t.k, other.k)
+	}
+	minT, minO := t.MinCount(), other.MinCount()
+	byKey := make(map[uint64]int, len(other.entries))
+	for i := range other.entries {
+		byKey[other.entries[i].Key] = i
+	}
+	merged := make([]TopKEntry, 0, len(t.entries)+len(other.entries))
+	for _, e := range t.entries {
+		if oi, ok := byKey[e.Key]; ok {
+			oe := other.entries[oi]
+			merged = append(merged, TopKEntry{Key: e.Key, Count: e.Count + oe.Count, Err: e.Err + oe.Err})
+			delete(byKey, e.Key)
+		} else {
+			merged = append(merged, TopKEntry{Key: e.Key, Count: e.Count + minO, Err: e.Err + minO})
+		}
+	}
+	for _, e := range other.entries {
+		if _, ok := byKey[e.Key]; !ok {
+			continue // already combined above
+		}
+		merged = append(merged, TopKEntry{Key: e.Key, Count: e.Count + minT, Err: e.Err + minT})
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Count != merged[j].Count {
+			return merged[i].Count > merged[j].Count
+		}
+		return merged[i].Key < merged[j].Key
+	})
+	if len(merged) > t.k {
+		merged = merged[:t.k]
+	}
+	t.entries = merged
+	return nil
+}
+
+// Clone returns a deep copy.
+func (t *TopK) Clone() *TopK {
+	c := &TopK{k: t.k, entries: make([]TopKEntry, len(t.entries))}
+	copy(c.entries, t.entries)
+	return c
+}
+
+// MemBytes estimates the retained size.
+func (t *TopK) MemBytes() int { return cap(t.entries)*24 + 32 }
+
+// Write serializes the summary, preserving entry order so a decoded
+// summary continues byte-identically.
+func (t *TopK) Write(w *pg.WireWriter) {
+	w.Uvarint(uint64(t.k))
+	w.Uvarint(uint64(len(t.entries)))
+	for _, e := range t.entries {
+		w.Uvarint(e.Key)
+		w.Uvarint(e.Count)
+		w.Uvarint(e.Err)
+	}
+}
+
+// ReadTopK decodes a summary written by Write.
+func ReadTopK(r *pg.WireReader) (*TopK, error) {
+	k, err := r.Uvarint(MaxTopK)
+	if err != nil {
+		return nil, fmt.Errorf("sketch: top-k capacity: %w", err)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("sketch: top-k capacity %d out of range", k)
+	}
+	n, err := r.Uvarint(k)
+	if err != nil {
+		return nil, fmt.Errorf("sketch: top-k size: %w", err)
+	}
+	t := &TopK{k: int(k), entries: make([]TopKEntry, n)}
+	for i := range t.entries {
+		key, err := r.Uvarint(1<<64 - 1)
+		if err != nil {
+			return nil, fmt.Errorf("sketch: top-k key %d: %w", i, err)
+		}
+		count, err := r.Uvarint(1<<64 - 1)
+		if err != nil {
+			return nil, fmt.Errorf("sketch: top-k count %d: %w", i, err)
+		}
+		errv, err := r.Uvarint(1<<64 - 1)
+		if err != nil {
+			return nil, fmt.Errorf("sketch: top-k err %d: %w", i, err)
+		}
+		if errv > count {
+			return nil, fmt.Errorf("sketch: top-k entry %d error %d exceeds count %d", i, errv, count)
+		}
+		t.entries[i] = TopKEntry{Key: key, Count: count, Err: errv}
+	}
+	return t, nil
+}

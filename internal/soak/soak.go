@@ -51,8 +51,15 @@ type Options struct {
 	// DefaultKillEvery).
 	KillEvery int
 	// MemBudgetBytes bounds retained heap (checked per window after a GC);
-	// 0 disables the check.
+	// 0 disables the check. A non-zero budget is also wired into
+	// Config.MemBudgetBytes (unless the Config sets its own), so the run
+	// soaks the same sketched evidence mode the budget enforces and a
+	// second window invariant checks the checkpointed evidence footprint
+	// against it.
 	MemBudgetBytes uint64
+	// ExactEvidence keeps the evidence layer in exact mode even when a
+	// memory budget is set (the -exact-evidence escape hatch).
+	ExactEvidence bool
 	// CheckEquivalence re-runs the scenario serially and compares the
 	// labeled projection against the sharded result (only meaningful with
 	// Config.Shards > 1).
@@ -75,7 +82,7 @@ type Violation struct {
 	// Window is the invariant window that failed (-1 for end-of-run checks).
 	Window int
 	// Invariant names the failed check (monotone-growth, resumable,
-	// resume-identity, shard-equivalence, heap-budget).
+	// resume-identity, shard-equivalence, heap-budget, evidence-budget).
 	Invariant string
 	// Detail says what went wrong.
 	Detail string
@@ -97,9 +104,13 @@ type Report struct {
 	Checkpoints int
 	Windows     int
 	HeapPeak    uint64
-	Elapsed     time.Duration
-	NodeTypes   int
-	EdgeTypes   int
+	// EvidencePeak is the largest checkpointed evidence footprint seen in
+	// any window (schema.EvidenceBytes summed over shards); only tracked
+	// when the memory budget is enforced in sketched mode.
+	EvidencePeak uint64
+	Elapsed      time.Duration
+	NodeTypes    int
+	EdgeTypes    int
 	// StreamHash fingerprints the generated element stream.
 	StreamHash string
 	// SchemaJSON is the finalized schema.
@@ -160,6 +171,16 @@ func Run(opts Options) (*Report, error) {
 		opts.Faults.Seed = opts.Seed
 	}
 	cfg := opts.Config
+	// The soak heap budget doubles as the pipeline's enforced evidence
+	// budget, so the heap invariant polices a budget the system actually
+	// acts on (sketched counters, spill thresholds) rather than a number
+	// only the harness knows about.
+	if opts.MemBudgetBytes > 0 && cfg.MemBudgetBytes == 0 {
+		cfg.MemBudgetBytes = int64(opts.MemBudgetBytes)
+	}
+	if opts.ExactEvidence {
+		cfg.ExactEvidence = true
+	}
 	instr := obs.NewInstr(cfg.Telemetry)
 
 	rep := &Report{Scenario: opts.Scenario.Name, Shards: cfg.Shards}
@@ -319,6 +340,23 @@ func (c *checker) Save(state []byte) error {
 			fmt.Sprintf("checkpoint %d lost types or properties relative to the previous window", c.saves))
 	}
 	c.lastFp = fp
+
+	// When the budget is enforced (sketched evidence mode), the decoded
+	// checkpoint state itself must honor it: the evidence footprint is the
+	// part of the retained heap the budget policy controls directly.
+	if budget := c.opts.MemBudgetBytes; budget > 0 && c.cfg.MemBudgetBytes > 0 && !c.cfg.ExactEvidence {
+		var ev uint64
+		for _, s := range schemas {
+			ev += uint64(s.EvidenceBytes())
+		}
+		if ev > c.rep.EvidencePeak {
+			c.rep.EvidencePeak = ev
+		}
+		if ev > budget {
+			c.rep.violate(c.instr, window, "evidence-budget",
+				fmt.Sprintf("checkpointed evidence %d bytes exceeds the enforced budget %d", ev, budget))
+		}
+	}
 
 	if budget := c.opts.MemBudgetBytes; budget > 0 {
 		runtime.GC()

@@ -119,13 +119,67 @@ func TestSoakHeapBudgetViolation(t *testing.T) {
 	if rep.OK() {
 		t.Fatal("1-byte heap budget not reported as violated")
 	}
+	// The budget is wired into the pipeline, so both the heap invariant
+	// and the evidence-footprint invariant must trip on an impossible one.
+	seen := map[string]bool{}
 	for _, v := range rep.Violations {
-		if v.Invariant != "heap-budget" {
+		switch v.Invariant {
+		case "heap-budget", "evidence-budget":
+			seen[v.Invariant] = true
+		default:
 			t.Errorf("unexpected violation %v", v)
 		}
 	}
+	if !seen["heap-budget"] || !seen["evidence-budget"] {
+		t.Errorf("violated invariants %v, want both heap-budget and evidence-budget", seen)
+	}
 	if rep.HeapPeak == 0 {
 		t.Error("heap peak not recorded")
+	}
+	if rep.EvidencePeak == 0 {
+		t.Error("evidence peak not recorded")
+	}
+}
+
+// TestSoakSketchedWithinBudget: under a realistic budget the sketched
+// evidence mode must actually stay inside it — the invariant that makes
+// -mem-budget a guarantee rather than a suggestion.
+func TestSoakSketchedWithinBudget(t *testing.T) {
+	rep, err := Run(Options{
+		Scenario:       shrunk(t, "skew"),
+		Seed:           1,
+		Window:         2,
+		MemBudgetBytes: 256 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("violations under a 256MB budget: %v", rep.Violations)
+	}
+	if rep.EvidencePeak == 0 {
+		t.Error("sketched run recorded no evidence footprint")
+	}
+	if rep.EvidencePeak > 256<<20 {
+		t.Errorf("evidence peak %d exceeds the 256MB budget", rep.EvidencePeak)
+	}
+
+	// The escape hatch keeps evidence exact: no evidence-budget tracking.
+	exact, err := Run(Options{
+		Scenario:       shrunk(t, "skew"),
+		Seed:           1,
+		Window:         2,
+		MemBudgetBytes: 256 << 20,
+		ExactEvidence:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.OK() {
+		t.Fatalf("exact-evidence violations: %v", exact.Violations)
+	}
+	if exact.EvidencePeak != 0 {
+		t.Errorf("exact-evidence run tracked an evidence peak (%d)", exact.EvidencePeak)
 	}
 }
 

@@ -1,0 +1,323 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+
+	"pghive/internal/obs"
+	"pghive/internal/pg"
+)
+
+// SpillQueue is a FIFO of batches with a bounded in-memory footprint:
+// batches beyond the memory limit are encoded in the canonical wire format
+// (pg.WriteBatch) and appended to a temp file, so ingestion backpressure —
+// elements arriving faster than the pipeline extracts them — queues on disk
+// instead of growing the heap without bound. Entries keep strict arrival
+// order regardless of where they live. All methods are safe for concurrent
+// use.
+type SpillQueue struct {
+	mu       sync.Mutex
+	dir      string
+	memLimit int64
+
+	entries  []spillEntry
+	memBytes int64
+
+	f         *os.File // created lazily on first spill
+	appendOff int64
+	diskBytes int64
+	spilled   uint64
+	closed    bool
+}
+
+// spillEntry is one queued batch: resident (b != nil) or a [off, off+n)
+// window of the spill file.
+type spillEntry struct {
+	b   *pg.Batch
+	off int64
+	n   int64
+}
+
+// NewSpillQueue returns an empty queue. Batches stay in memory until their
+// estimated footprint exceeds memLimit bytes (≤ 0 means spill immediately —
+// a pure disk queue); overflow goes to a temp file under dir ("" means the
+// OS temp dir), removed again on Close.
+func NewSpillQueue(dir string, memLimit int64) *SpillQueue {
+	return &SpillQueue{dir: dir, memLimit: memLimit}
+}
+
+// batchMemEstimate approximates a batch's resident bytes: record headers
+// plus label strings and rendered property payloads.
+func batchMemEstimate(b *pg.Batch) int64 {
+	est := int64(64)
+	labels := func(ls []string) {
+		est += 24
+		for _, l := range ls {
+			est += int64(len(l)) + 16
+		}
+	}
+	props := func(p pg.Properties) {
+		est += 48
+		for k := range p {
+			est += int64(len(k)) + 64
+		}
+	}
+	for i := range b.Nodes {
+		n := &b.Nodes[i]
+		est += 48
+		labels(n.Labels)
+		props(n.Props)
+	}
+	for i := range b.Edges {
+		e := &b.Edges[i]
+		est += 96
+		labels(e.Labels)
+		labels(e.SrcLabels)
+		labels(e.DstLabels)
+		props(e.Props)
+	}
+	return est
+}
+
+// Enqueue appends one batch. The batch is retained (resident) or encoded
+// (spilled); either way the caller must not mutate it afterwards.
+func (q *SpillQueue) Enqueue(b *pg.Batch) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return fmt.Errorf("stream: spill queue closed")
+	}
+	est := batchMemEstimate(b)
+	if q.memBytes+est <= q.memLimit {
+		q.entries = append(q.entries, spillEntry{b: b})
+		q.memBytes += est
+		return nil
+	}
+	return q.spillLocked(b)
+}
+
+// spillLocked encodes b and appends it to the spill file.
+func (q *SpillQueue) spillLocked(b *pg.Batch) error {
+	if q.f == nil {
+		f, err := os.CreateTemp(q.dir, "pghive-spill-*.bin")
+		if err != nil {
+			return fmt.Errorf("stream: create spill file: %w", err)
+		}
+		q.f = f
+	}
+	var buf bytes.Buffer
+	w := pg.NewWireWriter(&buf)
+	if err := pg.WriteBatch(w, b); err != nil {
+		return fmt.Errorf("stream: encode spill batch: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	n, err := q.f.WriteAt(buf.Bytes(), q.appendOff)
+	if err != nil {
+		return fmt.Errorf("stream: write spill batch: %w", err)
+	}
+	q.entries = append(q.entries, spillEntry{off: q.appendOff, n: int64(n)})
+	q.appendOff += int64(n)
+	q.diskBytes += int64(n)
+	q.spilled++
+	return nil
+}
+
+// Dequeue removes and returns the oldest batch, or (nil, nil) when the
+// queue is empty. Draining the queue completely truncates the spill file,
+// so disk usage is bounded by the largest backlog, not the stream length.
+func (q *SpillQueue) Dequeue() (*pg.Batch, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.entries) == 0 {
+		return nil, nil
+	}
+	e := q.entries[0]
+	q.entries = q.entries[1:]
+	if e.b != nil {
+		q.memBytes -= batchMemEstimate(e.b)
+		q.maybeResetLocked()
+		return e.b, nil
+	}
+	raw := make([]byte, e.n)
+	if _, err := q.f.ReadAt(raw, e.off); err != nil {
+		return nil, fmt.Errorf("stream: read spill batch: %w", err)
+	}
+	b, err := pg.ReadBatch(pg.NewWireReader(bytes.NewReader(raw)))
+	if err != nil {
+		return nil, fmt.Errorf("stream: decode spill batch: %w", err)
+	}
+	q.diskBytes -= e.n
+	q.maybeResetLocked()
+	return b, nil
+}
+
+// maybeResetLocked truncates the spill file once nothing references it.
+func (q *SpillQueue) maybeResetLocked() {
+	if len(q.entries) != 0 || q.f == nil {
+		return
+	}
+	if err := q.f.Truncate(0); err == nil {
+		q.appendOff = 0
+	}
+	q.diskBytes = 0
+	q.memBytes = 0
+}
+
+// Len returns the number of queued batches.
+func (q *SpillQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.entries)
+}
+
+// MemBytes returns the estimated resident bytes of in-memory entries.
+func (q *SpillQueue) MemBytes() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.memBytes
+}
+
+// DiskBytes returns the encoded bytes of live on-disk entries.
+func (q *SpillQueue) DiskBytes() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.diskBytes
+}
+
+// Spilled returns how many batches overflowed to disk so far (monotone).
+func (q *SpillQueue) Spilled() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.spilled
+}
+
+// Close releases the spill file (the temp file is removed). Queued entries
+// are discarded; a closed queue rejects further enqueues.
+func (q *SpillQueue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.entries = nil
+	q.memBytes, q.diskBytes = 0, 0
+	if q.f == nil {
+		return nil
+	}
+	name := q.f.Name()
+	err := q.f.Close()
+	q.f = nil
+	if rmErr := os.Remove(name); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// EnableSpill decouples ingestion from processing: full batches are pushed
+// onto a SpillQueue (resident up to memLimit bytes, then spill-to-disk in
+// the canonical wire format) and a background drainer feeds them into the
+// pipeline in arrival order. AddNode/AddEdge then never block on extraction
+// — backpressure accumulates in the queue, bounded in memory by memLimit —
+// and a burst that outruns the pipeline lands on disk instead of the heap.
+//
+// The OnFlush contract is unchanged (it runs when a batch leaves the
+// collector buffer, before it is queued). Flush and Finalize wait for the
+// queue to drain, so their "buffered elements are in the schema" guarantee
+// holds. Queue telemetry (spill gauges, spilled-batch counter) goes to the
+// pipeline's configured sink.
+//
+// Must be called before elements arrive; call CloseSpill to stop the
+// drainer and remove the spill file.
+func (c *Collector) EnableSpill(dir string, memLimit int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.spill != nil {
+		return
+	}
+	c.spill = NewSpillQueue(dir, memLimit)
+	c.spillCond = sync.NewCond(&c.mu)
+	c.instr = obs.NewInstr(c.pipe.Config().Telemetry)
+	c.drainerDone = false
+	go c.drainLoop()
+}
+
+// CloseSpill flushes, waits for the drainer to finish every queued batch,
+// stops it and removes the spill file. The collector reverts to synchronous
+// flushing.
+func (c *Collector) CloseSpill() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.spill == nil {
+		return nil
+	}
+	c.flushLocked()
+	c.waitDrainedLocked()
+	c.spillStop = true
+	c.spillCond.Broadcast()
+	for !c.drainerDone {
+		c.spillCond.Wait()
+	}
+	err := c.spill.Close()
+	c.spill = nil
+	c.spillStop = false
+	return err
+}
+
+// drainLoop is the background consumer: it moves batches from the queue
+// into the pipeline, one at a time, in arrival order.
+func (c *Collector) drainLoop() {
+	c.mu.Lock()
+	for {
+		for !c.spillStop && (c.spill == nil || c.spill.Len() == 0) {
+			c.spillCond.Wait()
+		}
+		if c.spill == nil || c.spill.Len() == 0 {
+			break // stopping and drained
+		}
+		b, err := c.spill.Dequeue()
+		if err != nil {
+			c.err = err
+			c.spillCond.Broadcast()
+			continue
+		}
+		if b == nil {
+			continue
+		}
+		// Process outside the lock so ingestion keeps flowing; inFlight
+		// keeps Flush/Finalize honest about the batch being mid-extraction.
+		c.inFlight = true
+		c.mu.Unlock()
+		c.pipe.ProcessBatch(b)
+		c.mu.Lock()
+		c.inFlight = false
+		c.publishSpillLocked()
+		c.spillCond.Broadcast()
+	}
+	c.drainerDone = true
+	c.spillCond.Broadcast()
+	c.mu.Unlock()
+}
+
+// waitDrainedLocked blocks until the queue is empty and no batch is
+// mid-extraction.
+func (c *Collector) waitDrainedLocked() {
+	for c.spill != nil && (c.spill.Len() > 0 || c.inFlight) {
+		c.spillCond.Wait()
+	}
+}
+
+// publishSpillLocked emits the queue's current levels and the cumulative
+// spill counter delta.
+func (c *Collector) publishSpillLocked() {
+	if c.spill == nil {
+		return
+	}
+	c.instr.Gauge(obs.GaugeSpillMemBytes, uint64(c.spill.MemBytes()))
+	c.instr.Gauge(obs.GaugeSpillDiskBytes, uint64(c.spill.DiskBytes()))
+	if s := c.spill.Spilled(); s > c.lastSpilled {
+		c.instr.Add(obs.CtrSpilledBatches, s-c.lastSpilled)
+		c.lastSpilled = s
+	}
+}

@@ -1,0 +1,213 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+
+	"pghive/internal/core"
+	"pghive/internal/obs"
+	"pghive/internal/pg"
+)
+
+func spillBatch(i, n int) *pg.Batch {
+	b := &pg.Batch{}
+	for j := 0; j < n; j++ {
+		b.Nodes = append(b.Nodes, person(i*n+j))
+	}
+	if i > 0 {
+		b.Edges = append(b.Edges, pg.EdgeRecord{
+			ID: pg.ID(1000 + i), Labels: []string{"KNOWS"},
+			Src: pg.ID(i * n), Dst: pg.ID(i*n - 1),
+			SrcLabels: []string{"Person"}, DstLabels: []string{"Person"},
+			Props: pg.Properties{"since": pg.Int(int64(i))},
+		})
+	}
+	return b
+}
+
+// TestSpillQueueFIFO: batches come back in arrival order and structurally
+// intact, whether they stayed resident or spilled through the wire codec.
+func TestSpillQueueFIFO(t *testing.T) {
+	for _, memLimit := range []int64{0, 1 << 20} {
+		q := NewSpillQueue(t.TempDir(), memLimit)
+		want := make([]*pg.Batch, 8)
+		for i := range want {
+			want[i] = spillBatch(i, 10)
+			if err := q.Enqueue(want[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if memLimit == 0 && q.Spilled() != 8 {
+			t.Errorf("memLimit=0: spilled %d of 8 batches", q.Spilled())
+		}
+		if memLimit > 0 && q.Spilled() != 0 {
+			t.Errorf("roomy limit: spilled %d batches, want 0", q.Spilled())
+		}
+		for i := range want {
+			got, err := q.Dequeue()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want[i]) {
+				t.Fatalf("memLimit=%d: batch %d corrupted through the queue\nwant %+v\ngot  %+v",
+					memLimit, i, want[i], got)
+			}
+		}
+		if b, err := q.Dequeue(); b != nil || err != nil {
+			t.Errorf("empty dequeue = (%v, %v), want (nil, nil)", b, err)
+		}
+		if err := q.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSpillQueueBounds: the resident estimate respects the limit, disk
+// bytes drop back to zero when the backlog drains, and the spill file is
+// reused rather than growing with the stream.
+func TestSpillQueueBounds(t *testing.T) {
+	limit := int64(4 << 10)
+	q := NewSpillQueue(t.TempDir(), limit)
+	defer q.Close()
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 20; i++ {
+			if err := q.Enqueue(spillBatch(i, 20)); err != nil {
+				t.Fatal(err)
+			}
+			if q.MemBytes() > limit {
+				t.Fatalf("resident %d bytes exceeds limit %d", q.MemBytes(), limit)
+			}
+		}
+		if q.Spilled() == 0 {
+			t.Fatal("20 batches under a 4KiB limit never spilled")
+		}
+		if q.DiskBytes() == 0 {
+			t.Fatal("spilled batches report zero disk bytes")
+		}
+		for q.Len() > 0 {
+			if _, err := q.Dequeue(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if q.DiskBytes() != 0 || q.MemBytes() != 0 {
+			t.Fatalf("drained queue retains mem=%d disk=%d bytes", q.MemBytes(), q.DiskBytes())
+		}
+		if q.appendOff != 0 {
+			t.Fatalf("round %d: spill file not truncated after drain (append offset %d)", round, q.appendOff)
+		}
+	}
+}
+
+// TestCollectorSpillMatchesSync: the same element stream through a spill
+// collector and a plain one yields identical finalized schemas — the queue
+// changes when batches are processed, never what they contain.
+func TestCollectorSpillMatchesSync(t *testing.T) {
+	feed := func(c *Collector) {
+		for i := 0; i < 137; i++ {
+			c.AddNode(person(i))
+			if i > 0 && i%3 == 0 {
+				c.AddEdge(pg.EdgeRecord{
+					ID: pg.ID(10_000 + i), Labels: []string{"KNOWS"},
+					Src: pg.ID(i), Dst: pg.ID(i - 1),
+					SrcLabels: []string{"Person"}, DstLabels: []string{"Person"},
+				})
+			}
+		}
+	}
+
+	plain := NewCollector(core.NewPipeline(core.DefaultConfig()), 25)
+	feed(plain)
+	wantDef := plain.Finalize()
+
+	spilly := NewCollector(core.NewPipeline(core.DefaultConfig()), 25)
+	spilly.EnableSpill(t.TempDir(), 0) // force every batch through disk
+	feed(spilly)
+	gotDef := spilly.Finalize()
+	if err := spilly.CloseSpill(); err != nil {
+		t.Fatal(err)
+	}
+
+	want, _ := json.Marshal(wantDef)
+	got, _ := json.Marshal(gotDef)
+	if !bytes.Equal(want, got) {
+		t.Errorf("spill-mode schema diverges from synchronous\nwant %s\ngot  %s", want, got)
+	}
+}
+
+// TestCollectorSpillConcurrentProducers: no element is lost when producers
+// race the background drainer.
+func TestCollectorSpillConcurrentProducers(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := core.DefaultConfig()
+	cfg.Telemetry = reg
+	c := NewCollector(core.NewPipeline(cfg), 50)
+	c.EnableSpill(t.TempDir(), 2<<10)
+	var wg sync.WaitGroup
+	const producers, perProducer = 8, 200
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				c.AddNode(person(p*perProducer + i))
+			}
+		}(p)
+	}
+	wg.Wait()
+	def := c.Finalize()
+	if err := c.CloseSpill(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range def.Nodes {
+		total += n.Instances
+	}
+	if total != producers*perProducer {
+		t.Errorf("instances = %d, want %d (spill drainer lost elements)", total, producers*perProducer)
+	}
+	snap := reg.Snapshot()
+	if snap.Counter(obs.CtrSpilledBatches) == 0 {
+		t.Error("tight memory limit never spilled a batch (counter empty)")
+	}
+}
+
+// TestCollectorSpillOnFlushContract: the OnFlush taxonomy survives spill
+// mode — quarantined batches never reach the queue.
+func TestCollectorSpillOnFlushContract(t *testing.T) {
+	c := NewCollector(core.NewPipeline(core.DefaultConfig()), 5)
+	c.EnableSpill(t.TempDir(), 0)
+	c.SetOnFlush(failNth(1, &pg.CorruptBatchError{Seq: 1, Reason: "poisoned"}))
+	for i := 0; i < 15; i++ {
+		c.AddNode(person(i))
+	}
+	if err := c.Flush(); err != nil && !pg.IsCorrupt(err) {
+		t.Fatalf("flush: %v", err)
+	}
+	s := c.Schema()
+	if len(s.NodeTypes) != 1 || s.NodeTypes[0].Instances != 10 {
+		t.Errorf("schema has %d instances, want 10 (5 quarantined)", s.NodeTypes[0].Instances)
+	}
+	if len(c.Skipped()) != 1 {
+		t.Errorf("Skipped() = %+v, want one report", c.Skipped())
+	}
+	if err := c.CloseSpill(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpillQueueRejectsAfterClose guards the shutdown contract.
+func TestSpillQueueRejectsAfterClose(t *testing.T) {
+	q := NewSpillQueue(t.TempDir(), 0)
+	if err := q.Enqueue(spillBatch(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(spillBatch(1, 3)); err == nil {
+		t.Error("enqueue after close succeeded")
+	}
+}

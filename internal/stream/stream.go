@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"pghive/internal/core"
+	"pghive/internal/obs"
 	"pghive/internal/pg"
 	"pghive/internal/schema"
 )
@@ -29,6 +30,16 @@ type Collector struct {
 	skipped []core.SkipReport
 	err     error // last non-transient flush error
 	slot    int   // flush slots consumed (processed + quarantined)
+
+	// Spill mode (EnableSpill): full batches queue on spill instead of
+	// being processed synchronously; drainLoop feeds them to the pipeline.
+	spill       *SpillQueue
+	spillCond   *sync.Cond
+	spillStop   bool // CloseSpill asked the drainer to exit
+	drainerDone bool
+	inFlight    bool // drainer is mid-ProcessBatch (outside the lock)
+	instr       obs.Instr
+	lastSpilled uint64
 }
 
 // DefaultBatchSize is used when NewCollector receives batchSize ≤ 0.
@@ -105,6 +116,21 @@ func (c *Collector) flushLocked() error {
 	}
 	batch := c.buf
 	c.buf = pg.Batch{}
+	if c.spill != nil && !c.spillStop {
+		if err := c.spill.Enqueue(&batch); err == nil {
+			c.flushes++
+			c.slot++
+			c.publishSpillLocked()
+			c.spillCond.Broadcast()
+			return nil
+		}
+		// Enqueue failed (spill-file I/O): degrade to synchronous
+		// processing — correctness over backpressure relief. Wait out any
+		// in-flight drain so the pipeline sees batches one at a time.
+		for c.inFlight {
+			c.spillCond.Wait()
+		}
+	}
 	c.pipe.ProcessBatch(&batch)
 	c.flushes++
 	c.slot++
@@ -117,7 +143,9 @@ func (c *Collector) flushLocked() error {
 func (c *Collector) Flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.flushLocked()
+	err := c.flushLocked()
+	c.waitDrainedLocked()
+	return err
 }
 
 // Close flushes any remainder; the collector stays usable (Close is a
@@ -146,6 +174,7 @@ func (c *Collector) Skipped() []core.SkipReport {
 func (c *Collector) Schema() *schema.Schema {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.waitDrainedLocked()
 	return c.pipe.Schema()
 }
 
@@ -155,6 +184,7 @@ func (c *Collector) Finalize() *schema.Def {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.flushLocked()
+	c.waitDrainedLocked()
 	return c.pipe.Finalize()
 }
 
