@@ -23,6 +23,7 @@ import (
 	"pghive/internal/datagen"
 	"pghive/internal/pg"
 	"pghive/internal/soak"
+	"pghive/internal/validate"
 )
 
 func main() {
@@ -44,6 +45,9 @@ func main() {
 		exactEv     = flag.Bool("exact-evidence", false, "keep evidence exact even under -mem-budget-mb (escape hatch)")
 		equivalence = flag.Bool("equivalence", false, "with -shards > 1, re-run serially and require schema equivalence")
 		noResume    = flag.Bool("skip-resume-check", false, "skip the kill/resume byte-identity reference run")
+		driftPol    = flag.String("drift-policy", "off", "streaming conformance checking: off, evolve, alert, or quarantine")
+		epochIvl    = flag.Int("epoch-interval", 0, "schema epoch window in batches for the conformance checker (0 = default)")
+		driftLog    = flag.String("drift-log", "", "append drift records (classified violations, epoch diffs) to this JSONL file")
 		telemetry   = flag.Bool("telemetry", false, "print aggregated run metrics to stderr")
 		metrics     = flag.String("metrics-addr", "", "serve live metrics at http://ADDR/metrics during the run")
 		verbose     = flag.Bool("v", false, "log harness progress to stderr")
@@ -86,6 +90,22 @@ func main() {
 	}
 	if reg != nil {
 		cfg.Telemetry = reg
+	}
+	cfg.DriftPolicy, err = core.ParseDriftPolicy(*driftPol)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.EpochInterval = *epochIvl
+	if *driftLog != "" {
+		if cfg.DriftPolicy == core.DriftOff {
+			fatal(fmt.Errorf("-drift-log needs a -drift-policy"))
+		}
+		f, err := os.Create(*driftLog)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		cfg.DriftLog = core.NewDriftLog(f)
 	}
 	switch *method {
 	case "elsh":
@@ -140,6 +160,19 @@ func main() {
 		fmt.Printf(", evidence peak %.1f MB", float64(rep.EvidencePeak)/(1<<20))
 	}
 	fmt.Println()
+	if d := rep.Drift; d != nil {
+		fmt.Printf("drift (%s): %d violations in %d batches (%d quarantined), %d epochs, %d epoch-diff changes\n",
+			d.Policy, d.Total(), d.DriftBatches, d.Quarantined, d.Epochs, d.EpochChanges)
+		var classes []string
+		for c := validate.DriftClass(0); c < validate.NumDriftClasses; c++ {
+			if n := d.Class(c); n > 0 {
+				classes = append(classes, fmt.Sprintf("%s=%d", c, n))
+			}
+		}
+		if len(classes) > 0 {
+			fmt.Printf("drift classes: %s\n", strings.Join(classes, " "))
+		}
+	}
 	if rep.OK() {
 		fmt.Println("invariants: OK")
 		return

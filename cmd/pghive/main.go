@@ -55,6 +55,9 @@ func main() {
 		sample    = flag.Bool("sample-datatypes", false, "infer property data types from a sample instead of a full scan")
 		particip  = flag.Bool("participation", false, "analyze edge participation to refine cardinality lower bounds")
 		selfCheck = flag.Bool("validate", false, "validate the input graph against its own discovered schema and report violations")
+		driftPol  = flag.String("drift-policy", "off", "streaming conformance checking: off, evolve (validate and count, merge as usual), alert (also log violations), quarantine (withhold violating batches from the merge)")
+		epochIvl  = flag.Int("epoch-interval", 0, "schema epoch window in batches: snapshot, diff against the previous epoch and rotate the validation target every N batches (0 = default)")
+		driftLog  = flag.String("drift-log", "", "append drift records (classified violations, epoch diffs) to this JSONL file")
 		telemetry = flag.Bool("telemetry", false, "aggregate run metrics and print a summary to stderr")
 		metrics   = flag.String("metrics-addr", "", "serve live metrics at http://ADDR/metrics during the run (JSON; ?format=prometheus for text exposition); implies -telemetry")
 		traceOut  = flag.String("trace-out", "", "stream per-stage spans to this file in Chrome trace format (open in chrome://tracing or Perfetto)")
@@ -109,6 +112,22 @@ func main() {
 	cfg.ExactEvidence = *exactEv
 	cfg.DenseSignatures = *denseSigs
 	cfg.Telemetry = pghive.TelemetryMulti(sinks...)
+	cfg.DriftPolicy, err = pghive.ParseDriftPolicy(*driftPol)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.EpochInterval = *epochIvl
+	if *driftLog != "" {
+		if cfg.DriftPolicy == pghive.DriftOff {
+			fatal(fmt.Errorf("-drift-log needs a -drift-policy"))
+		}
+		f, err := os.Create(*driftLog)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		cfg.DriftLog = pghive.NewDriftLog(f)
+	}
 	switch *method {
 	case "elsh":
 		cfg.Method = pghive.MethodELSH
@@ -149,6 +168,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "discovered %d node types, %d edge types in %v (+%v post-processing)\n",
 		len(result.Def.Nodes), len(result.Def.Edges), result.Discovery, result.PostProcess)
+	if d := result.Drift; d != nil {
+		fmt.Fprintf(os.Stderr, "drift (%s): %d violations in %d batches (%d quarantined), %d epochs, %d epoch-diff changes\n",
+			d.Policy, d.Total(), d.DriftBatches, d.Quarantined, d.Epochs, d.EpochChanges)
+	}
 	if reg != nil {
 		reg.Snapshot().WriteText(os.Stderr)
 	}

@@ -6,10 +6,19 @@
 //	pghive -jsonl day1.jsonl -format json -out schema1.json
 //	pghive -jsonl day2.jsonl -format json -out schema2.json
 //	pgschema-diff schema1.json schema2.json
+//	pgschema-diff -format json schema1.json schema2.json | jq .counts
+//
+// The exit code makes the command scriptable: 0 when the schemas are
+// identical, 1 when there are changes, 2 on usage or read errors — so
+// `pgschema-diff old.json new.json || notify` gates on evolution the same
+// way `diff` gates on file changes.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pghive/internal/schema"
@@ -17,37 +26,68 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: pgschema-diff <old.json> <new.json>")
-		os.Exit(2)
-	}
-	old := load(os.Args[1])
-	new := load(os.Args[2])
-	changes := schema.Diff(old, new)
-	if len(changes) == 0 {
-		fmt.Println("schemas are identical")
-		return
-	}
-	for _, c := range changes {
-		fmt.Println(c)
-	}
-	fmt.Fprintf(os.Stderr, "%d changes\n", len(changes))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func load(path string) *schema.Def {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pgschema-diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "text", "output format: text or json (a schema.DiffReport object)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: pgschema-diff [-format text|json] <old.json> <new.json>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "pgschema-diff: unknown format %q (want text or json)\n", *format)
+		return 2
+	}
+	old, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "pgschema-diff:", err)
+		return 2
+	}
+	cur, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "pgschema-diff:", err)
+		return 2
+	}
+	report := schema.NewDiffReport(schema.Diff(old, cur))
+
+	if *format == "json" {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, "pgschema-diff:", err)
+			return 2
+		}
+		if report.Empty() {
+			return 0
+		}
+		return 1
+	}
+	if report.Empty() {
+		fmt.Fprintln(stdout, "schemas are identical")
+		return 0
+	}
+	for _, c := range report.Changes {
+		fmt.Fprintln(stdout, c)
+	}
+	fmt.Fprintf(stderr, "%d changes\n", len(report.Changes))
+	return 1
+}
+
+func load(path string) (*schema.Def, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 	defer f.Close()
-	def, err := serialize.ReadJSON(f)
-	if err != nil {
-		fatal(err)
-	}
-	return def
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pgschema-diff:", err)
-	os.Exit(1)
+	return serialize.ReadJSON(f)
 }

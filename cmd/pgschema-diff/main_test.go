@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pghive/internal/pg"
+	"pghive/internal/schema"
+	"pghive/internal/serialize"
+)
+
+func writeDef(t *testing.T, dir, name string, def *schema.Def) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := serialize.WriteJSON(f, def); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func testDefs(t *testing.T) (oldPath, newPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	old := &schema.Def{Nodes: []schema.NodeTypeDef{
+		{Name: "User", Labels: []string{"User"}, Properties: []schema.PropertyDef{
+			{Key: "name", DataType: pg.KindString, Mandatory: true},
+		}},
+	}}
+	new := &schema.Def{Nodes: []schema.NodeTypeDef{
+		{Name: "Device", Labels: []string{"Device"}},
+		{Name: "User", Labels: []string{"User"}, Properties: []schema.PropertyDef{
+			{Key: "age", DataType: pg.KindInt},
+			{Key: "name", DataType: pg.KindString, Mandatory: true},
+		}},
+	}}
+	return writeDef(t, dir, "old.json", old), writeDef(t, dir, "new.json", new)
+}
+
+func TestRunText(t *testing.T) {
+	oldPath, newPath := testDefs(t)
+	var stdout, stderr bytes.Buffer
+
+	// Identical schemas: exit 0, friendly message.
+	if code := run([]string{oldPath, oldPath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("self-diff exit = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "identical") {
+		t.Errorf("self-diff output = %q", stdout.String())
+	}
+
+	// Changed schemas: exit 1, one line per change.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{oldPath, newPath}, &stdout, &stderr); code != 1 {
+		t.Fatalf("diff exit = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	for _, want := range []string{"Device", "age"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("diff output missing %q:\n%s", want, stdout.String())
+		}
+	}
+	if !strings.Contains(stderr.String(), "2 changes") {
+		t.Errorf("stderr = %q, want a 2-change summary", stderr.String())
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	oldPath, newPath := testDefs(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-format", "json", oldPath, newPath}, &stdout, &stderr); code != 1 {
+		t.Fatalf("json diff exit = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	var rep schema.DiffReport
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not a DiffReport: %v\n%s", err, stdout.String())
+	}
+	if len(rep.Changes) != 2 || rep.Counts["type_added"] != 1 || rep.Counts["property_added"] != 1 {
+		t.Errorf("report = %+v, want one type_added + one property_added", rep)
+	}
+
+	// Identical schemas still emit a (empty) report, exit 0.
+	stdout.Reset()
+	if code := run([]string{"-format", "json", newPath, newPath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("json self-diff exit = %d, want 0", code)
+	}
+	if !strings.Contains(stdout.String(), `"changes"`) {
+		t.Errorf("empty report output = %q", stdout.String())
+	}
+}
+
+func TestRunBadInvocation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"only-one.json"}, &stdout, &stderr); code != 2 {
+		t.Errorf("one arg exit = %d, want 2", code)
+	}
+	if code := run([]string{"-format", "yaml", "a.json", "b.json"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad format exit = %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent/a.json", "/nonexistent/b.json"}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing file exit = %d, want 2", code)
+	}
+}

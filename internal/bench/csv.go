@@ -198,7 +198,36 @@ func WriteCSVs(dir string, w writerFlusher, s Settings) error {
 	if err := WriteMemoryCSV(dir, w, s); err != nil {
 		return err
 	}
+	if err := WriteDriftCSV(dir, w, s); err != nil {
+		return err
+	}
 	return WriteLSHCSV(dir, w, s)
+}
+
+// WriteDriftCSV runs only the drift experiment and writes drift.csv into dir
+// — CI's drift job regenerates it on every run so validator overhead and the
+// per-policy schema-identity bits are tracked alongside the gates.
+func WriteDriftCSV(dir string, w writerFlusher, s Settings) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	points, err := RunDrift(w, s)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.Scenario, p.Policy,
+			strconv.FormatInt(p.Elapsed.Microseconds(), 10), f(p.Overhead),
+			strconv.FormatUint(p.Violations, 10), strconv.Itoa(p.DriftBatches),
+			strconv.Itoa(p.Quarantined), strconv.Itoa(p.Epochs),
+			strconv.Itoa(p.EpochChanges), strconv.FormatBool(p.Identical),
+		})
+	}
+	return writeCSV(dir, "drift.csv",
+		[]string{"scenario", "policy", "elapsed_us", "overhead", "violations",
+			"drift_batches", "quarantined", "epochs", "epoch_changes", "identical"}, rows)
 }
 
 // WriteMemoryCSV runs only the memory experiment and writes memory.csv into

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"pghive/internal/core"
+	"pghive/internal/datagen"
+	"pghive/internal/pg"
+	"pghive/internal/serialize"
+)
+
+// DriftPoint is one conformance-checker measurement: a named scenario driven
+// through streaming discovery under one drift policy, compared against the
+// checker-free run over the same batches.
+type DriftPoint struct {
+	Scenario string
+	// Policy is "off", "evolve", "alert", or "quarantine".
+	Policy string
+	// Elapsed is the best-of-N discovery wall-clock time.
+	Elapsed time.Duration
+	// Overhead is Elapsed relative to the policy-off baseline - 1 (zero for
+	// the baseline row itself).
+	Overhead float64
+	// Violations is the total classified violation count; DriftBatches is
+	// how many validated batches carried at least one.
+	Violations   uint64
+	DriftBatches int
+	// Quarantined is how many batches the quarantine policy withheld.
+	Quarantined int
+	// Epochs and EpochChanges track the windowed schema snapshots and the
+	// summed diff changes across their boundaries.
+	Epochs       int
+	EpochChanges int
+	// Identical reports whether the finalized schema matched the policy-off
+	// baseline byte-for-byte. It must hold for evolve and alert — the
+	// checker observes, it never participates — while quarantine
+	// legitimately diverges on drifting streams.
+	Identical bool
+}
+
+// driftRuns is the best-of repetition count per policy (the validator's
+// overhead budget is a few percent, inside single-run jitter).
+const driftRuns = 3
+
+// driftEpochInterval is the epoch window used for every drift bench row:
+// small enough that the 12–14 batch scenarios cross several boundaries.
+const driftEpochInterval = 4
+
+// RunDrift measures the streaming conformance checker: the same scenario
+// batches are discovered with the checker off and under each policy, and the
+// report records wall-clock overhead, classified violation activity, and
+// output identity. The steady scenario is the control — every policy must
+// report zero violations on it — and the two drift scenarios show the
+// policies diverging: evolve/alert stay byte-identical to the baseline while
+// quarantine holds the pre-drift schema.
+func RunDrift(w io.Writer, s Settings) ([]DriftPoint, error) {
+	s = s.withDefaults()
+	var points []DriftPoint
+
+	fmt.Fprintf(w, "Drift: conformance-checker overhead per policy (epoch interval %d, schema identity vs off)\n", driftEpochInterval)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "  scenario\tpolicy\ttotal(ms)\toverhead\tviolations\tquarantined\tepochs\tchanges\tidentical")
+	for _, name := range []string{"steady", "gradual-drift", "abrupt-drift"} {
+		sc := datagen.ScenarioByName(name)
+		if sc == nil {
+			return nil, fmt.Errorf("bench: unknown scenario %q", name)
+		}
+		var batches []*pg.Batch
+		src := sc.Stream(s.Seed)
+		for b := src.Next(); b != nil; b = src.Next() {
+			batches = append(batches, b)
+		}
+
+		var baseElapsed time.Duration
+		var baseJSON []byte
+		for _, policy := range []core.DriftPolicy{core.DriftOff, core.DriftEvolve, core.DriftAlert, core.DriftQuarantine} {
+			cfg := core.DefaultConfig()
+			cfg.Seed = s.Seed
+			cfg.PipelineDepth = s.engineDepth()
+			cfg.DriftPolicy = policy
+			cfg.EpochInterval = driftEpochInterval
+
+			pt := DriftPoint{Scenario: name, Policy: policy.String()}
+			var best *core.Result
+			for run := 0; run < driftRuns; run++ {
+				start := time.Now()
+				res := core.Discover(pg.NewSliceSource(batches...), cfg)
+				elapsed := time.Since(start)
+				if best == nil || elapsed < pt.Elapsed {
+					pt.Elapsed = elapsed
+					best = res
+				}
+			}
+			if d := best.Drift; d != nil {
+				pt.Violations = d.Total()
+				pt.DriftBatches = d.DriftBatches
+				pt.Quarantined = d.Quarantined
+				pt.Epochs = d.Epochs
+				pt.EpochChanges = d.EpochChanges
+			}
+			var buf bytes.Buffer
+			if err := serialize.WriteJSON(&buf, best.Def); err != nil {
+				return nil, err
+			}
+			if policy == core.DriftOff {
+				baseElapsed, baseJSON = pt.Elapsed, buf.Bytes()
+			} else {
+				pt.Overhead = float64(pt.Elapsed)/float64(baseElapsed) - 1
+			}
+			pt.Identical = bytes.Equal(baseJSON, buf.Bytes())
+			points = append(points, pt)
+			fmt.Fprintf(tw, "  %s\t%s\t%s\t%+.1f%%\t%d\t%d\t%d\t%d\t%t\n",
+				name, pt.Policy, ms(pt.Elapsed), pt.Overhead*100,
+				pt.Violations, pt.Quarantined, pt.Epochs, pt.EpochChanges, pt.Identical)
+		}
+	}
+	return points, tw.Flush()
+}

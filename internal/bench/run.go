@@ -67,6 +67,10 @@ var Experiments = map[string]func(io.Writer, Settings) error{
 		_, err := RunTelemetry(w, s)
 		return err
 	},
+	"drift": func(w io.Writer, s Settings) error {
+		_, err := RunDrift(w, s)
+		return err
+	},
 	"interning": func(w io.Writer, s Settings) error {
 		_, err := RunInterning(w, s)
 		return err

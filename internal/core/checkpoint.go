@@ -29,15 +29,18 @@ import (
 // post-extract(k) schema, giving the resumed run the exact state the
 // original run had when it began batch k+1.
 
-// checkpointMagic versions the checkpoint format. PGCK5 adds the
-// self-describing evidence mode bytes — degree counters and value stats may
-// serialize either as exact tables or as sketches (HLL + count-min + top-k,
-// see schema/checkpoint.go) — and extends the fingerprint with the memory
-// budget; PGCK3 introduced the symbol intern table (symtab serializes first
-// so a resumed run reassigns the exact same IDs); PGCK2 added Load/Wall
-// timing columns to the per-batch reports. Older checkpoints are rejected
-// (resume from scratch rather than guess at an incompatible layout).
-const checkpointMagic = "PGCK5"
+// checkpointMagic versions the checkpoint format. PGCK7 appends the drift
+// section — the epoch counter, the window position and the epoch baseline
+// Def — so a resumed run validates against the same epoch the writer was
+// using (see drift.go); PGCK5 added the self-describing evidence mode bytes
+// — degree counters and value stats may serialize either as exact tables or
+// as sketches (HLL + count-min + top-k, see schema/checkpoint.go) — and
+// extended the fingerprint with the memory budget; PGCK3 introduced the
+// symbol intern table (symtab serializes first so a resumed run reassigns
+// the exact same IDs); PGCK2 added Load/Wall timing columns to the
+// per-batch reports. Older checkpoints are rejected (resume from scratch
+// rather than guess at an incompatible layout).
+const checkpointMagic = "PGCK7"
 
 // Codec bounds for untrusted counts.
 const (
@@ -67,12 +70,21 @@ type SkipReport struct {
 // so a checkpoint written under one of these settings resumes cleanly
 // under any other.
 func (c Config) fingerprint() string {
-	return fmt.Sprintf("v2 m=%d th=%g emb=%+v lw=%g sem=%t al=%t at=%g np=%s ep=%s mhr=%d sdt=%t part=%t sf=%g smin=%d tm=%t mb=%d ee=%t seed=%d",
+	fp := fmt.Sprintf("v2 m=%d th=%g emb=%+v lw=%g sem=%t al=%t at=%g np=%s ep=%s mhr=%d sdt=%t part=%t sf=%g smin=%d tm=%t mb=%d ee=%t seed=%d",
 		c.Method, c.Theta, c.Embedding, c.LabelWeight, c.SemanticLabels,
 		c.AlignLabels, c.AlignThreshold, paramsFingerprint(c.NodeParams),
 		paramsFingerprint(c.EdgeParams), c.MinHashRows, c.SampleDatatypes,
 		c.Participation, c.SampleFraction, c.SampleMin, c.TrackMembers,
 		c.MemBudgetBytes, c.ExactEvidence, c.Seed)
+	// Only the quarantine policy decides which batches merge, so only it —
+	// together with the epoch cadence that times its validation targets —
+	// changes the discovered schema. Off, evolve and alert are
+	// execution-only and share the unsuffixed fingerprint, so their
+	// checkpoints cross-resume freely.
+	if c.DriftPolicy == DriftQuarantine {
+		fp += fmt.Sprintf(" dp=quarantine ei=%d", c.EpochInterval)
+	}
+	return fp
 }
 
 func paramsFingerprint(p *lsh.Params) string {
@@ -185,6 +197,9 @@ func (p *Pipeline) encodeCheckpoint(w io.Writer, slots int, skipped []SkipReport
 	}
 	p.sampler.writeState(bw)
 	bw.Raw(snap)
+	if err := p.writeDriftState(bw); err != nil {
+		return err
+	}
 	return bw.Flush()
 }
 
@@ -265,6 +280,9 @@ func ResumePipeline(r io.Reader, cfg Config) (*Pipeline, int, []SkipReport, erro
 	}
 	if err := p.restoreSnapshot(br); err != nil {
 		return nil, 0, nil, fmt.Errorf("core: checkpoint state: %w", err)
+	}
+	if err := p.readDriftState(br); err != nil {
+		return nil, 0, nil, err
 	}
 	return p, int(slots), skipped, nil
 }

@@ -146,6 +146,28 @@ type Config struct {
 	// exact accumulators anyway (byte-identical output to an unbudgeted
 	// run), so the budget then only governs the ingest spill thresholds.
 	ExactEvidence bool
+	// DriftPolicy enables streaming conformance checking: every batch is
+	// validated against the schema of the current epoch at the serialized
+	// extract point, before its candidates merge, and classified violations
+	// flow out as obs drift counters and drift-log records (see drift.go).
+	// DriftOff (the zero value) disables validation entirely. Evolve and
+	// alert are execution-only — the discovered schema is byte-identical to
+	// a validator-free run — so they are excluded from the checkpoint
+	// fingerprint; quarantine withholds violating batches from the merge and
+	// therefore fingerprints (together with EpochInterval).
+	DriftPolicy DriftPolicy
+	// EpochInterval is the epoch window length: every that many batches
+	// through the extract gate (merged or quarantined), the engine snapshots
+	// the finalized schema, diffs it against the previous epoch and installs
+	// it as the new validation target. 0 means DefaultEpochInterval.
+	EpochInterval int
+	// DriftLog, when non-nil, receives JSONL drift records: classified
+	// violation batches (under alert/quarantine) and epoch diffs. Shared by
+	// every shard of a sharded run; execution-only.
+	DriftLog *DriftLog
+	// driftShard tags this pipeline's drift-log records with its shard index
+	// (set by shardConfig; 0 for unsharded runs).
+	driftShard int
 	// PipelineDepth controls the overlapped batch execution engine used by
 	// Discover/Drain. Values > 1 allow that many batches in flight at once:
 	// a prefetch goroutine keeps the next batch loaded while the current
@@ -193,6 +215,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PipelineDepth <= 0 {
 		c.PipelineDepth = DefaultPipelineDepth
+	}
+	if c.EpochInterval <= 0 {
+		c.EpochInterval = DefaultEpochInterval
 	}
 	return c
 }

@@ -33,15 +33,17 @@ import (
 func (p *Pipeline) Drain(src pg.Source) {
 	depth := p.cfg.PipelineDepth
 	if depth <= 1 {
-		for {
+		// Explicit counter rather than len(p.reports): a drift-quarantined
+		// batch produces no report but still consumes a sequence number.
+		for seq := p.nextSeq(); ; seq++ {
 			t0 := time.Now()
 			b := src.Next()
 			if b == nil {
 				return
 			}
 			load := time.Since(t0)
-			p.loadSpan(len(p.reports), b, t0, load)
-			p.processSerial(b, load)
+			p.loadSpan(seq, b, t0, load)
+			p.processSerial(b, seq, load)
 		}
 	}
 
@@ -54,7 +56,7 @@ func (p *Pipeline) Drain(src pg.Source) {
 	// Preprocess stage: align + vectorize, strictly in batch order. Batch
 	// sequence numbers continue from any batches already processed, so they
 	// match the report indexes the extract stage assigns.
-	base := len(p.reports)
+	base := p.nextSeq()
 	go func() {
 		defer close(prepped)
 		for seq := base; ; seq++ {
@@ -99,7 +101,7 @@ func (p *Pipeline) Drain(src pg.Source) {
 				break
 			}
 			delete(pending, next)
-			p.extract(cur)
+			p.extractChecked(cur, -1)
 			next++
 		}
 	}

@@ -158,7 +158,7 @@ func (p *Pipeline) DrainFT(src pg.ErrSource, opts FTOptions) ([]SkipReport, erro
 	// order. Sequence numbers continue from any restored reports so they
 	// match the report indexes extract assigns (and the trace's batch
 	// labels stay globally consistent across a resume).
-	seq := len(p.reports)
+	seq := p.nextSeq()
 	prep := func() (ftStaged, bool, error) {
 		t0 := time.Now()
 		b, err := pl.next()
@@ -208,12 +208,14 @@ func (p *Pipeline) DrainFT(src pg.ErrSource, opts FTOptions) ([]SkipReport, erro
 		for {
 			fs, ok, err := prep()
 			if err != nil || !ok {
-				return pl.skipped, err
+				return p.mergedSkips(pl.skipped), err
 			}
-			p.extract(p.clusterSerial(fs.st))
+			// The batch's own stream slot is snapSlot-1 (snapSlot is the
+			// position after its pull); a drift quarantine records it there.
+			p.extractChecked(p.clusterSerial(fs.st), fs.snapSlot-1)
 			if opts.Checkpoint != nil {
-				if err := save(fs.snap, fs.snapSlot, fs.snapSkipped); err != nil {
-					return pl.skipped, err
+				if err := save(fs.snap, fs.snapSlot, p.mergedSkips(fs.snapSkipped)); err != nil {
+					return p.mergedSkips(pl.skipped), err
 				}
 			}
 		}
@@ -279,17 +281,21 @@ func (p *Pipeline) DrainFT(src pg.ErrSource, opts FTOptions) ([]SkipReport, erro
 				break
 			}
 			delete(pending, next)
-			p.extract(cur.c)
+			p.extractChecked(cur.c, cur.slotAfter-1)
 			next++
 			if opts.Checkpoint != nil && ckErr == nil {
-				ckErr = save(cur.snap, cur.slotAfter, cur.skipped)
+				// Drift skips are appended on this goroutine (the extract
+				// point), so merging here — after this batch's gate — folds
+				// its own quarantine into its checkpoint; the prep-frozen
+				// fault skips keep their pull-time frontier.
+				ckErr = save(cur.snap, cur.slotAfter, p.mergedSkips(cur.skipped))
 			}
 		}
 	}
 	if srcErr != nil {
-		return pl.skipped, srcErr
+		return p.mergedSkips(pl.skipped), srcErr
 	}
-	return pl.skipped, ckErr
+	return p.mergedSkips(pl.skipped), ckErr
 }
 
 // DiscoverFT is Discover over a fallible source: it drains with fault
@@ -331,6 +337,7 @@ func (p *Pipeline) finishFT(src pg.ErrSource, opts FTOptions) (*Result, error) {
 		Schema:      p.schema,
 		Reports:     p.reports,
 		Skipped:     skipped,
+		Drift:       p.driftSummary(),
 		Discovery:   discovery,
 		PostProcess: post,
 		Telemetry:   telemetrySnapshot(p.cfg),

@@ -74,6 +74,14 @@ type Pipeline struct {
 	// preprocess emits per-batch deltas against it (preprocess is
 	// serialized, so no locking is needed).
 	lastSess vectorize.SessionStats
+	// drift is the streaming conformance machinery (nil when
+	// Config.DriftPolicy is DriftOff); driftSkipped accumulates the batches
+	// the quarantine policy withheld. Both are touched only from the
+	// serialized extract point, so no locking is needed — in particular
+	// driftSkipped is kept separate from the fault puller's skip list, which
+	// lives on the prep goroutine.
+	drift        *driftState
+	driftSkipped []SkipReport
 }
 
 // NewPipeline starts a discovery session.
@@ -87,6 +95,7 @@ func NewPipeline(cfg Config) *Pipeline {
 		instr:   obs.NewInstr(cfg.Telemetry),
 	}
 	p.schema.SetEvidencePolicy(cfg.evidencePolicy())
+	p.drift = newDriftState(cfg)
 	if cfg.AlignLabels {
 		// The aligner persists across batches so alignment classes stay
 		// stable throughout an incremental run.
@@ -167,15 +176,27 @@ func (p *Pipeline) slot(seq int) int {
 // Stages run serially; Drain overlaps them across batches when
 // Config.PipelineDepth > 1.
 func (p *Pipeline) ProcessBatch(b *pg.Batch) BatchReport {
-	return p.processSerial(b, 0)
+	return p.processSerial(b, p.nextSeq(), 0)
 }
 
-// processSerial is ProcessBatch with the already-measured load time
-// threaded through (Drain's serial path measures the source pull).
-func (p *Pipeline) processSerial(b *pg.Batch, load time.Duration) BatchReport {
-	st := p.preprocess(b, len(p.reports))
+// nextSeq is the next batch sequence number for serial feeding: processed
+// batches plus any the drift policy quarantined (which consumed a sequence
+// number but produced no report).
+func (p *Pipeline) nextSeq() int {
+	n := len(p.reports)
+	if p.drift != nil {
+		n += p.drift.quarantined
+	}
+	return n
+}
+
+// processSerial is ProcessBatch with the sequence number and the
+// already-measured load time threaded through (Drain's serial path measures
+// the source pull and tracks sequence numbers across quarantined batches).
+func (p *Pipeline) processSerial(b *pg.Batch, seq int, load time.Duration) BatchReport {
+	st := p.preprocess(b, seq)
 	st.report.Load = load
-	return p.extract(p.clusterSerial(st))
+	return p.extractChecked(p.clusterSerial(st), -1)
 }
 
 // clusterSerial runs the cluster stage for one staged batch on the calling
@@ -589,6 +610,7 @@ func (p *Pipeline) edgeCandidates(b *pg.Batch, clusters []lsh.Cluster) []*schema
 // Finalize runs post-processing (Algorithm 1 lines 7-10) and returns the
 // finalized schema definition.
 func (p *Pipeline) Finalize() *schema.Def {
+	p.driftFinalEpoch()
 	start := time.Now()
 	def := infer.Finalize(p.schema, infer.Options{
 		SampleBased:   p.cfg.SampleDatatypes,
@@ -610,9 +632,13 @@ type Result struct {
 	Schema *schema.Schema
 	// Reports holds one entry per processed batch.
 	Reports []BatchReport
-	// Skipped lists the batches quarantined by a fault-tolerant run
-	// (always empty for Discover/DiscoverGraph over infallible sources).
+	// Skipped lists the batches quarantined by a fault-tolerant run or by
+	// the drift quarantine policy (empty for Discover/DiscoverGraph over
+	// infallible sources without drift quarantine).
 	Skipped []SkipReport
+	// Drift summarizes the run's streaming conformance activity (nil when
+	// Config.DriftPolicy is DriftOff).
+	Drift *DriftSummary
 	// Discovery is the total time spent in the main pipeline (load +
 	// preprocess + cluster + extract), the quantity Figure 5 plots.
 	Discovery time.Duration
@@ -652,6 +678,8 @@ func Discover(src pg.Source, cfg Config) *Result {
 		Def:         def,
 		Schema:      p.schema,
 		Reports:     p.reports,
+		Skipped:     p.driftSkipped,
+		Drift:       p.driftSummary(),
 		Discovery:   discovery,
 		PostProcess: post,
 		Telemetry:   telemetrySnapshot(p.cfg),

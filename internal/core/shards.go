@@ -47,6 +47,7 @@ func shardConfig(cfg Config, i int) Config {
 	sc := cfg
 	sc.Shards = 0
 	sc.Telemetry = obs.ShardSink(cfg.Telemetry, i)
+	sc.driftShard = i
 	if w := cfg.Parallelism / cfg.Shards; w >= 1 {
 		sc.Parallelism = w
 	} else {
@@ -142,8 +143,26 @@ func finishSharded(pipes []*Pipeline, cfg Config, start time.Time, skipped []Ski
 	// policy, and the merged sketches keep their caps.
 	global.SetEvidencePolicy(cfg.evidencePolicy())
 	var reports []BatchReport
+	var drift *DriftSummary
 	merged := 0
 	for i, p := range pipes {
+		// Close each shard's final partial epoch before merging (shards
+		// never call their own Finalize; the global schema is finalized
+		// below) and fold its drift activity into the run-level summary.
+		// Shard-level skip slots are positions in the shard's own sub-batch
+		// stream, so the reason names the shard.
+		p.driftFinalEpoch()
+		if ds := p.driftSummary(); ds != nil {
+			if drift == nil {
+				drift = ds
+			} else {
+				drift.merge(ds)
+			}
+		}
+		for _, s := range p.driftSkipped {
+			s.Reason = fmt.Sprintf("shard %d: %s", i, s.Reason)
+			skipped = append(skipped, s)
+		}
 		schema.MergeSchemas(global, p.schema, cfg.Theta)
 		for _, r := range p.reports {
 			r.Shard = i
@@ -174,6 +193,7 @@ func finishSharded(pipes []*Pipeline, cfg Config, start time.Time, skipped []Ski
 		Schema:      global,
 		Reports:     reports,
 		Skipped:     skipped,
+		Drift:       drift,
 		Discovery:   discovery,
 		PostProcess: time.Since(fStart),
 		Telemetry:   telemetrySnapshot(cfg),
@@ -181,12 +201,12 @@ func finishSharded(pipes []*Pipeline, cfg Config, start time.Time, skipped []Ski
 }
 
 // shardCheckpointMagic versions the sharded checkpoint container: router
-// position + quarantine list + one complete PGCK5 section per shard (PGCK6
-// tracks the per-shard format's PGCK4→PGCK6 generation jump alongside the
-// single-pipeline PGCK3→PGCK5 one). The shard count is validated explicitly
-// from the header (it is not part of the configuration fingerprint), so a
-// container written for N shards resumes only under Shards = N.
-const shardCheckpointMagic = "PGCK6"
+// position + quarantine list + one complete PGCK7 section per shard (PGCK8
+// tracks the per-shard drift section of PGCK7, as PGCK6 tracked PGCK5). The
+// shard count is validated explicitly from the header (it is not part of
+// the configuration fingerprint), so a container written for N shards
+// resumes only under Shards = N.
+const shardCheckpointMagic = "PGCK8"
 
 // maxShards bounds the shard count accepted from an untrusted container.
 const maxShards = 1 << 16
@@ -393,10 +413,14 @@ func ResumeDiscoverShardedFT(state []byte, src pg.ErrSource, cfg Config, opts FT
 	pipes := make([]*Pipeline, cfg.Shards)
 	shardSlots := make([]int, cfg.Shards)
 	for i := range pipes {
-		p, s, _, err := ResumePipeline(bytes.NewReader(sections[i]), shardConfig(cfg, i))
+		p, s, shardSkips, err := ResumePipeline(bytes.NewReader(sections[i]), shardConfig(cfg, i))
 		if err != nil {
 			return nil, fmt.Errorf("core: shard %d: %w", i, err)
 		}
+		// A shard's feed only ever delivers good batches, so its restored
+		// skip list holds exclusively drift quarantines: carry it forward so
+		// later shard checkpoints and the final Result keep reporting them.
+		p.driftSkipped = shardSkips
 		pipes[i] = p
 		shardSlots[i] = s
 	}

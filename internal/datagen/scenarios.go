@@ -13,6 +13,7 @@ func Scenarios() []*Scenario {
 		skewScenario(),
 		gradualDriftScenario(),
 		abruptDriftScenario(),
+		steadyScenario(),
 		supernodesScenario(),
 		nearThetaScenario(),
 		noiseRampScenario(),
@@ -138,6 +139,23 @@ func abruptDriftScenario() *Scenario {
 				ActiveNodeTypes: []string{"Session", "Device", "Merchant"},
 				ActiveEdgeTypes: []string{"LOGIN", "USES", "PAYS"}},
 			{Name: "everything", Batches: 4},
+		},
+	}
+}
+
+// steadyScenario plays the drift profile with every type active from the
+// first batch at constant weights: the control workload for the streaming
+// conformance checker — once the first epoch baseline is taken nothing new
+// ever arrives, so every drift counter must stay zero for the whole run.
+func steadyScenario() *Scenario {
+	return &Scenario{
+		Name:        "steady",
+		Description: "all drift-profile types active at constant weight: a zero-drift control",
+		Profile:     driftProfile(),
+		BatchNodes:  250,
+		Phases: []ScenarioPhase{
+			{Name: "warm", Batches: 4},
+			{Name: "cruise", Batches: 8},
 		},
 	}
 }

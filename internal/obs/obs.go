@@ -46,11 +46,18 @@ const (
 	// each partial schema's interned IDs into the global table and re-running
 	// Algorithm 2 across shard boundaries.
 	StageMerge
+	// StageValidate is the streaming conformance check of one batch against
+	// the current schema epoch, before the batch is merged.
+	StageValidate
+	// StageEpoch is an epoch boundary: snapshotting the schema, diffing it
+	// against the previous epoch, and emitting the drift report.
+	StageEpoch
 	numStages
 )
 
 var stageNames = [numStages]string{
 	"load", "preprocess", "cluster", "extract", "postprocess", "checkpoint", "merge",
+	"validate", "epoch",
 }
 
 // String returns the stage's snake-case metric name.
@@ -137,6 +144,29 @@ const (
 	// CtrSpilledBatches counts ingest batches that overflowed the in-memory
 	// queue onto disk (stream.SpillQueue).
 	CtrSpilledBatches
+	// Drift violation counters, one per validate.DriftClass: elements whose
+	// labels name a type the epoch has never seen (CtrDriftNewType), a new
+	// combination of known labels (CtrDriftNewLabelSet), a property value
+	// wider than the declared type under the type-priority lattice
+	// (CtrDriftWidenedType), a previously-mandatory property now absent
+	// (CtrDriftMissingMandatory), an edge breaking a *:1 cardinality
+	// (CtrDriftCardinalityBreak), and a property value strictly narrower
+	// than its declared type (CtrDriftTypeDowngrade).
+	CtrDriftNewType
+	CtrDriftNewLabelSet
+	CtrDriftWidenedType
+	CtrDriftMissingMandatory
+	CtrDriftCardinalityBreak
+	CtrDriftTypeDowngrade
+	// CtrDriftBatches counts validated batches with at least one violation;
+	// CtrDriftQuarantined counts batches the quarantine policy withheld from
+	// the merge.
+	CtrDriftBatches
+	CtrDriftQuarantined
+	// CtrEpochs counts epoch snapshots taken; CtrEpochChanges counts total
+	// schema.Diff changes observed across epoch boundaries.
+	CtrEpochs
+	CtrEpochChanges
 	numCounters
 )
 
@@ -149,6 +179,10 @@ var counterNames = [numCounters]string{
 	"record_sigs_computed", "record_sig_hits",
 	"soak_windows", "soak_kills", "soak_violations",
 	"spilled_batches",
+	"drift_new_type", "drift_new_label_set", "drift_widened_type",
+	"drift_missing_mandatory", "drift_cardinality_break", "drift_type_downgrade",
+	"drift_batches", "drift_quarantined",
+	"epochs", "epoch_changes",
 }
 
 // String returns the counter's snake-case metric name.
@@ -171,10 +205,19 @@ const (
 	// every LSH bucket (cluster) formed, per kind.
 	HistNodeOccupancy Hist = iota
 	HistEdgeOccupancy
+	// HistDriftBatchViolations observes the violation count of every
+	// validated batch that drifted (the per-window drift rate), and
+	// HistEpochDiffChanges the schema.Diff change count at every epoch
+	// boundary.
+	HistDriftBatchViolations
+	HistEpochDiffChanges
 	numHists
 )
 
-var histNames = [numHists]string{"lsh_node_bucket_occupancy", "lsh_edge_bucket_occupancy"}
+var histNames = [numHists]string{
+	"lsh_node_bucket_occupancy", "lsh_edge_bucket_occupancy",
+	"drift_batch_violations", "epoch_diff_changes",
+}
 
 // String returns the histogram's snake-case metric name.
 func (h Hist) String() string {
@@ -205,11 +248,18 @@ const (
 	// queue's resident and on-disk encoded bytes.
 	GaugeSpillMemBytes
 	GaugeSpillDiskBytes
+	// Process-level gauges, computed inside Registry.Snapshot (never stored,
+	// so the instrument path stays allocation-free): live heap bytes,
+	// goroutine count, and whole seconds since the registry was created.
+	GaugeProcessHeapBytes
+	GaugeProcessGoroutines
+	GaugeProcessUptimeSeconds
 	numGauges
 )
 
 var gaugeNames = [numGauges]string{
 	"mem_budget_bytes", "evidence_bytes", "spill_mem_bytes", "spill_disk_bytes",
+	"process_heap_bytes", "process_goroutines", "process_uptime_seconds",
 }
 
 // String returns the gauge's snake-case metric name.

@@ -53,6 +53,29 @@ func BenchmarkInstrDisabled(b *testing.B) {
 	}
 }
 
+// BenchmarkDriftInstrDisabled pins the conformance checker's telemetry
+// sites: the per-class drift counters, the drift histograms, and the
+// validate/epoch stage spans must all reduce to branch-only no-ops when no
+// sink is configured. CI greps this benchmark for 0 allocs/op alongside
+// BenchmarkInstrDisabled.
+func BenchmarkDriftInstrDisabled(b *testing.B) {
+	var in Instr
+	vspan := Span{Stage: StageValidate, Batch: 3, Slot: 1, Duration: time.Millisecond, Elements: 40}
+	espan := Span{Stage: StageEpoch, Batch: 3, Slot: 1, Duration: time.Millisecond, Elements: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in.Span(vspan)
+		for c := CtrDriftNewType; c <= CtrDriftTypeDowngrade; c++ {
+			in.Add(c, 2)
+		}
+		in.Add(CtrDriftBatches, 1)
+		in.Observe(HistDriftBatchViolations, 12)
+		in.Span(espan)
+		in.Add(CtrEpochs, 1)
+		in.Observe(HistEpochDiffChanges, 2)
+	}
+}
+
 // BenchmarkInstrRegistry measures the enabled aggregation path (one span +
 // one counter + one observation per iteration).
 func BenchmarkInstrRegistry(b *testing.B) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/bits"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -269,6 +270,16 @@ func (r *Registry) Snapshot() *Snapshot {
 			s.Gauges[g.String()] = v
 		}
 	}
+	// Process-level gauges are computed at scrape time, not stored, so the
+	// emit path never touches them and stays allocation-free when disabled.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if s.Gauges == nil {
+		s.Gauges = make(map[string]uint64)
+	}
+	s.Gauges[GaugeProcessHeapBytes.String()] = ms.HeapAlloc
+	s.Gauges[GaugeProcessGoroutines.String()] = uint64(runtime.NumGoroutine())
+	s.Gauges[GaugeProcessUptimeSeconds.String()] = uint64(time.Since(r.start) / time.Second)
 	snapStages(&r.stages, s.Stages)
 	snapHists(&r.hists, s.Hists)
 	r.shardMu.Lock()
@@ -487,7 +498,7 @@ func (s *Snapshot) WriteText(w io.Writer) {
 	for _, name := range gnames {
 		fmt.Fprintf(w, "  %-26s %d (gauge)\n", name, s.Gauges[name])
 	}
-	for _, h := range []Hist{HistNodeOccupancy, HistEdgeOccupancy} {
+	for _, h := range []Hist{HistNodeOccupancy, HistEdgeOccupancy, HistDriftBatchViolations, HistEpochDiffChanges} {
 		if hs, ok := s.Hists[h.String()]; ok {
 			fmt.Fprintf(w, "  %-26s %d buckets, mean %.1f, max %d\n",
 				h.String(), hs.Count, hs.Mean(), hs.Max)

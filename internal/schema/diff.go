@@ -1,6 +1,7 @@
 package schema
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 )
@@ -34,6 +35,57 @@ const (
 	KeyLost
 )
 
+// Slug returns the kind's snake-case identifier, used for JSON output and
+// per-kind counts.
+func (k ChangeKind) Slug() string {
+	switch k {
+	case TypeAdded:
+		return "type_added"
+	case TypeRemoved:
+		return "type_removed"
+	case PropertyAdded:
+		return "property_added"
+	case PropertyRemoved:
+		return "property_removed"
+	case DataTypeChanged:
+		return "data_type_changed"
+	case ConstraintRelaxed:
+		return "constraint_relaxed"
+	case ConstraintTightened:
+		return "constraint_tightened"
+	case CardinalityChanged:
+		return "cardinality_changed"
+	case KeyGained:
+		return "key_gained"
+	case KeyLost:
+		return "key_lost"
+	default:
+		return fmt.Sprintf("change_%d", uint8(k))
+	}
+}
+
+// MarshalJSON renders the kind by slug so serialized diffs stay readable
+// and stable across enum reordering.
+func (k ChangeKind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.Slug() + `"`), nil
+}
+
+// UnmarshalJSON parses a slug back into the kind, so serialized DiffReports
+// (pgschema-diff -format json, the drift JSONL sink) round-trip.
+func (k *ChangeKind) UnmarshalJSON(data []byte) error {
+	var slug string
+	if err := json.Unmarshal(data, &slug); err != nil {
+		return err
+	}
+	for c := TypeAdded; c <= KeyLost; c++ {
+		if c.Slug() == slug {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("schema: unknown change kind %q", slug)
+}
+
 // String names the change kind.
 func (k ChangeKind) String() string {
 	switch k {
@@ -62,16 +114,18 @@ func (k ChangeKind) String() string {
 	}
 }
 
-// Change is one schema evolution entry.
+// Change is one schema evolution entry. It marshals to stable JSON (the
+// kind by slug) for the pgschema-diff -format json output and the drift
+// report sink.
 type Change struct {
-	Kind ChangeKind
+	Kind ChangeKind `json:"kind"`
 	// TypeName identifies the affected type; IsEdge selects the space.
-	TypeName string
-	IsEdge   bool
+	TypeName string `json:"type"`
+	IsEdge   bool   `json:"is_edge,omitempty"`
 	// Property is set for property-level changes.
-	Property string
+	Property string `json:"property,omitempty"`
 	// Detail describes the transition (e.g. "INT -> DOUBLE").
-	Detail string
+	Detail string `json:"detail,omitempty"`
 }
 
 // String renders the change.
@@ -104,14 +158,41 @@ func Diff(old, new *Def) []Change {
 
 // typeView is the common shape diffing needs from node and edge types.
 type typeView struct {
+	name        string
 	props       []PropertyDef
 	cardinality string
+}
+
+// diffKey returns a collision-proof identity for a type: its label set as a
+// netstring sequence ("4:User5:Admin"), so a single label containing the
+// display separator '&' (e.g. "a&b") never aliases the two-label set
+// {a, b}. Label-less (abstract) types fall back to a name-tagged key.
+func diffKey(labels []string, name string) string {
+	if len(labels) == 0 {
+		return "name\x00" + name
+	}
+	key := ""
+	for _, l := range sortedLabels(labels) {
+		key += fmt.Sprintf("%d:%s", len(l), l)
+	}
+	return key
+}
+
+func sortedLabels(labels []string) []string {
+	if sort.StringsAreSorted(labels) {
+		return labels
+	}
+	out := make([]string, len(labels))
+	copy(out, labels)
+	sort.Strings(out)
+	return out
 }
 
 func nodeMapOf(d *Def) map[string]typeView {
 	out := make(map[string]typeView, len(d.Nodes))
 	for i := range d.Nodes {
-		out[d.Nodes[i].Name] = typeView{props: d.Nodes[i].Properties}
+		n := &d.Nodes[i]
+		out[diffKey(n.Labels, n.Name)] = typeView{name: n.Name, props: n.Properties}
 	}
 	return out
 }
@@ -119,9 +200,11 @@ func nodeMapOf(d *Def) map[string]typeView {
 func edgeMapOf(d *Def) map[string]typeView {
 	out := make(map[string]typeView, len(d.Edges))
 	for i := range d.Edges {
-		out[d.Edges[i].Name] = typeView{
-			props:       d.Edges[i].Properties,
-			cardinality: d.Edges[i].CardinalityString(),
+		e := &d.Edges[i]
+		out[diffKey(e.Labels, e.Name)] = typeView{
+			name:        e.Name,
+			props:       e.Properties,
+			cardinality: e.CardinalityString(),
 		}
 	}
 	return out
@@ -129,28 +212,51 @@ func edgeMapOf(d *Def) map[string]typeView {
 
 func diffTypes(old, new map[string]typeView, isEdge bool) []Change {
 	var changes []Change
-	for _, name := range sortedNames(new) {
-		nv := new[name]
-		ov, existed := old[name]
+	for _, key := range sortedNames(new) {
+		nv := new[key]
+		ov, existed := old[key]
 		if !existed {
-			changes = append(changes, Change{Kind: TypeAdded, TypeName: name, IsEdge: isEdge})
+			changes = append(changes, Change{Kind: TypeAdded, TypeName: nv.name, IsEdge: isEdge})
 			continue
 		}
-		changes = append(changes, diffProps(name, isEdge, ov.props, nv.props)...)
+		changes = append(changes, diffProps(nv.name, isEdge, ov.props, nv.props)...)
 		if isEdge && ov.cardinality != nv.cardinality {
 			changes = append(changes, Change{
-				Kind: CardinalityChanged, TypeName: name, IsEdge: isEdge,
+				Kind: CardinalityChanged, TypeName: nv.name, IsEdge: isEdge,
 				Detail: ov.cardinality + " -> " + nv.cardinality,
 			})
 		}
 	}
-	for _, name := range sortedNames(old) {
-		if _, ok := new[name]; !ok {
-			changes = append(changes, Change{Kind: TypeRemoved, TypeName: name, IsEdge: isEdge})
+	for _, key := range sortedNames(old) {
+		if _, ok := new[key]; !ok {
+			changes = append(changes, Change{Kind: TypeRemoved, TypeName: old[key].name, IsEdge: isEdge})
 		}
 	}
 	return changes
 }
+
+// DiffReport is a serializable diff: the ordered changes plus per-kind
+// counts, the payload of the epoch drift report and of
+// pgschema-diff -format json.
+type DiffReport struct {
+	Changes []Change       `json:"changes"`
+	Counts  map[string]int `json:"counts,omitempty"`
+}
+
+// NewDiffReport wraps a change list, tallying counts by kind slug.
+func NewDiffReport(changes []Change) DiffReport {
+	r := DiffReport{Changes: changes}
+	if len(changes) > 0 {
+		r.Counts = make(map[string]int)
+		for _, c := range changes {
+			r.Counts[c.Kind.Slug()]++
+		}
+	}
+	return r
+}
+
+// Empty reports whether the two schemas were identical.
+func (r DiffReport) Empty() bool { return len(r.Changes) == 0 }
 
 func sortedNames(m map[string]typeView) []string {
 	out := make([]string, 0, len(m))

@@ -84,6 +84,56 @@ func TestDiffCardinalityChanged(t *testing.T) {
 	}
 }
 
+// TestDiffAmpersandLabelNoAliasing: the netstring diff key must keep a
+// single label containing the display separator '&' distinct from the
+// two-label set it renders like — "a&b" and {a, b} are different types, not
+// an unchanged one.
+func TestDiffAmpersandLabelNoAliasing(t *testing.T) {
+	old := defWith([]NodeTypeDef{{Name: "T1", Labels: []string{"a&b"}}}, nil)
+	new := defWith([]NodeTypeDef{{Name: "T2", Labels: []string{"a", "b"}}}, nil)
+	changes := Diff(old, new)
+	byKind := map[ChangeKind]int{}
+	for _, c := range changes {
+		byKind[c.Kind]++
+	}
+	if byKind[TypeAdded] != 1 || byKind[TypeRemoved] != 1 {
+		t.Errorf("aliased '&' label: got %v, want one added + one removed", changes)
+	}
+	// And the same label set must match regardless of declared order.
+	reordered := defWith([]NodeTypeDef{{Name: "T3", Labels: []string{"b", "a"}}}, nil)
+	if changes := Diff(new, reordered); len(changes) != 0 {
+		t.Errorf("label order changed the diff key: %v", changes)
+	}
+}
+
+// TestDiffCardinalityTightenVsWiden: both directions are reported, and the
+// detail string keeps them distinguishable for the drift report.
+func TestDiffCardinalityTightenVsWiden(t *testing.T) {
+	one := defWith(nil, []EdgeTypeDef{{Name: "R", Cardinality: CardZeroOne}})
+	many := defWith(nil, []EdgeTypeDef{{Name: "R", Cardinality: CardMN}})
+
+	widen := Diff(one, many)
+	if len(widen) != 1 || widen[0].Kind != CardinalityChanged || widen[0].Detail != "0:1 -> M:N" {
+		t.Errorf("widening diff = %v, want one 0:1 -> M:N change", widen)
+	}
+	tighten := Diff(many, one)
+	if len(tighten) != 1 || tighten[0].Kind != CardinalityChanged || tighten[0].Detail != "M:N -> 0:1" {
+		t.Errorf("tightening diff = %v, want one M:N -> 0:1 change", tighten)
+	}
+}
+
+func TestDiffReportCounts(t *testing.T) {
+	old := defWith([]NodeTypeDef{{Name: "A"}}, nil)
+	new := defWith([]NodeTypeDef{{Name: "A"}, {Name: "B"}, {Name: "C"}}, nil)
+	rep := NewDiffReport(Diff(old, new))
+	if rep.Empty() || rep.Counts["type_added"] != 2 {
+		t.Errorf("report = %+v, want 2 type_added", rep)
+	}
+	if self := NewDiffReport(Diff(old, old)); !self.Empty() || self.Counts != nil {
+		t.Errorf("self-diff report = %+v, want empty with nil counts", self)
+	}
+}
+
 func TestDiffIncrementalMonotone(t *testing.T) {
 	// A snapshot diffed against a later (grown) snapshot has no removals.
 	old := defWith([]NodeTypeDef{

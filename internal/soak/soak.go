@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"time"
 
 	"pghive/internal/core"
@@ -62,7 +63,9 @@ type Options struct {
 	ExactEvidence bool
 	// CheckEquivalence re-runs the scenario serially and compares the
 	// labeled projection against the sharded result (only meaningful with
-	// Config.Shards > 1).
+	// Config.Shards > 1). Incompatible with Config.DriftPolicy quarantine:
+	// per-shard epoch boundaries legitimately quarantine different batches
+	// than a serial run, so no equivalence level applies.
 	CheckEquivalence bool
 	// SkipResumeCheck disables the final uninterrupted reference run that
 	// proves kill/resume byte-identity (it doubles the work).
@@ -82,7 +85,8 @@ type Violation struct {
 	// Window is the invariant window that failed (-1 for end-of-run checks).
 	Window int
 	// Invariant names the failed check (monotone-growth, resumable,
-	// resume-identity, shard-equivalence, heap-budget, evidence-budget).
+	// resume-identity, shard-equivalence, heap-budget, evidence-budget,
+	// drift-accounting).
 	Invariant string
 	// Detail says what went wrong.
 	Detail string
@@ -111,6 +115,9 @@ type Report struct {
 	Elapsed      time.Duration
 	NodeTypes    int
 	EdgeTypes    int
+	// Drift aggregates the streaming conformance checker's verdicts (nil
+	// when Config.DriftPolicy is off).
+	Drift *core.DriftSummary
 	// StreamHash fingerprints the generated element stream.
 	StreamHash string
 	// SchemaJSON is the finalized schema.
@@ -157,6 +164,9 @@ func Run(opts Options) (*Report, error) {
 	}
 	if opts.Faults.FailAfter != 0 {
 		return nil, errors.New("soak: use Kills/KillEvery, not FaultProfile.FailAfter")
+	}
+	if opts.CheckEquivalence && opts.Config.DriftPolicy == core.DriftQuarantine {
+		return nil, errors.New("soak: shard equivalence is undefined under drift policy quarantine (per-shard epochs quarantine different batches)")
 	}
 	if opts.Repeat < 1 {
 		opts.Repeat = 1
@@ -230,6 +240,7 @@ func Run(opts Options) (*Report, error) {
 		rep.Edges += r.Edges
 	}
 	rep.Quarantined = len(result.Skipped)
+	rep.Drift = result.Drift
 	rep.NodeTypes = len(result.Def.Nodes)
 	rep.EdgeTypes = len(result.Def.Edges)
 	var buf bytes.Buffer
@@ -242,9 +253,33 @@ func Run(opts Options) (*Report, error) {
 	if got := schema.TypeFingerprint(result.Schema); !schema.FingerprintSubset(checker.lastFp, got) {
 		rep.violate(instr, -1, "monotone-growth", "final schema lost types or properties present in the last checkpoint")
 	}
+	if d := rep.Drift; d != nil {
+		// Drift accounting: every quarantine the checker counted must show
+		// up as a skip report tagged with a drift reason, and vice versa —
+		// and only the quarantine policy may route batches there.
+		tagged := 0
+		for _, s := range result.Skipped {
+			if strings.Contains(s.Reason, "drift:") {
+				tagged++
+			}
+		}
+		if tagged != int(d.Quarantined) {
+			rep.violate(instr, -1, "drift-accounting",
+				fmt.Sprintf("%d drift-tagged skip reports vs %d quarantined batches counted by the checker", tagged, d.Quarantined))
+		}
+		if d.Policy != core.DriftQuarantine && d.Quarantined != 0 {
+			rep.violate(instr, -1, "drift-accounting",
+				fmt.Sprintf("policy %s quarantined %d batches; only the quarantine policy may skip", d.Policy, d.Quarantined))
+		}
+	}
+	// Reference runs replay the stream with the same config but must not
+	// append to the caller's drift log — the JSONL sink describes the main
+	// run only.
+	refCfg := cfg
+	refCfg.DriftLog = nil
 	if rep.Kills > 0 && !opts.SkipResumeCheck {
 		opts.logf("verifying kill/resume byte-identity against an uninterrupted run")
-		ref, err := core.DiscoverShardedFT(&killSource{inner: opts.faultedSource(), budget: -1}, cfg, core.FTOptions{})
+		ref, err := core.DiscoverShardedFT(&killSource{inner: opts.faultedSource(), budget: -1}, refCfg, core.FTOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("soak: reference run: %w", err)
 		}
@@ -259,7 +294,7 @@ func Run(opts Options) (*Report, error) {
 	}
 	if opts.CheckEquivalence && cfg.Shards > 1 {
 		opts.logf("verifying sharded-vs-serial schema equivalence")
-		serialCfg := cfg
+		serialCfg := refCfg
 		serialCfg.Shards = 0
 		ref, err := core.DiscoverFT(&killSource{inner: opts.faultedSource(), budget: -1}, serialCfg, core.FTOptions{})
 		if err != nil {

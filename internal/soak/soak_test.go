@@ -106,6 +106,67 @@ func TestSoakShardedWithEverything(t *testing.T) {
 	}
 }
 
+// TestSoakDrift: the conformance checker rides the soak harness — a drift
+// scenario under quarantine keeps the pre-drift schema and reports every
+// quarantined batch, a steady stream stays at zero across every window, and
+// the drift-accounting invariant holds in both cases.
+func TestSoakDrift(t *testing.T) {
+	rep, err := Run(Options{
+		Scenario: shrunk(t, "gradual-drift"),
+		Seed:     1,
+		Window:   2,
+		// Interval 2 keeps the first epoch inside the base phase even on
+		// the -short shrunk timeline.
+		Config: core.Config{DriftPolicy: core.DriftQuarantine, EpochInterval: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	d := rep.Drift
+	if d == nil {
+		t.Fatal("no drift summary")
+	}
+	if d.Total() == 0 || d.Quarantined == 0 {
+		t.Errorf("drift scenario under quarantine: %d violations, %d quarantined", d.Total(), d.Quarantined)
+	}
+	if d.Quarantined != rep.Quarantined {
+		t.Errorf("report counts %d quarantined, drift summary %d", rep.Quarantined, d.Quarantined)
+	}
+	// Drift-phase types must be held out of the schema.
+	if strings.Contains(string(rep.SchemaJSON), "Session") {
+		t.Error("quarantine admitted the drift-phase Session type")
+	}
+
+	steady, err := Run(Options{
+		Scenario: shrunk(t, "steady"),
+		Seed:     1,
+		Window:   2,
+		Config:   core.Config{DriftPolicy: core.DriftQuarantine, EpochInterval: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !steady.OK() {
+		t.Fatalf("steady violations: %v", steady.Violations)
+	}
+	if sd := steady.Drift; sd == nil || sd.Total() != 0 || sd.Quarantined != 0 {
+		t.Errorf("steady stream drifted: %+v", steady.Drift)
+	}
+
+	// Quarantine under sharding has no serial-equivalence claim.
+	if _, err := Run(Options{
+		Scenario:         shrunk(t, "gradual-drift"),
+		Seed:             1,
+		Config:           core.Config{Shards: 2, DriftPolicy: core.DriftQuarantine},
+		CheckEquivalence: true,
+	}); err == nil {
+		t.Error("equivalence check accepted under quarantine")
+	}
+}
+
 func TestSoakHeapBudgetViolation(t *testing.T) {
 	rep, err := Run(Options{
 		Scenario:       shrunk(t, "skew"),

@@ -1,0 +1,284 @@
+// Streaming drift detection: unlike Validate, which audits a materialized
+// graph after the fact, the StreamChecker sits inside the discovery
+// pipeline and classifies how each incoming batch deviates from the schema
+// of the current epoch *before* the batch is merged. Its verdicts drive the
+// obs drift counters and the -drift-policy decision (evolve / quarantine /
+// alert), so the classification is deliberately conservative: a class fires
+// only when the batch carries positive evidence of drift, never on data the
+// epoch schema already explains.
+package validate
+
+import (
+	"fmt"
+
+	"pghive/internal/pg"
+	"pghive/internal/schema"
+)
+
+// DriftClass classifies one way a batch can deviate from the epoch schema.
+type DriftClass uint8
+
+// Drift classes, in taxonomy order. The obs layer exposes one counter per
+// class (CtrDriftNewType …), indexed by the same order.
+const (
+	// DriftNewType: an element's label set contains at least one label no
+	// epoch type has ever carried — a genuinely new entity kind.
+	DriftNewType DriftClass = iota
+	// DriftNewLabelSet: every individual label is known, but the combination
+	// matches no epoch type — known vocabulary, new composition.
+	DriftNewLabelSet
+	// DriftWidenedType: a property value does not fit its declared data type
+	// under the type-priority lattice, so merging the batch would widen the
+	// property (e.g. INT property receiving a STRING).
+	DriftWidenedType
+	// DriftMissingMandatory: a property the epoch declares MANDATORY
+	// (f_T(p) = 1) is absent from an instance of that type.
+	DriftMissingMandatory
+	// DriftCardinalityBreak: an edge type the epoch declares with a maximum
+	// degree of 1 on a side (the *:1 / 1:* / 1:1 shapes) shows within-batch
+	// degree ≥ 2 on that side — the relationship is becoming M:N.
+	DriftCardinalityBreak
+	// DriftTypeDowngrade: a property value sits strictly below its declared
+	// type in the priority lattice (INT under DOUBLE, DATE under TIMESTAMP) —
+	// conforming data, but evidence the property is narrowing.
+	DriftTypeDowngrade
+	// NumDriftClasses is the number of defined classes.
+	NumDriftClasses
+)
+
+var driftClassNames = [NumDriftClasses]string{
+	"new_type", "new_label_set", "widened_type",
+	"missing_mandatory", "cardinality_break", "type_downgrade",
+}
+
+// String returns the class's snake-case name (matching the obs counter
+// suffix: drift_<name>).
+func (c DriftClass) String() string {
+	if int(c) < len(driftClassNames) {
+		return driftClassNames[c]
+	}
+	return "unknown"
+}
+
+// DriftViolation is one classified deviation, with enough context to log.
+type DriftViolation struct {
+	Class   DriftClass `json:"class"`
+	Element pg.ID      `json:"element"`
+	IsEdge  bool       `json:"is_edge,omitempty"`
+	Detail  string     `json:"detail"`
+}
+
+// MarshalJSON renders the class by name so JSONL drift logs are readable
+// without the enum table.
+func (c DriftClass) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + c.String() + `"`), nil
+}
+
+// BatchVerdict is the outcome of checking one batch against an epoch.
+type BatchVerdict struct {
+	// Counts is the number of violations per class.
+	Counts [NumDriftClasses]uint64
+	// Details holds the first maxDetails violations, for the JSONL sink.
+	Details []DriftViolation
+	// NodesChecked and EdgesChecked count the elements examined.
+	NodesChecked int
+	EdgesChecked int
+}
+
+// Total sums the per-class counts.
+func (v *BatchVerdict) Total() uint64 {
+	var t uint64
+	for _, c := range v.Counts {
+		t += c
+	}
+	return t
+}
+
+// Clean reports whether the batch conforms to the epoch.
+func (v *BatchVerdict) Clean() bool { return v.Total() == 0 }
+
+// StreamChecker validates batches against a schema epoch. It is rebuilt
+// from a Def at every epoch boundary (SetEpoch) and is not safe for
+// concurrent use — the pipeline calls it from the serialized extract point,
+// which is exactly the ordering the epoch semantics need.
+type StreamChecker struct {
+	nodeByKey map[string]*schema.NodeTypeDef
+	edgeByKey map[string]*schema.EdgeTypeDef
+	// knownNodeLabels / knownEdgeLabels are the label vocabularies of the
+	// epoch, used to split new_type from new_label_set.
+	knownNodeLabels map[string]struct{}
+	knownEdgeLabels map[string]struct{}
+	// maxDetails caps recorded violation details per batch (counts are
+	// always exact); 0 keeps none.
+	maxDetails int
+
+	// outDeg / inDeg are scratch within-batch degree counters, reused
+	// across batches to avoid per-batch allocation.
+	outDeg map[degKey]int
+	inDeg  map[degKey]int
+}
+
+type degKey struct {
+	ty string
+	id pg.ID
+}
+
+// NewStreamChecker returns a checker with no epoch: CheckBatch reports
+// every batch clean until SetEpoch installs a schema to validate against.
+func NewStreamChecker(maxDetails int) *StreamChecker {
+	return &StreamChecker{
+		maxDetails: maxDetails,
+		outDeg:     map[degKey]int{},
+		inDeg:      map[degKey]int{},
+	}
+}
+
+// Ready reports whether an epoch schema is installed.
+func (c *StreamChecker) Ready() bool { return c.nodeByKey != nil }
+
+// SetEpoch rebuilds the checker's indexes from an epoch schema definition.
+func (c *StreamChecker) SetEpoch(def *schema.Def) {
+	c.nodeByKey = make(map[string]*schema.NodeTypeDef, len(def.Nodes))
+	c.knownNodeLabels = map[string]struct{}{}
+	for i := range def.Nodes {
+		n := &def.Nodes[i]
+		key := pg.LabelSetKey(n.Labels)
+		if _, dup := c.nodeByKey[key]; !dup {
+			c.nodeByKey[key] = n
+		}
+		for _, l := range n.Labels {
+			c.knownNodeLabels[l] = struct{}{}
+		}
+	}
+	c.edgeByKey = make(map[string]*schema.EdgeTypeDef, len(def.Edges))
+	c.knownEdgeLabels = map[string]struct{}{}
+	for i := range def.Edges {
+		e := &def.Edges[i]
+		key := pg.LabelSetKey(e.Labels)
+		if _, dup := c.edgeByKey[key]; !dup {
+			c.edgeByKey[key] = e
+		}
+		for _, l := range e.Labels {
+			c.knownEdgeLabels[l] = struct{}{}
+		}
+	}
+}
+
+// CheckBatch classifies every deviation in b from the current epoch. With
+// no epoch installed the verdict is empty (warm-up batches validate
+// trivially, so stable streams stay at zero across all windows).
+func (c *StreamChecker) CheckBatch(b *pg.Batch) BatchVerdict {
+	var v BatchVerdict
+	if !c.Ready() || b == nil {
+		return v
+	}
+	for i := range b.Nodes {
+		n := &b.Nodes[i]
+		v.NodesChecked++
+		if len(n.Labels) == 0 {
+			continue // unlabeled elements carry no type evidence
+		}
+		ty, ok := c.nodeByKey[pg.LabelSetKey(n.Labels)]
+		if !ok {
+			c.classifyUnknown(&v, n.ID, false, n.Labels, c.knownNodeLabels)
+			continue
+		}
+		c.checkProps(&v, n.ID, false, ty.Name, ty.Properties, n.Props)
+	}
+	clear(c.outDeg)
+	clear(c.inDeg)
+	for i := range b.Edges {
+		e := &b.Edges[i]
+		v.EdgesChecked++
+		if len(e.Labels) == 0 {
+			continue
+		}
+		ty, ok := c.edgeByKey[pg.LabelSetKey(e.Labels)]
+		if !ok {
+			c.classifyUnknown(&v, e.ID, true, e.Labels, c.knownEdgeLabels)
+			continue
+		}
+		c.checkProps(&v, e.ID, true, ty.Name, ty.Properties, e.Props)
+		c.checkDegree(&v, e, ty)
+	}
+	return v
+}
+
+// classifyUnknown splits an unmatched label set into new_type (some label
+// is outside the epoch's vocabulary) vs new_label_set (all labels known,
+// combination unseen).
+func (c *StreamChecker) classifyUnknown(v *BatchVerdict, id pg.ID, isEdge bool, labels []string, known map[string]struct{}) {
+	for _, l := range labels {
+		if _, ok := known[l]; !ok {
+			c.record(v, DriftNewType, id, isEdge, "label %q unknown to epoch (set %q)", l, pg.LabelSetKey(labels))
+			return
+		}
+	}
+	c.record(v, DriftNewLabelSet, id, isEdge, "new combination %q of known labels", pg.LabelSetKey(labels))
+}
+
+func (c *StreamChecker) checkProps(v *BatchVerdict, id pg.ID, isEdge bool, typeName string, defs []schema.PropertyDef, props pg.Properties) {
+	for i := range defs {
+		p := &defs[i]
+		val, present := props[p.Key]
+		if !present {
+			if p.Mandatory {
+				c.record(v, DriftMissingMandatory, id, isEdge, "type %s mandatory %q absent", typeName, p.Key)
+			}
+			continue
+		}
+		got := val.Kind()
+		if got == pg.KindNull || got == p.DataType {
+			continue
+		}
+		if !kindCompatible(p.DataType, got) {
+			c.record(v, DriftWidenedType, id, isEdge, "%q is %s, epoch declares %s on %s", p.Key, got, p.DataType, typeName)
+		} else if strictlyNarrower(got, p.DataType) {
+			c.record(v, DriftTypeDowngrade, id, isEdge, "%q is %s under declared %s on %s", p.Key, got, p.DataType, typeName)
+		}
+	}
+}
+
+// strictlyNarrower reports whether got sits strictly below declared in the
+// numeric/temporal branches of the type-priority lattice. The STRING top is
+// deliberately excluded: sample-based inference defaults unobserved
+// properties to STRING, and flagging every concrete value under a STRING
+// declaration would drown the signal.
+func strictlyNarrower(got, declared pg.Kind) bool {
+	return (declared == pg.KindFloat && got == pg.KindInt) ||
+		(declared == pg.KindTimestamp && got == pg.KindDate)
+}
+
+// checkDegree detects *:1 → M:N breaks using within-batch degrees: the
+// check is stateless across batches (so quarantining a batch leaves no
+// residue), firing only when a single window shows degree ≥ 2 on a side the
+// epoch bounds at 1.
+func (c *StreamChecker) checkDegree(v *BatchVerdict, e *pg.EdgeRecord, ty *schema.EdgeTypeDef) {
+	if ty.MaxOut == 1 {
+		k := degKey{ty.Name, e.Src}
+		c.outDeg[k]++
+		if c.outDeg[k] == 2 {
+			c.record(v, DriftCardinalityBreak, e.ID, true, "source %d out-degree 2 on %s (epoch max 1)", e.Src, ty.Name)
+		}
+	}
+	if ty.MaxIn == 1 {
+		k := degKey{ty.Name, e.Dst}
+		c.inDeg[k]++
+		if c.inDeg[k] == 2 {
+			c.record(v, DriftCardinalityBreak, e.ID, true, "target %d in-degree 2 on %s (epoch max 1)", e.Dst, ty.Name)
+		}
+	}
+}
+
+// record counts the violation and, under the detail cap, formats it. The
+// format arguments are only evaluated into a string when a detail is
+// actually kept.
+func (c *StreamChecker) record(v *BatchVerdict, class DriftClass, id pg.ID, isEdge bool, format string, args ...any) {
+	v.Counts[class]++
+	if len(v.Details) < c.maxDetails {
+		v.Details = append(v.Details, DriftViolation{
+			Class: class, Element: id, IsEdge: isEdge,
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
+}

@@ -1,0 +1,26 @@
+package validate
+
+import (
+	"testing"
+
+	"pghive/internal/pg"
+)
+
+func TestKindCompatibleHierarchy(t *testing.T) {
+	tests := []struct {
+		declared, got pg.Kind
+		want          bool
+	}{
+		{pg.KindString, pg.KindInt, true}, // everything fits STRING
+		{pg.KindFloat, pg.KindInt, true},
+		{pg.KindInt, pg.KindFloat, false},
+		{pg.KindTimestamp, pg.KindDate, true},
+		{pg.KindDate, pg.KindTimestamp, false},
+		{pg.KindBool, pg.KindBool, true},
+	}
+	for _, tc := range tests {
+		if got := kindCompatible(tc.declared, tc.got); got != tc.want {
+			t.Errorf("kindCompatible(%v, %v) = %v, want %v", tc.declared, tc.got, got, tc.want)
+		}
+	}
+}

@@ -1,4 +1,4 @@
-package validate
+package validate_test
 
 import (
 	"strings"
@@ -8,6 +8,7 @@ import (
 	"pghive/internal/pg"
 	"pghive/internal/schema"
 	"pghive/internal/serialize"
+	. "pghive/internal/validate"
 )
 
 // fixtureDef builds a small schema by hand.
@@ -95,25 +96,6 @@ func TestValidateWrongDataType(t *testing.T) {
 	r := Validate(g, fixtureDef(), Options{Mode: serialize.Strict})
 	if r.CountByKind()[WrongDataType] != 1 {
 		t.Errorf("violations = %v, want one wrong data type", r.Violations)
-	}
-}
-
-func TestKindCompatibleHierarchy(t *testing.T) {
-	tests := []struct {
-		declared, got pg.Kind
-		want          bool
-	}{
-		{pg.KindString, pg.KindInt, true}, // everything fits STRING
-		{pg.KindFloat, pg.KindInt, true},
-		{pg.KindInt, pg.KindFloat, false},
-		{pg.KindTimestamp, pg.KindDate, true},
-		{pg.KindDate, pg.KindTimestamp, false},
-		{pg.KindBool, pg.KindBool, true},
-	}
-	for _, tc := range tests {
-		if got := kindCompatible(tc.declared, tc.got); got != tc.want {
-			t.Errorf("kindCompatible(%v, %v) = %v, want %v", tc.declared, tc.got, got, tc.want)
-		}
 	}
 }
 

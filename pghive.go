@@ -234,6 +234,40 @@ func ResumeDiscoverShardedFT(state []byte, src ErrSource, cfg Config, opts FTOpt
 	return core.ResumeDiscoverShardedFT(state, src, cfg, opts)
 }
 
+// Streaming drift observability: with Config.DriftPolicy set, every batch
+// is validated against the schema of the current epoch before it merges,
+// classified violations flow out as drift counters and JSONL records, and
+// epoch boundaries emit structured schema diffs.
+type (
+	// DriftPolicy selects what a violating batch does to the schema:
+	// evolve (merge as usual), alert (merge but record), quarantine
+	// (withhold from the merge, into Result.Skipped).
+	DriftPolicy = core.DriftPolicy
+	// DriftLog is a concurrency-safe JSONL sink for drift records.
+	DriftLog = core.DriftLog
+	// DriftSummary aggregates a run's drift activity (Result.Drift).
+	DriftSummary = core.DriftSummary
+)
+
+// Drift policies.
+const (
+	DriftOff        = core.DriftOff
+	DriftEvolve     = core.DriftEvolve
+	DriftAlert      = core.DriftAlert
+	DriftQuarantine = core.DriftQuarantine
+)
+
+// DefaultEpochInterval is the epoch window length (in batches) used when
+// Config.EpochInterval is 0.
+const DefaultEpochInterval = core.DefaultEpochInterval
+
+// ParseDriftPolicy parses a -drift-policy flag value ("" or "off", "evolve",
+// "alert", "quarantine").
+func ParseDriftPolicy(s string) (DriftPolicy, error) { return core.ParseDriftPolicy(s) }
+
+// NewDriftLog wraps a writer as a JSONL drift-record sink (nil disables).
+func NewDriftLog(w io.Writer) *DriftLog { return core.NewDriftLog(w) }
+
 // Telemetry: zero-dependency observability for discovery runs. Attach a
 // sink via Config.Telemetry; with a nil sink every instrumentation point is
 // a no-op (0 allocations, pinned by benchmark).
