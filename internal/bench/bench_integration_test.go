@@ -230,7 +230,7 @@ func TestRunFig8BinsNormalized(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	want := []string{"ablation", "drift", "faults", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "interning", "lsh", "memory", "metrics", "scaling", "scenarios", "shards", "table1", "table2", "telemetry"}
+	want := []string{"ablation", "drift", "faults", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "interning", "lsh", "memory", "metrics", "scaling", "scenarios", "serve", "shards", "table1", "table2", "telemetry"}
 	got := ExperimentNames()
 	if len(got) != len(want) {
 		t.Fatalf("experiments = %v, want %v", got, want)

@@ -201,7 +201,39 @@ func WriteCSVs(dir string, w writerFlusher, s Settings) error {
 	if err := WriteDriftCSV(dir, w, s); err != nil {
 		return err
 	}
+	if err := WriteServeCSV(dir, w, s); err != nil {
+		return err
+	}
 	return WriteLSHCSV(dir, w, s)
+}
+
+// WriteServeCSV runs only the serve experiment and writes serve.csv into dir
+// — CI's serve job regenerates it on every run so read QPS, tail latency and
+// the served-vs-batch identity bit are tracked alongside the gates.
+func WriteServeCSV(dir string, w writerFlusher, s Settings) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	points, err := RunServe(w, s)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.Tier, strconv.Itoa(p.Requests), f(p.QPS),
+			strconv.FormatInt(p.P50.Microseconds(), 10),
+			strconv.FormatInt(p.P99.Microseconds(), 10),
+			f(p.HitRatio),
+			strconv.Itoa(p.IngestElements),
+			strconv.FormatInt(p.IngestElapsed.Microseconds(), 10),
+			f(p.IngestEPS), strconv.Itoa(p.Epochs),
+			strconv.FormatBool(p.Identical),
+		})
+	}
+	return writeCSV(dir, "serve.csv",
+		[]string{"tier", "requests", "qps", "p50_us", "p99_us", "hit_ratio",
+			"ingest_elements", "ingest_elapsed_us", "ingest_eps", "epochs", "identical"}, rows)
 }
 
 // WriteDriftCSV runs only the drift experiment and writes drift.csv into dir

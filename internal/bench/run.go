@@ -79,6 +79,10 @@ var Experiments = map[string]func(io.Writer, Settings) error{
 		_, err := RunMemory(w, s)
 		return err
 	},
+	"serve": func(w io.Writer, s Settings) error {
+		_, err := RunServe(w, s)
+		return err
+	},
 }
 
 // ExperimentNames returns the registered identifiers in sorted order.

@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"pghive/internal/core"
+	"pghive/internal/datagen"
+	"pghive/internal/pg"
+	"pghive/internal/serialize"
+	"pghive/internal/serve"
+)
+
+// ServePoint is one detail tier's read-side measurement while the same
+// server sustains a paced ingest stream: saturating-QPS over the render-once
+// epoch cache, latency percentiles, and the cache-hit ratio (misses happen
+// only in the request that races a fresh epoch's first render per tier).
+// The ingest-side fields are shared across the run and repeated on every
+// row so each CSV line is self-contained.
+type ServePoint struct {
+	Tier string
+	// Requests is how many /schema responses the readers completed inside
+	// the tier's measurement window; QPS is Requests over the window.
+	Requests int
+	QPS      float64
+	// P50 and P99 are request latencies observed by the readers
+	// (client-side, over loopback HTTP).
+	P50 time.Duration
+	P99 time.Duration
+	// HitRatio is the fraction of responses served from the epoch's
+	// pre-rendered cache (X-PGHive-Cache: hit).
+	HitRatio float64
+	// Ingest-side context, identical on every row of one run.
+	IngestElements int
+	IngestElapsed  time.Duration
+	IngestEPS      float64
+	Epochs         int
+	// Identical reports whether the served detail=full body at the final
+	// epoch was byte-identical to a batch Discover over the same input —
+	// the tentpole's correctness gate, re-checked by the harness.
+	Identical bool
+}
+
+// Serve-bench shape: one dataset replayed as a paced stream long enough to
+// outlast the four read windows, so every tier is measured against a server
+// that is actively folding batches and swapping epochs underneath it.
+const (
+	serveBenchBatches  = 48
+	serveEpochInterval = 8
+	serveReadWindow    = 200 * time.Millisecond
+	serveReaders       = 4
+	servePaceDelay     = 25 * time.Millisecond
+)
+
+// RunServe measures the resident schema service: sustained ingest throughput
+// with concurrent readers saturating each detail tier over HTTP, reporting
+// per-tier QPS, p50/p99 latency and cache-hit ratio, plus the byte-identity
+// of the final served schema against the batch pipeline.
+func RunServe(w io.Writer, s Settings) ([]ServePoint, error) {
+	s = s.withDefaults()
+	ds := datagen.Generate(datagen.ProfileByName("LDBC"), datagen.Options{Nodes: s.Scale, Seed: s.Seed})
+	batches := ds.Graph.SplitRandom(serveBenchBatches, s.Seed)
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = s.Seed
+	cfg.PipelineDepth = s.engineDepth()
+	cfg.EpochInterval = serveEpochInterval
+
+	srv := serve.NewServer(nil)
+	addr, closer, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+
+	// Ingest runs in the background, paced so the stream is still live while
+	// every tier's read window executes.
+	paced := serve.NewPaceSource(pg.AsErrSource(pg.NewSliceSource(batches...)), servePaceDelay)
+	type ingestDone struct {
+		res     *core.Result
+		elapsed time.Duration
+		err     error
+	}
+	done := make(chan ingestDone, 1)
+	ingestStart := time.Now()
+	go func() {
+		res, err := srv.Ingest(paced, serve.IngestOptions{Config: cfg})
+		done <- ingestDone{res: res, elapsed: time.Since(ingestStart), err: err}
+	}()
+
+	// Wait for the first real epoch so readers measure the cache, not the
+	// boot placeholder.
+	for srv.Current().ID == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns: serveReaders * 2, MaxIdleConnsPerHost: serveReaders * 2,
+	}}
+	points := make([]ServePoint, 0, serve.NumTiers)
+	for tier := 0; tier < serve.NumTiers; tier++ {
+		url := fmt.Sprintf("http://%s/schema?detail=%s", addr, serve.Tier(tier))
+		var mu sync.Mutex
+		var lats []time.Duration
+		var hits, total int
+
+		var wg sync.WaitGroup
+		deadline := time.Now().Add(serveReadWindow)
+		windowStart := time.Now()
+		for r := 0; r < serveReaders; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var myLats []time.Duration
+				myHits, myTotal := 0, 0
+				for time.Now().Before(deadline) {
+					t0 := time.Now()
+					resp, err := client.Get(url)
+					if err != nil {
+						continue
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					myLats = append(myLats, time.Since(t0))
+					myTotal++
+					if resp.Header.Get("X-PGHive-Cache") == "hit" {
+						myHits++
+					}
+				}
+				mu.Lock()
+				lats = append(lats, myLats...)
+				hits += myHits
+				total += myTotal
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		window := time.Since(windowStart)
+
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pt := ServePoint{
+			Tier:     serve.Tier(tier).String(),
+			Requests: total,
+			QPS:      float64(total) / window.Seconds(),
+			P50:      percentile(lats, 0.50),
+			P99:      percentile(lats, 0.99),
+		}
+		if total > 0 {
+			pt.HitRatio = float64(hits) / float64(total)
+		}
+		points = append(points, pt)
+	}
+
+	d := <-done
+	if d.err != nil {
+		return nil, d.err
+	}
+	elements := 0
+	for _, r := range d.res.Reports {
+		elements += r.Nodes + r.Edges
+	}
+
+	// Correctness gate: the final served full body must be the batch
+	// pipeline's serialization of the same input, byte for byte.
+	var batch bytes.Buffer
+	if err := serialize.WriteJSON(&batch, core.Discover(pg.NewSliceSource(batches...), cfg).Def); err != nil {
+		return nil, err
+	}
+	served, _ := srv.Current().Rendered(serve.TierFull)
+	identical := bytes.Equal(served.Body, batch.Bytes())
+	epochs := len(srv.Epochs())
+
+	for i := range points {
+		points[i].IngestElements = elements
+		points[i].IngestElapsed = d.elapsed
+		points[i].IngestEPS = float64(elements) / d.elapsed.Seconds()
+		points[i].Epochs = epochs
+		points[i].Identical = identical
+	}
+
+	fmt.Fprintf(w, "Serve: read QPS per tier under sustained ingest (LDBC scale %d, %d batches, epoch interval %d, %d readers, %s windows)\n",
+		s.Scale, serveBenchBatches, serveEpochInterval, serveReaders, serveReadWindow)
+	fmt.Fprintf(w, "  ingest: %d elements in %sms (%.0f elem/s), %d epochs, served full == batch Discover: %t\n",
+		elements, ms(d.elapsed), float64(elements)/d.elapsed.Seconds(), epochs, identical)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "  tier\trequests\tqps\tp50(us)\tp99(us)\thit%")
+	for _, p := range points {
+		fmt.Fprintf(tw, "  %s\t%d\t%.0f\t%d\t%d\t%.1f\n",
+			p.Tier, p.Requests, p.QPS, p.P50.Microseconds(), p.P99.Microseconds(), p.HitRatio*100)
+	}
+	return points, tw.Flush()
+}
+
+// percentile returns the q-quantile of a sorted latency slice (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -165,6 +165,19 @@ type Config struct {
 	// violation batches (under alert/quarantine) and epoch diffs. Shared by
 	// every shard of a sharded run; execution-only.
 	DriftLog *DriftLog
+	// OnEpoch, when non-nil, receives an EpochSnapshot at every epoch
+	// boundary — the resident schema service's publication hook. Setting it
+	// activates the epoch clock even under DriftPolicy off (snapshot + diff
+	// every EpochInterval batches, no validation), so a server can publish
+	// copy-on-write schema epochs without paying for conformance checking.
+	// The hook runs at the serialized extract point and must return quickly;
+	// the snapshot Def is immutable and safe to retain. Execution-only: it
+	// observes the schema but never feeds back, so — like Telemetry — it is
+	// excluded from the checkpoint fingerprint. In a sharded run each shard
+	// fires the hook for its own partial schema (Shard tags the origin);
+	// whole-fleet publication goes through the checkpoint layer instead
+	// (see internal/serve).
+	OnEpoch func(EpochSnapshot)
 	// driftShard tags this pipeline's drift-log records with its shard index
 	// (set by shardConfig; 0 for unsharded runs).
 	driftShard int

@@ -173,9 +173,33 @@ type driftEpochRecord struct {
 	Diff    schema.DiffReport `json:"diff"`
 }
 
-// driftState is the per-pipeline drift machinery, allocated only when a
-// policy is set.
+// EpochSnapshot is what Config.OnEpoch receives at every epoch boundary:
+// an immutable view of the finalized schema at that point in the stream.
+type EpochSnapshot struct {
+	// Epoch is the 1-based epoch counter; Batches is how many batches had
+	// been extracted into the schema when the snapshot was taken; Seq is the
+	// stream sequence number of the batch that closed the window.
+	Epoch   int
+	Batches int
+	Seq     int
+	// Final marks the partial window closed at Finalize time.
+	Final bool
+	// Shard is the discovery shard that took the snapshot (0 unsharded).
+	Shard int
+	// Def is the finalized schema; it aliases nothing mutable and may be
+	// retained indefinitely.
+	Def *schema.Def
+	// Changes is the schema.Diff against the previous epoch (nil for the
+	// baseline epoch).
+	Changes []schema.Change
+}
+
+// driftState is the per-pipeline drift machinery, allocated when a policy
+// is set — or, checker-less, when only an OnEpoch hook wants the epoch
+// clock.
 type driftState struct {
+	// checker is nil in epoch-only mode (DriftOff + OnEpoch): the epoch
+	// clock runs, validation does not.
 	checker *validate.StreamChecker
 	log     *DriftLog
 	// epoch counts snapshots taken; sinceEpoch counts extracted (or
@@ -197,7 +221,12 @@ type driftState struct {
 // newDriftState builds the drift machinery for a configured pipeline.
 func newDriftState(cfg Config) *driftState {
 	if cfg.DriftPolicy == DriftOff {
-		return nil
+		if cfg.OnEpoch == nil {
+			return nil
+		}
+		// Epoch-only mode: the publication hook needs the epoch clock but
+		// nobody asked for validation, so no checker and no drift log.
+		return &driftState{}
 	}
 	return &driftState{
 		checker: validate.NewStreamChecker(driftMaxDetails),
@@ -244,10 +273,11 @@ func (s *DriftSummary) merge(o *DriftSummary) {
 	s.Quarantined += o.Quarantined
 }
 
-// driftSummary renders the pipeline's drift tallies (nil when drift is off).
+// driftSummary renders the pipeline's drift tallies (nil when drift is off,
+// including epoch-only mode — an OnEpoch hook alone is not drift activity).
 func (p *Pipeline) driftSummary() *DriftSummary {
 	d := p.drift
-	if d == nil {
+	if d == nil || p.cfg.DriftPolicy == DriftOff {
 		return nil
 	}
 	return &DriftSummary{
@@ -291,7 +321,7 @@ func (p *Pipeline) extractChecked(c computed, slot int) BatchReport {
 // admit trivially.
 func (p *Pipeline) driftAdmit(b *pg.Batch, seq, slot int) bool {
 	d := p.drift
-	if !d.checker.Ready() {
+	if d.checker == nil || !d.checker.Ready() {
 		return true
 	}
 	start := time.Now()
@@ -378,7 +408,9 @@ func (p *Pipeline) driftEpoch(seq int, final bool) {
 	d.epoch++
 	d.sinceEpoch = 0
 	d.prevDef = def
-	d.checker.SetEpoch(def)
+	if d.checker != nil {
+		d.checker.SetEpoch(def)
+	}
 	p.instr.Add(obs.CtrEpochs, 1)
 	if !baseline {
 		d.epochChanges += len(changes)
@@ -394,6 +426,12 @@ func (p *Pipeline) driftEpoch(seq int, final bool) {
 		Start: start, Duration: time.Since(start),
 		Elements: len(changes),
 	})
+	if p.cfg.OnEpoch != nil {
+		p.cfg.OnEpoch(EpochSnapshot{
+			Epoch: d.epoch, Batches: len(p.reports), Seq: seq, Final: final,
+			Shard: p.cfg.driftShard, Def: def, Changes: changes,
+		})
+	}
 }
 
 // driftFinalEpoch closes the last partial window at Finalize time: whatever
@@ -477,7 +515,7 @@ func (p *Pipeline) readDriftState(r *pg.WireReader) error {
 		d.epoch = int(epoch)
 		d.sinceEpoch = int(since)
 		d.prevDef = def
-		if def != nil {
+		if def != nil && d.checker != nil {
 			d.checker.SetEpoch(def)
 		}
 	}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"pghive/internal/pg"
+	"pghive/internal/schema"
+	"pghive/internal/serialize"
+)
+
+// TestOnEpochWithoutDrift: the publication hook alone (DriftPolicy off)
+// activates the epoch clock — snapshots fire every EpochInterval batches
+// with monotone epoch numbers and immutable defs — while the discovered
+// schema stays byte-identical to a hook-free run and Result.Drift stays nil
+// (no policy means no drift activity).
+func TestOnEpochWithoutDrift(t *testing.T) {
+	batches := driftStream(6, 0)
+	base := DefaultConfig()
+	want := Discover(pg.NewSliceSource(batches...), base)
+	wantJSON, _ := renderDef(t, want.Def)
+
+	var snaps []EpochSnapshot
+	cfg := base
+	cfg.EpochInterval = 2
+	cfg.OnEpoch = func(s EpochSnapshot) { snaps = append(snaps, s) }
+	got := Discover(pg.NewSliceSource(batches...), cfg)
+	gotJSON, _ := renderDef(t, got.Def)
+
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("OnEpoch run diverges from hook-free run\nwant %s\ngot  %s", wantJSON, gotJSON)
+	}
+	if got.Drift != nil {
+		t.Errorf("epoch-only mode must not report drift activity: %+v", got.Drift)
+	}
+	if len(snaps) != 3 {
+		t.Fatalf("6 batches at interval 2 want 3 snapshots, got %d", len(snaps))
+	}
+	for i, s := range snaps {
+		if s.Epoch != i+1 {
+			t.Errorf("snapshot %d: epoch = %d, want %d", i, s.Epoch, i+1)
+		}
+		if s.Batches != (i+1)*2 {
+			t.Errorf("snapshot %d: batches = %d, want %d", i, s.Batches, (i+1)*2)
+		}
+		if s.Def == nil {
+			t.Fatalf("snapshot %d: nil def", i)
+		}
+		if i == 0 && s.Changes != nil {
+			t.Errorf("baseline snapshot carries changes: %v", s.Changes)
+		}
+	}
+	// The final snapshot's def matches the run's finalized schema: the last
+	// window closed exactly at the stream end.
+	var snapJSON, resJSON bytes.Buffer
+	if err := serialize.WriteJSON(&snapJSON, snaps[2].Def); err != nil {
+		t.Fatal(err)
+	}
+	if err := serialize.WriteJSON(&resJSON, got.Def); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapJSON.Bytes(), resJSON.Bytes()) {
+		t.Errorf("final snapshot def differs from Result.Def")
+	}
+}
+
+// TestOnEpochSnapshotImmutable: a retained snapshot def does not change as
+// later batches merge — the published epochs are true copy-on-write views.
+func TestOnEpochSnapshotImmutable(t *testing.T) {
+	batches := driftStream(6, 2)
+	var first *schema.Def
+	var firstJSON []byte
+	cfg := DefaultConfig()
+	cfg.EpochInterval = 2
+	cfg.OnEpoch = func(s EpochSnapshot) {
+		if first == nil {
+			first = s.Def
+			var buf bytes.Buffer
+			if err := serialize.WriteJSON(&buf, first); err != nil {
+				t.Error(err)
+			}
+			firstJSON = buf.Bytes()
+		}
+	}
+	Discover(pg.NewSliceSource(batches...), cfg)
+	var after bytes.Buffer
+	if err := serialize.WriteJSON(&after, first); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(firstJSON, after.Bytes()) {
+		t.Error("epoch 1 def mutated by later batches")
+	}
+}
+
+// TestOnEpochComposesWithDrift: with a policy set, the same hook rides the
+// existing drift epochs (no separate clock) and drift reporting still works.
+func TestOnEpochComposesWithDrift(t *testing.T) {
+	batches := driftStream(4, 2)
+	epochs := 0
+	cfg := DefaultConfig()
+	cfg.DriftPolicy = DriftEvolve
+	cfg.EpochInterval = 2
+	cfg.OnEpoch = func(s EpochSnapshot) { epochs++ }
+	res := Discover(pg.NewSliceSource(batches...), cfg)
+	if res.Drift == nil || res.Drift.Epochs != epochs {
+		t.Fatalf("hook saw %d epochs, summary %+v", epochs, res.Drift)
+	}
+	if res.Drift.Total() == 0 {
+		t.Error("drifting stream reported no violations under evolve+hook")
+	}
+}

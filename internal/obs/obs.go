@@ -167,6 +167,13 @@ const (
 	// schema.Diff changes observed across epoch boundaries.
 	CtrEpochs
 	CtrEpochChanges
+	// Resident schema service read path (internal/serve): CtrServeRequests
+	// counts /schema responses served, CtrServeCacheHits the ones answered
+	// from an epoch's pre-rendered byte cache, and CtrServeRenders the
+	// render-once misses (at most tiers × epochs on the unfiltered path).
+	CtrServeRequests
+	CtrServeCacheHits
+	CtrServeRenders
 	numCounters
 )
 
@@ -183,6 +190,7 @@ var counterNames = [numCounters]string{
 	"drift_missing_mandatory", "drift_cardinality_break", "drift_type_downgrade",
 	"drift_batches", "drift_quarantined",
 	"epochs", "epoch_changes",
+	"serve_requests", "serve_cache_hits", "serve_renders",
 }
 
 // String returns the counter's snake-case metric name.
@@ -211,12 +219,17 @@ const (
 	// boundary.
 	HistDriftBatchViolations
 	HistEpochDiffChanges
+	// HistServeRenderMicros observes the one-time render cost (µs) of each
+	// (epoch, tier) response the schema service materialized — the cache-miss
+	// path only, so the distribution is invalidation cost, not read latency.
+	HistServeRenderMicros
 	numHists
 )
 
 var histNames = [numHists]string{
 	"lsh_node_bucket_occupancy", "lsh_edge_bucket_occupancy",
 	"drift_batch_violations", "epoch_diff_changes",
+	"serve_render_micros",
 }
 
 // String returns the histogram's snake-case metric name.
@@ -254,12 +267,18 @@ const (
 	GaugeProcessHeapBytes
 	GaugeProcessGoroutines
 	GaugeProcessUptimeSeconds
+	// GaugeServeEpoch is the schema service's currently published epoch id;
+	// GaugeServeInflightReads the number of /schema requests mid-flight
+	// (both updated with lock-free atomics — the read hot path never blocks).
+	GaugeServeEpoch
+	GaugeServeInflightReads
 	numGauges
 )
 
 var gaugeNames = [numGauges]string{
 	"mem_budget_bytes", "evidence_bytes", "spill_mem_bytes", "spill_disk_bytes",
 	"process_heap_bytes", "process_goroutines", "process_uptime_seconds",
+	"serve_epoch", "serve_inflight_reads",
 }
 
 // String returns the gauge's snake-case metric name.

@@ -120,7 +120,7 @@ func readWireLabels(r *WireReader) ([]string, error) {
 	}
 	labels := make([]string, n)
 	for i := range labels {
-		if labels[i], err = r.String(); err != nil {
+		if labels[i], err = r.InternedString(); err != nil {
 			return nil, err
 		}
 	}
@@ -149,7 +149,7 @@ func readWireProps(r *WireReader) (Properties, error) {
 	}
 	props := make(Properties, n)
 	for i := uint64(0); i < n; i++ {
-		k, err := r.String()
+		k, err := r.InternedString()
 		if err != nil {
 			return nil, err
 		}

@@ -101,10 +101,30 @@ func (w *WireWriter) Value(v Value) error {
 // prior write.
 func (w *WireWriter) Flush() error { return w.bw.Flush() }
 
-// WireReader reads wire-format primitives.
+// WireReader reads wire-format primitives. It keeps two pieces of reusable
+// decode state: a scratch buffer that string reads stage their bytes in, and
+// an intern table that dedups the short, endlessly repeated strings of a
+// graph stream (labels, property keys) so decoding a million "Person" nodes
+// allocates the label string once. Reset lets one reader (and its warm
+// state) decode many streams.
 type WireReader struct {
 	br *bufio.Reader
+	// scratch is the staging buffer for string payloads; valid only until
+	// the next read call.
+	scratch []byte
+	// intern maps seen short strings to their canonical copy. Bounded by
+	// maxInternEntries; lookups use the m[string(bytes)] form the compiler
+	// optimizes to zero allocations.
+	intern map[string]string
 }
+
+// Intern-table bounds: only short strings (label/key-sized) are interned,
+// and the table stops growing — but keeps hitting — past the entry cap, so
+// an adversarial high-cardinality stream cannot balloon it.
+const (
+	maxInternLen     = 128
+	maxInternEntries = 1 << 16
+)
 
 // NewWireReader wraps r for wire-format input.
 func NewWireReader(r io.Reader) *WireReader {
@@ -112,6 +132,21 @@ func NewWireReader(r io.Reader) *WireReader {
 		return &WireReader{br: br}
 	}
 	return &WireReader{br: bufio.NewReader(r)}
+}
+
+// Reset redirects the reader to a new stream, keeping the scratch buffer
+// and intern table warm. Decode loops over many streams (the spill queue,
+// checkpoint shards) reuse one reader instead of allocating per stream.
+func (r *WireReader) Reset(rd io.Reader) {
+	if br, ok := rd.(*bufio.Reader); ok {
+		r.br = br
+		return
+	}
+	if r.br == nil {
+		r.br = bufio.NewReader(rd)
+		return
+	}
+	r.br.Reset(rd)
 }
 
 // Uvarint reads an unsigned varint and rejects values above max (a corrupt
@@ -152,38 +187,94 @@ func (r *WireReader) Float64() (float64, error) {
 	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
 }
 
-// String reads a length-prefixed string (length capped at 1 GiB). Chunked
-// reads keep a corrupt length claim from allocating the whole bogus size up
-// front.
+// String reads a length-prefixed string (length capped at 1 GiB). The
+// payload stages through the reusable scratch buffer, so each call allocates
+// only the returned string itself.
 func (r *WireReader) String() (string, error) {
-	n, err := r.Uvarint(1 << 30)
+	buf, err := r.stringBytes()
 	if err != nil {
 		return "", err
 	}
-	const chunk = 64 * 1024
-	if n <= chunk {
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(r.br, buf); err != nil {
-			return "", err
-		}
+	return string(buf), nil
+}
+
+// InternedString is String for low-cardinality strings — labels, property
+// keys — that a stream repeats millions of times: short payloads resolve
+// through the intern table, so every occurrence after the first allocates
+// nothing. Long or over-cap strings fall back to a plain copy.
+func (r *WireReader) InternedString() (string, error) {
+	buf, err := r.stringBytes()
+	if err != nil {
+		return "", err
+	}
+	if len(buf) > maxInternLen {
 		return string(buf), nil
 	}
-	var sb bytesBuilder
-	tmp := make([]byte, chunk)
-	for remaining := n; remaining > 0; {
-		step := min(remaining, chunk)
-		if _, err := io.ReadFull(r.br, tmp[:step]); err != nil {
-			return "", err
+	if s, ok := r.intern[string(buf)]; ok {
+		return s, nil
+	}
+	s := string(buf)
+	if r.intern == nil {
+		r.intern = make(map[string]string)
+	}
+	if len(r.intern) < maxInternEntries {
+		r.intern[s] = s
+	}
+	return s, nil
+}
+
+// scratchChunk bounds both the chunked-read step and how much scratch a
+// single oversized string may leave retained.
+const scratchChunk = 64 * 1024
+
+// stringBytes reads a length-prefixed payload into the scratch buffer and
+// returns the filled slice, valid until the next read call. Payloads beyond
+// scratchChunk stream in chunk-sized steps so a corrupt length claim fails
+// on a short read before its bogus size is ever allocated.
+func (r *WireReader) stringBytes() ([]byte, error) {
+	n, err := r.Uvarint(1 << 30)
+	if err != nil {
+		return nil, err
+	}
+	if n <= scratchChunk {
+		buf := r.scratchFor(int(n))
+		if _, err := io.ReadFull(r.br, buf); err != nil {
+			return nil, err
 		}
-		sb.write(tmp[:step])
+		return buf, nil
+	}
+	tmp := r.scratchFor(scratchChunk)
+	var out []byte
+	for remaining := n; remaining > 0; {
+		step := min(remaining, scratchChunk)
+		if _, err := io.ReadFull(r.br, tmp[:step]); err != nil {
+			return nil, err
+		}
+		out = append(out, tmp[:step]...)
 		remaining -= step
 	}
-	return sb.String(), nil
+	return out, nil
+}
+
+// scratchFor returns the scratch buffer resized to n bytes, growing it
+// geometrically up to the chunk bound.
+func (r *WireReader) scratchFor(n int) []byte {
+	if cap(r.scratch) < n {
+		c := 2 * cap(r.scratch)
+		if c < n {
+			c = n
+		}
+		if c < 64 {
+			c = 64
+		}
+		r.scratch = make([]byte, c)
+	}
+	return r.scratch[:n]
 }
 
 // Expect consumes len(magic) bytes and verifies them.
 func (r *WireReader) Expect(magic string) error {
-	buf := make([]byte, len(magic))
+	buf := r.scratchFor(len(magic))
 	if _, err := io.ReadFull(r.br, buf); err != nil {
 		return fmt.Errorf("pg: reading magic: %w", err)
 	}
@@ -224,13 +315,6 @@ func (r *WireReader) Value() (Value, error) {
 		return Null(), fmt.Errorf("pg: unknown value kind byte %d", kindByte)
 	}
 }
-
-// bytesBuilder is a minimal growable byte accumulator (strings.Builder
-// without the import churn in this file's hot path).
-type bytesBuilder struct{ b []byte }
-
-func (s *bytesBuilder) write(p []byte) { s.b = append(s.b, p...) }
-func (s *bytesBuilder) String() string { return string(s.b) }
 
 func min(a, b uint64) uint64 {
 	if a < b {

@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"pghive/internal/schema"
+	"pghive/internal/serialize"
+)
+
+// Tier renderers. Every structured tier carries the snippet-style envelope
+// fields — detail_level, epoch, render_time_us (the one-time materialization
+// cost) and token_estimate (len/4) — rendered in two passes so the estimate
+// reflects the actual body. The full tier is the exception: its body is the
+// exact serialize.WriteJSON encoding of the epoch's Def, byte-identical to
+// the batch CLI's -format json output, so clients (and the acceptance gate)
+// can diff a served schema against an offline discovery run; its timing and
+// size ride on HTTP headers instead.
+
+// renderTier dispatches one (tier, filter) render.
+func renderTier(e *Epoch, t Tier, typeFilter string) []byte {
+	switch t {
+	case TierTypes:
+		return renderTypes(e, typeFilter)
+	case TierPatterns:
+		return renderPatterns(e, typeFilter)
+	case TierFull:
+		return renderFull(e, typeFilter)
+	default:
+		return renderSummary(e, typeFilter)
+	}
+}
+
+// envelope is the shared header of every structured tier payload.
+type envelope struct {
+	DetailLevel   string `json:"detail_level"`
+	Epoch         int    `json:"epoch"`
+	Batches       int    `json:"batches"`
+	RenderTimeUs  int64  `json:"render_time_us"`
+	TokenEstimate int    `json:"token_estimate"`
+	TypeFilter    string `json:"type_filter,omitempty"`
+}
+
+// seal fills the envelope's timing and size estimate, then marshals the
+// payload a second time: the first pass measures, the second is what ships.
+func seal(env *envelope, payload any, start time.Time) []byte {
+	probe, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return errorBody(err)
+	}
+	env.TokenEstimate = (len(probe) + 3) / 4
+	env.RenderTimeUs = time.Since(start).Microseconds()
+	body, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return errorBody(err)
+	}
+	return append(body, '\n')
+}
+
+func errorBody(err error) []byte {
+	b, _ := json.Marshal(map[string]string{"error": err.Error()})
+	return b
+}
+
+type summaryPayload struct {
+	*envelope
+	NodeTypeCount int      `json:"node_type_count"`
+	EdgeTypeCount int      `json:"edge_type_count"`
+	Instances     int      `json:"instances"`
+	NodeTypes     []string `json:"node_types"`
+	EdgeTypes     []string `json:"edge_types"`
+}
+
+func renderSummary(e *Epoch, typeFilter string) []byte {
+	start := time.Now()
+	p := summaryPayload{envelope: &envelope{
+		DetailLevel: TierSummary.String(), Epoch: e.ID, Batches: e.Batches,
+		TypeFilter: typeFilter,
+	}}
+	p.NodeTypes, p.EdgeTypes = []string{}, []string{}
+	for i := range e.Def.Nodes {
+		n := &e.Def.Nodes[i]
+		if typeFilter != "" && n.Name != typeFilter {
+			continue
+		}
+		p.NodeTypes = append(p.NodeTypes, n.Name)
+		p.Instances += n.Instances
+	}
+	for i := range e.Def.Edges {
+		ed := &e.Def.Edges[i]
+		if typeFilter != "" && ed.Name != typeFilter {
+			continue
+		}
+		p.EdgeTypes = append(p.EdgeTypes, ed.Name)
+		p.Instances += ed.Instances
+	}
+	p.NodeTypeCount, p.EdgeTypeCount = len(p.NodeTypes), len(p.EdgeTypes)
+	return seal(p.envelope, &p, start)
+}
+
+type typeEntry struct {
+	Name          string   `json:"name"`
+	Labels        []string `json:"labels,omitempty"`
+	Abstract      bool     `json:"abstract,omitempty"`
+	Instances     int      `json:"instances"`
+	PropertyCount int      `json:"property_count"`
+	Mandatory     int      `json:"mandatory_properties"`
+	Cardinality   string   `json:"cardinality,omitempty"` // edges only
+}
+
+type typesPayload struct {
+	*envelope
+	NodeTypes []typeEntry `json:"node_types"`
+	EdgeTypes []typeEntry `json:"edge_types"`
+}
+
+func renderTypes(e *Epoch, typeFilter string) []byte {
+	start := time.Now()
+	p := typesPayload{envelope: &envelope{
+		DetailLevel: TierTypes.String(), Epoch: e.ID, Batches: e.Batches,
+		TypeFilter: typeFilter,
+	}}
+	p.NodeTypes, p.EdgeTypes = []typeEntry{}, []typeEntry{}
+	mandatory := func(props []schema.PropertyDef) int {
+		m := 0
+		for i := range props {
+			if props[i].Mandatory {
+				m++
+			}
+		}
+		return m
+	}
+	for i := range e.Def.Nodes {
+		n := &e.Def.Nodes[i]
+		if typeFilter != "" && n.Name != typeFilter {
+			continue
+		}
+		p.NodeTypes = append(p.NodeTypes, typeEntry{
+			Name: n.Name, Labels: n.Labels, Abstract: n.Abstract,
+			Instances: n.Instances, PropertyCount: len(n.Properties),
+			Mandatory: mandatory(n.Properties),
+		})
+	}
+	for i := range e.Def.Edges {
+		ed := &e.Def.Edges[i]
+		if typeFilter != "" && ed.Name != typeFilter {
+			continue
+		}
+		p.EdgeTypes = append(p.EdgeTypes, typeEntry{
+			Name: ed.Name, Labels: ed.Labels, Abstract: ed.Abstract,
+			Instances: ed.Instances, PropertyCount: len(ed.Properties),
+			Mandatory: mandatory(ed.Properties), Cardinality: ed.CardinalityString(),
+		})
+	}
+	return seal(p.envelope, &p, start)
+}
+
+type patternEntry struct {
+	// Pattern is the Cypher-style connectivity triple, e.g.
+	// "(:Person)-[:WORKS_AT]->(:Org)".
+	Pattern     string `json:"pattern"`
+	EdgeType    string `json:"edge_type"`
+	Src         string `json:"src"`
+	Dst         string `json:"dst"`
+	Cardinality string `json:"cardinality"`
+	Instances   int    `json:"instances"`
+}
+
+type patternsPayload struct {
+	*envelope
+	PatternCount int            `json:"pattern_count"`
+	Patterns     []patternEntry `json:"patterns"`
+}
+
+func renderPatterns(e *Epoch, typeFilter string) []byte {
+	start := time.Now()
+	p := patternsPayload{envelope: &envelope{
+		DetailLevel: TierPatterns.String(), Epoch: e.ID, Batches: e.Batches,
+		TypeFilter: typeFilter,
+	}}
+	p.Patterns = []patternEntry{}
+	for i := range e.Def.Edges {
+		ed := &e.Def.Edges[i]
+		srcs, dsts := ed.SrcTypes, ed.DstTypes
+		if len(srcs) == 0 {
+			srcs = []string{"?"}
+		}
+		if len(dsts) == 0 {
+			dsts = []string{"?"}
+		}
+		for _, s := range srcs {
+			for _, d := range dsts {
+				if typeFilter != "" && ed.Name != typeFilter && s != typeFilter && d != typeFilter {
+					continue
+				}
+				p.Patterns = append(p.Patterns, patternEntry{
+					Pattern:     fmt.Sprintf("(:%s)-[:%s]->(:%s)", s, ed.Name, d),
+					EdgeType:    ed.Name,
+					Src:         s,
+					Dst:         d,
+					Cardinality: ed.CardinalityString(),
+					Instances:   ed.Instances,
+				})
+			}
+		}
+	}
+	p.PatternCount = len(p.Patterns)
+	return seal(p.envelope, &p, start)
+}
+
+func renderFull(e *Epoch, typeFilter string) []byte {
+	def := e.Def
+	if typeFilter != "" {
+		filtered := &schema.Def{}
+		for i := range def.Nodes {
+			if def.Nodes[i].Name == typeFilter {
+				filtered.Nodes = append(filtered.Nodes, def.Nodes[i])
+			}
+		}
+		for i := range def.Edges {
+			if def.Edges[i].Name == typeFilter {
+				filtered.Edges = append(filtered.Edges, def.Edges[i])
+			}
+		}
+		def = filtered
+	}
+	var buf bytes.Buffer
+	if err := serialize.WriteJSON(&buf, def); err != nil {
+		return errorBody(err)
+	}
+	return buf.Bytes()
+}

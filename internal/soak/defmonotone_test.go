@@ -1,0 +1,77 @@
+package soak
+
+import (
+	"strings"
+	"testing"
+
+	"pghive/internal/core"
+	"pghive/internal/pg"
+	"pghive/internal/schema"
+)
+
+// defOver discovers a Def over a small synthetic graph; withExtras adds a
+// Device type and an email property on Person, so (base, extended) form a
+// strict subset pair for exercising defRemovals in both directions.
+func defOver(t *testing.T, withExtras bool) *schema.Def {
+	t.Helper()
+	b := &pg.Batch{}
+	for i := 0; i < 10; i++ {
+		props := pg.Properties{"name": pg.Str("p")}
+		if withExtras {
+			props["email"] = pg.Str("p@x")
+		}
+		b.Nodes = append(b.Nodes, pg.NodeRecord{ID: pg.ID(i + 1), Labels: []string{"Person"}, Props: props})
+	}
+	if withExtras {
+		b.Nodes = append(b.Nodes, pg.NodeRecord{ID: 100, Labels: []string{"Device"},
+			Props: pg.Properties{"serial": pg.Str("d")}})
+	}
+	return core.Discover(pg.NewSliceSource(b), core.Config{}).Def
+}
+
+func TestDefRemovals(t *testing.T) {
+	base := defOver(t, false)
+	extended := defOver(t, true)
+
+	// Growth is legal: nothing lost going base -> extended.
+	if lost := defRemovals(base, extended); len(lost) != 0 {
+		t.Fatalf("growth flagged as regression: %v", lost)
+	}
+	// Identity is legal.
+	if lost := defRemovals(extended, extended); len(lost) != 0 {
+		t.Fatalf("identical defs flagged: %v", lost)
+	}
+	// Shrinking is a violation: the Device type and Person.email vanish.
+	lost := defRemovals(extended, base)
+	if len(lost) == 0 {
+		t.Fatal("regression not detected")
+	}
+	joined := strings.Join(lost, "; ")
+	if !strings.Contains(joined, "Device") {
+		t.Errorf("lost type not reported: %s", joined)
+	}
+	if !strings.Contains(joined, "email") {
+		t.Errorf("lost property not reported: %s", joined)
+	}
+}
+
+// TestWindowDefMerge: a sharded window's partial schemas merge into one Def
+// covering every shard's types, same as the engine's end-of-stream merge.
+func TestWindowDefMerge(t *testing.T) {
+	mk := func(label string) *schema.Schema {
+		b := &pg.Batch{}
+		for i := 0; i < 10; i++ {
+			b.Nodes = append(b.Nodes, pg.NodeRecord{ID: pg.ID(i + 1), Labels: []string{label},
+				Props: pg.Properties{"name": pg.Str("x")}})
+		}
+		return core.Discover(pg.NewSliceSource(b), core.Config{}).Schema
+	}
+	def := windowDef([]*schema.Schema{mk("Person"), mk("Org")}, core.Config{})
+	names := map[string]bool{}
+	for _, n := range def.Nodes {
+		names[n.Name] = true
+	}
+	if !names["Person"] || !names["Org"] {
+		t.Fatalf("merged window def missing shard types: %v", names)
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"pghive/internal/core"
 	"pghive/internal/datagen"
+	"pghive/internal/infer"
 	"pghive/internal/obs"
 	"pghive/internal/pg"
 	"pghive/internal/schema"
@@ -84,9 +85,9 @@ const (
 type Violation struct {
 	// Window is the invariant window that failed (-1 for end-of-run checks).
 	Window int
-	// Invariant names the failed check (monotone-growth, resumable,
-	// resume-identity, shard-equivalence, heap-budget, evidence-budget,
-	// drift-accounting).
+	// Invariant names the failed check (monotone-growth, def-monotone,
+	// resumable, resume-identity, shard-equivalence, heap-budget,
+	// evidence-budget, drift-accounting).
 	Invariant string
 	// Detail says what went wrong.
 	Detail string
@@ -253,6 +254,12 @@ func Run(opts Options) (*Report, error) {
 	if got := schema.TypeFingerprint(result.Schema); !schema.FingerprintSubset(checker.lastFp, got) {
 		rep.violate(instr, -1, "monotone-growth", "final schema lost types or properties present in the last checkpoint")
 	}
+	if checker.lastDef != nil {
+		if lost := defRemovals(checker.lastDef, result.Def); len(lost) > 0 {
+			rep.violate(instr, -1, "def-monotone",
+				"final schema regressed from the last window: "+strings.Join(lost, "; "))
+		}
+	}
 	if d := rep.Drift; d != nil {
 		// Drift accounting: every quarantine the checker counted must show
 		// up as a skip report tagged with a drift reason, and vice versa —
@@ -342,9 +349,49 @@ type checker struct {
 	rep   *Report
 	instr obs.Instr
 
-	saves  int
-	last   []byte
-	lastFp map[string][]string
+	saves   int
+	last    []byte
+	lastFp  map[string][]string
+	lastDef *schema.Def
+}
+
+// windowDef finalizes a window's decoded checkpoint schemas into the Def a
+// reader of the system would see at that point — merging shard partials
+// exactly as the engine does at stream end.
+func windowDef(schemas []*schema.Schema, cfg core.Config) *schema.Def {
+	opts := infer.Options{SampleBased: cfg.SampleDatatypes, Participation: cfg.Participation}
+	if len(schemas) == 1 {
+		return infer.Finalize(schemas[0], opts)
+	}
+	global := schema.NewSchema()
+	if cfg.MemBudgetBytes > 0 && !cfg.ExactEvidence {
+		global.SetEvidencePolicy(schema.PolicyForBudget(cfg.MemBudgetBytes))
+	}
+	theta := cfg.Theta
+	if theta <= 0 {
+		theta = 0.9
+	}
+	for _, s := range schemas {
+		schema.MergeSchemas(global, s, theta)
+	}
+	return infer.Finalize(global, opts)
+}
+
+// defRemovals lists the monotonicity-breaking changes between two
+// consecutive window defs: a type or property present earlier but gone now.
+// Additions and statistic shifts are legitimate growth; removals violate
+// Lemmas 1–2 at the finalized-schema level.
+func defRemovals(prev, cur *schema.Def) []string {
+	var lost []string
+	for _, ch := range schema.Diff(prev, cur) {
+		switch ch.Kind {
+		case schema.TypeRemoved:
+			lost = append(lost, fmt.Sprintf("type %s removed", ch.TypeName))
+		case schema.PropertyRemoved:
+			lost = append(lost, fmt.Sprintf("property %s.%s removed", ch.TypeName, ch.Property))
+		}
+	}
+	return lost
 }
 
 // Save implements core.Checkpointer.
@@ -375,6 +422,19 @@ func (c *checker) Save(state []byte) error {
 			fmt.Sprintf("checkpoint %d lost types or properties relative to the previous window", c.saves))
 	}
 	c.lastFp = fp
+
+	// Def-level monotonicity: the raw fingerprints above watch the evidence
+	// layer; this watches what a reader would actually be served — the
+	// finalized (and, when sharded, merged) Def must never lose a type or a
+	// property across consecutive windows.
+	def := windowDef(schemas, c.cfg)
+	if c.lastDef != nil {
+		if lost := defRemovals(c.lastDef, def); len(lost) > 0 {
+			c.rep.violate(c.instr, window, "def-monotone",
+				fmt.Sprintf("checkpoint %d finalized schema regressed: %s", c.saves, strings.Join(lost, "; ")))
+		}
+	}
+	c.lastDef = def
 
 	// When the budget is enforced (sketched evidence mode), the decoded
 	// checkpoint state itself must honor it: the evidence footprint is the

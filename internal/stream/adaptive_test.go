@@ -1,0 +1,92 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+
+	"pghive/internal/core"
+	"pghive/internal/pg"
+)
+
+func TestAdaptiveThreshold(t *testing.T) {
+	const base = 1000
+	for _, tc := range []struct {
+		used, budget int64
+		want         int
+	}{
+		{0, 0, base}, // no budget: never adapts
+		{1 << 40, 0, base},
+		{0, 1000, base},
+		{499, 1000, base}, // below half budget: base holds
+		{500, 1000, 500},  // ≥ 1/2: halve
+		{749, 1000, 500},
+		{750, 1000, 250}, // ≥ 3/4: quarter
+		{899, 1000, 250},
+		{900, 1000, 125},  // ≥ 9/10: eighth
+		{5000, 1000, 125}, // far over budget: clamped at base/8
+	} {
+		if got := adaptiveThreshold(base, tc.used, tc.budget); got != tc.want {
+			t.Errorf("adaptiveThreshold(%d, %d, %d) = %d, want %d",
+				base, tc.used, tc.budget, got, tc.want)
+		}
+	}
+	// A tiny base never scales to zero.
+	if got := adaptiveThreshold(4, 1000, 1000); got != 1 {
+		t.Errorf("tiny base scaled to %d, want floor 1", got)
+	}
+}
+
+// TestCollectorAdaptiveDownscale pins the wiring: under a memory budget the
+// collector starts at the configured batch size, and once the evidence layer
+// reports pressure past 9/10 of the budget the flush threshold drops to
+// batchSize/8 — so the same insert stream produces more, smaller batches.
+func TestCollectorAdaptiveDownscale(t *testing.T) {
+	const batchSize = 64
+	// A 1-byte budget means any non-empty schema saturates it, so the first
+	// flush flips the collector to maximum downscale deterministically.
+	cfg := core.Config{MemBudgetBytes: 1}
+	c := NewCollector(core.NewPipeline(cfg), batchSize)
+
+	if got := c.BatchThreshold(); got != batchSize {
+		t.Fatalf("fresh collector threshold = %d, want %d", got, batchSize)
+	}
+	addNodes := func(n int) {
+		for i := 0; i < n; i++ {
+			c.AddNode(pg.NodeRecord{
+				ID: pg.ID(c.elements + i + 1), Labels: []string{"Person"},
+				Props: pg.Properties{"name": pg.Str(fmt.Sprintf("p%d", i))},
+			})
+		}
+	}
+	// The first flush happens at the full batch size (no pressure known yet).
+	addNodes(batchSize)
+	if _, flushes, buffered := c.stats(t); flushes != 1 || buffered != 0 {
+		t.Fatalf("after %d inserts: flushes=%d buffered=%d, want 1 flush, empty buffer",
+			batchSize, flushes, buffered)
+	}
+	// Evidence now exceeds the (1-byte) budget: threshold must be base/8.
+	if got := c.BatchThreshold(); got != batchSize/8 {
+		t.Fatalf("threshold under pressure = %d, want %d", got, batchSize/8)
+	}
+	// The next batchSize/8 inserts flush on their own — 8× smaller batches.
+	addNodes(batchSize / 8)
+	if _, flushes, buffered := c.stats(t); flushes != 2 || buffered != 0 {
+		t.Fatalf("downscaled flush did not trigger: flushes=%d buffered=%d", flushes, buffered)
+	}
+
+	// An unbudgeted collector over the same stream keeps the full threshold.
+	free := NewCollector(core.NewPipeline(core.Config{}), batchSize)
+	for i := 0; i < batchSize+batchSize/8; i++ {
+		free.AddNode(pg.NodeRecord{ID: pg.ID(i + 1), Labels: []string{"Person"},
+			Props: pg.Properties{"name": pg.Str("p")}})
+	}
+	if _, flushes, buffered := free.stats(t); flushes != 1 || buffered != batchSize/8 {
+		t.Fatalf("unbudgeted collector: flushes=%d buffered=%d, want 1 flush, %d buffered",
+			flushes, buffered, batchSize/8)
+	}
+}
+
+func (c *Collector) stats(t *testing.T) (elements, flushes, buffered int) {
+	t.Helper()
+	return c.Stats()
+}

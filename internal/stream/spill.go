@@ -30,6 +30,13 @@ type SpillQueue struct {
 	diskBytes int64
 	spilled   uint64
 	closed    bool
+
+	// Dequeue decode scratch, reused across reads: the raw-bytes buffer and
+	// a wire reader whose intern table keeps the stream's labels and
+	// property keys deduped across every decoded batch.
+	readBuf []byte
+	dec     *pg.WireReader
+	decSrc  *bytes.Reader
 }
 
 // spillEntry is one queued batch: resident (b != nil) or a [off, off+n)
@@ -142,11 +149,21 @@ func (q *SpillQueue) Dequeue() (*pg.Batch, error) {
 		q.maybeResetLocked()
 		return e.b, nil
 	}
-	raw := make([]byte, e.n)
+	if int64(cap(q.readBuf)) < e.n {
+		q.readBuf = make([]byte, e.n)
+	}
+	raw := q.readBuf[:e.n]
 	if _, err := q.f.ReadAt(raw, e.off); err != nil {
 		return nil, fmt.Errorf("stream: read spill batch: %w", err)
 	}
-	b, err := pg.ReadBatch(pg.NewWireReader(bytes.NewReader(raw)))
+	if q.dec == nil {
+		q.decSrc = bytes.NewReader(raw)
+		q.dec = pg.NewWireReader(q.decSrc)
+	} else {
+		q.decSrc.Reset(raw)
+		q.dec.Reset(q.decSrc)
+	}
+	b, err := pg.ReadBatch(q.dec)
 	if err != nil {
 		return nil, fmt.Errorf("stream: decode spill batch: %w", err)
 	}
@@ -292,6 +309,7 @@ func (c *Collector) drainLoop() {
 		c.pipe.ProcessBatch(b)
 		c.mu.Lock()
 		c.inFlight = false
+		c.refreshPressureLocked()
 		c.publishSpillLocked()
 		c.spillCond.Broadcast()
 	}

@@ -24,6 +24,13 @@ type Collector struct {
 	buf       pg.Batch
 	flushes   int
 	elements  int
+	// Adaptive batch sizing (active when the pipeline runs under a memory
+	// budget): memBudget mirrors Config.MemBudgetBytes and evBytes caches
+	// the schema's evidence footprint after each processed batch, so the
+	// flush threshold can shrink as the budget fills without re-walking the
+	// schema on every insert.
+	memBudget int64
+	evBytes   int64
 	// onFlush, when set, inspects each batch before it enters the
 	// pipeline; see SetOnFlush for the error contract.
 	onFlush func(*pg.Batch) error
@@ -46,12 +53,57 @@ type Collector struct {
 const DefaultBatchSize = 10_000
 
 // NewCollector wraps a pipeline. Each time batchSize buffered elements
-// accumulate, they are flushed into the pipeline as one batch.
+// accumulate, they are flushed into the pipeline as one batch. When the
+// pipeline runs under a memory budget (Config.MemBudgetBytes), the flush
+// threshold adapts: as retained evidence (plus any spill-queue residency)
+// approaches the budget, batches shrink — down to batchSize/8 — so the
+// buffer stops amplifying peak memory right when memory is scarce.
 func NewCollector(pipe *core.Pipeline, batchSize int) *Collector {
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
 	}
-	return &Collector{pipe: pipe, batchSize: batchSize}
+	return &Collector{pipe: pipe, batchSize: batchSize, memBudget: pipe.Config().MemBudgetBytes}
+}
+
+// adaptiveThreshold scales a flush threshold by memory pressure: below half
+// the budget the base holds; past 1/2, 3/4 and 9/10 of the budget the
+// threshold drops to base/2, base/4 and base/8 (never below 1). A zero
+// budget disables adaptation.
+func adaptiveThreshold(base int, used, budget int64) int {
+	if budget <= 0 || used*2 < budget {
+		return base
+	}
+	t := base / 2
+	switch {
+	case used*10 >= budget*9:
+		t = base / 8
+	case used*4 >= budget*3:
+		t = base / 4
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// thresholdLocked is the current flush threshold under the adaptive policy.
+func (c *Collector) thresholdLocked() int {
+	if c.memBudget <= 0 {
+		return c.batchSize
+	}
+	used := c.evBytes
+	if c.spill != nil {
+		used += c.spill.MemBytes()
+	}
+	return adaptiveThreshold(c.batchSize, used, c.memBudget)
+}
+
+// BatchThreshold reports the flush threshold currently in effect (equal to
+// the configured batch size unless memory pressure has scaled it down).
+func (c *Collector) BatchThreshold() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.thresholdLocked()
 }
 
 // SetOnFlush installs a pre-flight check invoked on each batch before it
@@ -93,7 +145,7 @@ func (c *Collector) AddEdge(rec pg.EdgeRecord) {
 }
 
 func (c *Collector) maybeFlushLocked() {
-	if c.buf.Len() >= c.batchSize {
+	if c.buf.Len() >= c.thresholdLocked() {
 		c.flushLocked()
 	}
 }
@@ -134,7 +186,16 @@ func (c *Collector) flushLocked() error {
 	c.pipe.ProcessBatch(&batch)
 	c.flushes++
 	c.slot++
+	c.refreshPressureLocked()
 	return nil
+}
+
+// refreshPressureLocked re-reads the schema's evidence footprint after a
+// processed batch — the only moment it can have grown.
+func (c *Collector) refreshPressureLocked() {
+	if c.memBudget > 0 {
+		c.evBytes = c.pipe.Schema().EvidenceBytes()
+	}
 }
 
 // Flush forces buffered elements into the pipeline immediately. The error
